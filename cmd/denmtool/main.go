@@ -1,0 +1,203 @@
+// Command denmtool encodes, decodes and inspects ETSI ITS messages.
+//
+// Usage:
+//
+//	denmtool causes                      # print the cause-code registry
+//	denmtool cause 97                    # detail one cause code
+//	denmtool encode-denm -cause 97 -sub 2 -lat 41.178 -lon -8.608
+//	denmtool decode <hex>                # decode a CAM or DENM from hex
+//	denmtool example-cam                 # encode and dump a sample CAM
+package main
+
+import (
+	"encoding/hex"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+
+	"itsbed/internal/its/messages"
+	"itsbed/internal/units"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "denmtool:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	if len(args) == 0 {
+		return fmt.Errorf("usage: denmtool <causes|cause|encode-denm|decode|example-cam> ...")
+	}
+	switch args[0] {
+	case "causes":
+		for _, c := range messages.AllCauses() {
+			fmt.Printf("%3d  %-48s %d sub-causes\n", c.Code, c.Description, len(c.SubCauses))
+		}
+		return nil
+	case "cause":
+		if len(args) < 2 {
+			return fmt.Errorf("usage: denmtool cause <code>")
+		}
+		code, err := strconv.Atoi(args[1])
+		if err != nil {
+			return fmt.Errorf("invalid code %q: %w", args[1], err)
+		}
+		info, ok := messages.Lookup(messages.CauseCode(code))
+		if !ok {
+			return fmt.Errorf("cause code %d is not registered", code)
+		}
+		fmt.Printf("%d %s\n", info.Code, info.Description)
+		for sub := messages.SubCauseCode(0); sub < 32; sub++ {
+			if d, ok := info.SubCauses[sub]; ok {
+				fmt.Printf("  %2d  %s\n", sub, d)
+			}
+		}
+		return nil
+	case "encode-denm":
+		return encodeDENM(args[1:])
+	case "decode":
+		if len(args) < 2 {
+			return fmt.Errorf("usage: denmtool decode <hex>")
+		}
+		return decode(args[1])
+	case "example-cam":
+		return exampleCAM()
+	default:
+		return fmt.Errorf("unknown command %q", args[0])
+	}
+}
+
+func encodeDENM(args []string) error {
+	fs := flag.NewFlagSet("encode-denm", flag.ContinueOnError)
+	cause := fs.Int("cause", int(messages.CauseCollisionRisk), "cause code")
+	sub := fs.Int("sub", int(messages.CollisionRiskCrossing), "sub-cause code")
+	lat := fs.Float64("lat", 41.178, "event latitude (degrees)")
+	lon := fs.Float64("lon", -8.608, "event longitude (degrees)")
+	station := fs.Uint("station", 1001, "originating station ID")
+	seq := fs.Uint("seq", 1, "action sequence number")
+	quality := fs.Uint("quality", 3, "information quality 0..7")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	d := messages.NewDENM(units.StationID(*station))
+	validity := messages.DefaultValidityDuration
+	d.Management = messages.ManagementContainer{
+		ActionID: messages.ActionID{
+			OriginatingStationID: units.StationID(*station),
+			SequenceNumber:       uint16(*seq),
+		},
+		DetectionTime: 700000000000,
+		ReferenceTime: 700000000000,
+		EventPosition: messages.ReferencePosition{
+			Latitude:      units.LatitudeFromDegrees(*lat),
+			Longitude:     units.LongitudeFromDegrees(*lon),
+			AltitudeValue: messages.AltitudeUnavailable,
+		},
+		ValidityDuration: &validity,
+		StationType:      units.StationTypeRoadSideUnit,
+	}
+	d.Situation = &messages.SituationContainer{
+		InformationQuality: messages.InformationQuality(*quality),
+		EventType: messages.EventType{
+			CauseCode:    messages.CauseCode(*cause),
+			SubCauseCode: messages.SubCauseCode(*sub),
+		},
+	}
+	d.Location = &messages.LocationContainer{Traces: []messages.Trace{{}}}
+	data, err := d.Encode()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%d bytes UPER:\n%s\n", len(data), hex.EncodeToString(data))
+	return nil
+}
+
+func decode(hexStr string) error {
+	data, err := hex.DecodeString(hexStr)
+	if err != nil {
+		return fmt.Errorf("invalid hex: %w", err)
+	}
+	msgID, station, err := messages.Peek(data)
+	if err != nil {
+		return err
+	}
+	switch msgID {
+	case messages.MessageIDDENM:
+		d, err := messages.DecodeDENM(data)
+		if err != nil {
+			return err
+		}
+		printDENM(d)
+	case messages.MessageIDCAM:
+		c, err := messages.DecodeCAM(data)
+		if err != nil {
+			return err
+		}
+		printCAM(c)
+	default:
+		return fmt.Errorf("unknown messageID %d from station %d", msgID, station)
+	}
+	return nil
+}
+
+func printDENM(d *messages.DENM) {
+	fmt.Printf("DENM from station %d\n", d.Header.StationID)
+	fmt.Printf("  actionID          %v\n", d.Management.ActionID)
+	fmt.Printf("  detectionTime     %d ms since ITS epoch\n", d.Management.DetectionTime)
+	fmt.Printf("  eventPosition     (%.7f, %.7f)\n",
+		d.Management.EventPosition.Latitude.Degrees(),
+		d.Management.EventPosition.Longitude.Degrees())
+	fmt.Printf("  validity          %d s\n", d.Validity())
+	fmt.Printf("  termination       %v\n", d.IsTermination())
+	if d.Situation != nil {
+		et := d.Situation.EventType
+		fmt.Printf("  eventType         %d/%d %s: %s\n", et.CauseCode, et.SubCauseCode,
+			et.CauseCode, messages.SubCauseDescription(et.CauseCode, et.SubCauseCode))
+		fmt.Printf("  quality           %d\n", d.Situation.InformationQuality)
+	}
+	if d.Location != nil {
+		fmt.Printf("  traces            %d\n", len(d.Location.Traces))
+	}
+}
+
+func printCAM(c *messages.CAM) {
+	fmt.Printf("CAM from station %d (%s)\n", c.Header.StationID, c.Basic.StationType)
+	fmt.Printf("  generationDelta   %d\n", c.GenerationDeltaTime)
+	fmt.Printf("  position          (%.7f, %.7f)\n",
+		c.Basic.Position.Latitude.Degrees(), c.Basic.Position.Longitude.Degrees())
+	fmt.Printf("  speed             %.2f m/s\n", c.HighFrequency.Speed.MS())
+	fmt.Printf("  heading           %.1f deg\n", c.HighFrequency.Heading.Degrees())
+	if c.LowFrequency != nil {
+		fmt.Printf("  pathHistory       %d points\n", len(c.LowFrequency.PathHistory))
+	}
+}
+
+func exampleCAM() error {
+	cam := messages.NewCAM(2001, 12345)
+	cam.Basic = messages.BasicContainer{
+		StationType: units.StationTypePassengerCar,
+		Position: messages.ReferencePosition{
+			Latitude:      units.LatitudeFromDegrees(41.178),
+			Longitude:     units.LongitudeFromDegrees(-8.608),
+			AltitudeValue: messages.AltitudeUnavailable,
+		},
+	}
+	cam.HighFrequency = messages.BasicVehicleContainerHighFrequency{
+		Heading:           units.HeadingFromRadians(0),
+		HeadingConfidence: 10,
+		Speed:             units.SpeedFromMS(1.5),
+		SpeedConfidence:   5,
+		VehicleLength:     5,
+		VehicleWidth:      3,
+		Curvature:         units.CurvatureUnavailable,
+	}
+	data, err := cam.Encode()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%d bytes UPER:\n%s\n", len(data), hex.EncodeToString(data))
+	return nil
+}

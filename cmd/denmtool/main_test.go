@@ -1,0 +1,78 @@
+package main
+
+import (
+	"encoding/hex"
+	"testing"
+
+	"itsbed/internal/its/messages"
+	"itsbed/internal/units"
+)
+
+func TestCauses(t *testing.T) {
+	if err := run([]string{"causes"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCauseDetail(t *testing.T) {
+	if err := run([]string{"cause", "97"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"cause", "200"}); err == nil {
+		t.Fatal("unknown cause accepted")
+	}
+	if err := run([]string{"cause", "abc"}); err == nil {
+		t.Fatal("non-numeric cause accepted")
+	}
+}
+
+func TestEncodeDENMDefaults(t *testing.T) {
+	if err := run([]string{"encode-denm"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodeRoundTrip(t *testing.T) {
+	d := messages.NewDENM(1001)
+	d.Management = messages.ManagementContainer{
+		ActionID:      messages.ActionID{OriginatingStationID: 1001, SequenceNumber: 1},
+		DetectionTime: 5,
+		ReferenceTime: 5,
+		EventPosition: messages.ReferencePosition{AltitudeValue: messages.AltitudeUnavailable},
+		StationType:   units.StationTypeRoadSideUnit,
+	}
+	d.Situation = &messages.SituationContainer{
+		EventType: messages.EventType{CauseCode: 97, SubCauseCode: 2},
+	}
+	data, err := d.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"decode", hex.EncodeToString(data)}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodeGarbage(t *testing.T) {
+	if err := run([]string{"decode", "zz"}); err == nil {
+		t.Fatal("invalid hex accepted")
+	}
+	if err := run([]string{"decode", "00"}); err == nil {
+		t.Fatal("truncated message accepted")
+	}
+}
+
+func TestExampleCAM(t *testing.T) {
+	if err := run([]string{"example-cam"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUsage(t *testing.T) {
+	if err := run(nil); err == nil {
+		t.Fatal("missing command accepted")
+	}
+	if err := run([]string{"wat"}); err == nil {
+		t.Fatal("unknown command accepted")
+	}
+}

@@ -1,0 +1,254 @@
+// Command itsbed runs the testbed experiments and prints each table
+// and figure of the paper, plus the extension studies.
+//
+// Usage:
+//
+//	itsbed table1            # DENM cause-code registry (Table I)
+//	itsbed table2            # step-interval measurements (Table II)
+//	itsbed table3            # braking distances (Table III)
+//	itsbed fig7              # detection reliability per dressing (Fig. 7)
+//	itsbed fig10             # video detection-to-stop analysis (Fig. 10)
+//	itsbed fig11             # EDF of total delays (Fig. 11)
+//	itsbed cdf [-n N]        # EXT-1 large-N latency CDF + fits
+//	itsbed radios [-n N]     # EXT-2 ITS-G5 vs cellular comparison
+//	itsbed platoon [-n N]    # EXT-3 platoon detection-to-action
+//	itsbed baseline [-n N]   # EXT-4 blind-corner V2X vs onboard-only
+//	itsbed poll-sweep        # ABL-1 OBU poll-interval ablation
+//	itsbed fps-sweep         # ABL-2 camera rate ablation
+//	itsbed load-sweep        # ABL-3 channel load / EDCA priority
+//	itsbed obstruction       # EXT-5 obstructed-link study
+//	itsbed platoon-acc       # EXT-6 platoon string-stability study
+//	itsbed ntp-sweep         # ABL-4 clock-sync quality vs measured intervals
+//	itsbed all               # everything above
+//
+// Common flags: -seed S, -runs R, -vision=(true|false).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"itsbed/internal/experiments"
+	"itsbed/internal/its/messages"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "itsbed:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("itsbed", flag.ContinueOnError)
+	seed := fs.Int64("seed", 42, "base random seed")
+	runs := fs.Int("runs", 0, "number of runs (0 = experiment default)")
+	n := fs.Int("n", 0, "sample count for the extension studies (0 = default)")
+	vision := fs.Bool("vision", true, "use the full image pipeline in the line follower")
+	if len(args) == 0 {
+		args = []string{"all"}
+	}
+	cmd := args[0]
+	if err := fs.Parse(args[1:]); err != nil {
+		return err
+	}
+	opt := experiments.ScenarioOptions{BaseSeed: *seed, Runs: *runs, UseVision: *vision}
+
+	dispatch := map[string]func() error{
+		"table1":      func() error { return printTable1() },
+		"table2":      func() error { return printTable2(opt) },
+		"table3":      func() error { return printTable3(opt) },
+		"fig7":        func() error { return printFig7(*seed) },
+		"fig10":       func() error { return printFig10(opt) },
+		"fig11":       func() error { return printFig11(opt) },
+		"cdf":         func() error { return printCDF(*seed, *n) },
+		"radios":      func() error { return printRadios(*seed, *n) },
+		"platoon":     func() error { return printPlatoon(*seed, *n) },
+		"baseline":    func() error { return printBaseline(*seed, *n) },
+		"poll-sweep":  func() error { return printPollSweep(*seed, *n) },
+		"fps-sweep":   func() error { return printFPSSweep(*seed, *n) },
+		"load-sweep":  func() error { return printLoadSweep(*seed, *n) },
+		"obstruction": func() error { return printObstruction(*seed, *n) },
+		"platoon-acc": func() error { return printPlatoonACC(*seed, *n) },
+		"ntp-sweep":   func() error { return printNTPSweep(*seed, *n) },
+	}
+	if cmd == "all" {
+		order := []string{
+			"table1", "table2", "table3", "fig7", "fig10", "fig11",
+			"cdf", "radios", "platoon", "baseline",
+			"poll-sweep", "fps-sweep", "load-sweep", "obstruction", "platoon-acc", "ntp-sweep",
+		}
+		for _, name := range order {
+			if err := dispatch[name](); err != nil {
+				return fmt.Errorf("%s: %w", name, err)
+			}
+			fmt.Println()
+		}
+		return nil
+	}
+	fn, ok := dispatch[cmd]
+	if !ok {
+		return fmt.Errorf("unknown command %q (try: table1 table2 table3 fig7 fig10 fig11 cdf radios platoon baseline poll-sweep fps-sweep load-sweep obstruction platoon-acc ntp-sweep all)", cmd)
+	}
+	return fn()
+}
+
+func printPollSweep(seed int64, n int) error {
+	rows, err := experiments.PollIntervalSweep(seed+7000, n, nil)
+	if err != nil {
+		return err
+	}
+	fmt.Print(experiments.FormatPollSweep(rows))
+	return nil
+}
+
+func printFPSSweep(seed int64, n int) error {
+	rows, err := experiments.CameraFPSSweep(seed+7100, n, nil)
+	if err != nil {
+		return err
+	}
+	fmt.Print(experiments.FormatFPSSweep(rows))
+	return nil
+}
+
+func printLoadSweep(seed int64, n int) error {
+	rows, err := experiments.ChannelLoadSweep(seed+7200, n, nil)
+	if err != nil {
+		return err
+	}
+	fmt.Print(experiments.FormatLoadSweep(rows))
+	return nil
+}
+
+func printPlatoonACC(seed int64, n int) error {
+	rows, err := experiments.PlatoonACC(seed+9000, n, nil)
+	if err != nil {
+		return err
+	}
+	fmt.Print(experiments.FormatPlatoonACC(rows))
+	return nil
+}
+
+func printNTPSweep(seed int64, n int) error {
+	rows, err := experiments.NTPQualitySweep(seed+11000, n)
+	if err != nil {
+		return err
+	}
+	fmt.Print(experiments.FormatNTPSweep(rows))
+	return nil
+}
+
+func printObstruction(seed int64, n int) error {
+	rows, err := experiments.ObstructedLink(seed+7300, n)
+	if err != nil {
+		return err
+	}
+	fmt.Print(experiments.FormatObstruction(rows))
+	return nil
+}
+
+func printTable1() error {
+	fmt.Println("TABLE I: DENM cause codes (EN 302 637-3 registry subset)")
+	fmt.Printf("%-6s %-48s %s\n", "code", "cause", "sub-causes")
+	for _, c := range messages.AllCauses() {
+		fmt.Printf("%-6d %-48s %d defined\n", c.Code, c.Description, len(c.SubCauses))
+	}
+	for _, code := range []messages.CauseCode{
+		messages.CauseHazardousLocationSurfaceCondition,
+		messages.CauseHazardousLocationObstacleOnTheRoad,
+		messages.CauseCollisionRisk,
+		messages.CauseDangerousSituation,
+	} {
+		info, _ := messages.Lookup(code)
+		fmt.Printf("\n%d %s:\n", code, info.Description)
+		for sub := messages.SubCauseCode(0); sub < 12; sub++ {
+			if d, ok := info.SubCauses[sub]; ok {
+				fmt.Printf("  %2d  %s\n", sub, d)
+			}
+		}
+	}
+	return nil
+}
+
+func printTable2(opt experiments.ScenarioOptions) error {
+	res, err := experiments.TableII(opt)
+	if err != nil {
+		return err
+	}
+	fmt.Print(res.Format())
+	return nil
+}
+
+func printTable3(opt experiments.ScenarioOptions) error {
+	res, err := experiments.TableIII(opt)
+	if err != nil {
+		return err
+	}
+	fmt.Print(res.Format())
+	return nil
+}
+
+func printFig7(seed int64) error {
+	fmt.Print(experiments.Figure7(seed, 0).Format())
+	return nil
+}
+
+func printFig10(opt experiments.ScenarioOptions) error {
+	res, err := experiments.Figure10(opt)
+	if err != nil {
+		return err
+	}
+	fmt.Print(res.Format())
+	return nil
+}
+
+func printFig11(opt experiments.ScenarioOptions) error {
+	res, err := experiments.Figure11(opt)
+	if err != nil {
+		return err
+	}
+	fmt.Print(res.Format())
+	return nil
+}
+
+func printCDF(seed int64, n int) error {
+	res, err := experiments.LatencyCDF(seed+1000, n)
+	if err != nil {
+		return err
+	}
+	fmt.Print(res.Format())
+	return nil
+}
+
+func printRadios(seed int64, n int) error {
+	res, err := experiments.RadioComparison(seed+2000, n)
+	if err != nil {
+		return err
+	}
+	fmt.Print(res.Format())
+	return nil
+}
+
+func printPlatoon(seed int64, n int) error {
+	if n <= 0 {
+		n = 8
+	}
+	for _, mode := range []experiments.PlatoonMode{experiments.PlatoonITSG5, experiments.PlatoonHybrid} {
+		res, err := experiments.PlatoonStudy(seed+3000, n, 4, mode)
+		if err != nil {
+			return err
+		}
+		fmt.Print(res.Format())
+	}
+	return nil
+}
+
+func printBaseline(seed int64, n int) error {
+	res, err := experiments.BlindCorner(seed+4000, n)
+	if err != nil {
+		return err
+	}
+	fmt.Print(res.Format())
+	return nil
+}

@@ -1,0 +1,39 @@
+package main
+
+import (
+	"testing"
+)
+
+// The CLI drives the same experiment functions the benches use; these
+// tests exercise argument parsing and the thin printing layer with
+// minimal run counts.
+
+func TestRunTable1(t *testing.T) {
+	if err := run([]string{"table1"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunTable2Fast(t *testing.T) {
+	if err := run([]string{"table2", "-runs", "2", "-vision=false"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunFig7(t *testing.T) {
+	if err := run([]string{"fig7"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunUnknownCommand(t *testing.T) {
+	if err := run([]string{"bogus"}); err == nil {
+		t.Fatal("unknown command accepted")
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	if err := run([]string{"table2", "-definitely-not-a-flag"}); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+}

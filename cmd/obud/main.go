@@ -1,0 +1,77 @@
+// Command obud runs an OpenC2X-style On-Board Unit daemon over real
+// sockets: the vehicle-side HTTP API (request_denm polled by the
+// control script) and a UDP link standing in for the 802.11p air
+// interface towards the RSU.
+//
+//	obud -api :1189 -listen :47002 -peer 127.0.0.1:47001 \
+//	     -station 2001 -lat 41.178 -lon -8.608
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+
+	"itsbed/internal/geo"
+	"itsbed/internal/openc2x"
+	"itsbed/internal/units"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "obud:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	api := flag.String("api", ":1189", "HTTP API listen address")
+	listen := flag.String("listen", ":47002", "UDP link listen address")
+	peers := flag.String("peer", "", "comma-separated UDP peer addresses (RSUs)")
+	station := flag.Uint("station", 2001, "station ID")
+	lat := flag.Float64("lat", geo.CISTERLab.Lat, "OBU latitude")
+	lon := flag.Float64("lon", geo.CISTERLab.Lon, "OBU longitude")
+	flag.Parse()
+
+	var peerList []string
+	if *peers != "" {
+		peerList = strings.Split(*peers, ",")
+	}
+	link, err := openc2x.NewUDPLink(*listen, peerList)
+	if err != nil {
+		return err
+	}
+	defer link.Close()
+
+	node, err := openc2x.NewRealNode(openc2x.RealNodeConfig{
+		StationID:   units.StationID(*station),
+		StationType: units.StationTypePassengerCar,
+		Position:    geo.LatLon{Lat: *lat, Lon: *lon},
+		Link:        link,
+	})
+	if err != nil {
+		return err
+	}
+	link.Start(node)
+
+	srv, err := openc2x.NewServer(node, *api)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("obud: station %d, API on %s, link on %s, peers %v\n",
+		*station, srv.Addr(), link.LocalAddr(), peerList)
+
+	done := make(chan os.Signal, 1)
+	signal.Notify(done, syscall.SIGINT, syscall.SIGTERM)
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve() }()
+	select {
+	case <-done:
+		return srv.Close()
+	case err := <-errc:
+		return err
+	}
+}

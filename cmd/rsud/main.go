@@ -1,0 +1,77 @@
+// Command rsud runs an OpenC2X-style Road-Side Unit daemon over real
+// sockets: the HTTP API (trigger_denm / request_denm / trigger_cam /
+// causes) on one port and a UDP link standing in for the 802.11p air
+// interface towards the OBUs.
+//
+//	rsud -api :1188 -listen :47001 -peer 127.0.0.1:47002 \
+//	     -station 1001 -lat 41.178 -lon -8.608
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+
+	"itsbed/internal/geo"
+	"itsbed/internal/openc2x"
+	"itsbed/internal/units"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "rsud:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	api := flag.String("api", ":1188", "HTTP API listen address")
+	listen := flag.String("listen", ":47001", "UDP link listen address")
+	peers := flag.String("peer", "", "comma-separated UDP peer addresses (OBUs)")
+	station := flag.Uint("station", 1001, "station ID")
+	lat := flag.Float64("lat", geo.CISTERLab.Lat, "RSU latitude")
+	lon := flag.Float64("lon", geo.CISTERLab.Lon, "RSU longitude")
+	flag.Parse()
+
+	var peerList []string
+	if *peers != "" {
+		peerList = strings.Split(*peers, ",")
+	}
+	link, err := openc2x.NewUDPLink(*listen, peerList)
+	if err != nil {
+		return err
+	}
+	defer link.Close()
+
+	node, err := openc2x.NewRealNode(openc2x.RealNodeConfig{
+		StationID:   units.StationID(*station),
+		StationType: units.StationTypeRoadSideUnit,
+		Position:    geo.LatLon{Lat: *lat, Lon: *lon},
+		Link:        link,
+	})
+	if err != nil {
+		return err
+	}
+	link.Start(node)
+
+	srv, err := openc2x.NewServer(node, *api)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("rsud: station %d, API on %s, link on %s, peers %v\n",
+		*station, srv.Addr(), link.LocalAddr(), peerList)
+
+	done := make(chan os.Signal, 1)
+	signal.Notify(done, syscall.SIGINT, syscall.SIGTERM)
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve() }()
+	select {
+	case <-done:
+		return srv.Close()
+	case err := <-errc:
+		return err
+	}
+}

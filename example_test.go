@@ -1,0 +1,55 @@
+package itsbed_test
+
+import (
+	"fmt"
+	"time"
+
+	"itsbed"
+)
+
+// ExampleRunQuick runs one seeded emergency-braking scenario and
+// checks the paper's headline claims: the vehicle stops, the
+// detection-to-actuation delay stays under 100 ms, and the braking
+// distance stays under one vehicle length.
+func ExampleRunQuick() {
+	res, err := itsbed.RunQuick(7)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("stopped: %v\n", res.Stopped)
+	fmt.Printf("under 100 ms: %v\n", res.Intervals.Total < 100*time.Millisecond)
+	fmt.Printf("under one vehicle length: %v\n", res.BrakingDistance < 0.53)
+	// Output:
+	// stopped: true
+	// under 100 ms: true
+	// under one vehicle length: true
+}
+
+// ExampleDecodeDENM decodes the wire bytes of a collision-risk DENM.
+func ExampleDecodeDENM() {
+	tb, err := itsbed.New(itsbed.Config{Seed: 7})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	var wire []byte
+	tb.RSU.DEN.OnTransmit = func(d *itsbed.DENM) {
+		wire, _ = d.Encode()
+	}
+	if _, err := tb.RunScenario(30 * time.Second); err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	d, err := itsbed.DecodeDENM(wire)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("cause: %s (%d/%d)\n",
+		d.Situation.EventType.CauseCode,
+		d.Situation.EventType.CauseCode,
+		d.Situation.EventType.SubCauseCode)
+	// Output:
+	// cause: collisionRisk (97/2)
+}

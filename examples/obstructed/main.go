@@ -1,0 +1,38 @@
+// Obstructed: the paper's attenuation-modelling future work in action.
+// A wall between the RSU and the approaching vehicle breaks the
+// single-shot DENM at a full-scale-equivalent link budget; enabling
+// DEN repetition at the hazard service recovers delivery. The example
+// prints the wall-material sweep side by side.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"itsbed"
+	"itsbed/internal/experiments"
+)
+
+func main() {
+	fmt.Println("Obstructed RSU→OBU link: wall-material sweep")
+	fmt.Println("(full-scale-equivalent path loss; delivery conditioned on a sent DENM)")
+	fmt.Println()
+
+	rows, err := itsbed.ObstructedLink(31, 12)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(experiments.FormatObstruction(rows))
+	fmt.Println()
+
+	// Highlight the safety consequence of the worst case.
+	for _, r := range rows {
+		if r.Material != 0 && r.DeliveryRate == 0 {
+			fmt.Printf("With a %s wall the single DENM never reaches the vehicle —\n", r.Material)
+			fmt.Println("the emergency brake does not happen. The standard's DEN repetition")
+			fmt.Printf("(100 ms interval) restores delivery to %.0f%% because the vehicle\n", r.WithRepetitionRate*100)
+			fmt.Println("clears the shadow and catches a repeated copy.")
+			break
+		}
+	}
+}

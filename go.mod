@@ -1,0 +1,3 @@
+module itsbed
+
+go 1.22

@@ -1,0 +1,348 @@
+package asn1per
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBitRoundTrip(t *testing.T) {
+	var w Writer
+	pattern := []bool{true, false, true, true, false, false, true, false, true}
+	for _, b := range pattern {
+		w.WriteBit(b)
+	}
+	r := NewReader(w.Bytes())
+	for i, want := range pattern {
+		got, err := r.ReadBit()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("bit %d = %v, want %v", i, got, want)
+		}
+	}
+}
+
+func TestBitLen(t *testing.T) {
+	var w Writer
+	if w.BitLen() != 0 {
+		t.Fatal("fresh writer has bits")
+	}
+	w.WriteBits(0x5, 3)
+	if w.BitLen() != 3 {
+		t.Fatalf("BitLen=%d, want 3", w.BitLen())
+	}
+	w.WriteBits(0xff, 8)
+	if w.BitLen() != 11 {
+		t.Fatalf("BitLen=%d, want 11", w.BitLen())
+	}
+	if w.Len() != 2 {
+		t.Fatalf("Len=%d, want 2", w.Len())
+	}
+}
+
+func TestWriteBitsMSBFirst(t *testing.T) {
+	var w Writer
+	w.WriteBits(0b101, 3)
+	got := w.Bytes()
+	if got[0] != 0b10100000 {
+		t.Fatalf("bytes=%08b, want 10100000", got[0])
+	}
+}
+
+func TestConstrainedIntWidths(t *testing.T) {
+	cases := []struct {
+		v, lo, hi int64
+		bits      int
+	}{
+		{0, 0, 0, 0},     // single value: zero bits
+		{1, 0, 1, 1},     // boolean-sized
+		{255, 0, 255, 8}, // octet
+		{7, 0, 7, 3},
+		{-5, -10, 10, 5}, // range 21 → 5 bits
+	}
+	for _, c := range cases {
+		var w Writer
+		if err := w.WriteConstrainedInt(c.v, c.lo, c.hi); err != nil {
+			t.Fatal(err)
+		}
+		if w.BitLen() != c.bits {
+			t.Fatalf("encode %d in [%d,%d]: %d bits, want %d", c.v, c.lo, c.hi, w.BitLen(), c.bits)
+		}
+		r := NewReader(w.Bytes())
+		got, err := r.ReadConstrainedInt(c.lo, c.hi)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != c.v {
+			t.Fatalf("round trip %d -> %d", c.v, got)
+		}
+	}
+}
+
+func TestConstrainedIntRangeError(t *testing.T) {
+	var w Writer
+	if err := w.WriteConstrainedInt(11, 0, 10); !errors.Is(err, ErrRange) {
+		t.Fatalf("err=%v, want ErrRange", err)
+	}
+	if err := w.WriteConstrainedInt(-1, 0, 10); !errors.Is(err, ErrRange) {
+		t.Fatalf("err=%v, want ErrRange", err)
+	}
+}
+
+func TestConstrainedIntProperty(t *testing.T) {
+	f := func(v int32, span uint16) bool {
+		lo := int64(v)
+		hi := lo + int64(span)
+		val := lo + int64(span)/2
+		var w Writer
+		if err := w.WriteConstrainedInt(val, lo, hi); err != nil {
+			return false
+		}
+		got, err := NewReader(w.Bytes()).ReadConstrainedInt(lo, hi)
+		return err == nil && got == val
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500, Rand: rand.New(rand.NewSource(2))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSemiConstrainedInt(t *testing.T) {
+	for _, v := range []int64{0, 1, 127, 128, 255, 256, 65535, 1 << 30} {
+		var w Writer
+		if err := w.WriteSemiConstrainedInt(v, 0); err != nil {
+			t.Fatal(err)
+		}
+		got, err := NewReader(w.Bytes()).ReadSemiConstrainedInt(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != v {
+			t.Fatalf("round trip %d -> %d", v, got)
+		}
+	}
+}
+
+func TestSemiConstrainedBelowBound(t *testing.T) {
+	var w Writer
+	if err := w.WriteSemiConstrainedInt(5, 10); !errors.Is(err, ErrRange) {
+		t.Fatalf("err=%v, want ErrRange", err)
+	}
+}
+
+func TestEnumerated(t *testing.T) {
+	var w Writer
+	if err := w.WriteEnumerated(2, 4); err != nil {
+		t.Fatal(err)
+	}
+	got, err := NewReader(w.Bytes()).ReadEnumerated(4)
+	if err != nil || got != 2 {
+		t.Fatalf("got %d err %v", got, err)
+	}
+	if err := w.WriteEnumerated(4, 4); !errors.Is(err, ErrRange) {
+		t.Fatal("out-of-range enum accepted")
+	}
+}
+
+func TestLengthForms(t *testing.T) {
+	for _, n := range []int{0, 1, 127, 128, 5000, 16383} {
+		var w Writer
+		if err := w.WriteLength(n, 0, -1); err != nil {
+			t.Fatal(err)
+		}
+		got, err := NewReader(w.Bytes()).ReadLength(0, -1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != n {
+			t.Fatalf("length %d -> %d", n, got)
+		}
+	}
+}
+
+func TestLengthFragmentationRejected(t *testing.T) {
+	var w Writer
+	if err := w.WriteLength(20000, 0, -1); err == nil {
+		t.Fatal("fragmented length accepted")
+	}
+}
+
+func TestConstrainedLength(t *testing.T) {
+	var w Writer
+	if err := w.WriteLength(3, 1, 7); err != nil {
+		t.Fatal(err)
+	}
+	if w.BitLen() != 3 { // range 7 → 3 bits
+		t.Fatalf("constrained length used %d bits", w.BitLen())
+	}
+	got, err := NewReader(w.Bytes()).ReadLength(1, 7)
+	if err != nil || got != 3 {
+		t.Fatalf("got %d err %v", got, err)
+	}
+}
+
+func TestOctetString(t *testing.T) {
+	payload := []byte{0xde, 0xad, 0xbe, 0xef}
+	var w Writer
+	w.WriteBit(true) // misalign deliberately: UPER has no padding
+	if err := w.WriteOctetString(payload, 0, -1); err != nil {
+		t.Fatal(err)
+	}
+	r := NewReader(w.Bytes())
+	if _, err := r.ReadBit(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := r.ReadOctetString(0, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("got %x, want %x", got, payload)
+	}
+}
+
+func TestBitString(t *testing.T) {
+	bs := []byte{0b10110100, 0b11000000}
+	var w Writer
+	if err := w.WriteBitString(bs, 10); err != nil {
+		t.Fatal(err)
+	}
+	if w.BitLen() != 10 {
+		t.Fatalf("bit string used %d bits", w.BitLen())
+	}
+	got, err := NewReader(w.Bytes()).ReadBitString(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != bs[0] || got[1]&0b11000000 != bs[1] {
+		t.Fatalf("got %08b %08b", got[0], got[1])
+	}
+}
+
+func TestBitStringTooShortBuffer(t *testing.T) {
+	var w Writer
+	if err := w.WriteBitString([]byte{0xff}, 10); err == nil {
+		t.Fatal("accepted bit string longer than the buffer")
+	}
+}
+
+func TestIA5String(t *testing.T) {
+	var w Writer
+	if err := w.WriteIA5String("hello ITS", 0, -1); err != nil {
+		t.Fatal(err)
+	}
+	// 7 bits per char: shorter than octets.
+	if w.BitLen() >= 8*9+8 {
+		t.Fatalf("IA5 not packed: %d bits", w.BitLen())
+	}
+	got, err := NewReader(w.Bytes()).ReadIA5String(0, -1)
+	if err != nil || got != "hello ITS" {
+		t.Fatalf("got %q err %v", got, err)
+	}
+}
+
+func TestIA5RejectsNonASCII(t *testing.T) {
+	var w Writer
+	if err := w.WriteIA5String("héllo", 0, -1); err == nil {
+		t.Fatal("non-IA5 string accepted")
+	}
+}
+
+func TestTruncatedReads(t *testing.T) {
+	r := NewReader([]byte{0xff})
+	if _, err := r.ReadBits(16); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("err=%v, want ErrTruncated", err)
+	}
+	r2 := NewReader(nil)
+	if _, err := r2.ReadBit(); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("err=%v, want ErrTruncated", err)
+	}
+	r3 := NewReader([]byte{0x01})
+	if _, err := r3.ReadOctetString(0, -1); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("err=%v, want ErrTruncated", err)
+	}
+}
+
+func TestMixedSequenceRoundTrip(t *testing.T) {
+	// Emulates a small SEQUENCE: bitmap + ints + string.
+	var w Writer
+	w.WriteBool(true)
+	w.WriteBool(false)
+	if err := w.WriteConstrainedInt(97, 0, 255); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteConstrainedInt(-44, -100, 100); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteIA5String("rsu", 0, 15); err != nil {
+		t.Fatal(err)
+	}
+	r := NewReader(w.Bytes())
+	b1, _ := r.ReadBool()
+	b2, _ := r.ReadBool()
+	v1, _ := r.ReadConstrainedInt(0, 255)
+	v2, _ := r.ReadConstrainedInt(-100, 100)
+	s, err := r.ReadIA5String(0, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !b1 || b2 || v1 != 97 || v2 != -44 || s != "rsu" {
+		t.Fatalf("round trip mismatch: %v %v %d %d %q", b1, b2, v1, v2, s)
+	}
+}
+
+func TestPropertyArbitraryFieldSequences(t *testing.T) {
+	type field struct {
+		v    int64
+		lo   int64
+		span uint16
+	}
+	f := func(raw []struct {
+		V    int16
+		Span uint16
+	}) bool {
+		var fields []field
+		for _, r := range raw {
+			lo := int64(r.V)
+			span := r.Span
+			fields = append(fields, field{v: lo + int64(span)/3, lo: lo, span: span})
+		}
+		var w Writer
+		for _, fl := range fields {
+			if err := w.WriteConstrainedInt(fl.v, fl.lo, fl.lo+int64(fl.span)); err != nil {
+				return false
+			}
+		}
+		r := NewReader(w.Bytes())
+		for _, fl := range fields {
+			got, err := r.ReadConstrainedInt(fl.lo, fl.lo+int64(fl.span))
+			if err != nil || got != fl.v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(3))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBytesReturnsCopy(t *testing.T) {
+	var w Writer
+	w.WriteBits(0xab, 8)
+	b := w.Bytes()
+	b[0] = 0
+	if w.Bytes()[0] != 0xab {
+		t.Fatal("Bytes aliases internal buffer")
+	}
+}
+
+func TestEmptyWriterBytes(t *testing.T) {
+	var w Writer
+	if len(w.Bytes()) != 0 {
+		t.Fatal("empty writer produced bytes")
+	}
+}

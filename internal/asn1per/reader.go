@@ -1,0 +1,174 @@
+package asn1per
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrTruncated indicates the bit stream ended before a complete value
+// could be read.
+var ErrTruncated = errors.New("asn1per: truncated stream")
+
+// Reader consumes a UPER bit stream produced by Writer.
+type Reader struct {
+	buf []byte
+	pos int // absolute bit position
+}
+
+// NewReader wraps buf. The reader does not copy buf; the caller must
+// not mutate it while decoding.
+func NewReader(buf []byte) *Reader { return &Reader{buf: buf} }
+
+// BitsRemaining reports how many bits are left.
+func (r *Reader) BitsRemaining() int { return len(r.buf)*8 - r.pos }
+
+// BitPos reports the current absolute bit position.
+func (r *Reader) BitPos() int { return r.pos }
+
+// ReadBit consumes one bit.
+func (r *Reader) ReadBit() (bool, error) {
+	if r.pos >= len(r.buf)*8 {
+		return false, ErrTruncated
+	}
+	b := r.buf[r.pos/8]&(1<<(7-uint(r.pos%8))) != 0
+	r.pos++
+	return b, nil
+}
+
+// ReadBits consumes n bits (n ≤ 64) most significant first.
+func (r *Reader) ReadBits(n int) (uint64, error) {
+	if n < 0 || n > 64 {
+		return 0, fmt.Errorf("asn1per: ReadBits width %d", n)
+	}
+	if r.BitsRemaining() < n {
+		return 0, ErrTruncated
+	}
+	var v uint64
+	for i := 0; i < n; i++ {
+		b, _ := r.ReadBit()
+		v <<= 1
+		if b {
+			v |= 1
+		}
+	}
+	return v, nil
+}
+
+// ReadBool decodes a BOOLEAN.
+func (r *Reader) ReadBool() (bool, error) { return r.ReadBit() }
+
+// ReadConstrainedInt decodes an INTEGER (lo..hi).
+func (r *Reader) ReadConstrainedInt(lo, hi int64) (int64, error) {
+	rng := uint64(hi-lo) + 1
+	v, err := r.ReadBits(bitWidth(rng))
+	if err != nil {
+		return 0, err
+	}
+	out := lo + int64(v)
+	if out > hi {
+		return 0, fmt.Errorf("%w: decoded %d above %d", ErrRange, out, hi)
+	}
+	return out, nil
+}
+
+// ReadSemiConstrainedInt decodes an INTEGER (lo..MAX).
+func (r *Reader) ReadSemiConstrainedInt(lo int64) (int64, error) {
+	n, err := r.ReadLength(0, -1)
+	if err != nil {
+		return 0, err
+	}
+	if n > 8 {
+		return 0, fmt.Errorf("asn1per: semi-constrained integer of %d octets overflows int64", n)
+	}
+	var off uint64
+	for i := 0; i < n; i++ {
+		b, err := r.ReadBits(8)
+		if err != nil {
+			return 0, err
+		}
+		off = off<<8 | b
+	}
+	return lo + int64(off), nil
+}
+
+// ReadEnumerated decodes an ENUMERATED with n root values.
+func (r *Reader) ReadEnumerated(n int) (int, error) {
+	v, err := r.ReadConstrainedInt(0, int64(n-1))
+	return int(v), err
+}
+
+// ReadLength decodes a length determinant written by WriteLength.
+func (r *Reader) ReadLength(lo, hi int) (int, error) {
+	if hi >= 0 {
+		v, err := r.ReadConstrainedInt(int64(lo), int64(hi))
+		return int(v), err
+	}
+	long, err := r.ReadBit()
+	if err != nil {
+		return 0, err
+	}
+	if !long {
+		v, err := r.ReadBits(7)
+		return int(v), err
+	}
+	frag, err := r.ReadBit()
+	if err != nil {
+		return 0, err
+	}
+	if frag {
+		return 0, errors.New("asn1per: fragmented length (unsupported)")
+	}
+	v, err := r.ReadBits(14)
+	return int(v), err
+}
+
+// ReadBitString decodes a fixed-size BIT STRING of n bits into a fresh
+// byte slice, most significant bit of byte 0 first.
+func (r *Reader) ReadBitString(n int) ([]byte, error) {
+	if r.BitsRemaining() < n {
+		return nil, ErrTruncated
+	}
+	out := make([]byte, (n+7)/8)
+	for i := 0; i < n; i++ {
+		b, _ := r.ReadBit()
+		if b {
+			out[i/8] |= 1 << (7 - uint(i%8))
+		}
+	}
+	return out, nil
+}
+
+// ReadOctetString decodes an OCTET STRING with size constraint
+// (lo..hi); pass hi < 0 for unconstrained.
+func (r *Reader) ReadOctetString(lo, hi int) ([]byte, error) {
+	n, err := r.ReadLength(lo, hi)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]byte, n)
+	for i := range out {
+		b, err := r.ReadBits(8)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = byte(b)
+	}
+	return out, nil
+}
+
+// ReadIA5String decodes an IA5String with size constraint (lo..hi).
+func (r *Reader) ReadIA5String(lo, hi int) (string, error) {
+	n, err := r.ReadLength(lo, hi)
+	if err != nil {
+		return "", err
+	}
+	out := make([]byte, n)
+	for i := range out {
+		c, err := r.ReadBits(7)
+		if err != nil {
+			return "", err
+		}
+		out[i] = byte(c)
+	}
+	return string(out), nil
+}

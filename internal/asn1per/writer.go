@@ -1,0 +1,212 @@
+// Package asn1per implements the subset of ASN.1 Unaligned Packed
+// Encoding Rules (UPER, ITU-T X.691) needed to serialise ETSI ITS
+// messages: constrained and semi-constrained whole numbers, booleans,
+// enumerations, bit strings, octet strings, restricted character
+// strings, length determinants, the optional/default presence bitmap
+// of SEQUENCE, and SEQUENCE OF with constrained counts.
+//
+// The encoder and decoder are symmetric: every Write* method on Writer
+// has a matching Read* method on Reader, and round-tripping any value
+// through the pair is the identity (verified by property tests).
+package asn1per
+
+import (
+	"errors"
+	"fmt"
+	"math/bits"
+)
+
+// ErrRange indicates a value outside its PER constraint.
+var ErrRange = errors.New("asn1per: value out of constrained range")
+
+// Writer accumulates a UPER bit stream most-significant-bit first.
+// The zero value is ready to use.
+type Writer struct {
+	buf  []byte
+	nbit int // bits used in the last byte, 0..7 (0 means byte-aligned)
+}
+
+// Len returns the number of whole and partial bytes written so far.
+func (w *Writer) Len() int { return len(w.buf) }
+
+// BitLen returns the exact number of bits written. nbit counts the
+// free bits remaining in the final byte.
+func (w *Writer) BitLen() int {
+	if len(w.buf) == 0 {
+		return 0
+	}
+	return len(w.buf)*8 - w.nbit
+}
+
+// Bytes returns the encoded stream. Per X.691 the final partial byte is
+// zero-padded. The returned slice aliases the writer's buffer; the
+// caller must not keep writing and using a previously returned slice.
+func (w *Writer) Bytes() []byte {
+	if len(w.buf) == 0 {
+		// An empty PER encoding is one zero octet per X.691 §10.1.3
+		// when carried; callers that need that behaviour handle it at
+		// the message layer. Here we return an empty slice.
+		return []byte{}
+	}
+	out := make([]byte, len(w.buf))
+	copy(out, w.buf)
+	return out
+}
+
+// WriteBit appends one bit.
+func (w *Writer) WriteBit(b bool) {
+	if w.nbit == 0 {
+		w.buf = append(w.buf, 0)
+		w.nbit = 8
+	}
+	if b {
+		w.buf[len(w.buf)-1] |= 1 << (w.nbit - 1)
+	}
+	w.nbit--
+	if w.nbit < 0 {
+		w.nbit = 0
+	}
+}
+
+// WriteBits appends the low n bits of v, most significant first.
+// n must be within [0, 64].
+func (w *Writer) WriteBits(v uint64, n int) {
+	if n < 0 || n > 64 {
+		panic(fmt.Sprintf("asn1per: WriteBits width %d", n))
+	}
+	for i := n - 1; i >= 0; i-- {
+		w.WriteBit(v>>uint(i)&1 == 1)
+	}
+}
+
+// WriteBool encodes a BOOLEAN (one bit).
+func (w *Writer) WriteBool(b bool) { w.WriteBit(b) }
+
+// bitWidth returns the minimum number of bits needed to represent the
+// range size r (r >= 1) per X.691 §10.5.3.
+func bitWidth(r uint64) int {
+	if r <= 1 {
+		return 0
+	}
+	return bits.Len64(r - 1)
+}
+
+// WriteConstrainedInt encodes an INTEGER (lo..hi) per X.691 §10.5.
+// Values outside [lo, hi] return ErrRange.
+func (w *Writer) WriteConstrainedInt(v, lo, hi int64) error {
+	if v < lo || v > hi {
+		return fmt.Errorf("%w: %d not in [%d,%d]", ErrRange, v, lo, hi)
+	}
+	r := uint64(hi-lo) + 1
+	w.WriteBits(uint64(v-lo), bitWidth(r))
+	return nil
+}
+
+// WriteSemiConstrainedInt encodes an INTEGER (lo..MAX): a length
+// determinant followed by the minimal octets of v-lo (X.691 §10.7,
+// §12.2.6).
+func (w *Writer) WriteSemiConstrainedInt(v, lo int64) error {
+	if v < lo {
+		return fmt.Errorf("%w: %d below lower bound %d", ErrRange, v, lo)
+	}
+	off := uint64(v - lo)
+	n := (bits.Len64(off) + 7) / 8
+	if n == 0 {
+		n = 1
+	}
+	if err := w.WriteLength(n, 0, -1); err != nil {
+		return err
+	}
+	for i := n - 1; i >= 0; i-- {
+		w.WriteBits(off>>(8*uint(i)), 8)
+	}
+	return nil
+}
+
+// WriteEnumerated encodes an ENUMERATED with n root values (no
+// extension marker handling here; use WriteBit for the marker first if
+// the type is extensible).
+func (w *Writer) WriteEnumerated(idx, n int) error {
+	if idx < 0 || idx >= n {
+		return fmt.Errorf("%w: enum index %d of %d", ErrRange, idx, n)
+	}
+	return w.WriteConstrainedInt(int64(idx), 0, int64(n-1))
+}
+
+// WriteLength encodes a length determinant. For a constrained length
+// (lo..hi with hi >= 0) it writes a constrained integer. For an
+// unconstrained/semi-constrained length (hi < 0) it uses the general
+// form of X.691 §10.9 for values < 16384 (single- and two-octet forms;
+// fragmentation is not needed for ITS message sizes and is rejected).
+func (w *Writer) WriteLength(n, lo, hi int) error {
+	if n < lo {
+		return fmt.Errorf("%w: length %d below %d", ErrRange, n, lo)
+	}
+	if hi >= 0 {
+		if n > hi {
+			return fmt.Errorf("%w: length %d above %d", ErrRange, n, hi)
+		}
+		return w.WriteConstrainedInt(int64(n), int64(lo), int64(hi))
+	}
+	switch {
+	case n < 128:
+		w.WriteBit(false)
+		w.WriteBits(uint64(n), 7)
+	case n < 16384:
+		w.WriteBit(true)
+		w.WriteBit(false)
+		w.WriteBits(uint64(n), 14)
+	default:
+		return fmt.Errorf("asn1per: length %d requires fragmentation (unsupported)", n)
+	}
+	return nil
+}
+
+// WriteBitString encodes a BIT STRING of exactly n bits from bs
+// (most significant bit of bs[0] first) with a fixed-size constraint.
+func (w *Writer) WriteBitString(bs []byte, n int) error {
+	if n < 0 || (n+7)/8 > len(bs) {
+		return fmt.Errorf("asn1per: bit string of %d bits needs %d bytes, have %d", n, (n+7)/8, len(bs))
+	}
+	for i := 0; i < n; i++ {
+		w.WriteBit(bs[i/8]&(1<<(7-uint(i%8))) != 0)
+	}
+	return nil
+}
+
+// WriteOctetString encodes an OCTET STRING with size constraint
+// (lo..hi); pass hi < 0 for unconstrained.
+func (w *Writer) WriteOctetString(b []byte, lo, hi int) error {
+	if err := w.WriteLength(len(b), lo, hi); err != nil {
+		return err
+	}
+	for _, x := range b {
+		w.WriteBits(uint64(x), 8)
+	}
+	return nil
+}
+
+// WriteIA5String encodes an IA5String with size constraint (lo..hi)
+// using 7-bit characters as UPER prescribes for IA5 without a
+// permitted-alphabet constraint smaller than 128.
+func (w *Writer) WriteIA5String(s string, lo, hi int) error {
+	for i := 0; i < len(s); i++ {
+		if s[i] >= 128 {
+			return fmt.Errorf("asn1per: non-IA5 byte %#x in string", s[i])
+		}
+	}
+	if err := w.WriteLength(len(s), lo, hi); err != nil {
+		return err
+	}
+	for i := 0; i < len(s); i++ {
+		w.WriteBits(uint64(s[i]), 7)
+	}
+	return nil
+}
+
+// Align pads with zero bits to the next octet boundary. UPER itself is
+// unaligned; this is used only when embedding a PER payload in an
+// octet-aligned envelope (e.g. a BTP payload).
+func (w *Writer) Align() {
+	w.nbit = 0
+}

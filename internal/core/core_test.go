@@ -1,0 +1,250 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"itsbed/internal/radio"
+	"itsbed/internal/trace"
+)
+
+// runScenario runs one default scenario with the ground-truth line
+// follower (fast) unless vision is requested.
+func runScenario(t *testing.T, seed int64, vision bool) (*Testbed, *Result) {
+	t.Helper()
+	cfg := Config{Seed: seed}
+	if !vision {
+		cfg = Config{Seed: seed}
+		cfg.Layout = cfg.withDefaults().Layout
+		vcfg := cfg.withDefaults().Vehicle
+		vcfg.UseVision = false
+		cfg.Vehicle = vcfg
+	}
+	tb, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := tb.RunScenario(30 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tb, res
+}
+
+func TestScenarioCompletesChain(t *testing.T) {
+	tb, res := runScenario(t, 101, false)
+	if !res.Stopped {
+		t.Fatal("vehicle did not stop")
+	}
+	if !res.Run.Complete() {
+		t.Fatal("step chain incomplete")
+	}
+	// Step ordering 1..6 in true causal order (per-platform clocks can
+	// wobble by less than a millisecond; steps are tens apart).
+	var prev time.Duration
+	for s := trace.StepActionPoint; s <= trace.StepHalt; s++ {
+		at, ok := res.Run.At(s)
+		if !ok {
+			t.Fatalf("step %v missing", s)
+		}
+		if at < prev-2*time.Millisecond {
+			t.Fatalf("step %v at %v before previous %v", s, at, prev)
+		}
+		prev = at
+	}
+	if tb.Hazard.Triggers != 1 {
+		t.Fatalf("hazard triggered %d times", tb.Hazard.Triggers)
+	}
+}
+
+func TestScenarioLatencyBands(t *testing.T) {
+	_, res := runScenario(t, 102, false)
+	iv := res.Intervals
+	// The paper's bands, generously widened.
+	if ms := iv.DetectionToSend.Milliseconds(); ms < 10 || ms > 50 {
+		t.Fatalf("detection→send %v", iv.DetectionToSend)
+	}
+	if iv.SendToReceive <= 0 || iv.SendToReceive > 5*time.Millisecond {
+		t.Fatalf("send→receive %v", iv.SendToReceive)
+	}
+	if ms := iv.ReceiveToAction.Milliseconds(); ms < 5 || ms > 60 {
+		t.Fatalf("receive→action %v", iv.ReceiveToAction)
+	}
+	if iv.Total >= 100*time.Millisecond {
+		t.Fatalf("total %v breaches the paper's 100 ms bound", iv.Total)
+	}
+}
+
+func TestScenarioBrakingDistance(t *testing.T) {
+	_, res := runScenario(t, 103, false)
+	if res.BrakingDistance < 0.15 || res.BrakingDistance > 0.6 {
+		t.Fatalf("braking distance %.3f m", res.BrakingDistance)
+	}
+	// Less than one vehicle length, as the paper highlights.
+	if res.BrakingDistance >= 0.53 {
+		t.Fatalf("braking distance %.3f m exceeds the vehicle length", res.BrakingDistance)
+	}
+	if res.ApproachSpeed < 1.0 || res.ApproachSpeed > 2.0 {
+		t.Fatalf("approach speed %.2f", res.ApproachSpeed)
+	}
+}
+
+func TestScenarioVideoAnalysis(t *testing.T) {
+	_, res := runScenario(t, 104, false)
+	if !res.Video.Valid {
+		t.Fatal("video analysis invalid")
+	}
+	if res.Video.CrossingFrameDistance > 1.52 {
+		t.Fatalf("crossing frame distance %.2f above the threshold", res.Video.CrossingFrameDistance)
+	}
+	if res.Video.DetectionToStop <= 0 || res.Video.DetectionToStop > 2*time.Second {
+		t.Fatalf("detection-to-stop %v", res.Video.DetectionToStop)
+	}
+	// Quantised to the recording rate.
+	if res.Video.DetectionToStop%VideoFramePeriod != 0 {
+		t.Fatalf("video reading %v not frame-quantised", res.Video.DetectionToStop)
+	}
+}
+
+func TestScenarioDeterministic(t *testing.T) {
+	_, res1 := runScenario(t, 105, false)
+	_, res2 := runScenario(t, 105, false)
+	if res1.Intervals != res2.Intervals {
+		t.Fatalf("same seed, different intervals: %+v vs %+v", res1.Intervals, res2.Intervals)
+	}
+	if res1.BrakingDistance != res2.BrakingDistance {
+		t.Fatal("same seed, different braking distance")
+	}
+}
+
+func TestScenarioSeedsDiffer(t *testing.T) {
+	_, res1 := runScenario(t, 106, false)
+	_, res2 := runScenario(t, 107, false)
+	if res1.Intervals.Total == res2.Intervals.Total {
+		t.Fatal("different seeds produced identical totals (suspicious)")
+	}
+}
+
+func TestCellularRadioMode(t *testing.T) {
+	cfg := Config{Seed: 108, Radio: RadioCellular, CellularProfile: radio.Profile5GURLLC()}
+	base := cfg.withDefaults()
+	vcfg := base.Vehicle
+	vcfg.UseVision = false
+	cfg.Vehicle = vcfg
+	tb, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tb.Medium != nil {
+		t.Fatal("cellular mode still created an 802.11p medium")
+	}
+	res, err := tb.RunScenario(30 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Stopped || !res.Run.Complete() {
+		t.Fatal("cellular scenario did not complete")
+	}
+	// The 5G link contributes several ms where ITS-G5 contributes ~1.5.
+	if res.Intervals.SendToReceive < 3*time.Millisecond {
+		t.Fatalf("cellular link latency %v implausibly low", res.Intervals.SendToReceive)
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	cfg := Config{Seed: 1}.withDefaults()
+	if cfg.Layout.Line == nil {
+		t.Fatal("layout default")
+	}
+	if cfg.CameraFramePeriod != 250*time.Millisecond {
+		t.Fatal("4 FPS default")
+	}
+	if cfg.Hazard.ActionPointDistance != 1.52 {
+		t.Fatal("action point default")
+	}
+	if cfg.Radio != RadioITSG5 {
+		t.Fatal("radio default")
+	}
+}
+
+func TestFullVisionScenario(t *testing.T) {
+	if testing.Short() {
+		t.Skip("vision pipeline is CPU heavy")
+	}
+	_, res := runScenario(t, 109, true)
+	if !res.Stopped || !res.Run.Complete() {
+		t.Fatal("vision scenario did not complete")
+	}
+}
+
+func TestCellularModeIgnoresBackgroundVehicles(t *testing.T) {
+	// Background stations need the 802.11p medium; in cellular mode
+	// the testbed must simply skip them rather than fail.
+	cfg := Config{Seed: 140, Radio: RadioCellular, BackgroundVehicles: 10}
+	base := cfg.withDefaults()
+	vcfg := base.Vehicle
+	vcfg.UseVision = false
+	cfg.Vehicle = vcfg
+	tb, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := tb.RunScenario(30 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Stopped {
+		t.Fatal("cellular scenario with background config did not complete")
+	}
+}
+
+func TestBackgroundVehiclesLoadTheChannel(t *testing.T) {
+	cfg := Config{Seed: 141, BackgroundVehicles: 10}
+	base := cfg.withDefaults()
+	vcfg := base.Vehicle
+	vcfg.UseVision = false
+	cfg.Vehicle = vcfg
+	tb, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := tb.RunScenario(30 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Stopped {
+		t.Fatal("scenario under channel load did not complete")
+	}
+	// 10 chattering stations at ~10 Hz for ~4.5 s: hundreds of frames.
+	if tb.Medium.FramesSent < 200 {
+		t.Fatalf("background load generated only %d frames", tb.Medium.FramesSent)
+	}
+}
+
+func TestDENMRepetitionPlumbedThrough(t *testing.T) {
+	cfg := Config{Seed: 142, DENMRepetitionInterval: 100 * time.Millisecond}
+	base := cfg.withDefaults()
+	vcfg := base.Vehicle
+	vcfg.UseVision = false
+	cfg.Vehicle = vcfg
+	tb, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := tb.RunScenario(30 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Stopped {
+		t.Fatal("scenario did not complete")
+	}
+	// The RSU keeps repeating for the 2 s default window even after
+	// the vehicle stopped: well more than one transmission.
+	if tb.RSU.DEN.Transmitted < 3 {
+		t.Fatalf("RSU transmitted %d DENMs, repetition not active", tb.RSU.DEN.Transmitted)
+	}
+	// The OBU suppressed the repeats: exactly one delivery.
+	if tb.OBU.DeliveredDENMs != 1 {
+		t.Fatalf("OBU delivered %d DENMs, want 1", tb.OBU.DeliveredDENMs)
+	}
+}

@@ -1,0 +1,378 @@
+// Package core assembles the paper's contribution: the ETSI ITS
+// Collision Avoidance System on the 1/10-scale robotic testbed. It
+// wires together every component of Fig. 3 — road-side ZED camera,
+// Object Detection Service and Hazard Advertisement Service on the
+// edge node, the RSU and OBU OpenC2X stations over the 802.11p medium,
+// and the autonomous line-following vehicle — and instruments the
+// Fig. 4 sequence with the six step timestamps of the evaluation.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"itsbed/internal/clock"
+	"itsbed/internal/edge"
+	"itsbed/internal/geo"
+	"itsbed/internal/its/facilities/ca"
+	"itsbed/internal/its/messages"
+	"itsbed/internal/openc2x"
+	"itsbed/internal/perception"
+	"itsbed/internal/radio"
+	"itsbed/internal/sim"
+	"itsbed/internal/stack"
+	"itsbed/internal/trace"
+	"itsbed/internal/track"
+	"itsbed/internal/units"
+	"itsbed/internal/vehicle"
+)
+
+// RadioKind selects the warning delivery interface.
+type RadioKind int
+
+// Radio kinds.
+const (
+	// RadioITSG5 is the paper's IEEE 802.11p / ITS-G5 deployment.
+	RadioITSG5 RadioKind = iota + 1
+	// RadioCellular replaces the V2X link with a cellular profile
+	// (the paper's planned 5G comparison).
+	RadioCellular
+)
+
+// Station IDs of the fixed deployment.
+const (
+	RSUStationID units.StationID = 1001
+	OBUStationID units.StationID = 2001
+)
+
+// Config parameterises a testbed instance.
+type Config struct {
+	// Seed drives every random stream of the run.
+	Seed int64
+	// Layout of the floor; zero value selects track.PaperLab().
+	Layout track.Layout
+	// Vehicle configuration; zero value selects
+	// vehicle.DefaultConfig(Layout).
+	Vehicle vehicle.Config
+	// CameraFramePeriod of the road-side pipeline (default 250 ms —
+	// the 4 FPS of the paper).
+	CameraFramePeriod time.Duration
+	// DetectorModel of the road-side YOLO stand-in.
+	DetectorModel perception.Model
+	// Hazard configuration; zero value selects
+	// edge.DefaultHazardConfig at the layout's action point.
+	Hazard edge.HazardConfig
+	// HTTP latencies of the OpenC2X API nodes.
+	HTTP openc2x.Latencies
+	// NTP error model for all platforms.
+	NTP clock.NTPModel
+	// Radio selects ITS-G5 (default) or a cellular profile.
+	Radio RadioKind
+	// CellularProfile applies when Radio == RadioCellular.
+	CellularProfile radio.CellularProfile
+	// PathLoss of the 802.11p medium; zero selects the indoor default.
+	PathLoss radio.PathLossModel
+	// Obstructions adds per-link penetration loss (walls); nil leaves
+	// the lab open.
+	Obstructions radio.ObstructionModel
+	// BackgroundVehicles adds that many CAM-chattering stations to the
+	// medium for channel-load studies.
+	BackgroundVehicles int
+	// DENMTrafficClass demotes DENMs from the default highest EDCA
+	// priority (0) for the channel-access ablation.
+	DENMTrafficClass uint8
+	// DENMRepetitionInterval enables DEN repetition at the RSU (zero:
+	// single shot, as the paper's testbed).
+	DENMRepetitionInterval time.Duration
+}
+
+// withDefaults fills unset fields.
+func (c Config) withDefaults() Config {
+	if c.Layout.Line == nil {
+		c.Layout = track.PaperLab()
+	}
+	if c.Vehicle.Layout.Line == nil {
+		vc := c.Vehicle
+		base := vehicle.DefaultConfig(c.Layout)
+		if vc.Name != "" {
+			base.Name = vc.Name
+		}
+		c.Vehicle = base
+	}
+	if c.CameraFramePeriod <= 0 {
+		c.CameraFramePeriod = 250 * time.Millisecond
+	}
+	if c.DetectorModel == (perception.Model{}) {
+		c.DetectorModel = perception.DefaultModel()
+	}
+	if c.Hazard.ActionPointDistance == 0 {
+		actionPoint := c.actionPointGeo()
+		c.Hazard = edge.DefaultHazardConfig(actionPoint)
+		c.Hazard.ActionPointDistance = c.Layout.ActionPointDistance
+	}
+	if c.DENMRepetitionInterval > 0 && c.Hazard.RepetitionInterval == 0 {
+		c.Hazard.RepetitionInterval = c.DENMRepetitionInterval
+	}
+	if c.NTP == (clock.NTPModel{}) {
+		c.NTP = clock.DefaultLANNTP()
+	}
+	if c.Radio == 0 {
+		c.Radio = RadioITSG5
+	}
+	return c
+}
+
+// actionPointGeo computes the geodetic position of the action point.
+func (c Config) actionPointGeo() geo.LatLon {
+	if arc, ok := c.Layout.ActionPointArc(); ok {
+		return c.Layout.Frame.ToGeodetic(c.Layout.Line.PointAt(arc))
+	}
+	return c.Layout.Frame.Origin()
+}
+
+// Testbed is one assembled instance of the collision avoidance system.
+type Testbed struct {
+	cfg    Config
+	Kernel *sim.Kernel
+	Layout track.Layout
+
+	Medium  *radio.Medium
+	RSU     *stack.Station
+	OBU     *stack.Station
+	RSUNode *openc2x.SimNode
+	OBUNode *openc2x.SimNode
+
+	Vehicle   *vehicle.Vehicle
+	Camera    *perception.RoadsideCamera
+	ODS       *edge.ObjectDetectionService
+	Hazard    *edge.HazardAdvertisementService
+	EdgeClock *clock.NTPClock
+
+	// Run is the step-timestamp record of the current scenario.
+	Run *trace.Run
+
+	// frameLog records camera frames for the Fig. 10 video analysis.
+	frameLog []frameObservation
+	// background channel-load stations.
+	background []*stack.Station
+
+	detectionPos geo.Point
+	haltPos      geo.Point
+	watchTicker  *sim.Ticker
+}
+
+type frameObservation struct {
+	captureTime   time.Duration
+	truthDistance float64
+	stopped       bool
+}
+
+// New assembles a testbed.
+func New(cfg Config) (*Testbed, error) {
+	cfg = cfg.withDefaults()
+	tb := &Testbed{
+		cfg:    cfg,
+		Kernel: sim.NewKernel(cfg.Seed),
+		Layout: cfg.Layout,
+		Run:    trace.NewRun(),
+	}
+	k := tb.Kernel
+
+	// --- Vehicle ------------------------------------------------------
+	veh, err := vehicle.New(k, cfg.Vehicle)
+	if err != nil {
+		return nil, fmt.Errorf("core: vehicle: %w", err)
+	}
+	tb.Vehicle = veh
+
+	// --- Access layer -------------------------------------------------
+	var rsuLink, obuLink stack.Link
+	if cfg.Radio == RadioCellular {
+		profile := cfg.CellularProfile
+		if profile == (radio.CellularProfile{}) {
+			profile = radio.Profile5GURLLC()
+		}
+		cell := radio.NewCellularLink(k, profile)
+		rsuLink = cellularEndpoint{link: cell}
+		obuLink = cellularEndpoint{link: cell}
+	} else {
+		tb.Medium = radio.NewMedium(k, radio.MediumConfig{
+			PathLoss:     cfg.PathLoss,
+			Obstructions: cfg.Obstructions,
+		})
+	}
+
+	// --- RSU ----------------------------------------------------------
+	rsuPos := cfg.Layout.Camera.Position // RSU co-located with the edge rack (Fig. 9)
+	rsu, err := stack.New(k, tb.Medium, stack.Config{
+		Name:               "rsu",
+		Role:               stack.RoleRSU,
+		StationID:          RSUStationID,
+		StationType:        units.StationTypeRoadSideUnit,
+		Frame:              cfg.Layout.Frame,
+		Mobility:           stack.StaticMobility{Point: rsuPos, Geo: cfg.Layout.Frame.ToGeodetic(rsuPos)},
+		NTP:                cfg.NTP,
+		DisableCAMTriggers: true,
+		DENMTrafficClass:   cfg.DENMTrafficClass,
+		Link:               rsuLink,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: RSU: %w", err)
+	}
+	tb.RSU = rsu
+	tb.RSUNode = openc2x.NewSimNode(k, rsu, cfg.HTTP)
+
+	// --- OBU ----------------------------------------------------------
+	obu, err := stack.New(k, tb.Medium, stack.Config{
+		Name:        "obu",
+		Role:        stack.RoleOBU,
+		StationID:   OBUStationID,
+		StationType: units.StationTypePassengerCar,
+		Frame:       cfg.Layout.Frame,
+		Mobility:    veh.Mobility(),
+		NTP:         cfg.NTP,
+		Link:        obuLink,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: OBU: %w", err)
+	}
+	tb.OBU = obu
+	tb.OBUNode = openc2x.NewSimNode(k, obu, cfg.HTTP)
+	veh.AttachOBU(tb.OBUNode)
+
+	// --- Background channel load ---------------------------------------
+	if cfg.BackgroundVehicles > 0 && tb.Medium != nil {
+		if err := tb.addBackgroundVehicles(cfg.BackgroundVehicles); err != nil {
+			return nil, err
+		}
+	}
+
+	// --- Edge node ----------------------------------------------------
+	tb.EdgeClock = clock.NewNTP(clock.SourceFunc(k.Now), cfg.NTP, k.Rand("clock.edge"))
+	cam := perception.NewRoadsideCamera(k, perception.CameraConfig{
+		Camera:      cfg.Layout.Camera,
+		FramePeriod: cfg.CameraFramePeriod,
+		Model:       cfg.DetectorModel,
+		Target: func() (geo.Point, float64, perception.Dressing, bool) {
+			st := veh.Body.State()
+			return st.Position, st.Heading, veh.Dressing(), true
+		},
+	})
+	tb.Camera = cam
+	ods := edge.NewObjectDetectionService(k.Now)
+	tb.ODS = ods
+	cam.Subscribe(ods.OnFrame)
+	hz := edge.NewHazardService(k, cfg.Hazard, tb.RSUNode, rsu.LDM, tb.EdgeClock)
+	tb.Hazard = hz
+	ods.Subscribe(hz.OnTrack)
+
+	tb.wireTimestamps()
+	return tb, nil
+}
+
+// chatterMobility is a static station whose reported speed jitters
+// enough to fire the CAM dynamics trigger on every check, producing
+// the standard's maximum 10 Hz CAM rate — the channel-load generator.
+type chatterMobility struct {
+	point geo.Point
+	geoPt geo.LatLon
+	seq   float64
+}
+
+func (c *chatterMobility) Position() geo.Point { return c.point }
+
+func (c *chatterMobility) VehicleState() ca.VehicleState {
+	// Alternate the reported speed by more than the 0.5 m/s trigger.
+	c.seq += 1
+	speed := 2.0
+	if int(c.seq)%2 == 0 {
+		speed = 3.0
+	}
+	return ca.VehicleState{Position: c.geoPt, SpeedMS: speed, Length: 0.53, Width: 0.29}
+}
+
+// addBackgroundVehicles attaches n CAM-chattering stations spread
+// around the lab perimeter.
+func (tb *Testbed) addBackgroundVehicles(n int) error {
+	rng := tb.Kernel.Rand("core.background")
+	for i := 0; i < n; i++ {
+		pos := geo.Point{
+			X: rng.Float64()*8 - 4,
+			Y: rng.Float64() * 8,
+		}
+		mob := &chatterMobility{point: pos, geoPt: tb.Layout.Frame.ToGeodetic(pos)}
+		st, err := stack.New(tb.Kernel, tb.Medium, stack.Config{
+			Name:        fmt.Sprintf("bg%02d", i),
+			Role:        stack.RoleOBU,
+			StationID:   units.StationID(9000 + i),
+			StationType: units.StationTypePassengerCar,
+			Frame:       tb.Layout.Frame,
+			Mobility:    mob,
+			NTP:         tb.cfg.NTP,
+		})
+		if err != nil {
+			return fmt.Errorf("core: background station %d: %w", i, err)
+		}
+		tb.background = append(tb.background, st)
+	}
+	return nil
+}
+
+// cellularEndpoint adapts a shared CellularLink to the stack's Link
+// interface per station.
+type cellularEndpoint struct{ link *radio.CellularLink }
+
+func (c cellularEndpoint) SendBroadcast(frame []byte) error { return c.link.SendBroadcast(frame) }
+func (c cellularEndpoint) SetReceiver(fn func(frame []byte)) {
+	c.link.Subscribe(fn)
+}
+
+// wireTimestamps installs the Fig. 4 step recorders.
+func (tb *Testbed) wireTimestamps() {
+	run := tb.Run
+	// Step 2: the YOLO output shows the vehicle at the action point;
+	// the hazard service decision fires on exactly that frame.
+	tb.Hazard.OnDecision = func(_ edge.TrackedObject, _ perception.FrameResult, _ time.Duration) {
+		run.Stamp(trace.StepDetection, tb.EdgeClock.Now())
+		tb.detectionPos = tb.Vehicle.Body.State().Position
+	}
+	// Step 3: the RSU registers the time of sending.
+	tb.RSU.DEN.OnTransmit = func(_ *messages.DENM) {
+		run.Stamp(trace.StepRSUSend, tb.RSU.Clock.Now())
+	}
+	// Step 4: the OBU registers the time of reception. The SimNode
+	// already chained the mailbox handler over station.OnDENM; wrap it
+	// once more so both run.
+	prev := tb.OBU.OnDENM
+	tb.OBU.OnDENM = func(d *messages.DENM) {
+		run.Stamp(trace.StepOBUReceive, tb.OBU.Clock.Now())
+		if prev != nil {
+			prev(d)
+		}
+	}
+	// Step 5: the vehicle ECU registers the actuator command.
+	tb.Vehicle.OnStopCommand = func(t time.Duration) {
+		run.Stamp(trace.StepActuatorCommand, t)
+	}
+	// Step 6: the vehicle halts (true/video time).
+	tb.Vehicle.OnHalt = func(t time.Duration) {
+		run.Stamp(trace.StepHalt, t)
+		tb.haltPos = tb.Vehicle.Body.State().Position
+	}
+}
+
+// VideoFramePeriod is the road-side recording rate used for the
+// Fig. 10 analysis. The full-rate recording runs at 25 fps even though
+// YOLO only processes ~4 frames per second.
+const VideoFramePeriod = 40 * time.Millisecond
+
+// startVideoRecorder logs ground truth at the recording rate.
+func (tb *Testbed) startVideoRecorder() *sim.Ticker {
+	return tb.Kernel.Every(0, VideoFramePeriod, func() {
+		tb.frameLog = append(tb.frameLog, frameObservation{
+			captureTime:   tb.Kernel.Now(),
+			truthDistance: tb.Layout.Camera.DistanceTo(tb.Vehicle.Body.State().Position),
+			stopped:       tb.Vehicle.Body.Stopped() && tb.Vehicle.StopIssued(),
+		})
+	})
+}

@@ -1,0 +1,343 @@
+// Package edge implements the road-side edge node's software from
+// Fig. 3 of the paper: the Object Detection Service, which consumes
+// the camera/YOLO frame results and tracks road users entering the
+// region of interest, and the Hazard Advertisement Service, which
+// decides that a potential collision exists — consulting the RSU's
+// Local Dynamic Map for the protagonist vehicle — and POSTs a
+// trigger_denm request to the RSU's OpenC2X HTTP API.
+package edge
+
+import (
+	"math"
+	"math/rand"
+	"time"
+
+	"itsbed/internal/clock"
+	"itsbed/internal/geo"
+	"itsbed/internal/its/facilities/ldm"
+	"itsbed/internal/its/messages"
+	"itsbed/internal/openc2x"
+	"itsbed/internal/perception"
+	"itsbed/internal/sim"
+	"itsbed/internal/units"
+)
+
+// TrackedObject is the Object Detection Service's view of one road
+// user in the region of interest.
+type TrackedObject struct {
+	Class perception.Class
+	// Distance is the latest estimated distance to the camera.
+	Distance float64
+	// ClosingSpeed in m/s derived from successive distance estimates
+	// (positive when approaching).
+	ClosingSpeed float64
+	// LastSeen is the capture time of the latest contributing frame.
+	LastSeen time.Duration
+	// Frames counts contributing frames.
+	Frames uint64
+}
+
+// ObjectDetectionService tracks detections over time and computes the
+// motion (closing speed) of observed objects.
+type ObjectDetectionService struct {
+	now     func() time.Duration
+	objects map[perception.Class]*TrackedObject
+	// Lifetime after which an unrefreshed track is dropped.
+	Lifetime time.Duration
+	subs     []func(TrackedObject, perception.FrameResult)
+}
+
+// NewObjectDetectionService builds the service.
+func NewObjectDetectionService(now func() time.Duration) *ObjectDetectionService {
+	return &ObjectDetectionService{
+		now:      now,
+		objects:  make(map[perception.Class]*TrackedObject),
+		Lifetime: 1500 * time.Millisecond,
+	}
+}
+
+// Subscribe registers a consumer of per-frame track updates (the
+// Hazard Advertisement Service).
+func (s *ObjectDetectionService) Subscribe(fn func(TrackedObject, perception.FrameResult)) {
+	if fn != nil {
+		s.subs = append(s.subs, fn)
+	}
+}
+
+// OnFrame ingests one camera/YOLO frame result.
+func (s *ObjectDetectionService) OnFrame(res perception.FrameResult) {
+	for _, det := range res.Detections {
+		tr, ok := s.objects[det.Class]
+		if !ok || res.CaptureTime-tr.LastSeen > s.Lifetime {
+			tr = &TrackedObject{Class: det.Class}
+			s.objects[det.Class] = tr
+		}
+		if tr.Frames > 0 {
+			dt := (res.CaptureTime - tr.LastSeen).Seconds()
+			if dt > 0 {
+				tr.ClosingSpeed = (tr.Distance - det.EstimatedDistance) / dt
+			}
+		}
+		tr.Distance = det.EstimatedDistance
+		tr.LastSeen = res.CaptureTime
+		tr.Frames++
+		for _, fn := range s.subs {
+			fn(*tr, res)
+		}
+	}
+}
+
+// Track returns the current track for a class, if fresh.
+func (s *ObjectDetectionService) Track(class perception.Class) (TrackedObject, bool) {
+	tr, ok := s.objects[class]
+	if !ok || s.now()-tr.LastSeen > s.Lifetime {
+		return TrackedObject{}, false
+	}
+	return *tr, true
+}
+
+// HazardConfig parameterises the Hazard Advertisement Service.
+type HazardConfig struct {
+	// ActionPointDistance: an object estimated at or below this
+	// distance from the camera triggers the warning (paper: 1.52 m).
+	ActionPointDistance float64
+	// TriggerClasses are the detector classes that arm the trigger
+	// (the testbed keys on the stop sign).
+	TriggerClasses []perception.Class
+	// EventPosition is the geodetic position advertised in the DENM
+	// (the action point on the floor).
+	EventPosition geo.LatLon
+	// Cause of the advertised event.
+	Cause messages.EventType
+	// Cooldown suppresses re-triggering for the same incursion.
+	Cooldown time.Duration
+	// ProcessingMean/Jitter model the hazard evaluation code path on
+	// the edge node between the YOLO output and the HTTP request.
+	ProcessingMean   time.Duration
+	ProcessingJitter time.Duration
+	// RequireLDMProtagonist, when true, only triggers if the RSU's LDM
+	// currently tracks at least one CAM-originated vehicle (the
+	// protagonist to warn).
+	RequireLDMProtagonist bool
+	// RepetitionInterval, when positive, asks the RSU to repeat the
+	// DENM (recovers losses on obstructed links); zero sends a single
+	// DENM as the paper's testbed does.
+	RepetitionInterval time.Duration
+	// RepetitionDuration bounds the repetition window; zero selects
+	// 2 s.
+	RepetitionDuration time.Duration
+	// TriggerOnTTC switches the hazard assessment from the paper's
+	// plain distance threshold to a time-to-collision check: the
+	// warning fires only when both the camera-tracked object and an
+	// LDM-tracked protagonist are predicted to reach the conflict
+	// point within TTCHorizon and within TTCWindow of each other.
+	TriggerOnTTC bool
+	// ConflictPoint is where the two paths cross, on the local plane.
+	ConflictPoint geo.Point
+	// CameraToConflict is the camera-to-object distance at which the
+	// tracked object reaches the conflict point.
+	CameraToConflict float64
+	// TTCHorizon bounds how far ahead the assessment looks; zero
+	// selects 4 s.
+	TTCHorizon time.Duration
+	// TTCWindow is the maximum arrival-time difference that still
+	// counts as a conflict; zero selects 1.5 s.
+	TTCWindow time.Duration
+}
+
+// DefaultHazardConfig matches the paper's experiment.
+func DefaultHazardConfig(eventPos geo.LatLon) HazardConfig {
+	return HazardConfig{
+		ActionPointDistance: 1.52,
+		TriggerClasses:      []perception.Class{perception.ClassStopSign},
+		EventPosition:       eventPos,
+		Cause: messages.EventType{
+			CauseCode:    messages.CauseCollisionRisk,
+			SubCauseCode: messages.CollisionRiskCrossing,
+		},
+		Cooldown:         5 * time.Second,
+		ProcessingMean:   6 * time.Millisecond,
+		ProcessingJitter: 2 * time.Millisecond,
+	}
+}
+
+// HazardAdvertisementService turns tracked incursions into DENMs via
+// the RSU's OpenC2X API.
+type HazardAdvertisementService struct {
+	cfg    HazardConfig
+	kernel *sim.Kernel
+	rsu    *openc2x.SimNode
+	ldm    *ldm.Map
+	clock  *clock.NTPClock
+	rng    *rand.Rand
+
+	lastTrigger time.Duration
+	triggered   bool
+
+	// OnDecision, if set, observes every trigger decision with the
+	// frame that caused it (step-2 timestamping point).
+	OnDecision func(tr TrackedObject, res perception.FrameResult, decided time.Duration)
+
+	// Triggers counts DENMs requested.
+	Triggers uint64
+	// Suppressed counts detections inside the action point ignored by
+	// cooldown.
+	Suppressed uint64
+	// LDMVetoes counts triggers withheld because no protagonist was
+	// tracked in the LDM.
+	LDMVetoes uint64
+}
+
+// NewHazardService builds the service. rsu is the RSU's API node; ldm
+// is the RSU's LDM consulted for the protagonist check; clk is the
+// edge node's NTP-disciplined clock.
+func NewHazardService(kernel *sim.Kernel, cfg HazardConfig, rsu *openc2x.SimNode, ldmMap *ldm.Map, clk *clock.NTPClock) *HazardAdvertisementService {
+	return &HazardAdvertisementService{
+		cfg:    cfg,
+		kernel: kernel,
+		rsu:    rsu,
+		ldm:    ldmMap,
+		clock:  clk,
+		rng:    kernel.Rand("edge.hazard"),
+	}
+}
+
+// Reset clears the trigger latch (between experiment runs).
+func (h *HazardAdvertisementService) Reset() {
+	h.triggered = false
+	h.lastTrigger = 0
+}
+
+// OnTrack consumes Object Detection Service updates.
+func (h *HazardAdvertisementService) OnTrack(tr TrackedObject, res perception.FrameResult) {
+	if !h.classArmed(tr.Class) {
+		return
+	}
+	if h.cfg.TriggerOnTTC {
+		if !h.ttcConflict(tr) {
+			return
+		}
+	} else if tr.Distance > h.cfg.ActionPointDistance {
+		return
+	}
+	now := h.kernel.Now()
+	if h.triggered && now-h.lastTrigger < h.cfg.Cooldown {
+		h.Suppressed++
+		return
+	}
+	if h.cfg.RequireLDMProtagonist && h.ldm != nil {
+		if !h.hasProtagonist() {
+			h.LDMVetoes++
+			return
+		}
+	}
+	h.triggered = true
+	h.lastTrigger = now
+	if h.OnDecision != nil {
+		h.OnDecision(tr, res, now)
+	}
+	// Hazard evaluation code path, then the HTTP trigger to the RSU.
+	proc := h.cfg.ProcessingMean
+	if h.cfg.ProcessingJitter > 0 {
+		proc += time.Duration(h.rng.Int63n(int64(2*h.cfg.ProcessingJitter))) - h.cfg.ProcessingJitter
+	}
+	if proc < 0 {
+		proc = 0
+	}
+	h.kernel.Schedule(proc, func() {
+		h.Triggers++
+		req := openc2x.TriggerRequest{
+			CauseCode:    uint8(h.cfg.Cause.CauseCode),
+			SubCauseCode: uint8(h.cfg.Cause.SubCauseCode),
+			Latitude:     h.cfg.EventPosition.Lat,
+			Longitude:    h.cfg.EventPosition.Lon,
+			Quality:      3,
+			RadiusMetres: 100,
+		}
+		if h.cfg.RepetitionInterval > 0 {
+			req.RepetitionIntervalMS = uint16(h.cfg.RepetitionInterval / time.Millisecond)
+			dur := h.cfg.RepetitionDuration
+			if dur <= 0 {
+				dur = 2 * time.Second
+			}
+			req.RepetitionDurationMS = uint32(dur / time.Millisecond)
+		}
+		h.rsu.TriggerDENM(req, nil)
+	})
+}
+
+func (h *HazardAdvertisementService) classArmed(c perception.Class) bool {
+	for _, tc := range h.cfg.TriggerClasses {
+		if tc == c {
+			return true
+		}
+	}
+	return false
+}
+
+// ttcConflict performs the LDM-based collision assessment: project
+// the camera object and the nearest CAM-tracked protagonist onto the
+// conflict point and compare arrival times.
+func (h *HazardAdvertisementService) ttcConflict(tr TrackedObject) bool {
+	if h.ldm == nil || tr.ClosingSpeed <= 0.05 {
+		return false
+	}
+	horizon := h.cfg.TTCHorizon
+	if horizon <= 0 {
+		horizon = 4 * time.Second
+	}
+	window := h.cfg.TTCWindow
+	if window <= 0 {
+		window = 1500 * time.Millisecond
+	}
+	// Object arrival: remaining camera distance over closing speed.
+	remaining := tr.Distance - h.cfg.CameraToConflict
+	if remaining < 0 {
+		remaining = 0
+	}
+	ttcObj := time.Duration(remaining / tr.ClosingSpeed * float64(time.Second))
+	if ttcObj > horizon {
+		return false
+	}
+	// Protagonist arrival: nearest approaching CAM vehicle in the LDM.
+	for _, o := range h.ldm.ObjectsWithin(h.cfg.ConflictPoint, 50) {
+		if o.Source != ldm.SourceCAM || o.StationType == units.StationTypeRoadSideUnit {
+			continue
+		}
+		if o.SpeedMS <= 0.05 {
+			continue
+		}
+		dist := o.Position.DistanceTo(h.cfg.ConflictPoint)
+		// Approaching means the heading points towards the conflict.
+		toConflict := h.cfg.ConflictPoint.Sub(o.Position)
+		if toConflict.Norm() > 0.01 {
+			if math.Abs(geo.HeadingDiff(o.HeadingRad, toConflict.Heading())) > math.Pi/3 {
+				continue
+			}
+		}
+		ttcProt := time.Duration(dist / o.SpeedMS * float64(time.Second))
+		if ttcProt > horizon {
+			continue
+		}
+		diff := ttcObj - ttcProt
+		if diff < 0 {
+			diff = -diff
+		}
+		if diff <= window {
+			return true
+		}
+	}
+	return false
+}
+
+// hasProtagonist reports whether the LDM currently tracks a
+// CAM-originated vehicle.
+func (h *HazardAdvertisementService) hasProtagonist() bool {
+	objs := h.ldm.ObjectsWithin(geo.Point{}, 1e9)
+	for _, o := range objs {
+		if o.Source == ldm.SourceCAM && o.StationType != units.StationTypeRoadSideUnit {
+			return true
+		}
+	}
+	return false
+}

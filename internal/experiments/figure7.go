@@ -1,0 +1,114 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"itsbed/internal/perception"
+)
+
+// Figure7Cell is the detection statistics of one (dressing, distance)
+// condition.
+type Figure7Cell struct {
+	Dressing  perception.Dressing
+	ViewLabel string
+	DistanceM float64
+	// DetectionRate is the fraction of frames with any detection.
+	DetectionRate float64
+	// ClassShares is the fraction of detections per reported class.
+	ClassShares map[perception.Class]float64
+}
+
+// Figure7Result quantifies the qualitative findings of the paper's
+// Fig. 7: how reliably the detector recognises the bare vehicle, the
+// body-shell version, and the stop-sign version across distance.
+type Figure7Result struct {
+	Cells []Figure7Cell
+	// FramesPerCell used for each estimate.
+	FramesPerCell int
+}
+
+// Figure7 sweeps the three dressings over distance at a 3/4 approach
+// view and measures detection rate and class confusion.
+func Figure7(seed int64, framesPerCell int) Figure7Result {
+	if framesPerCell <= 0 {
+		framesPerCell = 2000
+	}
+	rng := rand.New(rand.NewSource(seed))
+	model := perception.DefaultModel()
+	distances := []float64{0.5, 1.0, 1.5, 2.0, 2.5, 3.0, 4.0, 5.0}
+	dressings := []perception.Dressing{
+		perception.DressingBare,
+		perception.DressingShell,
+		perception.DressingStopSign,
+	}
+	views := []struct {
+		label string
+		angle float64
+	}{
+		{"head-on", 0.05},
+		{"3/4 view", math.Pi / 4},
+	}
+	out := Figure7Result{FramesPerCell: framesPerCell}
+	for _, dr := range dressings {
+		for _, view := range views {
+			for _, d := range distances {
+				truth := perception.Truth{
+					Distance:  d,
+					ViewAngle: view.angle,
+					InFrustum: true,
+					Dressing:  dr,
+				}
+				hits := 0
+				shares := make(map[perception.Class]float64)
+				for i := 0; i < framesPerCell; i++ {
+					dets := model.Detect(truth, rng)
+					if len(dets) == 0 {
+						continue
+					}
+					hits++
+					shares[dets[0].Class]++
+				}
+				cell := Figure7Cell{
+					Dressing:      dr,
+					ViewLabel:     view.label,
+					DistanceM:     d,
+					DetectionRate: float64(hits) / float64(framesPerCell),
+					ClassShares:   make(map[perception.Class]float64),
+				}
+				for c, n := range shares {
+					cell.ClassShares[c] = n / float64(hits)
+				}
+				out.Cells = append(out.Cells, cell)
+			}
+		}
+	}
+	return out
+}
+
+// Format renders the sweep as a per-dressing table.
+func (f Figure7Result) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fig. 7: Detection reliability per vehicle dressing (%d frames/cell)\n", f.FramesPerCell)
+	currentKey := ""
+	for _, c := range f.Cells {
+		key := fmt.Sprintf("%s, %s", c.Dressing, c.ViewLabel)
+		if key != currentKey {
+			currentKey = key
+			fmt.Fprintf(&b, "%s:\n", key)
+			fmt.Fprintf(&b, "  %8s %10s  %s\n", "dist (m)", "det rate", "class mix")
+		}
+		mix := make([]string, 0, len(c.ClassShares))
+		for cls, share := range c.ClassShares {
+			mix = append(mix, fmt.Sprintf("%s %.0f%%", cls, share*100))
+		}
+		sort.Strings(mix)
+		fmt.Fprintf(&b, "  %8.1f %9.1f%%  %s\n", c.DistanceM, c.DetectionRate*100, strings.Join(mix, ", "))
+	}
+	b.WriteString("Paper finding: bare vehicle inconsistent (motorbike), shell oscillates car/truck\n")
+	b.WriteString("with short range, stop sign resilient — the dressing the testbed adopts.\n")
+	return b.String()
+}

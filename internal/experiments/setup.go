@@ -1,0 +1,21 @@
+package experiments
+
+import (
+	"itsbed/internal/track"
+	"itsbed/internal/vehicle"
+)
+
+// coreLayout is the Fig. 8 laboratory layout used by the table/figure
+// reproductions.
+func coreLayout() track.Layout { return track.PaperLab() }
+
+// DefaultLabSetup exposes the paper's Fig. 8 testing conditions for
+// examples and documentation.
+func DefaultLabSetup() track.Layout { return coreLayout() }
+
+// defaultVehicleConfig is the approach-run vehicle configuration.
+func defaultVehicleConfig(layout track.Layout, useVision bool) vehicle.Config {
+	cfg := vehicle.DefaultConfig(layout)
+	cfg.UseVision = useVision
+	return cfg
+}

@@ -1,0 +1,228 @@
+// Package geo provides the geodetic and planar geometry primitives used
+// throughout the testbed: WGS84 coordinates (what ETSI ITS messages
+// carry), a local east-north-up tangent plane (what the laboratory
+// floor is), and conversions between the two anchored at a reference
+// origin. Distances on the laboratory scale (metres) are small enough
+// that an equirectangular tangent-plane approximation is exact to well
+// below a millimetre.
+package geo
+
+import (
+	"fmt"
+	"math"
+)
+
+// Earth radii for the WGS84 ellipsoid.
+const (
+	wgs84A = 6378137.0         // semi-major axis, metres
+	wgs84F = 1 / 298.257223563 // flattening
+)
+
+// LatLon is a WGS84 geodetic position in degrees.
+type LatLon struct {
+	Lat float64 // degrees, north positive
+	Lon float64 // degrees, east positive
+}
+
+// String implements fmt.Stringer.
+func (p LatLon) String() string {
+	return fmt.Sprintf("(%.7f°, %.7f°)", p.Lat, p.Lon)
+}
+
+// Valid reports whether the coordinates are in range.
+func (p LatLon) Valid() bool {
+	return p.Lat >= -90 && p.Lat <= 90 && p.Lon >= -180 && p.Lon <= 180 &&
+		!math.IsNaN(p.Lat) && !math.IsNaN(p.Lon)
+}
+
+// Point is a position on the local tangent plane, in metres.
+// X is east, Y is north.
+type Point struct {
+	X, Y float64
+}
+
+// String implements fmt.Stringer.
+func (p Point) String() string { return fmt.Sprintf("(%.3fm, %.3fm)", p.X, p.Y) }
+
+// Add returns p translated by v.
+func (p Point) Add(v Vector) Point { return Point{p.X + v.X, p.Y + v.Y} }
+
+// Sub returns the vector from q to p.
+func (p Point) Sub(q Point) Vector { return Vector{p.X - q.X, p.Y - q.Y} }
+
+// DistanceTo returns the Euclidean distance between p and q in metres.
+func (p Point) DistanceTo(q Point) float64 {
+	return math.Hypot(p.X-q.X, p.Y-q.Y)
+}
+
+// Vector is a displacement on the local plane, in metres.
+type Vector struct {
+	X, Y float64
+}
+
+// Norm returns the Euclidean length of v.
+func (v Vector) Norm() float64 { return math.Hypot(v.X, v.Y) }
+
+// Scale returns v scaled by s.
+func (v Vector) Scale(s float64) Vector { return Vector{v.X * s, v.Y * s} }
+
+// Add returns the vector sum v+w.
+func (v Vector) Add(w Vector) Vector { return Vector{v.X + w.X, v.Y + w.Y} }
+
+// Dot returns the dot product of v and w.
+func (v Vector) Dot(w Vector) float64 { return v.X*w.X + v.Y*w.Y }
+
+// Cross returns the z component of the cross product v×w.
+func (v Vector) Cross(w Vector) float64 { return v.X*w.Y - v.Y*w.X }
+
+// Heading returns the compass heading of v in radians: 0 = north,
+// increasing clockwise (east = π/2), normalised to [0, 2π).
+func (v Vector) Heading() float64 {
+	h := math.Atan2(v.X, v.Y)
+	if h < 0 {
+		h += 2 * math.Pi
+	}
+	return h
+}
+
+// HeadingVector returns the unit vector pointing along compass heading
+// h (radians, 0 = north, clockwise positive).
+func HeadingVector(h float64) Vector {
+	return Vector{X: math.Sin(h), Y: math.Cos(h)}
+}
+
+// NormalizeHeading wraps h into [0, 2π).
+func NormalizeHeading(h float64) float64 {
+	h = math.Mod(h, 2*math.Pi)
+	if h < 0 {
+		h += 2 * math.Pi
+	}
+	return h
+}
+
+// HeadingDiff returns the signed smallest rotation from a to b, in
+// radians within (-π, π].
+func HeadingDiff(a, b float64) float64 {
+	d := math.Mod(b-a, 2*math.Pi)
+	if d > math.Pi {
+		d -= 2 * math.Pi
+	}
+	if d <= -math.Pi {
+		d += 2 * math.Pi
+	}
+	return d
+}
+
+// Frame converts between WGS84 and a local tangent plane anchored at
+// Origin. The zero value is unusable; construct with NewFrame.
+type Frame struct {
+	origin LatLon
+	// metres per degree at the origin latitude
+	mPerDegLat float64
+	mPerDegLon float64
+}
+
+// NewFrame anchors a local ENU frame at origin.
+func NewFrame(origin LatLon) (*Frame, error) {
+	if !origin.Valid() {
+		return nil, fmt.Errorf("geo: invalid frame origin %v", origin)
+	}
+	lat := origin.Lat * math.Pi / 180
+	// Radii of curvature on the WGS84 ellipsoid.
+	e2 := wgs84F * (2 - wgs84F)
+	s2 := math.Sin(lat) * math.Sin(lat)
+	den := math.Sqrt(1 - e2*s2)
+	m := wgs84A * (1 - e2) / (den * den * den) // meridional radius
+	n := wgs84A / den                          // prime vertical radius
+	return &Frame{
+		origin:     origin,
+		mPerDegLat: m * math.Pi / 180,
+		mPerDegLon: n * math.Cos(lat) * math.Pi / 180,
+	}, nil
+}
+
+// Origin returns the geodetic anchor of the frame.
+func (f *Frame) Origin() LatLon { return f.origin }
+
+// ToLocal converts a geodetic position to local plane metres.
+func (f *Frame) ToLocal(p LatLon) Point {
+	return Point{
+		X: (p.Lon - f.origin.Lon) * f.mPerDegLon,
+		Y: (p.Lat - f.origin.Lat) * f.mPerDegLat,
+	}
+}
+
+// ToGeodetic converts a local plane point back to WGS84.
+func (f *Frame) ToGeodetic(p Point) LatLon {
+	return LatLon{
+		Lat: f.origin.Lat + p.Y/f.mPerDegLat,
+		Lon: f.origin.Lon + p.X/f.mPerDegLon,
+	}
+}
+
+// CISTERLab is the approximate location of the CISTER laboratory in
+// Porto, Portugal, used as the default frame origin for experiments.
+var CISTERLab = LatLon{Lat: 41.1780, Lon: -8.6080}
+
+// Scale maps between the 1/10-scale laboratory world and full-size
+// road coordinates, used when relating scale measurements (e.g.
+// braking distances) to full-size equivalents as the paper's
+// discussion suggests.
+type Scale struct {
+	// Factor is the linear scale: full-size length = Factor × lab length.
+	Factor float64
+}
+
+// TenthScale is the 1/10 scale of the F1/10-derived testbed.
+var TenthScale = Scale{Factor: 10}
+
+// ToFullSize converts a laboratory length in metres to the full-size
+// equivalent.
+func (s Scale) ToFullSize(labMetres float64) float64 { return labMetres * s.Factor }
+
+// ToLab converts a full-size length to laboratory metres.
+func (s Scale) ToLab(fullMetres float64) float64 { return fullMetres / s.Factor }
+
+// SpeedToFullSize converts a laboratory speed to the dynamically
+// similar full-size speed (Froude scaling: v_full = v_lab·√Factor).
+func (s Scale) SpeedToFullSize(labSpeed float64) float64 {
+	return labSpeed * math.Sqrt(s.Factor)
+}
+
+// Segment is a directed line segment on the local plane.
+type Segment struct {
+	A, B Point
+}
+
+// Length returns the segment length in metres.
+func (s Segment) Length() float64 { return s.A.DistanceTo(s.B) }
+
+// PointAt returns the point a fraction t∈[0,1] along the segment.
+func (s Segment) PointAt(t float64) Point {
+	return Point{
+		X: s.A.X + t*(s.B.X-s.A.X),
+		Y: s.A.Y + t*(s.B.Y-s.A.Y),
+	}
+}
+
+// ClosestPoint returns the point on the segment closest to p and the
+// corresponding parameter t clamped to [0,1].
+func (s Segment) ClosestPoint(p Point) (Point, float64) {
+	d := s.B.Sub(s.A)
+	l2 := d.Dot(d)
+	if l2 == 0 {
+		return s.A, 0
+	}
+	t := p.Sub(s.A).Dot(d) / l2
+	t = math.Max(0, math.Min(1, t))
+	return s.PointAt(t), t
+}
+
+// DistanceToPoint returns the distance from p to the segment.
+func (s Segment) DistanceToPoint(p Point) float64 {
+	c, _ := s.ClosestPoint(p)
+	return c.DistanceTo(p)
+}
+
+// Heading returns the compass heading of the segment direction A→B.
+func (s Segment) Heading() float64 { return s.B.Sub(s.A).Heading() }

@@ -1,0 +1,203 @@
+package geo
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, eps float64) bool { return math.Abs(a-b) <= eps }
+
+func TestFrameRoundTrip(t *testing.T) {
+	frame, err := NewFrame(CISTERLab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(dx, dy int16) bool {
+		p := Point{X: float64(dx) / 10, Y: float64(dy) / 10} // ±3.2 km
+		ll := frame.ToGeodetic(p)
+		back := frame.ToLocal(ll)
+		return almostEqual(back.X, p.X, 1e-6) && almostEqual(back.Y, p.Y, 1e-6)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(1))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFrameOriginMapsToZero(t *testing.T) {
+	frame, err := NewFrame(CISTERLab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := frame.ToLocal(CISTERLab)
+	if !almostEqual(p.X, 0, 1e-9) || !almostEqual(p.Y, 0, 1e-9) {
+		t.Fatalf("origin maps to %v", p)
+	}
+}
+
+func TestFrameMetricScale(t *testing.T) {
+	frame, err := NewFrame(LatLon{Lat: 0, Lon: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One degree of latitude at the equator is ~110.57 km.
+	p := frame.ToLocal(LatLon{Lat: 1, Lon: 0})
+	if p.Y < 110_000 || p.Y > 111_000 {
+		t.Fatalf("1° latitude = %.0f m, want ~110.6 km", p.Y)
+	}
+}
+
+func TestInvalidFrameOrigin(t *testing.T) {
+	if _, err := NewFrame(LatLon{Lat: 91, Lon: 0}); err == nil {
+		t.Fatal("invalid origin accepted")
+	}
+	if _, err := NewFrame(LatLon{Lat: math.NaN(), Lon: 0}); err == nil {
+		t.Fatal("NaN origin accepted")
+	}
+}
+
+func TestHeadingConventions(t *testing.T) {
+	cases := []struct {
+		v    Vector
+		want float64
+	}{
+		{Vector{X: 0, Y: 1}, 0},                // north
+		{Vector{X: 1, Y: 0}, math.Pi / 2},      // east
+		{Vector{X: 0, Y: -1}, math.Pi},         // south
+		{Vector{X: -1, Y: 0}, 3 * math.Pi / 2}, // west
+	}
+	for _, c := range cases {
+		if !almostEqual(c.v.Heading(), c.want, 1e-9) {
+			t.Fatalf("heading of %v = %v, want %v", c.v, c.v.Heading(), c.want)
+		}
+	}
+}
+
+func TestHeadingVectorInvertsHeading(t *testing.T) {
+	f := func(h16 uint16) bool {
+		h := float64(h16) / 65535 * 2 * math.Pi
+		v := HeadingVector(h)
+		return almostEqual(NormalizeHeading(v.Heading()), NormalizeHeading(h), 1e-6)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHeadingDiff(t *testing.T) {
+	cases := []struct{ a, b, want float64 }{
+		{0, math.Pi / 2, math.Pi / 2},
+		{math.Pi / 2, 0, -math.Pi / 2},
+		{0.1, 2*math.Pi - 0.1, -0.2},
+		{2*math.Pi - 0.1, 0.1, 0.2},
+	}
+	for _, c := range cases {
+		if !almostEqual(HeadingDiff(c.a, c.b), c.want, 1e-9) {
+			t.Fatalf("HeadingDiff(%v,%v)=%v, want %v", c.a, c.b, HeadingDiff(c.a, c.b), c.want)
+		}
+	}
+}
+
+func TestHeadingDiffBounded(t *testing.T) {
+	f := func(a, b uint16) bool {
+		d := HeadingDiff(float64(a)/1000, float64(b)/1000)
+		return d > -math.Pi-1e-9 && d <= math.Pi+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSegmentClosestPoint(t *testing.T) {
+	s := Segment{A: Point{0, 0}, B: Point{10, 0}}
+	cases := []struct {
+		p     Point
+		wantC Point
+		wantT float64
+	}{
+		{Point{5, 3}, Point{5, 0}, 0.5},
+		{Point{-5, 0}, Point{0, 0}, 0},
+		{Point{15, 1}, Point{10, 0}, 1},
+	}
+	for _, c := range cases {
+		got, tt := s.ClosestPoint(c.p)
+		if got.DistanceTo(c.wantC) > 1e-9 || !almostEqual(tt, c.wantT, 1e-9) {
+			t.Fatalf("ClosestPoint(%v)=(%v,%v), want (%v,%v)", c.p, got, tt, c.wantC, c.wantT)
+		}
+	}
+}
+
+func TestSegmentDegenerateIsPoint(t *testing.T) {
+	s := Segment{A: Point{3, 4}, B: Point{3, 4}}
+	c, tt := s.ClosestPoint(Point{0, 0})
+	if c != s.A || tt != 0 {
+		t.Fatalf("degenerate segment gave (%v, %v)", c, tt)
+	}
+	if !almostEqual(s.DistanceToPoint(Point{0, 0}), 5, 1e-9) {
+		t.Fatal("distance to degenerate segment wrong")
+	}
+}
+
+func TestSegmentPointAt(t *testing.T) {
+	s := Segment{A: Point{0, 0}, B: Point{4, 8}}
+	mid := s.PointAt(0.5)
+	if mid.DistanceTo(Point{2, 4}) > 1e-9 {
+		t.Fatalf("midpoint %v", mid)
+	}
+}
+
+func TestVectorAlgebra(t *testing.T) {
+	v := Vector{3, 4}
+	if !almostEqual(v.Norm(), 5, 1e-12) {
+		t.Fatal("norm")
+	}
+	if v.Scale(2) != (Vector{6, 8}) {
+		t.Fatal("scale")
+	}
+	if v.Add(Vector{1, 1}) != (Vector{4, 5}) {
+		t.Fatal("add")
+	}
+	if !almostEqual(v.Dot(Vector{1, 0}), 3, 1e-12) {
+		t.Fatal("dot")
+	}
+	if !almostEqual(Vector{1, 0}.Cross(Vector{0, 1}), 1, 1e-12) {
+		t.Fatal("cross")
+	}
+}
+
+func TestScaleMapping(t *testing.T) {
+	s := TenthScale
+	if !almostEqual(s.ToFullSize(0.36), 3.6, 1e-12) {
+		t.Fatal("braking distance scaling")
+	}
+	if !almostEqual(s.ToLab(5.3), 0.53, 1e-12) {
+		t.Fatal("vehicle length scaling")
+	}
+	// Froude scaling of speed: v_full = v_lab·√10.
+	if !almostEqual(s.SpeedToFullSize(1.5), 1.5*math.Sqrt(10), 1e-12) {
+		t.Fatal("speed scaling")
+	}
+}
+
+func TestLatLonValid(t *testing.T) {
+	if !(LatLon{Lat: 41, Lon: -8}).Valid() {
+		t.Fatal("valid coordinates rejected")
+	}
+	for _, p := range []LatLon{{91, 0}, {-91, 0}, {0, 181}, {0, -181}} {
+		if p.Valid() {
+			t.Fatalf("invalid coordinates %v accepted", p)
+		}
+	}
+}
+
+func TestDistanceSymmetricNonNegative(t *testing.T) {
+	f := func(ax, ay, bx, by int8) bool {
+		a := Point{float64(ax), float64(ay)}
+		b := Point{float64(bx), float64(by)}
+		return almostEqual(a.DistanceTo(b), b.DistanceTo(a), 1e-12) && a.DistanceTo(b) >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,306 @@
+// Package ca implements the Cooperative Awareness basic service
+// (ETSI EN 302 637-2): cyclic CAM generation with the standard's
+// dynamics-triggered rules, and reception handling that feeds the LDM.
+//
+// Generation rules: a CAM is generated when at least T_GenCamMin
+// (100 ms) has elapsed since the previous one AND the station's
+// heading changed by more than 4°, its position by more than 4 m, or
+// its speed by more than 0.5 m/s; or unconditionally when T_GenCamMax
+// (1000 ms) has elapsed. The low-frequency container is included at
+// most every 500 ms.
+package ca
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"itsbed/internal/clock"
+	"itsbed/internal/geo"
+	"itsbed/internal/its/messages"
+	"itsbed/internal/sim"
+	"itsbed/internal/units"
+)
+
+// Standard generation-rule constants.
+const (
+	TGenCamMin   = 100 * time.Millisecond
+	TGenCamMax   = 1000 * time.Millisecond
+	TCheckGenCam = 100 * time.Millisecond
+	TLowFreq     = 500 * time.Millisecond
+
+	headingTriggerDeg = 4.0
+	positionTriggerM  = 4.0
+	speedTriggerMS    = 0.5
+)
+
+// VehicleState is the kinematic snapshot a CAM advertises.
+type VehicleState struct {
+	Position   geo.LatLon
+	SpeedMS    float64
+	HeadingRad float64
+	AccelMS2   float64
+	// YawRateDegS in degrees per second.
+	YawRateDegS float64
+	// Length and Width of the vehicle in metres.
+	Length float64
+	Width  float64
+}
+
+// StateProvider yields the station's current state.
+type StateProvider interface {
+	VehicleState() VehicleState
+}
+
+// StateFunc adapts a function to StateProvider.
+type StateFunc func() VehicleState
+
+// VehicleState implements StateProvider.
+func (f StateFunc) VehicleState() VehicleState { return f() }
+
+// SendFunc transmits an encoded CAM through the lower layers
+// (BTP port 2001 over GN SHB).
+type SendFunc func(payload []byte) error
+
+// Config parameterises the CA service.
+type Config struct {
+	StationID   units.StationID
+	StationType units.StationType
+	Provider    StateProvider
+	Send        SendFunc
+	// Clock provides ITS timestamps; required.
+	Clock *clock.NTPClock
+	// DisableTriggers forces pure 1 Hz operation (RSU-style CAMs).
+	DisableTriggers bool
+}
+
+// Service is the CA basic service of one station.
+type Service struct {
+	cfg    Config
+	kernel *sim.Kernel
+	ticker *sim.Ticker
+
+	lastGen   time.Duration
+	lastLF    time.Duration
+	hasLast   bool
+	lastState VehicleState
+	hasLastLF bool
+	// history records past reference positions for the low-frequency
+	// container's path history.
+	history []pathSample
+
+	// Generated counts CAMs produced.
+	Generated uint64
+	// SendErrors counts lower-layer send failures.
+	SendErrors uint64
+}
+
+// New creates a CA service. Start must be called to begin generation.
+func New(kernel *sim.Kernel, cfg Config) (*Service, error) {
+	if cfg.Provider == nil || cfg.Send == nil || cfg.Clock == nil {
+		return nil, fmt.Errorf("ca: provider, send and clock are required")
+	}
+	return &Service{cfg: cfg, kernel: kernel}, nil
+}
+
+// Start begins the generation check cycle.
+func (s *Service) Start() {
+	if s.ticker != nil {
+		return
+	}
+	s.ticker = s.kernel.Every(0, TCheckGenCam, s.check)
+}
+
+// Stop halts generation.
+func (s *Service) Stop() {
+	if s.ticker != nil {
+		s.ticker.Stop()
+		s.ticker = nil
+	}
+}
+
+func (s *Service) check() {
+	now := s.kernel.Now()
+	st := s.cfg.Provider.VehicleState()
+	elapsed := now - s.lastGen
+	if s.hasLast && elapsed < TGenCamMin {
+		return
+	}
+	trigger := !s.hasLast || elapsed >= TGenCamMax
+	if !trigger && !s.cfg.DisableTriggers {
+		dHeading := math.Abs(geo.HeadingDiff(s.lastState.HeadingRad, st.HeadingRad)) * 180 / math.Pi
+		frame, err := geo.NewFrame(s.lastState.Position)
+		if err != nil {
+			return
+		}
+		dPos := frame.ToLocal(st.Position).DistanceTo(geo.Point{})
+		dSpeed := math.Abs(st.SpeedMS - s.lastState.SpeedMS)
+		trigger = dHeading > headingTriggerDeg || dPos > positionTriggerM || dSpeed > speedTriggerMS
+	}
+	if !trigger {
+		return
+	}
+	s.generate(now, st)
+}
+
+func (s *Service) generate(now time.Duration, st VehicleState) {
+	ts := clock.TimestampIts(s.cfg.Clock.Now())
+	cam := messages.NewCAM(s.cfg.StationID, units.DeltaTimeFromTimestamp(ts))
+	cam.Basic = messages.BasicContainer{
+		StationType: s.cfg.StationType,
+		Position: messages.ReferencePosition{
+			Latitude:             units.LatitudeFromDegrees(st.Position.Lat),
+			Longitude:            units.LongitudeFromDegrees(st.Position.Lon),
+			SemiMajorConfidence:  units.SemiAxisFromMetres(0.05),
+			SemiMinorConfidence:  units.SemiAxisFromMetres(0.05),
+			SemiMajorOrientation: units.HeadingFromRadians(st.HeadingRad),
+			AltitudeValue:        messages.AltitudeUnavailable,
+		},
+	}
+	accel := int16(math.Round(st.AccelMS2 * 10))
+	if accel < -160 {
+		accel = -160
+	}
+	if accel > 160 {
+		accel = 160
+	}
+	yaw := int32(math.Round(st.YawRateDegS * 100))
+	if yaw < -32766 {
+		yaw = -32766
+	}
+	if yaw > 32766 {
+		yaw = 32766
+	}
+	length := uint16(math.Round(st.Length * 10))
+	if length == 0 || length > 1022 {
+		length = 1023 // unavailable
+	}
+	width := uint8(math.Round(st.Width * 10))
+	if width == 0 || width > 61 {
+		width = 62 // unavailable
+	}
+	cam.HighFrequency = messages.BasicVehicleContainerHighFrequency{
+		Heading:                  units.HeadingFromRadians(st.HeadingRad),
+		HeadingConfidence:        10, // 1.0°
+		Speed:                    units.SpeedFromMS(st.SpeedMS),
+		SpeedConfidence:          5, // 0.05 m/s
+		DriveDirection:           messages.DriveDirectionForward,
+		VehicleLength:            length,
+		VehicleWidth:             width,
+		LongitudinalAcceleration: accel,
+		AccelerationConfidence:   10,
+		Curvature:                units.CurvatureUnavailable,
+		YawRate:                  yaw,
+	}
+	if !s.hasLastLF || s.kernel.Now()-s.lastLF >= TLowFreq {
+		cam.LowFrequency = &messages.BasicVehicleContainerLowFrequency{
+			VehicleRole:    messages.VehicleRoleDefault,
+			ExteriorLights: 0,
+			PathHistory:    s.pathHistory(st),
+		}
+		s.lastLF = s.kernel.Now()
+		s.hasLastLF = true
+	}
+	payload, err := cam.Encode()
+	if err != nil {
+		s.SendErrors++
+		return
+	}
+	if err := s.cfg.Send(payload); err != nil {
+		s.SendErrors++
+		return
+	}
+	s.Generated++
+	s.lastGen = now
+	s.lastState = st
+	s.hasLast = true
+}
+
+// pathSample is one recorded reference position.
+type pathSample struct {
+	pos geo.LatLon
+	at  time.Duration
+}
+
+// maxHistorySamples bounds the retained trail; EN 302 637-2 allows up
+// to 40 path points, the testbed keeps a short recent trail.
+const maxHistorySamples = 10
+
+// minPathSpacing is the minimum distance between retained samples.
+const minPathSpacing = 0.2 // metres
+
+// pathHistory converts the recorded trail into ETSI path points:
+// deltas relative to the CAM's reference position, most recent first.
+// It also appends the current position to the trail.
+func (s *Service) pathHistory(st VehicleState) []messages.PathPoint {
+	now := s.kernel.Now()
+	// Record the new sample if it moved far enough from the last one.
+	record := len(s.history) == 0
+	if !record {
+		last := s.history[len(s.history)-1]
+		frame, err := geo.NewFrame(last.pos)
+		if err == nil && frame.ToLocal(st.Position).DistanceTo(geo.Point{}) >= minPathSpacing {
+			record = true
+		}
+	}
+	if record {
+		s.history = append(s.history, pathSample{pos: st.Position, at: now})
+		if len(s.history) > maxHistorySamples {
+			s.history = s.history[len(s.history)-maxHistorySamples:]
+		}
+	}
+	// Build deltas, most recent first, skipping the newest sample when
+	// it coincides with the reference position.
+	var out []messages.PathPoint
+	for i := len(s.history) - 1; i >= 0; i-- {
+		h := s.history[i]
+		dLat := int64(units.LatitudeFromDegrees(h.pos.Lat)) - int64(units.LatitudeFromDegrees(st.Position.Lat))
+		dLon := int64(units.LongitudeFromDegrees(h.pos.Lon)) - int64(units.LongitudeFromDegrees(st.Position.Lon))
+		if dLat == 0 && dLon == 0 {
+			continue
+		}
+		clamp := func(v int64) int32 {
+			if v < -131071 {
+				return -131071
+			}
+			if v > 131072 {
+				return 131072
+			}
+			return int32(v)
+		}
+		dt := (now - h.at) / (10 * time.Millisecond)
+		if dt > 65535 {
+			dt = 65535
+		}
+		out = append(out, messages.PathPoint{
+			DeltaLatitude:  clamp(dLat),
+			DeltaLongitude: clamp(dLon),
+			DeltaTime:      uint16(dt),
+		})
+	}
+	return out
+}
+
+// Receiver handles incoming CAMs: decode, deliver to the LDM sink and
+// an optional application callback.
+type Receiver struct {
+	// Sink receives every decoded CAM (typically the LDM).
+	Sink func(*messages.CAM)
+	// Received counts successfully decoded CAMs.
+	Received uint64
+	// Malformed counts undecodable payloads.
+	Malformed uint64
+}
+
+// OnPayload processes one received CA payload.
+func (r *Receiver) OnPayload(payload []byte) {
+	cam, err := messages.DecodeCAM(payload)
+	if err != nil {
+		r.Malformed++
+		return
+	}
+	r.Received++
+	if r.Sink != nil {
+		r.Sink(cam)
+	}
+}

@@ -1,0 +1,407 @@
+// Package den implements the Decentralized Environmental Notification
+// basic service (ETSI EN 302 637-3): application-triggered DENM
+// origination with ActionID management, repetition, update and
+// cancellation, plus the reception state machine that deduplicates
+// repeated DENMs and delivers new or updated events to the
+// application and the LDM.
+package den
+
+import (
+	"fmt"
+	"time"
+
+	"itsbed/internal/clock"
+	"itsbed/internal/geo"
+	"itsbed/internal/its/messages"
+	"itsbed/internal/sim"
+	"itsbed/internal/units"
+)
+
+// SendFunc transmits an encoded DENM through the lower layers
+// (BTP port 2002 over GN GeoBroadcast to the event area).
+type SendFunc func(payload []byte, area geonetArea) error
+
+// geonetArea carries the destination-area parameters without importing
+// geonet (kept minimal to avoid a facilities→network dependency; the
+// stack adapts it).
+type geonetArea struct {
+	Centre       geo.LatLon
+	RadiusMetres uint16
+}
+
+// Area is the exported alias for the destination area.
+type Area = geonetArea
+
+// NewArea builds a circular destination area.
+func NewArea(centre geo.LatLon, radiusMetres uint16) Area {
+	return Area{Centre: centre, RadiusMetres: radiusMetres}
+}
+
+// EventRequest describes an application trigger (AppDENM_trigger of
+// EN 302 637-3).
+type EventRequest struct {
+	EventType messages.EventType
+	Position  geo.LatLon
+	Quality   messages.InformationQuality
+	// Validity of the event; zero selects the standard 600 s default.
+	Validity time.Duration
+	// RepetitionInterval between retransmissions; zero disables
+	// repetition (single shot, as the testbed uses).
+	RepetitionInterval time.Duration
+	// RepetitionDuration bounds total repetition time.
+	RepetitionDuration time.Duration
+	// RelevanceRadius of the destination area in metres; zero selects
+	// 200 m.
+	RelevanceRadius uint16
+	// EventSpeedMS and EventHeadingRad optionally populate the
+	// location container.
+	EventSpeedMS    float64
+	EventHeadingRad float64
+}
+
+// Config parameterises the DEN service.
+type Config struct {
+	StationID   units.StationID
+	StationType units.StationType
+	Send        SendFunc
+	Clock       *clock.NTPClock
+}
+
+// activeEvent is one originated event under repetition management.
+type activeEvent struct {
+	denm   *messages.DENM
+	area   Area
+	ticker *sim.Ticker
+	until  time.Duration
+}
+
+// Service is the DEN basic service of one station.
+type Service struct {
+	cfg    Config
+	kernel *sim.Kernel
+	seq    uint16
+	active map[messages.ActionID]*activeEvent
+
+	// OnTransmit, if set, observes every DENM handed to the lower
+	// layers (the paper's "RSU sends DENM" timestamping point).
+	OnTransmit func(*messages.DENM)
+
+	// Originated counts trigger requests accepted.
+	Originated uint64
+	// Transmitted counts DENMs put on the air (including repetitions).
+	Transmitted uint64
+	// SendErrors counts lower-layer failures.
+	SendErrors uint64
+}
+
+// New creates a DEN service.
+func New(kernel *sim.Kernel, cfg Config) (*Service, error) {
+	if cfg.Send == nil || cfg.Clock == nil {
+		return nil, fmt.Errorf("den: send and clock are required")
+	}
+	return &Service{cfg: cfg, kernel: kernel, active: make(map[messages.ActionID]*activeEvent)}, nil
+}
+
+// Trigger originates a new DENM per the request and returns its
+// ActionID (AppDENM_trigger).
+func (s *Service) Trigger(req EventRequest) (messages.ActionID, error) {
+	s.seq++
+	id := messages.ActionID{OriginatingStationID: s.cfg.StationID, SequenceNumber: s.seq}
+	now := clock.TimestampIts(s.cfg.Clock.Now())
+	d := messages.NewDENM(s.cfg.StationID)
+	validity := uint32(messages.DefaultValidityDuration)
+	if req.Validity > 0 {
+		validity = uint32(req.Validity / time.Second)
+	}
+	d.Management = messages.ManagementContainer{
+		ActionID:         id,
+		DetectionTime:    now,
+		ReferenceTime:    now,
+		EventPosition:    refPosition(req.Position),
+		ValidityDuration: &validity,
+		StationType:      s.cfg.StationType,
+	}
+	if req.RepetitionInterval > 0 {
+		ti := uint16(req.RepetitionInterval / time.Millisecond)
+		if ti == 0 {
+			ti = 1
+		}
+		d.Management.TransmissionInterval = &ti
+	}
+	d.Situation = &messages.SituationContainer{
+		InformationQuality: req.Quality,
+		EventType:          req.EventType,
+	}
+	// Location container: a single empty trace at the event position
+	// (the testbed's events are points, not itineraries).
+	loc := &messages.LocationContainer{Traces: []messages.Trace{{}}}
+	if req.EventSpeedMS > 0 {
+		sp := units.SpeedFromMS(req.EventSpeedMS)
+		loc.EventSpeed = &sp
+		h := units.HeadingFromRadians(req.EventHeadingRad)
+		loc.EventPositionHeading = &h
+	}
+	d.Location = loc
+
+	radius := req.RelevanceRadius
+	if radius == 0 {
+		radius = 200
+	}
+	area := NewArea(req.Position, radius)
+	ev := &activeEvent{denm: d, area: area}
+	s.active[id] = ev
+	s.Originated++
+	if err := s.transmit(ev); err != nil {
+		return id, err
+	}
+	if req.RepetitionInterval > 0 {
+		dur := req.RepetitionDuration
+		if dur <= 0 {
+			dur = time.Duration(validity) * time.Second
+		}
+		ev.until = s.kernel.Now() + dur
+		ev.ticker = s.kernel.Every(req.RepetitionInterval, req.RepetitionInterval, func() {
+			if s.kernel.Now() > ev.until {
+				s.stopRepetition(id)
+				return
+			}
+			// Repetitions re-send the DENM unchanged: the reference
+			// time stays put so receivers recognise them as copies,
+			// not updates (EN 302 637-3 §8.1.2).
+			if err := s.transmit(ev); err != nil {
+				s.SendErrors++
+			}
+		})
+	}
+	return id, nil
+}
+
+// Update re-announces an active event with a new event type and/or
+// quality (AppDENM_update).
+func (s *Service) Update(id messages.ActionID, et messages.EventType, q messages.InformationQuality) error {
+	ev, ok := s.active[id]
+	if !ok {
+		return fmt.Errorf("den: update of unknown action %v", id)
+	}
+	ev.denm.Situation.EventType = et
+	ev.denm.Situation.InformationQuality = q
+	ev.denm.Management.ReferenceTime = clock.TimestampIts(s.cfg.Clock.Now())
+	return s.transmit(ev)
+}
+
+// Cancel terminates an event originated by this station
+// (AppDENM_termination with isCancellation).
+func (s *Service) Cancel(id messages.ActionID) error {
+	ev, ok := s.active[id]
+	if !ok {
+		return fmt.Errorf("den: cancel of unknown action %v", id)
+	}
+	term := messages.TerminationIsCancellation
+	ev.denm.Management.Termination = &term
+	ev.denm.Management.ReferenceTime = clock.TimestampIts(s.cfg.Clock.Now())
+	err := s.transmit(ev)
+	s.stopRepetition(id)
+	delete(s.active, id)
+	return err
+}
+
+func (s *Service) stopRepetition(id messages.ActionID) {
+	if ev, ok := s.active[id]; ok && ev.ticker != nil {
+		ev.ticker.Stop()
+		ev.ticker = nil
+	}
+}
+
+// Stop halts all repetition tickers (shutdown).
+func (s *Service) Stop() {
+	for id := range s.active {
+		s.stopRepetition(id)
+	}
+}
+
+func (s *Service) transmit(ev *activeEvent) error {
+	payload, err := ev.denm.Encode()
+	if err != nil {
+		s.SendErrors++
+		return fmt.Errorf("den: encode: %w", err)
+	}
+	if err := s.cfg.Send(payload, ev.area); err != nil {
+		s.SendErrors++
+		return fmt.Errorf("den: send: %w", err)
+	}
+	s.Transmitted++
+	if s.OnTransmit != nil {
+		s.OnTransmit(ev.denm)
+	}
+	return nil
+}
+
+func refPosition(p geo.LatLon) messages.ReferencePosition {
+	return messages.ReferencePosition{
+		Latitude:            units.LatitudeFromDegrees(p.Lat),
+		Longitude:           units.LongitudeFromDegrees(p.Lon),
+		SemiMajorConfidence: units.SemiAxisFromMetres(0.5),
+		SemiMinorConfidence: units.SemiAxisFromMetres(0.5),
+		AltitudeValue:       messages.AltitudeUnavailable,
+	}
+}
+
+// Receiver implements the DENM reception state machine: repeated
+// copies of the same (ActionID, ReferenceTime) are dropped, new events
+// and genuine updates are delivered. When keep-alive forwarding is
+// enabled (EN 302 637-3 §8.2.2), the receiver schedules re-broadcasts
+// of events it did not originate, so a warning outlives its source in
+// the region of interest.
+type Receiver struct {
+	// Sink receives each new or updated DENM (typically LDM ingestion
+	// plus the application handler).
+	Sink func(*messages.DENM)
+	// KAF, when non-nil, enables keep-alive forwarding through it.
+	KAF  *KeepAliveForwarder
+	seen map[messages.ActionID]uint64 // last delivered referenceTime
+
+	// Received counts successfully decoded DENMs.
+	Received uint64
+	// Repeated counts suppressed repetitions.
+	Repeated uint64
+	// Malformed counts undecodable payloads.
+	Malformed uint64
+}
+
+// OnPayload processes one received DEN payload.
+func (r *Receiver) OnPayload(payload []byte) {
+	d, err := messages.DecodeDENM(payload)
+	if err != nil {
+		r.Malformed++
+		return
+	}
+	r.Received++
+	if r.seen == nil {
+		r.seen = make(map[messages.ActionID]uint64)
+	}
+	id := d.Management.ActionID
+	if r.KAF != nil {
+		// Every copy refreshes the forwarder, including repetitions:
+		// hearing the event again postpones this station's own
+		// keep-alive re-broadcast (the standard's back-off behaviour).
+		r.KAF.Observe(d, payload)
+	}
+	if last, ok := r.seen[id]; ok && d.Management.ReferenceTime <= last {
+		r.Repeated++
+		return
+	}
+	r.seen[id] = d.Management.ReferenceTime
+	if r.Sink != nil {
+		r.Sink(d)
+	}
+}
+
+// ForwardFunc re-broadcasts a raw DENM payload to the event's area.
+type ForwardFunc func(payload []byte, area Area) error
+
+// KeepAliveForwarder implements DENM keep-alive forwarding: a station
+// inside the relevance area that stops hearing an active event
+// re-broadcasts the last received DENM so the warning persists, until
+// the event's validity expires or a termination arrives.
+type KeepAliveForwarder struct {
+	kernel  *sim.Kernel
+	forward ForwardFunc
+	// Interval between silence-triggered re-broadcasts; the standard
+	// derives it from the transmissionInterval field when present.
+	defaultInterval time.Duration
+	entries         map[messages.ActionID]*kafEntry
+
+	// Forwarded counts keep-alive re-broadcasts.
+	Forwarded uint64
+}
+
+type kafEntry struct {
+	payload []byte
+	area    Area
+	timer   *sim.Event
+	expires time.Duration
+	stopped bool
+}
+
+// NewKeepAliveForwarder builds a forwarder. defaultInterval applies to
+// DENMs that carry no transmissionInterval; zero selects 500 ms.
+func NewKeepAliveForwarder(kernel *sim.Kernel, forward ForwardFunc, defaultInterval time.Duration) *KeepAliveForwarder {
+	if defaultInterval <= 0 {
+		defaultInterval = 500 * time.Millisecond
+	}
+	return &KeepAliveForwarder{
+		kernel:          kernel,
+		forward:         forward,
+		defaultInterval: defaultInterval,
+		entries:         make(map[messages.ActionID]*kafEntry),
+	}
+}
+
+// Observe records a received DENM copy and (re)arms the silence timer.
+func (k *KeepAliveForwarder) Observe(d *messages.DENM, payload []byte) {
+	id := d.Management.ActionID
+	e, ok := k.entries[id]
+	if d.IsTermination() {
+		// A termination cancels forwarding and is not itself kept
+		// alive.
+		if ok {
+			e.stop()
+			delete(k.entries, id)
+		}
+		return
+	}
+	if !ok {
+		e = &kafEntry{}
+		k.entries[id] = e
+	}
+	e.payload = append(e.payload[:0], payload...)
+	e.area = NewArea(geo.LatLon{
+		Lat: d.Management.EventPosition.Latitude.Degrees(),
+		Lon: d.Management.EventPosition.Longitude.Degrees(),
+	}, 200)
+	e.expires = k.kernel.Now() + time.Duration(d.Validity())*time.Second
+	interval := k.defaultInterval
+	if ti := d.Management.TransmissionInterval; ti != nil {
+		interval = time.Duration(*ti) * time.Millisecond
+	}
+	k.arm(id, e, interval)
+}
+
+func (e *kafEntry) stop() {
+	e.stopped = true
+	if e.timer != nil {
+		e.timer.Cancel()
+	}
+}
+
+// arm schedules the next keep-alive broadcast after interval of
+// silence.
+func (k *KeepAliveForwarder) arm(id messages.ActionID, e *kafEntry, interval time.Duration) {
+	if e.timer != nil {
+		e.timer.Cancel()
+	}
+	e.stopped = false
+	e.timer = k.kernel.Schedule(interval, func() {
+		if e.stopped || k.kernel.Now() >= e.expires {
+			delete(k.entries, id)
+			return
+		}
+		if k.forward != nil {
+			if err := k.forward(e.payload, e.area); err == nil {
+				k.Forwarded++
+			}
+		}
+		k.arm(id, e, interval)
+	})
+}
+
+// Active reports the number of events under keep-alive management.
+func (k *KeepAliveForwarder) Active() int { return len(k.entries) }
+
+// Stop cancels all timers (shutdown).
+func (k *KeepAliveForwarder) Stop() {
+	for id, e := range k.entries {
+		e.stop()
+		delete(k.entries, id)
+	}
+}

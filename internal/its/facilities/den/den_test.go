@@ -1,0 +1,300 @@
+package den
+
+import (
+	"testing"
+	"time"
+
+	"itsbed/internal/clock"
+	"itsbed/internal/geo"
+	"itsbed/internal/its/messages"
+	"itsbed/internal/sim"
+	"itsbed/internal/units"
+)
+
+type denHarness struct {
+	kernel *sim.Kernel
+	sent   []struct {
+		payload []byte
+		area    Area
+	}
+	svc *Service
+}
+
+func newDENHarness(t *testing.T) *denHarness {
+	t.Helper()
+	h := &denHarness{kernel: sim.NewKernel(1)}
+	clk := clock.NewNTP(clock.SourceFunc(h.kernel.Now), clock.PerfectNTP(), nil)
+	svc, err := New(h.kernel, Config{
+		StationID:   1001,
+		StationType: units.StationTypeRoadSideUnit,
+		Send: func(p []byte, a Area) error {
+			h.sent = append(h.sent, struct {
+				payload []byte
+				area    Area
+			}{p, a})
+			return nil
+		},
+		Clock: clk,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.svc = svc
+	return h
+}
+
+func collisionRequest() EventRequest {
+	return EventRequest{
+		EventType: messages.EventType{
+			CauseCode:    messages.CauseCollisionRisk,
+			SubCauseCode: messages.CollisionRiskCrossing,
+		},
+		Position: geo.CISTERLab,
+		Quality:  3,
+	}
+}
+
+func TestTriggerSendsImmediately(t *testing.T) {
+	h := newDENHarness(t)
+	id, err := h.svc.Trigger(collisionRequest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(h.sent) != 1 {
+		t.Fatalf("sent %d", len(h.sent))
+	}
+	d, err := messages.DecodeDENM(h.sent[0].payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Management.ActionID != id {
+		t.Fatalf("actionID %v != %v", d.Management.ActionID, id)
+	}
+	if d.Situation == nil || d.Situation.EventType.CauseCode != messages.CauseCollisionRisk {
+		t.Fatal("situation container missing or wrong")
+	}
+	if d.Location == nil || len(d.Location.Traces) != 1 {
+		t.Fatal("location container must carry one trace")
+	}
+	if h.sent[0].area.RadiusMetres != 200 {
+		t.Fatalf("default relevance radius %d", h.sent[0].area.RadiusMetres)
+	}
+}
+
+func TestSequenceNumbersIncrease(t *testing.T) {
+	h := newDENHarness(t)
+	id1, err := h.svc.Trigger(collisionRequest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	id2, err := h.svc.Trigger(collisionRequest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id2.SequenceNumber != id1.SequenceNumber+1 {
+		t.Fatalf("sequence numbers %d then %d", id1.SequenceNumber, id2.SequenceNumber)
+	}
+}
+
+func TestRepetition(t *testing.T) {
+	h := newDENHarness(t)
+	req := collisionRequest()
+	req.RepetitionInterval = 100 * time.Millisecond
+	req.RepetitionDuration = 450 * time.Millisecond
+	if _, err := h.svc.Trigger(req); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.kernel.Run(2 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	// Initial + repeats at 100..400 ms = 5; the 500 ms tick is past
+	// the repetition window.
+	if len(h.sent) < 4 || len(h.sent) > 6 {
+		t.Fatalf("transmitted %d DENMs, want ~5", len(h.sent))
+	}
+	// Repetitions are exact copies: reference and detection times stay
+	// put, so receivers can suppress them (EN 302 637-3 §8.1.2).
+	first, err := messages.DecodeDENM(h.sent[0].payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	last, err := messages.DecodeDENM(h.sent[len(h.sent)-1].payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if last.Management.ReferenceTime != first.Management.ReferenceTime {
+		t.Fatal("reference time must not change on repetition")
+	}
+	if last.Management.DetectionTime != first.Management.DetectionTime {
+		t.Fatal("detection time must not change on repetition")
+	}
+}
+
+func TestUpdate(t *testing.T) {
+	h := newDENHarness(t)
+	id, err := h.svc.Trigger(collisionRequest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	newType := messages.EventType{
+		CauseCode:    messages.CauseDangerousSituation,
+		SubCauseCode: messages.DangerousSituationAEBActivated,
+	}
+	if err := h.svc.Update(id, newType, 5); err != nil {
+		t.Fatal(err)
+	}
+	if len(h.sent) != 2 {
+		t.Fatalf("sent %d", len(h.sent))
+	}
+	d, err := messages.DecodeDENM(h.sent[1].payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Situation.EventType != newType || d.Situation.InformationQuality != 5 {
+		t.Fatal("update content wrong")
+	}
+	if err := h.svc.Update(messages.ActionID{OriginatingStationID: 9, SequenceNumber: 9}, newType, 1); err == nil {
+		t.Fatal("update of unknown action accepted")
+	}
+}
+
+func TestCancel(t *testing.T) {
+	h := newDENHarness(t)
+	req := collisionRequest()
+	req.RepetitionInterval = 50 * time.Millisecond
+	id, err := h.svc.Trigger(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.kernel.Run(120 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	before := len(h.sent)
+	if err := h.svc.Cancel(id); err != nil {
+		t.Fatal(err)
+	}
+	cancelCount := len(h.sent)
+	if cancelCount != before+1 {
+		t.Fatal("cancel did not transmit a termination DENM")
+	}
+	d, err := messages.DecodeDENM(h.sent[cancelCount-1].payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.IsTermination() {
+		t.Fatal("cancellation DENM lacks termination")
+	}
+	// Repetition stops after cancel.
+	if err := h.kernel.Run(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if len(h.sent) != cancelCount {
+		t.Fatal("repetition continued after cancel")
+	}
+	if err := h.svc.Cancel(id); err == nil {
+		t.Fatal("double cancel accepted")
+	}
+}
+
+func TestValidityCustom(t *testing.T) {
+	h := newDENHarness(t)
+	req := collisionRequest()
+	req.Validity = 90 * time.Second
+	if _, err := h.svc.Trigger(req); err != nil {
+		t.Fatal(err)
+	}
+	d, err := messages.DecodeDENM(h.sent[0].payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Validity() != 90 {
+		t.Fatalf("validity %d", d.Validity())
+	}
+}
+
+func TestEventSpeedInLocation(t *testing.T) {
+	h := newDENHarness(t)
+	req := collisionRequest()
+	req.EventSpeedMS = 1.5
+	req.EventHeadingRad = 0
+	if _, err := h.svc.Trigger(req); err != nil {
+		t.Fatal(err)
+	}
+	d, err := messages.DecodeDENM(h.sent[0].payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Location.EventSpeed == nil || d.Location.EventSpeed.MS() != 1.5 {
+		t.Fatal("event speed missing")
+	}
+}
+
+func TestOnTransmitHook(t *testing.T) {
+	h := newDENHarness(t)
+	var observed []*messages.DENM
+	h.svc.OnTransmit = func(d *messages.DENM) { observed = append(observed, d) }
+	if _, err := h.svc.Trigger(collisionRequest()); err != nil {
+		t.Fatal(err)
+	}
+	if len(observed) != 1 {
+		t.Fatalf("hook fired %d times", len(observed))
+	}
+}
+
+func TestReceiverDeduplicatesRepetitions(t *testing.T) {
+	h := newDENHarness(t)
+	var delivered []*messages.DENM
+	r := Receiver{Sink: func(d *messages.DENM) { delivered = append(delivered, d) }}
+	if _, err := h.svc.Trigger(collisionRequest()); err != nil {
+		t.Fatal(err)
+	}
+	payload := h.sent[0].payload
+	r.OnPayload(payload)
+	r.OnPayload(payload) // identical repetition
+	if len(delivered) != 1 {
+		t.Fatalf("delivered %d, want 1", len(delivered))
+	}
+	if r.Repeated != 1 {
+		t.Fatalf("repeated=%d", r.Repeated)
+	}
+}
+
+func TestReceiverDeliversUpdates(t *testing.T) {
+	h := newDENHarness(t)
+	var delivered []*messages.DENM
+	r := Receiver{Sink: func(d *messages.DENM) { delivered = append(delivered, d) }}
+	id, err := h.svc.Trigger(collisionRequest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Advance virtual time so the update's reference time differs.
+	h.kernel.Schedule(10*time.Millisecond, func() {
+		newType := messages.EventType{CauseCode: messages.CauseDangerousSituation}
+		if err := h.svc.Update(id, newType, 7); err != nil {
+			t.Error(err)
+		}
+	})
+	if err := h.kernel.Run(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range h.sent {
+		r.OnPayload(s.payload)
+	}
+	if len(delivered) != 2 {
+		t.Fatalf("delivered %d, want 2 (new + update)", len(delivered))
+	}
+	if r.Malformed != 0 {
+		t.Fatal("unexpected malformed count")
+	}
+	r.OnPayload([]byte{1, 2, 3})
+	if r.Malformed != 1 {
+		t.Fatal("malformed payload not counted")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	k := sim.NewKernel(1)
+	if _, err := New(k, Config{}); err == nil {
+		t.Fatal("config without send/clock accepted")
+	}
+}

@@ -1,0 +1,167 @@
+package den
+
+import (
+	"testing"
+	"time"
+
+	"itsbed/internal/its/messages"
+	"itsbed/internal/sim"
+	"itsbed/internal/units"
+)
+
+// kafHarness builds a receiver with keep-alive forwarding into a
+// capture sink.
+type kafHarness struct {
+	kernel    *sim.Kernel
+	forwarded [][]byte
+	rx        *Receiver
+	kaf       *KeepAliveForwarder
+}
+
+func newKAFHarness(t *testing.T, interval time.Duration) *kafHarness {
+	t.Helper()
+	h := &kafHarness{kernel: sim.NewKernel(1)}
+	h.kaf = NewKeepAliveForwarder(h.kernel, func(p []byte, _ Area) error {
+		cp := make([]byte, len(p))
+		copy(cp, p)
+		h.forwarded = append(h.forwarded, cp)
+		return nil
+	}, interval)
+	h.rx = &Receiver{KAF: h.kaf}
+	return h
+}
+
+func kafDENM(t *testing.T, seq uint16, validitySec uint32, terminated bool) []byte {
+	t.Helper()
+	d := messages.NewDENM(1001)
+	d.Management = messages.ManagementContainer{
+		ActionID:         messages.ActionID{OriginatingStationID: 1001, SequenceNumber: seq},
+		DetectionTime:    1,
+		ReferenceTime:    1,
+		EventPosition:    messages.ReferencePosition{AltitudeValue: messages.AltitudeUnavailable},
+		ValidityDuration: &validitySec,
+		StationType:      units.StationTypeRoadSideUnit,
+	}
+	if terminated {
+		term := messages.TerminationIsCancellation
+		d.Management.Termination = &term
+	}
+	payload, err := d.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return payload
+}
+
+func TestKAFForwardsAfterSilence(t *testing.T) {
+	h := newKAFHarness(t, 200*time.Millisecond)
+	h.rx.OnPayload(kafDENM(t, 1, 10, false))
+	if h.kaf.Active() != 1 {
+		t.Fatal("event not under management")
+	}
+	if err := h.kernel.Run(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	// One forward every 200 ms of silence: ~5 in a second.
+	if len(h.forwarded) < 4 || len(h.forwarded) > 6 {
+		t.Fatalf("forwarded %d times, want ~5", len(h.forwarded))
+	}
+	// The forwarded bytes are the original payload, bit for bit.
+	got, err := messages.DecodeDENM(h.forwarded[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Management.ActionID.SequenceNumber != 1 {
+		t.Fatal("forwarded payload corrupted")
+	}
+}
+
+func TestKAFBacksOffWhileHearingTheEvent(t *testing.T) {
+	h := newKAFHarness(t, 200*time.Millisecond)
+	payload := kafDENM(t, 1, 10, false)
+	h.rx.OnPayload(payload)
+	// Keep re-hearing the event every 100 ms: the silence timer keeps
+	// re-arming and the station never forwards.
+	tk := h.kernel.Every(100*time.Millisecond, 100*time.Millisecond, func() {
+		h.rx.OnPayload(payload)
+	})
+	if err := h.kernel.Run(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	tk.Stop()
+	if len(h.forwarded) != 0 {
+		t.Fatalf("forwarded %d times while the source was alive", len(h.forwarded))
+	}
+}
+
+func TestKAFStopsAtValidityExpiry(t *testing.T) {
+	h := newKAFHarness(t, 200*time.Millisecond)
+	h.rx.OnPayload(kafDENM(t, 1, 1, false)) // 1 s validity
+	if err := h.kernel.Run(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	// Forwards only during the first second (~4), then expires.
+	if len(h.forwarded) > 5 {
+		t.Fatalf("forwarded %d times past validity", len(h.forwarded))
+	}
+	if h.kaf.Active() != 0 {
+		t.Fatal("expired event still managed")
+	}
+}
+
+func TestKAFTerminationCancels(t *testing.T) {
+	h := newKAFHarness(t, 200*time.Millisecond)
+	h.rx.OnPayload(kafDENM(t, 1, 10, false))
+	h.kernel.Schedule(300*time.Millisecond, func() {
+		h.rx.OnPayload(kafDENM(t, 1, 10, true))
+	})
+	if err := h.kernel.Run(2 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	// At most the one forward before the cancellation arrived.
+	if len(h.forwarded) > 1 {
+		t.Fatalf("forwarded %d times after termination", len(h.forwarded))
+	}
+	if h.kaf.Active() != 0 {
+		t.Fatal("terminated event still managed")
+	}
+}
+
+func TestKAFHonoursTransmissionInterval(t *testing.T) {
+	h := newKAFHarness(t, time.Second) // default would be slow
+	d := messages.NewDENM(1001)
+	validity := uint32(10)
+	ti := uint16(100) // the DENM asks for 100 ms
+	d.Management = messages.ManagementContainer{
+		ActionID:             messages.ActionID{OriginatingStationID: 1001, SequenceNumber: 2},
+		DetectionTime:        1,
+		ReferenceTime:        1,
+		EventPosition:        messages.ReferencePosition{AltitudeValue: messages.AltitudeUnavailable},
+		ValidityDuration:     &validity,
+		TransmissionInterval: &ti,
+		StationType:          units.StationTypeRoadSideUnit,
+	}
+	payload, err := d.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.rx.OnPayload(payload)
+	if err := h.kernel.Run(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if len(h.forwarded) < 8 {
+		t.Fatalf("forwarded %d times; the 100 ms transmissionInterval was ignored", len(h.forwarded))
+	}
+}
+
+func TestKAFStop(t *testing.T) {
+	h := newKAFHarness(t, 100*time.Millisecond)
+	h.rx.OnPayload(kafDENM(t, 1, 10, false))
+	h.kaf.Stop()
+	if err := h.kernel.Run(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if len(h.forwarded) != 0 {
+		t.Fatal("forwarded after Stop")
+	}
+}

@@ -1,0 +1,239 @@
+// Package ldm implements the Local Dynamic Map facility (ETSI EN 302
+// 895): a station-local store of dynamic road objects fed by received
+// CAMs, active DENM events, and locally sensed objects (the road-side
+// camera). The hazard advertisement service consults the LDM to decide
+// whether a detected road user conflicts with a tracked vehicle.
+package ldm
+
+import (
+	"sort"
+	"time"
+
+	"itsbed/internal/geo"
+	"itsbed/internal/its/messages"
+	"itsbed/internal/units"
+)
+
+// ObjectSource says how an LDM object became known.
+type ObjectSource int
+
+// Object sources.
+const (
+	SourceCAM ObjectSource = iota + 1
+	SourceLocalSensor
+)
+
+// Object is one dynamic road user tracked in the map.
+type Object struct {
+	StationID   units.StationID // zero for camera-only objects
+	StationType units.StationType
+	Source      ObjectSource
+	Position    geo.Point
+	SpeedMS     float64
+	HeadingRad  float64
+	// Classification is the sensor label for locally sensed objects
+	// (e.g. "stop sign", "motorbike").
+	Classification string
+	// Updated is the virtual time of the last refresh.
+	Updated time.Duration
+}
+
+// Event is one active DENM event.
+type Event struct {
+	ActionID  messages.ActionID
+	EventType messages.EventType
+	Position  geo.Point
+	Detection time.Duration // local arrival/detection time
+	Expires   time.Duration
+	// Terminated marks cancelled events retained until expiry.
+	Terminated bool
+}
+
+// Config parameterises the LDM.
+type Config struct {
+	// Frame converts message geodetic coordinates to the local plane.
+	Frame *geo.Frame
+	// Now yields current virtual time.
+	Now func() time.Duration
+	// ObjectLifetime after which unrefreshed objects vanish; zero
+	// selects 1.1 s (just above the maximum CAM period).
+	ObjectLifetime time.Duration
+}
+
+// Map is the local dynamic map. Not safe for concurrent use; in the
+// simulation every access happens on kernel events, and the daemons
+// wrap it in their own lock.
+type Map struct {
+	cfg     Config
+	objects map[objectKey]*Object
+	events  map[messages.ActionID]*Event
+}
+
+type objectKey struct {
+	station units.StationID
+	label   string
+}
+
+// New creates an empty LDM.
+func New(cfg Config) *Map {
+	if cfg.ObjectLifetime <= 0 {
+		cfg.ObjectLifetime = 1100 * time.Millisecond
+	}
+	return &Map{
+		cfg:     cfg,
+		objects: make(map[objectKey]*Object),
+		events:  make(map[messages.ActionID]*Event),
+	}
+}
+
+// IngestCAM updates the map from a received CAM.
+func (m *Map) IngestCAM(c *messages.CAM) {
+	pos := m.cfg.Frame.ToLocal(geo.LatLon{
+		Lat: c.Basic.Position.Latitude.Degrees(),
+		Lon: c.Basic.Position.Longitude.Degrees(),
+	})
+	k := objectKey{station: c.Header.StationID}
+	o, ok := m.objects[k]
+	if !ok {
+		o = &Object{}
+		m.objects[k] = o
+	}
+	o.StationID = c.Header.StationID
+	o.StationType = c.Basic.StationType
+	o.Source = SourceCAM
+	o.Position = pos
+	o.SpeedMS = c.HighFrequency.Speed.MS()
+	o.HeadingRad = c.HighFrequency.Heading.Radians()
+	o.Updated = m.cfg.Now()
+}
+
+// IngestSensedObject records a locally sensed object (camera
+// detection). Objects are keyed by classification label, matching the
+// testbed's single-region-of-interest tracking.
+func (m *Map) IngestSensedObject(label string, st units.StationType, pos geo.Point, speedMS, headingRad float64) {
+	k := objectKey{label: label}
+	o, ok := m.objects[k]
+	if !ok {
+		o = &Object{}
+		m.objects[k] = o
+	}
+	o.StationType = st
+	o.Source = SourceLocalSensor
+	o.Position = pos
+	o.SpeedMS = speedMS
+	o.HeadingRad = headingRad
+	o.Classification = label
+	o.Updated = m.cfg.Now()
+}
+
+// IngestDENM records or updates an event from a received or locally
+// originated DENM.
+func (m *Map) IngestDENM(d *messages.DENM) {
+	now := m.cfg.Now()
+	pos := m.cfg.Frame.ToLocal(geo.LatLon{
+		Lat: d.Management.EventPosition.Latitude.Degrees(),
+		Lon: d.Management.EventPosition.Longitude.Degrees(),
+	})
+	ev, ok := m.events[d.Management.ActionID]
+	if !ok {
+		ev = &Event{ActionID: d.Management.ActionID, Detection: now}
+		m.events[d.Management.ActionID] = ev
+	}
+	if d.Situation != nil {
+		ev.EventType = d.Situation.EventType
+	}
+	ev.Position = pos
+	ev.Expires = now + time.Duration(d.Validity())*time.Second
+	ev.Terminated = d.IsTermination()
+}
+
+// Object returns the tracked object for a station ID.
+func (m *Map) Object(id units.StationID) (Object, bool) {
+	o, ok := m.objects[objectKey{station: id}]
+	if !ok || m.stale(o) {
+		return Object{}, false
+	}
+	return *o, true
+}
+
+// SensedObject returns the tracked camera object with the given label.
+func (m *Map) SensedObject(label string) (Object, bool) {
+	o, ok := m.objects[objectKey{label: label}]
+	if !ok || m.stale(o) {
+		return Object{}, false
+	}
+	return *o, true
+}
+
+func (m *Map) stale(o *Object) bool {
+	return m.cfg.Now()-o.Updated > m.cfg.ObjectLifetime
+}
+
+// ObjectsWithin returns fresh objects within radius of centre, nearest
+// first. The slice is freshly allocated.
+func (m *Map) ObjectsWithin(centre geo.Point, radius float64) []Object {
+	var out []Object
+	for _, o := range m.objects {
+		if m.stale(o) {
+			continue
+		}
+		if o.Position.DistanceTo(centre) <= radius {
+			out = append(out, *o)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		return out[i].Position.DistanceTo(centre) < out[j].Position.DistanceTo(centre)
+	})
+	return out
+}
+
+// ActiveEvents returns non-terminated, unexpired events. The slice is
+// freshly allocated, ordered by action ID for determinism.
+func (m *Map) ActiveEvents() []Event {
+	now := m.cfg.Now()
+	var out []Event
+	for _, ev := range m.events {
+		if ev.Terminated || now >= ev.Expires {
+			continue
+		}
+		out = append(out, *ev)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i].ActionID, out[j].ActionID
+		if a.OriginatingStationID != b.OriginatingStationID {
+			return a.OriginatingStationID < b.OriginatingStationID
+		}
+		return a.SequenceNumber < b.SequenceNumber
+	})
+	return out
+}
+
+// Event returns the event with the given action ID if still stored.
+func (m *Map) Event(id messages.ActionID) (Event, bool) {
+	ev, ok := m.events[id]
+	if !ok {
+		return Event{}, false
+	}
+	return *ev, true
+}
+
+// GC removes stale objects and expired events. Call periodically.
+func (m *Map) GC() {
+	now := m.cfg.Now()
+	for k, o := range m.objects {
+		if now-o.Updated > m.cfg.ObjectLifetime {
+			delete(m.objects, k)
+		}
+	}
+	for id, ev := range m.events {
+		if now >= ev.Expires {
+			delete(m.events, id)
+		}
+	}
+}
+
+// Counts reports the number of stored objects and events (including
+// stale entries not yet collected), for diagnostics.
+func (m *Map) Counts() (objects, events int) {
+	return len(m.objects), len(m.events)
+}

@@ -1,0 +1,192 @@
+package ldm
+
+import (
+	"testing"
+	"time"
+
+	"itsbed/internal/geo"
+	"itsbed/internal/its/messages"
+	"itsbed/internal/units"
+)
+
+func newTestMap(t *testing.T) (*Map, *time.Duration) {
+	t.Helper()
+	frame, err := geo.NewFrame(geo.CISTERLab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	now := new(time.Duration)
+	m := New(Config{
+		Frame: frame,
+		Now:   func() time.Duration { return *now },
+	})
+	return m, now
+}
+
+func testCAM(station units.StationID, pos geo.LatLon, speed float64) *messages.CAM {
+	cam := messages.NewCAM(station, 0)
+	cam.Basic = messages.BasicContainer{
+		StationType: units.StationTypePassengerCar,
+		Position: messages.ReferencePosition{
+			Latitude:      units.LatitudeFromDegrees(pos.Lat),
+			Longitude:     units.LongitudeFromDegrees(pos.Lon),
+			AltitudeValue: messages.AltitudeUnavailable,
+		},
+	}
+	cam.HighFrequency.Speed = units.SpeedFromMS(speed)
+	return cam
+}
+
+func testDENM(station units.StationID, seq uint16, validity uint32) *messages.DENM {
+	d := messages.NewDENM(station)
+	d.Management = messages.ManagementContainer{
+		ActionID:         messages.ActionID{OriginatingStationID: station, SequenceNumber: seq},
+		DetectionTime:    1,
+		ReferenceTime:    1,
+		EventPosition:    messages.ReferencePosition{AltitudeValue: messages.AltitudeUnavailable},
+		ValidityDuration: &validity,
+		StationType:      units.StationTypeRoadSideUnit,
+	}
+	d.Situation = &messages.SituationContainer{
+		EventType: messages.EventType{CauseCode: messages.CauseCollisionRisk},
+	}
+	return d
+}
+
+func TestIngestCAMCreatesObject(t *testing.T) {
+	m, _ := newTestMap(t)
+	m.IngestCAM(testCAM(2001, geo.CISTERLab, 1.5))
+	o, ok := m.Object(2001)
+	if !ok {
+		t.Fatal("object missing")
+	}
+	if o.Source != SourceCAM || o.SpeedMS != 1.5 {
+		t.Fatalf("object %+v", o)
+	}
+	if o.Position.DistanceTo(geo.Point{}) > 0.01 {
+		t.Fatalf("position %v, want near frame origin", o.Position)
+	}
+}
+
+func TestCAMUpdatesExistingObject(t *testing.T) {
+	m, _ := newTestMap(t)
+	m.IngestCAM(testCAM(2001, geo.CISTERLab, 1.0))
+	m.IngestCAM(testCAM(2001, geo.CISTERLab, 2.0))
+	o, _ := m.Object(2001)
+	if o.SpeedMS != 2.0 {
+		t.Fatal("object not updated")
+	}
+	if objs, _ := m.Counts(); objs != 1 {
+		t.Fatalf("duplicate objects: %d", objs)
+	}
+}
+
+func TestObjectExpiry(t *testing.T) {
+	m, now := newTestMap(t)
+	m.IngestCAM(testCAM(2001, geo.CISTERLab, 1.0))
+	*now = 2 * time.Second
+	if _, ok := m.Object(2001); ok {
+		t.Fatal("stale object returned")
+	}
+	m.GC()
+	if objs, _ := m.Counts(); objs != 0 {
+		t.Fatal("GC left stale object")
+	}
+}
+
+func TestSensedObjects(t *testing.T) {
+	m, _ := newTestMap(t)
+	m.IngestSensedObject("stop sign", units.StationTypeUnknown, geo.Point{X: 1, Y: 2}, 1.4, 0)
+	o, ok := m.SensedObject("stop sign")
+	if !ok {
+		t.Fatal("sensed object missing")
+	}
+	if o.Source != SourceLocalSensor || o.Classification != "stop sign" {
+		t.Fatalf("object %+v", o)
+	}
+	// Sensor objects and CAM objects coexist under different keys.
+	m.IngestCAM(testCAM(2001, geo.CISTERLab, 1.0))
+	if objs, _ := m.Counts(); objs != 2 {
+		t.Fatalf("objects=%d", objs)
+	}
+}
+
+func TestObjectsWithinSortsByDistance(t *testing.T) {
+	m, _ := newTestMap(t)
+	m.IngestSensedObject("far", units.StationTypeUnknown, geo.Point{X: 50}, 0, 0)
+	m.IngestSensedObject("near", units.StationTypeUnknown, geo.Point{X: 5}, 0, 0)
+	m.IngestSensedObject("out", units.StationTypeUnknown, geo.Point{X: 500}, 0, 0)
+	got := m.ObjectsWithin(geo.Point{}, 100)
+	if len(got) != 2 {
+		t.Fatalf("got %d objects", len(got))
+	}
+	if got[0].Classification != "near" || got[1].Classification != "far" {
+		t.Fatalf("order: %s then %s", got[0].Classification, got[1].Classification)
+	}
+}
+
+func TestIngestDENMEventLifecycle(t *testing.T) {
+	m, now := newTestMap(t)
+	m.IngestDENM(testDENM(1001, 1, 60))
+	evs := m.ActiveEvents()
+	if len(evs) != 1 {
+		t.Fatalf("active events %d", len(evs))
+	}
+	if evs[0].EventType.CauseCode != messages.CauseCollisionRisk {
+		t.Fatal("event type")
+	}
+	// Expiry.
+	*now = 61 * time.Second
+	if len(m.ActiveEvents()) != 0 {
+		t.Fatal("expired event still active")
+	}
+	m.GC()
+	if _, evCount := m.Counts(); evCount != 0 {
+		t.Fatal("GC left expired events")
+	}
+}
+
+func TestDENMTerminationDeactivates(t *testing.T) {
+	m, _ := newTestMap(t)
+	m.IngestDENM(testDENM(1001, 1, 600))
+	cancel := testDENM(1001, 1, 600)
+	term := messages.TerminationIsCancellation
+	cancel.Management.Termination = &term
+	m.IngestDENM(cancel)
+	if len(m.ActiveEvents()) != 0 {
+		t.Fatal("terminated event still active")
+	}
+	ev, ok := m.Event(messages.ActionID{OriginatingStationID: 1001, SequenceNumber: 1})
+	if !ok || !ev.Terminated {
+		t.Fatal("termination not recorded")
+	}
+}
+
+func TestActiveEventsDeterministicOrder(t *testing.T) {
+	m, _ := newTestMap(t)
+	m.IngestDENM(testDENM(1002, 5, 600))
+	m.IngestDENM(testDENM(1001, 9, 600))
+	m.IngestDENM(testDENM(1001, 2, 600))
+	evs := m.ActiveEvents()
+	if len(evs) != 3 {
+		t.Fatalf("events %d", len(evs))
+	}
+	if evs[0].ActionID.OriginatingStationID != 1001 || evs[0].ActionID.SequenceNumber != 2 {
+		t.Fatalf("order wrong: %v first", evs[0].ActionID)
+	}
+	if evs[2].ActionID.OriginatingStationID != 1002 {
+		t.Fatalf("order wrong: %v last", evs[2].ActionID)
+	}
+}
+
+func TestDENMWithoutSituationKeepsPreviousType(t *testing.T) {
+	m, _ := newTestMap(t)
+	m.IngestDENM(testDENM(1001, 1, 600))
+	bare := testDENM(1001, 1, 600)
+	bare.Situation = nil
+	m.IngestDENM(bare)
+	ev, _ := m.Event(messages.ActionID{OriginatingStationID: 1001, SequenceNumber: 1})
+	if ev.EventType.CauseCode != messages.CauseCollisionRisk {
+		t.Fatal("event type lost on situationless update")
+	}
+}

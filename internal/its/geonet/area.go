@@ -1,0 +1,140 @@
+package geonet
+
+import (
+	"fmt"
+	"math"
+
+	"itsbed/internal/geo"
+	"itsbed/internal/units"
+)
+
+// AreaShape enumerates the geographical area shapes of EN 302 931.
+type AreaShape uint8
+
+// Area shapes.
+const (
+	ShapeCircle    AreaShape = 0
+	ShapeRectangle AreaShape = 1
+	ShapeEllipse   AreaShape = 2
+)
+
+// String implements fmt.Stringer.
+func (s AreaShape) String() string {
+	switch s {
+	case ShapeCircle:
+		return "circle"
+	case ShapeRectangle:
+		return "rectangle"
+	case ShapeEllipse:
+		return "ellipse"
+	default:
+		return fmt.Sprintf("shape(%d)", uint8(s))
+	}
+}
+
+// Area is a geographical destination area per EN 302 931: a centre, two
+// distances and an azimuth whose meaning depends on the shape.
+type Area struct {
+	Shape AreaShape
+	// Centre of the area.
+	Latitude  units.Latitude
+	Longitude units.Longitude
+	// DistanceA in metres: radius (circle), half-length (rectangle),
+	// long semi-axis (ellipse).
+	DistanceA uint16
+	// DistanceB in metres: unused (circle), half-width (rectangle),
+	// short semi-axis (ellipse).
+	DistanceB uint16
+	// Angle is the azimuth of the long axis in degrees from north.
+	Angle uint16
+}
+
+// CircleAround builds a circular area of the given radius centred on a
+// geodetic point.
+func CircleAround(lat units.Latitude, lon units.Longitude, radiusMetres uint16) Area {
+	return Area{Shape: ShapeCircle, Latitude: lat, Longitude: lon, DistanceA: radiusMetres}
+}
+
+// Contains reports whether the geodetic point p lies inside the area.
+// It evaluates the characteristic function F of EN 302 931 (§5): F ≥ 0
+// inside or on the border.
+func (a Area) Contains(frame *geo.Frame, lat units.Latitude, lon units.Longitude) bool {
+	return a.CharacteristicF(frame, lat, lon) >= 0
+}
+
+// CharacteristicF evaluates the EN 302 931 characteristic function at
+// the geodetic point: 1 at the centre, 0 on the border, negative
+// outside.
+func (a Area) CharacteristicF(frame *geo.Frame, lat units.Latitude, lon units.Longitude) float64 {
+	centre := frame.ToLocal(geo.LatLon{Lat: a.Latitude.Degrees(), Lon: a.Longitude.Degrees()})
+	p := frame.ToLocal(geo.LatLon{Lat: lat.Degrees(), Lon: lon.Degrees()})
+	d := p.Sub(centre)
+	// Rotate into the area's axis frame. The azimuth is measured from
+	// north, so the long axis direction in ENU is (sin θ, cos θ).
+	theta := float64(a.Angle) * math.Pi / 180
+	x := d.X*math.Sin(theta) + d.Y*math.Cos(theta) // along long axis
+	y := d.X*math.Cos(theta) - d.Y*math.Sin(theta) // along short axis
+	da, db := float64(a.DistanceA), float64(a.DistanceB)
+	switch a.Shape {
+	case ShapeCircle:
+		if da == 0 {
+			return -1
+		}
+		r := math.Hypot(d.X, d.Y)
+		return 1 - (r/da)*(r/da)
+	case ShapeRectangle:
+		if da == 0 || db == 0 {
+			return -1
+		}
+		fx := 1 - (x/da)*(x/da)
+		fy := 1 - (y/db)*(y/db)
+		return math.Min(fx, fy)
+	case ShapeEllipse:
+		if da == 0 || db == 0 {
+			return -1
+		}
+		return 1 - (x/da)*(x/da) - (y/db)*(y/db)
+	default:
+		return -1
+	}
+}
+
+// areaWireLen is the encoded size of the destination-area fields inside
+// a GBC header: lat(4) lon(4) distA(2) distB(2) angle(2).
+const areaWireLen = 14
+
+func (a Area) marshalTo(b []byte) {
+	put32 := func(off int, v int32) {
+		b[off] = byte(v >> 24)
+		b[off+1] = byte(v >> 16)
+		b[off+2] = byte(v >> 8)
+		b[off+3] = byte(v)
+	}
+	put16 := func(off int, v uint16) {
+		b[off] = byte(v >> 8)
+		b[off+1] = byte(v)
+	}
+	put32(0, int32(a.Latitude))
+	put32(4, int32(a.Longitude))
+	put16(8, a.DistanceA)
+	put16(10, a.DistanceB)
+	put16(12, a.Angle)
+}
+
+func unmarshalArea(shape AreaShape, b []byte) (Area, error) {
+	if len(b) < areaWireLen {
+		return Area{}, fmt.Errorf("geonet: area needs %d bytes, have %d", areaWireLen, len(b))
+	}
+	get32 := func(off int) int32 {
+		return int32(b[off])<<24 | int32(b[off+1])<<16 | int32(b[off+2])<<8 | int32(b[off+3])
+	}
+	get16 := func(off int) uint16 { return uint16(b[off])<<8 | uint16(b[off+1]) }
+	return Area{
+		Shape:     shape,
+		Latitude:  units.Latitude(get32(0)),
+		Longitude: units.Longitude(get32(4)),
+		DistanceA: get16(8),
+		DistanceB: get16(10),
+		Angle:     get16(12),
+	}, nil
+}

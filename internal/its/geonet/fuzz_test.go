@@ -1,0 +1,65 @@
+package geonet
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"itsbed/internal/geo"
+)
+
+func TestUnmarshalNeverPanics(t *testing.T) {
+	f := func(data []byte) (ok bool) {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Errorf("Unmarshal panicked on %x: %v", data, r)
+				ok = false
+			}
+		}()
+		_, _ = Unmarshal(data)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000, Rand: rand.New(rand.NewSource(7))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRouterOnFrameNeverPanics(t *testing.T) {
+	r, _ := testRouter(t, 9, geo.Point{}, nil)
+	rng := rand.New(rand.NewSource(8))
+	for i := 0; i < 2000; i++ {
+		frame := make([]byte, rng.Intn(80))
+		rng.Read(frame)
+		r.OnFrame(frame) // must not panic
+	}
+}
+
+func TestUnmarshalMutatedPacket(t *testing.T) {
+	p := &Packet{
+		Version: CurrentVersion, Lifetime: DefaultLifetime, RemainingHopLimit: 5,
+		Next: NextBTPB, Type: HeaderTypeGBC, MaxHopLimit: 5,
+		Source:         LongPositionVector{Address: NewAddress(1, 1)},
+		SequenceNumber: 3,
+		DestArea:       Area{Shape: ShapeCircle, DistanceA: 100},
+		Payload:        []byte("denm-bytes"),
+	}
+	base, err := p.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 5000; i++ {
+		mutated := make([]byte, len(base))
+		copy(mutated, base)
+		pos := rng.Intn(len(mutated) * 8)
+		mutated[pos/8] ^= 1 << (7 - uint(pos%8))
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("panic on mutation %x: %v", mutated, r)
+				}
+			}()
+			_, _ = Unmarshal(mutated)
+		}()
+	}
+}

@@ -1,0 +1,267 @@
+package geonet
+
+import (
+	"fmt"
+	"time"
+
+	"itsbed/internal/geo"
+	"itsbed/internal/units"
+)
+
+// LinkLayer abstracts the access layer below GeoNetworking: the
+// simulated 802.11p interface, or a UDP socket in the daemons.
+type LinkLayer interface {
+	// SendBroadcast queues frame for broadcast transmission.
+	SendBroadcast(frame []byte) error
+}
+
+// PriorityLink is an optional LinkLayer extension for EDCA-capable
+// access layers: the router maps the GN traffic class (0 = highest)
+// to a link priority so DENMs contend ahead of CAMs.
+type PriorityLink interface {
+	SendBroadcastPriority(frame []byte, priority uint8) error
+}
+
+// send dispatches a frame at the given traffic class, using the
+// priority path when the link supports it.
+func (r *Router) send(frame []byte, tc TrafficClass) error {
+	if pl, ok := r.link.(PriorityLink); ok {
+		return pl.SendBroadcastPriority(frame, uint8(tc)&3)
+	}
+	return r.link.SendBroadcast(frame)
+}
+
+// EgoPositionProvider yields the router's own current position vector;
+// on a vehicle this is fed by the navigation stack, on an RSU it is
+// static.
+type EgoPositionProvider interface {
+	EgoPosition() LongPositionVector
+}
+
+// Indication is a received upper-layer packet delivered to BTP.
+type Indication struct {
+	Next    NextHeader
+	Type    HeaderType
+	Source  LongPositionVector
+	Payload []byte
+	// Hops is how many times the packet was forwarded before arriving.
+	Hops uint8
+}
+
+// Handler consumes received indications.
+type Handler func(Indication)
+
+// RouterConfig parameterises a GN router.
+type RouterConfig struct {
+	// Frame anchors geodetic coordinates for area tests.
+	Frame *geo.Frame
+	// Now yields virtual (or wall) time for table maintenance.
+	Now func() time.Duration
+	// DefaultHopLimit for GBC packets; 0 selects the standard default.
+	DefaultHopLimit uint8
+	// DisableForwarding turns off GBC rebroadcast (single-hop setups
+	// such as the paper's lab need none).
+	DisableForwarding bool
+}
+
+// Router implements GN packet handling for one station: sending SHB
+// and GBC packets, receiving, duplicate filtering, delivering to the
+// upper layer, and simple constrained rebroadcast of GBC packets when
+// the station lies inside the destination area.
+type Router struct {
+	cfg     RouterConfig
+	link    LinkLayer
+	ego     EgoPositionProvider
+	handler Handler
+	table   *LocationTable
+	seq     uint16
+	lastTx  time.Duration
+
+	// Counters for diagnostics and tests.
+	Sent            uint64
+	Received        uint64
+	Duplicates      uint64
+	Forwarded       uint64
+	OutOfArea       uint64
+	BeaconsReceived uint64
+}
+
+// NewRouter builds a router. All arguments are required except that
+// handler may be nil (packets are then counted but dropped).
+func NewRouter(cfg RouterConfig, link LinkLayer, ego EgoPositionProvider, handler Handler) (*Router, error) {
+	if cfg.Frame == nil {
+		return nil, fmt.Errorf("geonet: router requires a geodetic frame")
+	}
+	if cfg.Now == nil {
+		return nil, fmt.Errorf("geonet: router requires a time source")
+	}
+	if link == nil || ego == nil {
+		return nil, fmt.Errorf("geonet: router requires link layer and ego position provider")
+	}
+	if cfg.DefaultHopLimit == 0 {
+		cfg.DefaultHopLimit = DefaultHopLimit
+	}
+	return &Router{
+		cfg:     cfg,
+		link:    link,
+		ego:     ego,
+		handler: handler,
+		table:   NewLocationTable(0),
+	}, nil
+}
+
+// Table exposes the location table (read-mostly; used by the LDM and
+// by tests).
+func (r *Router) Table() *LocationTable { return r.table }
+
+// SendBeacon broadcasts a position beacon (EN 302 636-4-1 §10.2):
+// stations that have sent nothing for a beacon interval announce
+// their position so neighbours' location tables stay fresh.
+func (r *Router) SendBeacon() error {
+	p := &Packet{
+		Version:           CurrentVersion,
+		Lifetime:          Lifetime{Multiplier: 1, Base: 1},
+		RemainingHopLimit: 1,
+		Next:              NextAny,
+		Type:              HeaderTypeBeacon,
+		MaxHopLimit:       1,
+		Source:            r.ego.EgoPosition(),
+	}
+	frame, err := p.Marshal()
+	if err != nil {
+		return fmt.Errorf("geonet: marshal beacon: %w", err)
+	}
+	r.Sent++
+	r.lastTx = r.cfg.Now()
+	return r.send(frame, 3) // lowest priority
+}
+
+// LastTransmit reports when this router last put any packet on the
+// air (for the beacon service's silence check).
+func (r *Router) LastTransmit() time.Duration { return r.lastTx }
+
+// SendSHB broadcasts payload as a single-hop broadcast (used for CAM).
+func (r *Router) SendSHB(next NextHeader, tc TrafficClass, payload []byte) error {
+	p := &Packet{
+		Version:           CurrentVersion,
+		Lifetime:          Lifetime{Multiplier: 1, Base: 1}, // 1 s
+		RemainingHopLimit: 1,
+		Next:              next,
+		Type:              HeaderTypeTSB,
+		Subtype:           SubtypeSHB,
+		TrafficClass:      tc,
+		MaxHopLimit:       1,
+		Source:            r.ego.EgoPosition(),
+		Payload:           payload,
+	}
+	frame, err := p.Marshal()
+	if err != nil {
+		return fmt.Errorf("geonet: marshal SHB: %w", err)
+	}
+	r.Sent++
+	r.lastTx = r.cfg.Now()
+	return r.send(frame, tc)
+}
+
+// SendGBC broadcasts payload to the destination area (used for DENM).
+func (r *Router) SendGBC(next NextHeader, tc TrafficClass, area Area, lifetime time.Duration, payload []byte) error {
+	r.seq++
+	p := &Packet{
+		Version:           CurrentVersion,
+		Lifetime:          LifetimeFrom(lifetime),
+		RemainingHopLimit: r.cfg.DefaultHopLimit,
+		Next:              next,
+		Type:              HeaderTypeGBC,
+		TrafficClass:      tc,
+		MaxHopLimit:       r.cfg.DefaultHopLimit,
+		Source:            r.ego.EgoPosition(),
+		SequenceNumber:    r.seq,
+		DestArea:          area,
+		Payload:           payload,
+	}
+	frame, err := p.Marshal()
+	if err != nil {
+		return fmt.Errorf("geonet: marshal GBC: %w", err)
+	}
+	// Record own packet so an echo or a forwarded copy is not
+	// re-delivered locally.
+	r.table.IsDuplicate(p.Source.Address, p.SequenceNumber, p.Lifetime.Duration(), r.cfg.Now())
+	r.Sent++
+	r.lastTx = r.cfg.Now()
+	return r.send(frame, tc)
+}
+
+// OnFrame processes a frame arriving from the link layer.
+func (r *Router) OnFrame(frame []byte) {
+	p, err := Unmarshal(frame)
+	if err != nil {
+		return // malformed frames are counted nowhere, as a real MAC would drop them
+	}
+	now := r.cfg.Now()
+	r.table.Update(p.Source, now)
+	switch p.Type {
+	case HeaderTypeBeacon:
+		// Beacons only feed the location table.
+		r.BeaconsReceived++
+	case HeaderTypeTSB:
+		r.Received++
+		r.deliver(p)
+	case HeaderTypeGBC:
+		if r.table.IsDuplicate(p.Source.Address, p.SequenceNumber, p.Lifetime.Duration(), now) {
+			r.Duplicates++
+			return
+		}
+		ego := r.ego.EgoPosition()
+		inside := p.DestArea.Contains(r.cfg.Frame, ego.Latitude, ego.Longitude)
+		if inside {
+			r.Received++
+			r.deliver(p)
+		} else {
+			r.OutOfArea++
+		}
+		// Simplified area forwarding: stations inside the destination
+		// area rebroadcast while hops remain, so the warning floods
+		// the region of interest (EN 302 636-4-1 simple GeoBroadcast
+		// forwarding algorithm).
+		if inside && !r.cfg.DisableForwarding && p.RemainingHopLimit > 1 {
+			fwd := *p
+			fwd.RemainingHopLimit--
+			if frame, err := fwd.Marshal(); err == nil {
+				r.Forwarded++
+				_ = r.send(frame, p.TrafficClass)
+			}
+		}
+	}
+}
+
+func (r *Router) deliver(p *Packet) {
+	if r.handler == nil {
+		return
+	}
+	hops := uint8(0)
+	if p.MaxHopLimit > p.RemainingHopLimit {
+		hops = p.MaxHopLimit - p.RemainingHopLimit
+	}
+	r.handler(Indication{
+		Next:    p.Next,
+		Type:    p.Type,
+		Source:  p.Source,
+		Payload: p.Payload,
+		Hops:    hops,
+	})
+}
+
+// StaticEgo returns an EgoPositionProvider for a fixed road-side
+// station.
+func StaticEgo(addr Address, lat units.Latitude, lon units.Longitude) EgoPositionProvider {
+	return staticEgo{LongPositionVector{
+		Address:          addr,
+		Latitude:         lat,
+		Longitude:        lon,
+		PositionAccurate: true,
+	}}
+}
+
+type staticEgo struct{ lpv LongPositionVector }
+
+func (s staticEgo) EgoPosition() LongPositionVector { return s.lpv }

@@ -1,0 +1,108 @@
+package geonet
+
+import (
+	"time"
+)
+
+// LocationTableEntry is one neighbour known to the GN router.
+type LocationTableEntry struct {
+	Position LongPositionVector
+	// LastSeen is virtual time of the last packet from this neighbour.
+	LastSeen time.Duration
+	// PacketCount counts packets received from this neighbour.
+	PacketCount uint64
+}
+
+// LocationTable tracks neighbours and performs duplicate-packet
+// detection keyed on (source address, sequence number). Entries expire
+// after the configured lifetime.
+type LocationTable struct {
+	lifetime time.Duration
+	entries  map[Address]*LocationTableEntry
+	// dup maps source MAC + sequence number to the time the duplicate
+	// record expires.
+	dup map[dupKey]time.Duration
+}
+
+type dupKey struct {
+	mac [6]byte
+	seq uint16
+}
+
+// DefaultEntryLifetime is the GN location table entry lifetime (20 s).
+const DefaultEntryLifetime = 20 * time.Second
+
+// NewLocationTable returns a table whose entries expire after
+// lifetime; zero selects the standard default.
+func NewLocationTable(lifetime time.Duration) *LocationTable {
+	if lifetime <= 0 {
+		lifetime = DefaultEntryLifetime
+	}
+	return &LocationTable{
+		lifetime: lifetime,
+		entries:  make(map[Address]*LocationTableEntry),
+		dup:      make(map[dupKey]time.Duration),
+	}
+}
+
+// Update records a packet from the given source position vector at
+// virtual time now.
+func (t *LocationTable) Update(src LongPositionVector, now time.Duration) {
+	e, ok := t.entries[src.Address]
+	if !ok {
+		e = &LocationTableEntry{}
+		t.entries[src.Address] = e
+	}
+	e.Position = src
+	e.LastSeen = now
+	e.PacketCount++
+}
+
+// Lookup returns the entry for addr if fresh at time now.
+func (t *LocationTable) Lookup(addr Address, now time.Duration) (LocationTableEntry, bool) {
+	e, ok := t.entries[addr]
+	if !ok || now-e.LastSeen > t.lifetime {
+		return LocationTableEntry{}, false
+	}
+	return *e, true
+}
+
+// Neighbours returns all fresh entries at time now. The slice is a
+// copy and safe to retain.
+func (t *LocationTable) Neighbours(now time.Duration) []LocationTableEntry {
+	var out []LocationTableEntry
+	for _, e := range t.entries {
+		if now-e.LastSeen <= t.lifetime {
+			out = append(out, *e)
+		}
+	}
+	return out
+}
+
+// IsDuplicate records the (source, sequence) pair of a GBC packet and
+// reports whether it was already seen within the packet lifetime.
+func (t *LocationTable) IsDuplicate(src Address, seq uint16, lifetime, now time.Duration) bool {
+	k := dupKey{mac: src.MAC, seq: seq}
+	if exp, ok := t.dup[k]; ok && now < exp {
+		return true
+	}
+	t.dup[k] = now + lifetime
+	return false
+}
+
+// GC drops expired entries and duplicate records. Call periodically.
+func (t *LocationTable) GC(now time.Duration) {
+	for a, e := range t.entries {
+		if now-e.LastSeen > t.lifetime {
+			delete(t.entries, a)
+		}
+	}
+	for k, exp := range t.dup {
+		if now >= exp {
+			delete(t.dup, k)
+		}
+	}
+}
+
+// Len reports the number of entries (fresh or not yet collected).
+func (t *LocationTable) Len() int { return len(t.entries) }

@@ -1,0 +1,328 @@
+package messages
+
+import (
+	"fmt"
+
+	"itsbed/internal/asn1per"
+	"itsbed/internal/units"
+)
+
+// CAM is a Cooperative Awareness Message (EN 302 637-2). The testbed's
+// OBUs broadcast CAMs cyclically so the road-side LDM tracks the
+// protagonist vehicle's state.
+type CAM struct {
+	Header              ItsPduHeader
+	GenerationDeltaTime units.DeltaTime
+	Basic               BasicContainer
+	HighFrequency       BasicVehicleContainerHighFrequency
+	// LowFrequency is present in every n-th CAM per the generation
+	// rules (at most every 500 ms).
+	LowFrequency *BasicVehicleContainerLowFrequency
+}
+
+// BasicContainer carries the station type and reference position.
+type BasicContainer struct {
+	StationType units.StationType
+	Position    ReferencePosition
+}
+
+// DriveDirection per the ETSI common data dictionary.
+type DriveDirection uint8
+
+// Drive directions.
+const (
+	DriveDirectionForward     DriveDirection = 0
+	DriveDirectionBackward    DriveDirection = 1
+	DriveDirectionUnavailable DriveDirection = 2
+)
+
+// BasicVehicleContainerHighFrequency carries the fast-changing vehicle
+// dynamics.
+type BasicVehicleContainerHighFrequency struct {
+	Heading           units.Heading
+	HeadingConfidence uint8 // 1..127, 126=outOfRange, 127=unavailable
+	Speed             units.Speed
+	SpeedConfidence   uint8 // 1..127
+	DriveDirection    DriveDirection
+	// VehicleLength in 0.1 m units (1..1023, 1023=unavailable).
+	VehicleLength uint16
+	// VehicleWidth in 0.1 m units (1..62, 62=unavailable).
+	VehicleWidth uint8
+	// LongitudinalAcceleration in 0.1 m/s² (-160..161, 161=unavailable).
+	LongitudinalAcceleration int16
+	AccelerationConfidence   uint8 // 0..102
+	Curvature                units.Curvature
+	// YawRate in 0.01 °/s (-32766..32767, 32767=unavailable).
+	YawRate int32
+}
+
+// VehicleRole per the ETSI common data dictionary (subset).
+type VehicleRole uint8
+
+// Vehicle roles used by the testbed.
+const (
+	VehicleRoleDefault          VehicleRole = 0
+	VehicleRolePublicTransport  VehicleRole = 1
+	VehicleRoleSpecialTransport VehicleRole = 2
+	VehicleRoleDangerousGoods   VehicleRole = 3
+	VehicleRoleRoadWork         VehicleRole = 4
+	VehicleRoleRescue           VehicleRole = 5
+	VehicleRoleEmergency        VehicleRole = 6
+	VehicleRoleSafetyCar        VehicleRole = 7
+)
+
+const vehicleRoleCount = 16
+
+// PathPoint is one entry of a path history.
+type PathPoint struct {
+	// Delta coordinates in 0.1 microdegree units relative to the
+	// reference position (-131071..131072).
+	DeltaLatitude  int32
+	DeltaLongitude int32
+	// DeltaTime in 10 ms units (1..65535), 0 when unavailable.
+	DeltaTime uint16
+}
+
+// BasicVehicleContainerLowFrequency carries slow-changing state.
+type BasicVehicleContainerLowFrequency struct {
+	VehicleRole    VehicleRole
+	ExteriorLights uint8 // bit string of 8 lamps
+	PathHistory    []PathPoint
+}
+
+// maxPathPoints bounds a path history per EN 302 637-2 (0..40).
+const maxPathPoints = 40
+
+// NewCAM builds a CAM with the header filled in.
+func NewCAM(station units.StationID, delta units.DeltaTime) *CAM {
+	return &CAM{
+		Header: ItsPduHeader{
+			ProtocolVersion: CurrentProtocolVersion,
+			MessageID:       MessageIDCAM,
+			StationID:       station,
+		},
+		GenerationDeltaTime: delta,
+	}
+}
+
+// Encode serialises the CAM to UPER bytes.
+func (c *CAM) Encode() ([]byte, error) {
+	if c == nil {
+		return nil, errNilMessage
+	}
+	var w asn1per.Writer
+	if err := c.Header.encode(&w); err != nil {
+		return nil, fmt.Errorf("messages: CAM header: %w", err)
+	}
+	if err := w.WriteConstrainedInt(int64(c.GenerationDeltaTime), 0, 65535); err != nil {
+		return nil, fmt.Errorf("messages: generationDeltaTime: %w", err)
+	}
+	// camParameters presence bitmap: lowFrequencyContainer OPTIONAL.
+	w.WriteBool(c.LowFrequency != nil)
+	if err := c.Basic.encode(&w); err != nil {
+		return nil, fmt.Errorf("messages: basicContainer: %w", err)
+	}
+	if err := c.HighFrequency.encode(&w); err != nil {
+		return nil, fmt.Errorf("messages: highFrequencyContainer: %w", err)
+	}
+	if c.LowFrequency != nil {
+		if err := c.LowFrequency.encode(&w); err != nil {
+			return nil, fmt.Errorf("messages: lowFrequencyContainer: %w", err)
+		}
+	}
+	return w.Bytes(), nil
+}
+
+// DecodeCAM parses a UPER-encoded CAM.
+func DecodeCAM(data []byte) (*CAM, error) {
+	r := asn1per.NewReader(data)
+	h, err := decodeHeader(r)
+	if err != nil {
+		return nil, fmt.Errorf("messages: CAM header: %w", err)
+	}
+	if h.MessageID != MessageIDCAM {
+		return nil, fmt.Errorf("messages: not a CAM (messageID %d)", h.MessageID)
+	}
+	c := &CAM{Header: h}
+	v, err := r.ReadConstrainedInt(0, 65535)
+	if err != nil {
+		return nil, fmt.Errorf("messages: generationDeltaTime: %w", err)
+	}
+	c.GenerationDeltaTime = units.DeltaTime(v)
+	hasLF, err := r.ReadBool()
+	if err != nil {
+		return nil, fmt.Errorf("messages: camParameters bitmap: %w", err)
+	}
+	if c.Basic, err = decodeBasicContainer(r); err != nil {
+		return nil, fmt.Errorf("messages: basicContainer: %w", err)
+	}
+	if c.HighFrequency, err = decodeHighFrequency(r); err != nil {
+		return nil, fmt.Errorf("messages: highFrequencyContainer: %w", err)
+	}
+	if hasLF {
+		lf, err := decodeLowFrequency(r)
+		if err != nil {
+			return nil, fmt.Errorf("messages: lowFrequencyContainer: %w", err)
+		}
+		c.LowFrequency = &lf
+	}
+	return c, nil
+}
+
+func (b BasicContainer) encode(w *asn1per.Writer) error {
+	if err := w.WriteConstrainedInt(int64(b.StationType), 0, 255); err != nil {
+		return fmt.Errorf("stationType: %w", err)
+	}
+	return b.Position.encode(w)
+}
+
+func decodeBasicContainer(r *asn1per.Reader) (BasicContainer, error) {
+	var b BasicContainer
+	v, err := r.ReadConstrainedInt(0, 255)
+	if err != nil {
+		return b, fmt.Errorf("stationType: %w", err)
+	}
+	b.StationType = units.StationType(v)
+	b.Position, err = decodeReferencePosition(r)
+	return b, err
+}
+
+func (hf BasicVehicleContainerHighFrequency) encode(w *asn1per.Writer) error {
+	steps := []struct {
+		name   string
+		v      int64
+		lo, hi int64
+	}{
+		{"heading", int64(hf.Heading), 0, 3601},
+		{"headingConfidence", int64(hf.HeadingConfidence), 1, 127},
+		{"speed", int64(hf.Speed), 0, 16383},
+		{"speedConfidence", int64(hf.SpeedConfidence), 1, 127},
+		{"driveDirection", int64(hf.DriveDirection), 0, 2},
+		{"vehicleLength", int64(hf.VehicleLength), 1, 1023},
+		{"vehicleWidth", int64(hf.VehicleWidth), 1, 62},
+		{"longitudinalAcceleration", int64(hf.LongitudinalAcceleration), -160, 161},
+		{"accelerationConfidence", int64(hf.AccelerationConfidence), 0, 102},
+		{"curvature", int64(hf.Curvature), -1023, 1023},
+		{"yawRate", int64(hf.YawRate), -32766, 32767},
+	}
+	for _, s := range steps {
+		if err := w.WriteConstrainedInt(s.v, s.lo, s.hi); err != nil {
+			return fmt.Errorf("%s: %w", s.name, err)
+		}
+	}
+	return nil
+}
+
+func decodeHighFrequency(r *asn1per.Reader) (BasicVehicleContainerHighFrequency, error) {
+	var hf BasicVehicleContainerHighFrequency
+	read := func(name string, lo, hi int64, set func(int64)) error {
+		v, err := r.ReadConstrainedInt(lo, hi)
+		if err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		set(v)
+		return nil
+	}
+	steps := []struct {
+		name   string
+		lo, hi int64
+		set    func(int64)
+	}{
+		{"heading", 0, 3601, func(v int64) { hf.Heading = units.Heading(v) }},
+		{"headingConfidence", 1, 127, func(v int64) { hf.HeadingConfidence = uint8(v) }},
+		{"speed", 0, 16383, func(v int64) { hf.Speed = units.Speed(v) }},
+		{"speedConfidence", 1, 127, func(v int64) { hf.SpeedConfidence = uint8(v) }},
+		{"driveDirection", 0, 2, func(v int64) { hf.DriveDirection = DriveDirection(v) }},
+		{"vehicleLength", 1, 1023, func(v int64) { hf.VehicleLength = uint16(v) }},
+		{"vehicleWidth", 1, 62, func(v int64) { hf.VehicleWidth = uint8(v) }},
+		{"longitudinalAcceleration", -160, 161, func(v int64) { hf.LongitudinalAcceleration = int16(v) }},
+		{"accelerationConfidence", 0, 102, func(v int64) { hf.AccelerationConfidence = uint8(v) }},
+		{"curvature", -1023, 1023, func(v int64) { hf.Curvature = units.Curvature(v) }},
+		{"yawRate", -32766, 32767, func(v int64) { hf.YawRate = int32(v) }},
+	}
+	for _, s := range steps {
+		if err := read(s.name, s.lo, s.hi, s.set); err != nil {
+			return hf, err
+		}
+	}
+	return hf, nil
+}
+
+func (lf BasicVehicleContainerLowFrequency) encode(w *asn1per.Writer) error {
+	if err := w.WriteEnumerated(int(lf.VehicleRole), vehicleRoleCount); err != nil {
+		return fmt.Errorf("vehicleRole: %w", err)
+	}
+	if err := w.WriteBitString([]byte{lf.ExteriorLights}, 8); err != nil {
+		return fmt.Errorf("exteriorLights: %w", err)
+	}
+	if len(lf.PathHistory) > maxPathPoints {
+		return fmt.Errorf("%w: pathHistory of %d points", asn1per.ErrRange, len(lf.PathHistory))
+	}
+	if err := w.WriteLength(len(lf.PathHistory), 0, maxPathPoints); err != nil {
+		return fmt.Errorf("pathHistory length: %w", err)
+	}
+	for i, p := range lf.PathHistory {
+		if err := p.encode(w); err != nil {
+			return fmt.Errorf("pathHistory[%d]: %w", i, err)
+		}
+	}
+	return nil
+}
+
+func decodeLowFrequency(r *asn1per.Reader) (BasicVehicleContainerLowFrequency, error) {
+	var lf BasicVehicleContainerLowFrequency
+	role, err := r.ReadEnumerated(vehicleRoleCount)
+	if err != nil {
+		return lf, fmt.Errorf("vehicleRole: %w", err)
+	}
+	lf.VehicleRole = VehicleRole(role)
+	bits, err := r.ReadBitString(8)
+	if err != nil {
+		return lf, fmt.Errorf("exteriorLights: %w", err)
+	}
+	lf.ExteriorLights = bits[0]
+	n, err := r.ReadLength(0, maxPathPoints)
+	if err != nil {
+		return lf, fmt.Errorf("pathHistory length: %w", err)
+	}
+	if n > 0 {
+		lf.PathHistory = make([]PathPoint, n)
+		for i := range lf.PathHistory {
+			lf.PathHistory[i], err = decodePathPoint(r)
+			if err != nil {
+				return lf, fmt.Errorf("pathHistory[%d]: %w", i, err)
+			}
+		}
+	}
+	return lf, nil
+}
+
+func (p PathPoint) encode(w *asn1per.Writer) error {
+	if err := w.WriteConstrainedInt(int64(p.DeltaLatitude), -131071, 131072); err != nil {
+		return fmt.Errorf("deltaLatitude: %w", err)
+	}
+	if err := w.WriteConstrainedInt(int64(p.DeltaLongitude), -131071, 131072); err != nil {
+		return fmt.Errorf("deltaLongitude: %w", err)
+	}
+	return w.WriteConstrainedInt(int64(p.DeltaTime), 0, 65535)
+}
+
+func decodePathPoint(r *asn1per.Reader) (PathPoint, error) {
+	var p PathPoint
+	v, err := r.ReadConstrainedInt(-131071, 131072)
+	if err != nil {
+		return p, fmt.Errorf("deltaLatitude: %w", err)
+	}
+	p.DeltaLatitude = int32(v)
+	v, err = r.ReadConstrainedInt(-131071, 131072)
+	if err != nil {
+		return p, fmt.Errorf("deltaLongitude: %w", err)
+	}
+	p.DeltaLongitude = int32(v)
+	v, err = r.ReadConstrainedInt(0, 65535)
+	if err != nil {
+		return p, fmt.Errorf("deltaTime: %w", err)
+	}
+	p.DeltaTime = uint16(v)
+	return p, nil
+}

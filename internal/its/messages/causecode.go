@@ -1,0 +1,228 @@
+package messages
+
+import (
+	"fmt"
+	"sort"
+)
+
+// CauseCode is the direct cause code of a DENM event type (EN 302
+// 637-3 Table 10; the paper's Table I reproduces a subset).
+type CauseCode uint8
+
+// SubCauseCode refines a CauseCode.
+type SubCauseCode uint8
+
+// Direct cause codes from EN 302 637-3.
+const (
+	CauseReserved                           CauseCode = 0
+	CauseTrafficCondition                   CauseCode = 1
+	CauseAccident                           CauseCode = 2
+	CauseRoadworks                          CauseCode = 3
+	CauseImpassability                      CauseCode = 5
+	CauseAdverseWeatherAdhesion             CauseCode = 6
+	CauseAquaplaning                        CauseCode = 7
+	CauseHazardousLocationSurfaceCondition  CauseCode = 9
+	CauseHazardousLocationObstacleOnTheRoad CauseCode = 10
+	CauseHazardousLocationAnimalOnTheRoad   CauseCode = 11
+	CauseHumanPresenceOnTheRoad             CauseCode = 12
+	CauseWrongWayDriving                    CauseCode = 14
+	CauseRescueAndRecoveryWorkInProgress    CauseCode = 15
+	CauseAdverseWeatherExtremeWeather       CauseCode = 17
+	CauseAdverseWeatherVisibility           CauseCode = 18
+	CauseAdverseWeatherPrecipitation        CauseCode = 19
+	CauseSlowVehicle                        CauseCode = 26
+	CauseDangerousEndOfQueue                CauseCode = 27
+	CauseVehicleBreakdown                   CauseCode = 91
+	CausePostCrash                          CauseCode = 92
+	CauseHumanProblem                       CauseCode = 93
+	CauseStationaryVehicle                  CauseCode = 94
+	CauseEmergencyVehicleApproaching        CauseCode = 95
+	CauseHazardousLocationDangerousCurve    CauseCode = 96
+	CauseCollisionRisk                      CauseCode = 97
+	CauseSignalViolation                    CauseCode = 98
+	CauseDangerousSituation                 CauseCode = 99
+)
+
+// Sub-cause codes for CauseCollisionRisk (97), the code the testbed's
+// hazard advertisement service uses to warn of an imminent collision.
+const (
+	CollisionRiskUnavailable        SubCauseCode = 0
+	CollisionRiskLongitudinal       SubCauseCode = 1
+	CollisionRiskCrossing           SubCauseCode = 2
+	CollisionRiskLateral            SubCauseCode = 3
+	CollisionRiskVulnerableRoadUser SubCauseCode = 4
+)
+
+// Sub-cause codes for CauseDangerousSituation (99).
+const (
+	DangerousSituationUnavailable          SubCauseCode = 0
+	DangerousSituationEmergencyBrakeLights SubCauseCode = 1
+	DangerousSituationPreCrashSystem       SubCauseCode = 2
+	DangerousSituationESPActivated         SubCauseCode = 3
+	DangerousSituationABSActivated         SubCauseCode = 4
+	DangerousSituationAEBActivated         SubCauseCode = 5
+	DangerousSituationBrakeWarning         SubCauseCode = 6
+	DangerousSituationCollisionRiskWarning SubCauseCode = 7
+)
+
+// Sub-cause codes for CauseStationaryVehicle (94).
+const (
+	StationaryVehicleUnavailable            SubCauseCode = 0
+	StationaryVehicleHumanProblem           SubCauseCode = 1
+	StationaryVehicleBreakdown              SubCauseCode = 2
+	StationaryVehiclePostCrash              SubCauseCode = 3
+	StationaryVehiclePublicStop             SubCauseCode = 4
+	StationaryVehicleCarryingDangerousGoods SubCauseCode = 5
+)
+
+// CauseInfo describes one direct cause code of the registry.
+type CauseInfo struct {
+	Code        CauseCode
+	Description string
+	// SubCauses maps defined sub-cause codes to their descriptions.
+	// Sub-cause 0 is always "unavailable".
+	SubCauses map[SubCauseCode]string
+}
+
+var causeRegistry = map[CauseCode]CauseInfo{
+	CauseReserved: {CauseReserved, "reserved", nil},
+	CauseTrafficCondition: {CauseTrafficCondition, "trafficCondition", map[SubCauseCode]string{
+		0: "unavailable", 1: "increasedVolumeOfTraffic", 2: "trafficJamSlowlyIncreasing",
+		3: "trafficJamIncreasing", 4: "trafficJamStronglyIncreasing", 5: "trafficStationary",
+		6: "trafficJamSlightlyDecreasing", 7: "trafficJamDecreasing", 8: "trafficJamStronglyDecreasing",
+	}},
+	CauseAccident: {CauseAccident, "accident", map[SubCauseCode]string{
+		0: "unavailable", 1: "multiVehicleAccident", 2: "heavyAccident",
+		3: "accidentInvolvingLorry", 4: "accidentInvolvingBus", 5: "accidentInvolvingHazardousMaterials",
+		6: "accidentOnOppositeLane", 7: "unsecuredAccident", 8: "assistanceRequested",
+	}},
+	CauseRoadworks: {CauseRoadworks, "roadworks", map[SubCauseCode]string{
+		0: "unavailable", 1: "majorRoadworks", 2: "roadMarkingWork", 3: "slowMovingRoadMaintenance",
+		4: "shortTermStationaryRoadworks", 5: "streetCleaning", 6: "winterService",
+	}},
+	CauseImpassability: {CauseImpassability, "impassability", map[SubCauseCode]string{
+		0: "unavailable",
+	}},
+	CauseAdverseWeatherAdhesion: {CauseAdverseWeatherAdhesion, "adverseWeatherCondition-Adhesion", map[SubCauseCode]string{
+		0: "unavailable", 1: "heavyFrostOnRoad", 2: "fuelOnRoad", 3: "mudOnRoad",
+		4: "snowOnRoad", 5: "iceOnRoad", 6: "blackIceOnRoad", 7: "oilOnRoad",
+		8: "looseChippings", 9: "instantBlackIce", 10: "roadsSalted",
+	}},
+	CauseAquaplaning: {CauseAquaplaning, "aquaplaning", map[SubCauseCode]string{
+		0: "unavailable",
+	}},
+	CauseHazardousLocationSurfaceCondition: {CauseHazardousLocationSurfaceCondition, "hazardousLocation-SurfaceCondition", map[SubCauseCode]string{
+		0: "unavailable", 1: "rockfalls", 2: "earthquakeDamage", 3: "sewerCollapse",
+		4: "subsidence", 5: "snowDrifts", 6: "stormDamage", 7: "burstPipe",
+		8: "volcanoEruption", 9: "fallingIce",
+	}},
+	CauseHazardousLocationObstacleOnTheRoad: {CauseHazardousLocationObstacleOnTheRoad, "hazardousLocation-ObstacleOnTheRoad", map[SubCauseCode]string{
+		0: "unavailable", 1: "shedLoad", 2: "partsOfVehicles", 3: "partsOfTyres",
+		4: "bigObjects", 5: "fallenTrees", 6: "hubCaps", 7: "waitingVehicles",
+	}},
+	CauseHazardousLocationAnimalOnTheRoad: {CauseHazardousLocationAnimalOnTheRoad, "hazardousLocation-AnimalOnTheRoad", map[SubCauseCode]string{
+		0: "unavailable", 1: "wildAnimals", 2: "herdOfAnimals", 3: "smallAnimals", 4: "largeAnimals",
+	}},
+	CauseHumanPresenceOnTheRoad: {CauseHumanPresenceOnTheRoad, "humanPresenceOnTheRoad", map[SubCauseCode]string{
+		0: "unavailable", 1: "childrenOnRoadway", 2: "cyclistOnRoadway", 3: "motorcyclistOnRoadway",
+	}},
+	CauseWrongWayDriving: {CauseWrongWayDriving, "wrongWayDriving", map[SubCauseCode]string{
+		0: "unavailable", 1: "wrongLane", 2: "wrongDirection",
+	}},
+	CauseRescueAndRecoveryWorkInProgress: {CauseRescueAndRecoveryWorkInProgress, "rescueAndRecoveryWorkInProgress", map[SubCauseCode]string{
+		0: "unavailable", 1: "emergencyVehicles", 2: "rescueHelicopterLanding",
+		3: "policeActivityOngoing", 4: "medicalEmergencyOngoing", 5: "childAbductionInProgress",
+	}},
+	CauseAdverseWeatherExtremeWeather: {CauseAdverseWeatherExtremeWeather, "adverseWeatherCondition-ExtremeWeatherCondition", map[SubCauseCode]string{
+		0: "unavailable", 1: "strongWinds", 2: "damagingHail", 3: "hurricane",
+		4: "thunderstorm", 5: "tornado", 6: "blizzard",
+	}},
+	CauseAdverseWeatherVisibility: {CauseAdverseWeatherVisibility, "adverseWeatherCondition-Visibility", map[SubCauseCode]string{
+		0: "unavailable", 1: "fog", 2: "smoke", 3: "heavySnowfall", 4: "heavyRain",
+		5: "heavyHail", 6: "lowSunGlare", 7: "sandstorms", 8: "swarmsOfInsects",
+	}},
+	CauseAdverseWeatherPrecipitation: {CauseAdverseWeatherPrecipitation, "adverseWeatherCondition-Precipitation", map[SubCauseCode]string{
+		0: "unavailable", 1: "heavyRain", 2: "heavySnowfall", 3: "softHail",
+	}},
+	CauseSlowVehicle: {CauseSlowVehicle, "slowVehicle", map[SubCauseCode]string{
+		0: "unavailable", 1: "maintenanceVehicle", 2: "vehiclesSlowingToLookAtAccident",
+		3: "abnormalLoad", 4: "abnormalWideLoad", 5: "convoy", 6: "snowplough",
+		7: "deicing", 8: "saltingVehicles",
+	}},
+	CauseDangerousEndOfQueue: {CauseDangerousEndOfQueue, "dangerousEndOfQueue", map[SubCauseCode]string{
+		0: "unavailable", 1: "suddenEndOfQueue", 2: "queueOverHill", 3: "queueAroundBend", 4: "queueInTunnel",
+	}},
+	CauseVehicleBreakdown: {CauseVehicleBreakdown, "vehicleBreakdown", map[SubCauseCode]string{
+		0: "unavailable", 1: "lackOfFuel", 2: "lackOfBatteryPower", 3: "engineProblem",
+		4: "transmissionProblem", 5: "engineCoolingProblem", 6: "brakingSystemProblem",
+		7: "steeringProblem", 8: "tyrePuncture",
+	}},
+	CausePostCrash: {CausePostCrash, "postCrash", map[SubCauseCode]string{
+		0: "unavailable", 1: "accidentWithoutECallTriggered",
+		2: "accidentWithECallManuallyTriggered", 3: "accidentWithECallAutomaticallyTriggered",
+		4: "accidentWithECallTriggeredWithoutAccessToCellularNetwork",
+	}},
+	CauseHumanProblem: {CauseHumanProblem, "humanProblem", map[SubCauseCode]string{
+		0: "unavailable", 1: "glycemiaProblem", 2: "heartProblem",
+	}},
+	CauseStationaryVehicle: {CauseStationaryVehicle, "stationaryVehicle", map[SubCauseCode]string{
+		0: "unavailable", 1: "humanProblem", 2: "vehicleBreakdown",
+		3: "postCrash", 4: "publicTransportStop", 5: "carryingDangerousGoods",
+	}},
+	CauseEmergencyVehicleApproaching: {CauseEmergencyVehicleApproaching, "emergencyVehicleApproaching", map[SubCauseCode]string{
+		0: "unavailable", 1: "emergencyVehicleApproaching", 2: "prioritizedVehicleApproaching",
+	}},
+	CauseHazardousLocationDangerousCurve: {CauseHazardousLocationDangerousCurve, "hazardousLocation-DangerousCurve", map[SubCauseCode]string{
+		0: "unavailable", 1: "dangerousLeftTurnCurve", 2: "dangerousRightTurnCurve",
+		3: "multipleCurvesStartingWithUnknownTurningDirection",
+		4: "multipleCurvesStartingWithLeftTurn", 5: "multipleCurvesStartingWithRightTurn",
+	}},
+	CauseCollisionRisk: {CauseCollisionRisk, "collisionRisk", map[SubCauseCode]string{
+		0: "unavailable", 1: "longitudinalCollisionRisk", 2: "crossingCollisionRisk",
+		3: "lateralCollisionRisk", 4: "collisionRiskInvolvingVulnerableRoadUser",
+	}},
+	CauseSignalViolation: {CauseSignalViolation, "signalViolation", map[SubCauseCode]string{
+		0: "unavailable", 1: "stopSignViolation", 2: "trafficLightViolation", 3: "turningRegulationViolation",
+	}},
+	CauseDangerousSituation: {CauseDangerousSituation, "dangerousSituation", map[SubCauseCode]string{
+		0: "unavailable", 1: "emergencyElectronicBrakeEngaged", 2: "preCrashSystemEngaged",
+		3: "espEngaged", 4: "absEngaged", 5: "aebEngaged",
+		6: "brakeWarningEngaged", 7: "collisionRiskWarningEngaged",
+	}},
+}
+
+// String returns the standard name of the cause code, or "unknown(n)".
+func (c CauseCode) String() string {
+	if info, ok := causeRegistry[c]; ok {
+		return info.Description
+	}
+	return fmt.Sprintf("unknown(%d)", uint8(c))
+}
+
+// Lookup returns the registry entry for a cause code.
+func Lookup(c CauseCode) (CauseInfo, bool) {
+	info, ok := causeRegistry[c]
+	return info, ok
+}
+
+// SubCauseDescription returns the standard description of a sub-cause
+// code under the given cause, or "unavailable" for unknown values.
+func SubCauseDescription(c CauseCode, s SubCauseCode) string {
+	if info, ok := causeRegistry[c]; ok {
+		if d, ok := info.SubCauses[s]; ok {
+			return d
+		}
+	}
+	return "unavailable"
+}
+
+// AllCauses returns every registered cause code ordered by code, i.e.
+// the full Table-I-style registry.
+func AllCauses() []CauseInfo {
+	out := make([]CauseInfo, 0, len(causeRegistry))
+	for _, info := range causeRegistry {
+		out = append(out, info)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Code < out[j].Code })
+	return out
+}

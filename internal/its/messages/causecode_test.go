@@ -1,0 +1,118 @@
+package messages
+
+import (
+	"sort"
+	"testing"
+)
+
+// TestTableICauseCodes checks the rows the paper reproduces in its
+// Table I against the registry.
+func TestTableICauseCodes(t *testing.T) {
+	cases := []struct {
+		code CauseCode
+		desc string
+		subs map[SubCauseCode]string
+	}{
+		{CauseHazardousLocationSurfaceCondition, "hazardousLocation-SurfaceCondition", nil},
+		{CauseHazardousLocationObstacleOnTheRoad, "hazardousLocation-ObstacleOnTheRoad", nil},
+		{CauseCollisionRisk, "collisionRisk", map[SubCauseCode]string{
+			0: "unavailable",
+			1: "longitudinalCollisionRisk",
+			2: "crossingCollisionRisk",
+			3: "lateralCollisionRisk",
+			4: "collisionRiskInvolvingVulnerableRoadUser",
+		}},
+		{CauseDangerousSituation, "dangerousSituation", map[SubCauseCode]string{
+			0: "unavailable",
+			1: "emergencyElectronicBrakeEngaged",
+			2: "preCrashSystemEngaged",
+			3: "espEngaged",
+			4: "absEngaged",
+			5: "aebEngaged",
+			6: "brakeWarningEngaged",
+			7: "collisionRiskWarningEngaged",
+		}},
+	}
+	for _, c := range cases {
+		info, ok := Lookup(c.code)
+		if !ok {
+			t.Fatalf("cause %d not registered", c.code)
+		}
+		if info.Description != c.desc {
+			t.Fatalf("cause %d description %q, want %q", c.code, info.Description, c.desc)
+		}
+		for sub, want := range c.subs {
+			if got := SubCauseDescription(c.code, sub); got != want {
+				t.Fatalf("cause %d sub %d = %q, want %q", c.code, sub, got, want)
+			}
+		}
+	}
+}
+
+func TestNumericValuesOfPaperCodes(t *testing.T) {
+	// The paper quotes these numbers explicitly.
+	if CauseHazardousLocationSurfaceCondition != 9 {
+		t.Fatal("surface condition must be 9")
+	}
+	if CauseHazardousLocationObstacleOnTheRoad != 10 {
+		t.Fatal("obstacle on the road must be 10")
+	}
+	if CauseStationaryVehicle != 94 {
+		t.Fatal("stationary vehicle must be 94")
+	}
+	if CauseCollisionRisk != 97 {
+		t.Fatal("collision risk must be 97")
+	}
+	if CauseDangerousSituation != 99 {
+		t.Fatal("dangerous situation must be 99")
+	}
+	// "a subCauseCode of 1 would indicate a human problem and 2 a
+	// vehicle breakdown" under cause 94.
+	if SubCauseDescription(CauseStationaryVehicle, 1) != "humanProblem" {
+		t.Fatal("94/1 must be humanProblem")
+	}
+	if SubCauseDescription(CauseStationaryVehicle, 2) != "vehicleBreakdown" {
+		t.Fatal("94/2 must be vehicleBreakdown")
+	}
+}
+
+func TestAllCausesSortedAndComplete(t *testing.T) {
+	all := AllCauses()
+	if len(all) < 20 {
+		t.Fatalf("registry has only %d causes", len(all))
+	}
+	if !sort.SliceIsSorted(all, func(i, j int) bool { return all[i].Code < all[j].Code }) {
+		t.Fatal("AllCauses not sorted by code")
+	}
+	for _, c := range all {
+		if c.Code != CauseReserved && c.SubCauses[0] != "unavailable" {
+			t.Fatalf("cause %d: sub-cause 0 must be unavailable", c.Code)
+		}
+	}
+}
+
+func TestUnknownCause(t *testing.T) {
+	if _, ok := Lookup(CauseCode(200)); ok {
+		t.Fatal("unregistered cause found")
+	}
+	if CauseCode(200).String() != "unknown(200)" {
+		t.Fatalf("String()=%q", CauseCode(200).String())
+	}
+	if SubCauseDescription(CauseCode(200), 1) != "unavailable" {
+		t.Fatal("unknown cause sub-cause not unavailable")
+	}
+}
+
+func TestEventTypeString(t *testing.T) {
+	e := EventType{CauseCode: CauseCollisionRisk, SubCauseCode: CollisionRiskCrossing}
+	if e.String() != "collisionRisk(97)/2" {
+		t.Fatalf("EventType.String()=%q", e.String())
+	}
+}
+
+func TestActionIDString(t *testing.T) {
+	a := ActionID{OriginatingStationID: 1001, SequenceNumber: 7}
+	if a.String() != "1001/7" {
+		t.Fatalf("ActionID.String()=%q", a.String())
+	}
+}

@@ -1,0 +1,626 @@
+package messages
+
+import (
+	"fmt"
+
+	"itsbed/internal/asn1per"
+	"itsbed/internal/units"
+)
+
+// ActionID uniquely identifies a DENM event: the originating station
+// plus a per-station sequence number (EN 302 637-3 §6.1.1).
+type ActionID struct {
+	OriginatingStationID units.StationID
+	SequenceNumber       uint16
+}
+
+// String implements fmt.Stringer.
+func (a ActionID) String() string {
+	return fmt.Sprintf("%d/%d", a.OriginatingStationID, a.SequenceNumber)
+}
+
+// Termination indicates cancellation or negation of an event.
+type Termination uint8
+
+// Termination kinds.
+const (
+	TerminationIsCancellation Termination = 0
+	TerminationIsNegation     Termination = 1
+)
+
+// RelevanceDistance buckets per the common data dictionary.
+type RelevanceDistance uint8
+
+// Relevance distances.
+const (
+	RelevanceLessThan50m  RelevanceDistance = 0
+	RelevanceLessThan100m RelevanceDistance = 1
+	RelevanceLessThan200m RelevanceDistance = 2
+	RelevanceLessThan500m RelevanceDistance = 3
+	RelevanceLessThan1km  RelevanceDistance = 4
+	RelevanceLessThan5km  RelevanceDistance = 5
+	RelevanceLessThan10km RelevanceDistance = 6
+	RelevanceOver10km     RelevanceDistance = 7
+)
+
+const relevanceDistanceCount = 8
+
+// RelevanceTrafficDirection per the common data dictionary.
+type RelevanceTrafficDirection uint8
+
+// Relevance traffic directions.
+const (
+	RelevanceAllTrafficDirections RelevanceTrafficDirection = 0
+	RelevanceUpstreamTraffic      RelevanceTrafficDirection = 1
+	RelevanceDownstreamTraffic    RelevanceTrafficDirection = 2
+	RelevanceOppositeTraffic      RelevanceTrafficDirection = 3
+)
+
+const relevanceTrafficDirectionCount = 4
+
+// DefaultValidityDuration applies when the management container omits
+// validityDuration (EN 302 637-3: 600 s).
+const DefaultValidityDuration uint32 = 600
+
+// ManagementContainer is the mandatory DENM container (EN 302 637-3
+// §7.1.2).
+type ManagementContainer struct {
+	ActionID                  ActionID
+	DetectionTime             uint64 // TimestampIts, ms since ITS epoch
+	ReferenceTime             uint64 // TimestampIts
+	Termination               *Termination
+	EventPosition             ReferencePosition
+	RelevanceDistance         *RelevanceDistance
+	RelevanceTrafficDirection *RelevanceTrafficDirection
+	// ValidityDuration in seconds (0..86400); nil means the 600 s
+	// default.
+	ValidityDuration *uint32
+	// TransmissionInterval in milliseconds (1..10000) for repetition.
+	TransmissionInterval *uint16
+	StationType          units.StationType
+}
+
+// InformationQuality of the situation container (0..7, 0 = unavailable).
+type InformationQuality uint8
+
+// EventType is the causeCode/subCauseCode pair describing the event.
+type EventType struct {
+	CauseCode    CauseCode
+	SubCauseCode SubCauseCode
+}
+
+// String implements fmt.Stringer.
+func (e EventType) String() string {
+	return fmt.Sprintf("%s(%d)/%d", e.CauseCode, e.CauseCode, e.SubCauseCode)
+}
+
+// SituationContainer is the optional DENM container describing the
+// detected event.
+type SituationContainer struct {
+	InformationQuality InformationQuality
+	EventType          EventType
+	LinkedCause        *EventType
+}
+
+// RoadType per the common data dictionary.
+type RoadType uint8
+
+// Road types.
+const (
+	RoadTypeUrbanNoStructuralSeparation      RoadType = 0
+	RoadTypeUrbanWithStructuralSeparation    RoadType = 1
+	RoadTypeNonUrbanNoStructuralSeparation   RoadType = 2
+	RoadTypeNonUrbanWithStructuralSeparation RoadType = 3
+)
+
+const roadTypeCount = 4
+
+// Trace is one itinerary to the event location (a path history).
+type Trace []PathPoint
+
+// LocationContainer is the optional DENM container locating the event.
+// Traces is mandatory within the container (1..7 itineraries).
+type LocationContainer struct {
+	EventSpeed           *units.Speed
+	EventPositionHeading *units.Heading
+	Traces               []Trace
+	RoadType             *RoadType
+}
+
+const maxTraces = 7
+
+// StationaryVehicleContainer is the à-la-carte sub-container for
+// stationary-vehicle events (subset of EN 302 637-3 annex).
+type StationaryVehicleContainer struct {
+	// StationarySince buckets: 0 <1min, 1 <2min, 2 <15min, 3 ≥15min.
+	StationarySince uint8
+	// NumberOfOccupants 0..127, 127 unavailable.
+	NumberOfOccupants uint8
+}
+
+// AlacarteContainer is the optional free-form DENM container.
+type AlacarteContainer struct {
+	// LanePosition -1..14 (-1 = off the road).
+	LanePosition *int8
+	// ExternalTemperature in °C (-60..67).
+	ExternalTemperature *int8
+	StationaryVehicle   *StationaryVehicleContainer
+}
+
+// DENM is a Decentralized Environmental Notification Message
+// (EN 302 637-3). The road-side infrastructure issues one when the
+// hazard advertisement service detects an impending collision.
+type DENM struct {
+	Header     ItsPduHeader
+	Management ManagementContainer
+	Situation  *SituationContainer
+	Location   *LocationContainer
+	Alacarte   *AlacarteContainer
+}
+
+// NewDENM builds a DENM with the header filled in.
+func NewDENM(station units.StationID) *DENM {
+	return &DENM{
+		Header: ItsPduHeader{
+			ProtocolVersion: CurrentProtocolVersion,
+			MessageID:       MessageIDDENM,
+			StationID:       station,
+		},
+	}
+}
+
+// IsTermination reports whether the DENM cancels or negates an event.
+func (d *DENM) IsTermination() bool { return d.Management.Termination != nil }
+
+// Validity returns the event validity duration, applying the standard
+// default when the field is absent.
+func (d *DENM) Validity() uint32 {
+	if d.Management.ValidityDuration != nil {
+		return *d.Management.ValidityDuration
+	}
+	return DefaultValidityDuration
+}
+
+// Encode serialises the DENM to UPER bytes.
+func (d *DENM) Encode() ([]byte, error) {
+	if d == nil {
+		return nil, errNilMessage
+	}
+	var w asn1per.Writer
+	if err := d.Header.encode(&w); err != nil {
+		return nil, fmt.Errorf("messages: DENM header: %w", err)
+	}
+	// DecentralizedEnvironmentalNotificationMessage presence bitmap:
+	// situation, location, alacarte.
+	w.WriteBool(d.Situation != nil)
+	w.WriteBool(d.Location != nil)
+	w.WriteBool(d.Alacarte != nil)
+	if err := d.Management.encode(&w); err != nil {
+		return nil, fmt.Errorf("messages: management: %w", err)
+	}
+	if d.Situation != nil {
+		if err := d.Situation.encode(&w); err != nil {
+			return nil, fmt.Errorf("messages: situation: %w", err)
+		}
+	}
+	if d.Location != nil {
+		if err := d.Location.encode(&w); err != nil {
+			return nil, fmt.Errorf("messages: location: %w", err)
+		}
+	}
+	if d.Alacarte != nil {
+		if err := d.Alacarte.encode(&w); err != nil {
+			return nil, fmt.Errorf("messages: alacarte: %w", err)
+		}
+	}
+	return w.Bytes(), nil
+}
+
+// DecodeDENM parses a UPER-encoded DENM.
+func DecodeDENM(data []byte) (*DENM, error) {
+	r := asn1per.NewReader(data)
+	h, err := decodeHeader(r)
+	if err != nil {
+		return nil, fmt.Errorf("messages: DENM header: %w", err)
+	}
+	if h.MessageID != MessageIDDENM {
+		return nil, fmt.Errorf("messages: not a DENM (messageID %d)", h.MessageID)
+	}
+	d := &DENM{Header: h}
+	hasSit, err := r.ReadBool()
+	if err != nil {
+		return nil, fmt.Errorf("messages: DENM bitmap: %w", err)
+	}
+	hasLoc, err := r.ReadBool()
+	if err != nil {
+		return nil, fmt.Errorf("messages: DENM bitmap: %w", err)
+	}
+	hasAlc, err := r.ReadBool()
+	if err != nil {
+		return nil, fmt.Errorf("messages: DENM bitmap: %w", err)
+	}
+	if d.Management, err = decodeManagement(r); err != nil {
+		return nil, fmt.Errorf("messages: management: %w", err)
+	}
+	if hasSit {
+		s, err := decodeSituation(r)
+		if err != nil {
+			return nil, fmt.Errorf("messages: situation: %w", err)
+		}
+		d.Situation = &s
+	}
+	if hasLoc {
+		l, err := decodeLocation(r)
+		if err != nil {
+			return nil, fmt.Errorf("messages: location: %w", err)
+		}
+		d.Location = &l
+	}
+	if hasAlc {
+		a, err := decodeAlacarte(r)
+		if err != nil {
+			return nil, fmt.Errorf("messages: alacarte: %w", err)
+		}
+		d.Alacarte = &a
+	}
+	return d, nil
+}
+
+func (m ManagementContainer) encode(w *asn1per.Writer) error {
+	// Presence bitmap: termination, relevanceDistance,
+	// relevanceTrafficDirection, validityDuration, transmissionInterval.
+	w.WriteBool(m.Termination != nil)
+	w.WriteBool(m.RelevanceDistance != nil)
+	w.WriteBool(m.RelevanceTrafficDirection != nil)
+	w.WriteBool(m.ValidityDuration != nil)
+	w.WriteBool(m.TransmissionInterval != nil)
+	if err := w.WriteConstrainedInt(int64(m.ActionID.OriginatingStationID), 0, 4294967295); err != nil {
+		return fmt.Errorf("actionID.originatingStationID: %w", err)
+	}
+	if err := w.WriteConstrainedInt(int64(m.ActionID.SequenceNumber), 0, 65535); err != nil {
+		return fmt.Errorf("actionID.sequenceNumber: %w", err)
+	}
+	if err := encodeTimestampIts(w, m.DetectionTime); err != nil {
+		return fmt.Errorf("detectionTime: %w", err)
+	}
+	if err := encodeTimestampIts(w, m.ReferenceTime); err != nil {
+		return fmt.Errorf("referenceTime: %w", err)
+	}
+	if m.Termination != nil {
+		if err := w.WriteEnumerated(int(*m.Termination), 2); err != nil {
+			return fmt.Errorf("termination: %w", err)
+		}
+	}
+	if err := m.EventPosition.encode(w); err != nil {
+		return fmt.Errorf("eventPosition: %w", err)
+	}
+	if m.RelevanceDistance != nil {
+		if err := w.WriteEnumerated(int(*m.RelevanceDistance), relevanceDistanceCount); err != nil {
+			return fmt.Errorf("relevanceDistance: %w", err)
+		}
+	}
+	if m.RelevanceTrafficDirection != nil {
+		if err := w.WriteEnumerated(int(*m.RelevanceTrafficDirection), relevanceTrafficDirectionCount); err != nil {
+			return fmt.Errorf("relevanceTrafficDirection: %w", err)
+		}
+	}
+	if m.ValidityDuration != nil {
+		if err := w.WriteConstrainedInt(int64(*m.ValidityDuration), 0, 86400); err != nil {
+			return fmt.Errorf("validityDuration: %w", err)
+		}
+	}
+	if m.TransmissionInterval != nil {
+		if err := w.WriteConstrainedInt(int64(*m.TransmissionInterval), 1, 10000); err != nil {
+			return fmt.Errorf("transmissionInterval: %w", err)
+		}
+	}
+	if err := w.WriteConstrainedInt(int64(m.StationType), 0, 255); err != nil {
+		return fmt.Errorf("stationType: %w", err)
+	}
+	return nil
+}
+
+func decodeManagement(r *asn1per.Reader) (ManagementContainer, error) {
+	var m ManagementContainer
+	var present [5]bool
+	for i := range present {
+		b, err := r.ReadBool()
+		if err != nil {
+			return m, fmt.Errorf("bitmap: %w", err)
+		}
+		present[i] = b
+	}
+	v, err := r.ReadConstrainedInt(0, 4294967295)
+	if err != nil {
+		return m, fmt.Errorf("actionID.originatingStationID: %w", err)
+	}
+	m.ActionID.OriginatingStationID = units.StationID(v)
+	v, err = r.ReadConstrainedInt(0, 65535)
+	if err != nil {
+		return m, fmt.Errorf("actionID.sequenceNumber: %w", err)
+	}
+	m.ActionID.SequenceNumber = uint16(v)
+	if m.DetectionTime, err = decodeTimestampIts(r); err != nil {
+		return m, fmt.Errorf("detectionTime: %w", err)
+	}
+	if m.ReferenceTime, err = decodeTimestampIts(r); err != nil {
+		return m, fmt.Errorf("referenceTime: %w", err)
+	}
+	if present[0] {
+		t, err := r.ReadEnumerated(2)
+		if err != nil {
+			return m, fmt.Errorf("termination: %w", err)
+		}
+		term := Termination(t)
+		m.Termination = &term
+	}
+	if m.EventPosition, err = decodeReferencePosition(r); err != nil {
+		return m, fmt.Errorf("eventPosition: %w", err)
+	}
+	if present[1] {
+		d, err := r.ReadEnumerated(relevanceDistanceCount)
+		if err != nil {
+			return m, fmt.Errorf("relevanceDistance: %w", err)
+		}
+		rd := RelevanceDistance(d)
+		m.RelevanceDistance = &rd
+	}
+	if present[2] {
+		d, err := r.ReadEnumerated(relevanceTrafficDirectionCount)
+		if err != nil {
+			return m, fmt.Errorf("relevanceTrafficDirection: %w", err)
+		}
+		rt := RelevanceTrafficDirection(d)
+		m.RelevanceTrafficDirection = &rt
+	}
+	if present[3] {
+		v, err := r.ReadConstrainedInt(0, 86400)
+		if err != nil {
+			return m, fmt.Errorf("validityDuration: %w", err)
+		}
+		vd := uint32(v)
+		m.ValidityDuration = &vd
+	}
+	if present[4] {
+		v, err := r.ReadConstrainedInt(1, 10000)
+		if err != nil {
+			return m, fmt.Errorf("transmissionInterval: %w", err)
+		}
+		ti := uint16(v)
+		m.TransmissionInterval = &ti
+	}
+	v, err = r.ReadConstrainedInt(0, 255)
+	if err != nil {
+		return m, fmt.Errorf("stationType: %w", err)
+	}
+	m.StationType = units.StationType(v)
+	return m, nil
+}
+
+func (s SituationContainer) encode(w *asn1per.Writer) error {
+	w.WriteBool(s.LinkedCause != nil)
+	if err := w.WriteConstrainedInt(int64(s.InformationQuality), 0, 7); err != nil {
+		return fmt.Errorf("informationQuality: %w", err)
+	}
+	if err := s.EventType.encode(w); err != nil {
+		return fmt.Errorf("eventType: %w", err)
+	}
+	if s.LinkedCause != nil {
+		if err := s.LinkedCause.encode(w); err != nil {
+			return fmt.Errorf("linkedCause: %w", err)
+		}
+	}
+	return nil
+}
+
+func decodeSituation(r *asn1per.Reader) (SituationContainer, error) {
+	var s SituationContainer
+	hasLinked, err := r.ReadBool()
+	if err != nil {
+		return s, fmt.Errorf("bitmap: %w", err)
+	}
+	v, err := r.ReadConstrainedInt(0, 7)
+	if err != nil {
+		return s, fmt.Errorf("informationQuality: %w", err)
+	}
+	s.InformationQuality = InformationQuality(v)
+	if s.EventType, err = decodeEventType(r); err != nil {
+		return s, fmt.Errorf("eventType: %w", err)
+	}
+	if hasLinked {
+		lc, err := decodeEventType(r)
+		if err != nil {
+			return s, fmt.Errorf("linkedCause: %w", err)
+		}
+		s.LinkedCause = &lc
+	}
+	return s, nil
+}
+
+func (e EventType) encode(w *asn1per.Writer) error {
+	if err := w.WriteConstrainedInt(int64(e.CauseCode), 0, 255); err != nil {
+		return fmt.Errorf("causeCode: %w", err)
+	}
+	return w.WriteConstrainedInt(int64(e.SubCauseCode), 0, 255)
+}
+
+func decodeEventType(r *asn1per.Reader) (EventType, error) {
+	var e EventType
+	v, err := r.ReadConstrainedInt(0, 255)
+	if err != nil {
+		return e, fmt.Errorf("causeCode: %w", err)
+	}
+	e.CauseCode = CauseCode(v)
+	v, err = r.ReadConstrainedInt(0, 255)
+	if err != nil {
+		return e, fmt.Errorf("subCauseCode: %w", err)
+	}
+	e.SubCauseCode = SubCauseCode(v)
+	return e, nil
+}
+
+func (l LocationContainer) encode(w *asn1per.Writer) error {
+	if len(l.Traces) < 1 || len(l.Traces) > maxTraces {
+		return fmt.Errorf("%w: location container requires 1..%d traces, have %d",
+			asn1per.ErrRange, maxTraces, len(l.Traces))
+	}
+	w.WriteBool(l.EventSpeed != nil)
+	w.WriteBool(l.EventPositionHeading != nil)
+	w.WriteBool(l.RoadType != nil)
+	if l.EventSpeed != nil {
+		if err := w.WriteConstrainedInt(int64(*l.EventSpeed), 0, 16383); err != nil {
+			return fmt.Errorf("eventSpeed: %w", err)
+		}
+	}
+	if l.EventPositionHeading != nil {
+		if err := w.WriteConstrainedInt(int64(*l.EventPositionHeading), 0, 3601); err != nil {
+			return fmt.Errorf("eventPositionHeading: %w", err)
+		}
+	}
+	if err := w.WriteLength(len(l.Traces), 1, maxTraces); err != nil {
+		return fmt.Errorf("traces length: %w", err)
+	}
+	for i, tr := range l.Traces {
+		if len(tr) > maxPathPoints {
+			return fmt.Errorf("%w: trace %d has %d points", asn1per.ErrRange, i, len(tr))
+		}
+		if err := w.WriteLength(len(tr), 0, maxPathPoints); err != nil {
+			return fmt.Errorf("trace[%d] length: %w", i, err)
+		}
+		for j, p := range tr {
+			if err := p.encode(w); err != nil {
+				return fmt.Errorf("trace[%d][%d]: %w", i, j, err)
+			}
+		}
+	}
+	if l.RoadType != nil {
+		if err := w.WriteEnumerated(int(*l.RoadType), roadTypeCount); err != nil {
+			return fmt.Errorf("roadType: %w", err)
+		}
+	}
+	return nil
+}
+
+func decodeLocation(r *asn1per.Reader) (LocationContainer, error) {
+	var l LocationContainer
+	var present [3]bool
+	for i := range present {
+		b, err := r.ReadBool()
+		if err != nil {
+			return l, fmt.Errorf("bitmap: %w", err)
+		}
+		present[i] = b
+	}
+	if present[0] {
+		v, err := r.ReadConstrainedInt(0, 16383)
+		if err != nil {
+			return l, fmt.Errorf("eventSpeed: %w", err)
+		}
+		sp := units.Speed(v)
+		l.EventSpeed = &sp
+	}
+	if present[1] {
+		v, err := r.ReadConstrainedInt(0, 3601)
+		if err != nil {
+			return l, fmt.Errorf("eventPositionHeading: %w", err)
+		}
+		h := units.Heading(v)
+		l.EventPositionHeading = &h
+	}
+	n, err := r.ReadLength(1, maxTraces)
+	if err != nil {
+		return l, fmt.Errorf("traces length: %w", err)
+	}
+	l.Traces = make([]Trace, n)
+	for i := range l.Traces {
+		m, err := r.ReadLength(0, maxPathPoints)
+		if err != nil {
+			return l, fmt.Errorf("trace[%d] length: %w", i, err)
+		}
+		tr := make(Trace, m)
+		for j := range tr {
+			tr[j], err = decodePathPoint(r)
+			if err != nil {
+				return l, fmt.Errorf("trace[%d][%d]: %w", i, j, err)
+			}
+		}
+		l.Traces[i] = tr
+	}
+	if present[2] {
+		rt, err := r.ReadEnumerated(roadTypeCount)
+		if err != nil {
+			return l, fmt.Errorf("roadType: %w", err)
+		}
+		road := RoadType(rt)
+		l.RoadType = &road
+	}
+	return l, nil
+}
+
+func (a AlacarteContainer) encode(w *asn1per.Writer) error {
+	w.WriteBool(a.LanePosition != nil)
+	w.WriteBool(a.ExternalTemperature != nil)
+	w.WriteBool(a.StationaryVehicle != nil)
+	if a.LanePosition != nil {
+		if err := w.WriteConstrainedInt(int64(*a.LanePosition), -1, 14); err != nil {
+			return fmt.Errorf("lanePosition: %w", err)
+		}
+	}
+	if a.ExternalTemperature != nil {
+		if err := w.WriteConstrainedInt(int64(*a.ExternalTemperature), -60, 67); err != nil {
+			return fmt.Errorf("externalTemperature: %w", err)
+		}
+	}
+	if a.StationaryVehicle != nil {
+		if err := w.WriteConstrainedInt(int64(a.StationaryVehicle.StationarySince), 0, 3); err != nil {
+			return fmt.Errorf("stationarySince: %w", err)
+		}
+		if err := w.WriteConstrainedInt(int64(a.StationaryVehicle.NumberOfOccupants), 0, 127); err != nil {
+			return fmt.Errorf("numberOfOccupants: %w", err)
+		}
+	}
+	return nil
+}
+
+func decodeAlacarte(r *asn1per.Reader) (AlacarteContainer, error) {
+	var a AlacarteContainer
+	var present [3]bool
+	for i := range present {
+		b, err := r.ReadBool()
+		if err != nil {
+			return a, fmt.Errorf("bitmap: %w", err)
+		}
+		present[i] = b
+	}
+	if present[0] {
+		v, err := r.ReadConstrainedInt(-1, 14)
+		if err != nil {
+			return a, fmt.Errorf("lanePosition: %w", err)
+		}
+		lp := int8(v)
+		a.LanePosition = &lp
+	}
+	if present[1] {
+		v, err := r.ReadConstrainedInt(-60, 67)
+		if err != nil {
+			return a, fmt.Errorf("externalTemperature: %w", err)
+		}
+		et := int8(v)
+		a.ExternalTemperature = &et
+	}
+	if present[2] {
+		var sv StationaryVehicleContainer
+		v, err := r.ReadConstrainedInt(0, 3)
+		if err != nil {
+			return a, fmt.Errorf("stationarySince: %w", err)
+		}
+		sv.StationarySince = uint8(v)
+		v, err = r.ReadConstrainedInt(0, 127)
+		if err != nil {
+			return a, fmt.Errorf("numberOfOccupants: %w", err)
+		}
+		sv.NumberOfOccupants = uint8(v)
+		a.StationaryVehicle = &sv
+	}
+	return a, nil
+}

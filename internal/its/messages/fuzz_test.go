@@ -1,0 +1,103 @@
+package messages
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// Decoders must reject arbitrary input with an error, never panic:
+// these payloads arrive from the air.
+
+func neverPanics(t *testing.T, name string, decode func([]byte)) {
+	t.Helper()
+	f := func(data []byte) (ok bool) {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Errorf("%s panicked on %x: %v", name, data, r)
+				ok = false
+			}
+		}()
+		decode(data)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000, Rand: rand.New(rand.NewSource(99))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodeCAMNeverPanics(t *testing.T) {
+	neverPanics(t, "DecodeCAM", func(b []byte) { _, _ = DecodeCAM(b) })
+}
+
+func TestDecodeDENMNeverPanics(t *testing.T) {
+	neverPanics(t, "DecodeDENM", func(b []byte) { _, _ = DecodeDENM(b) })
+}
+
+func TestPeekNeverPanics(t *testing.T) {
+	neverPanics(t, "Peek", func(b []byte) { _, _, _ = Peek(b) })
+}
+
+// TestDecodeMutatedDENM flips bits in a valid encoding: every mutation
+// must either decode cleanly or fail with an error — no panics, no
+// invalid field ranges slipping through unnoticed.
+func TestDecodeMutatedDENM(t *testing.T) {
+	base, err := sampleDENM().Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(100))
+	for i := 0; i < 5000; i++ {
+		mutated := make([]byte, len(base))
+		copy(mutated, base)
+		// Flip 1-3 random bits.
+		for n := 0; n < 1+rng.Intn(3); n++ {
+			pos := rng.Intn(len(mutated) * 8)
+			mutated[pos/8] ^= 1 << (7 - uint(pos%8))
+		}
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("panic on mutation %x: %v", mutated, r)
+				}
+			}()
+			if d, err := DecodeDENM(mutated); err == nil {
+				// Accepted decodes must re-encode without error (the
+				// struct is internally consistent).
+				if _, err := d.Encode(); err != nil {
+					t.Fatalf("mutated decode produced unencodable DENM: %v", err)
+				}
+			}
+		}()
+	}
+}
+
+func TestDecodeMutatedCAM(t *testing.T) {
+	cam := sampleCAM()
+	cam.LowFrequency = &BasicVehicleContainerLowFrequency{
+		PathHistory: []PathPoint{{DeltaLatitude: 1, DeltaLongitude: 1, DeltaTime: 1}},
+	}
+	base, err := cam.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(101))
+	for i := 0; i < 5000; i++ {
+		mutated := make([]byte, len(base))
+		copy(mutated, base)
+		pos := rng.Intn(len(mutated) * 8)
+		mutated[pos/8] ^= 1 << (7 - uint(pos%8))
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("panic on mutation %x: %v", mutated, r)
+				}
+			}()
+			if c, err := DecodeCAM(mutated); err == nil {
+				if _, err := c.Encode(); err != nil {
+					t.Fatalf("mutated decode produced unencodable CAM: %v", err)
+				}
+			}
+		}()
+	}
+}

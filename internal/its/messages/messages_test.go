@@ -1,0 +1,313 @@
+package messages
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"itsbed/internal/units"
+)
+
+func sampleCAM() *CAM {
+	cam := NewCAM(2001, 4242)
+	cam.Basic = BasicContainer{
+		StationType: units.StationTypePassengerCar,
+		Position: ReferencePosition{
+			Latitude:             units.LatitudeFromDegrees(41.178),
+			Longitude:            units.LongitudeFromDegrees(-8.608),
+			SemiMajorConfidence:  5,
+			SemiMinorConfidence:  5,
+			SemiMajorOrientation: 900,
+			AltitudeValue:        AltitudeUnavailable,
+		},
+	}
+	cam.HighFrequency = BasicVehicleContainerHighFrequency{
+		Heading:                  900,
+		HeadingConfidence:        10,
+		Speed:                    150,
+		SpeedConfidence:          5,
+		DriveDirection:           DriveDirectionForward,
+		VehicleLength:            5,
+		VehicleWidth:             3,
+		LongitudinalAcceleration: -12,
+		AccelerationConfidence:   10,
+		Curvature:                units.CurvatureUnavailable,
+		YawRate:                  -250,
+	}
+	return cam
+}
+
+func sampleDENM() *DENM {
+	d := NewDENM(1001)
+	validity := uint32(120)
+	ti := uint16(100)
+	rd := RelevanceLessThan200m
+	rt := RelevanceAllTrafficDirections
+	d.Management = ManagementContainer{
+		ActionID:                  ActionID{OriginatingStationID: 1001, SequenceNumber: 7},
+		DetectionTime:             700000000123,
+		ReferenceTime:             700000000125,
+		EventPosition:             ReferencePosition{Latitude: 411780000, Longitude: -86080000, AltitudeValue: AltitudeUnavailable},
+		RelevanceDistance:         &rd,
+		RelevanceTrafficDirection: &rt,
+		ValidityDuration:          &validity,
+		TransmissionInterval:      &ti,
+		StationType:               units.StationTypeRoadSideUnit,
+	}
+	d.Situation = &SituationContainer{
+		InformationQuality: 3,
+		EventType:          EventType{CauseCode: CauseCollisionRisk, SubCauseCode: CollisionRiskCrossing},
+	}
+	speed := units.Speed(150)
+	heading := units.Heading(1800)
+	road := RoadTypeUrbanNoStructuralSeparation
+	d.Location = &LocationContainer{
+		EventSpeed:           &speed,
+		EventPositionHeading: &heading,
+		Traces: []Trace{
+			{{DeltaLatitude: 10, DeltaLongitude: -20, DeltaTime: 5}},
+			{},
+		},
+		RoadType: &road,
+	}
+	lane := int8(2)
+	temp := int8(21)
+	d.Alacarte = &AlacarteContainer{
+		LanePosition:        &lane,
+		ExternalTemperature: &temp,
+		StationaryVehicle:   &StationaryVehicleContainer{StationarySince: 1, NumberOfOccupants: 2},
+	}
+	return d
+}
+
+func TestCAMRoundTrip(t *testing.T) {
+	cam := sampleCAM()
+	cam.LowFrequency = &BasicVehicleContainerLowFrequency{
+		VehicleRole:    VehicleRoleDefault,
+		ExteriorLights: 0b10100000,
+		PathHistory: []PathPoint{
+			{DeltaLatitude: 100, DeltaLongitude: -200, DeltaTime: 10},
+			{DeltaLatitude: -131071, DeltaLongitude: 131072, DeltaTime: 65535},
+		},
+	}
+	data, err := cam.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeCAM(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(cam, got) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, cam)
+	}
+}
+
+func TestCAMWithoutLowFrequency(t *testing.T) {
+	cam := sampleCAM()
+	data, err := cam.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeCAM(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.LowFrequency != nil {
+		t.Fatal("absent low-frequency container decoded as present")
+	}
+	if !reflect.DeepEqual(cam, got) {
+		t.Fatal("round trip mismatch")
+	}
+}
+
+func TestCAMSizePlausible(t *testing.T) {
+	data, err := sampleCAM().Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A minimal real-world CAM is a few tens of bytes.
+	if len(data) < 20 || len(data) > 60 {
+		t.Fatalf("CAM encoded to %d bytes, implausible", len(data))
+	}
+}
+
+func TestDENMRoundTripFull(t *testing.T) {
+	d := sampleDENM()
+	data, err := d.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeDENM(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(d, got) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, d)
+	}
+}
+
+func TestDENMMandatoryOnly(t *testing.T) {
+	d := NewDENM(1001)
+	d.Management = ManagementContainer{
+		ActionID:      ActionID{OriginatingStationID: 1001, SequenceNumber: 1},
+		DetectionTime: 1,
+		ReferenceTime: 1,
+		EventPosition: ReferencePosition{AltitudeValue: AltitudeUnavailable},
+		StationType:   units.StationTypeRoadSideUnit,
+	}
+	data, err := d.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeDENM(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Situation != nil || got.Location != nil || got.Alacarte != nil {
+		t.Fatal("optional containers materialised from nothing")
+	}
+	if got.Validity() != DefaultValidityDuration {
+		t.Fatalf("default validity %d, want %d", got.Validity(), DefaultValidityDuration)
+	}
+}
+
+func TestDENMTermination(t *testing.T) {
+	d := sampleDENM()
+	term := TerminationIsCancellation
+	d.Management.Termination = &term
+	data, err := d.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeDENM(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.IsTermination() {
+		t.Fatal("termination lost in round trip")
+	}
+	if *got.Management.Termination != TerminationIsCancellation {
+		t.Fatal("termination kind wrong")
+	}
+}
+
+func TestDENMLocationRequiresTraces(t *testing.T) {
+	d := sampleDENM()
+	d.Location.Traces = nil
+	if _, err := d.Encode(); err == nil {
+		t.Fatal("location container with no traces encoded")
+	}
+}
+
+func TestDecodeWrongMessageID(t *testing.T) {
+	data, err := sampleCAM().Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodeDENM(data); err == nil {
+		t.Fatal("CAM decoded as DENM")
+	}
+	denmData, err := sampleDENM().Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodeCAM(denmData); err == nil {
+		t.Fatal("DENM decoded as CAM")
+	}
+}
+
+func TestDecodeTruncated(t *testing.T) {
+	data, err := sampleDENM().Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cut := range []int{1, 3, 8, len(data) / 2} {
+		if _, err := DecodeDENM(data[:cut]); err == nil {
+			t.Fatalf("truncated DENM (%d bytes) decoded", cut)
+		}
+	}
+}
+
+func TestPeek(t *testing.T) {
+	camData, err := sampleCAM().Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, station, err := Peek(camData)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != MessageIDCAM || station != 2001 {
+		t.Fatalf("peek gave (%d, %d)", id, station)
+	}
+	if _, _, err := Peek([]byte{0x01}); err == nil {
+		t.Fatal("peek on garbage succeeded")
+	}
+}
+
+func TestEncodeNil(t *testing.T) {
+	var c *CAM
+	if _, err := c.Encode(); err == nil {
+		t.Fatal("nil CAM encoded")
+	}
+	var d *DENM
+	if _, err := d.Encode(); err == nil {
+		t.Fatal("nil DENM encoded")
+	}
+}
+
+func TestPropertyDENMManagementRoundTrip(t *testing.T) {
+	f := func(station uint32, seq uint16, detMS uint32, lat, lon int32, st uint8) bool {
+		d := NewDENM(units.StationID(station))
+		d.Management = ManagementContainer{
+			ActionID:      ActionID{OriginatingStationID: units.StationID(station), SequenceNumber: seq},
+			DetectionTime: uint64(detMS),
+			ReferenceTime: uint64(detMS) + 2,
+			EventPosition: ReferencePosition{
+				Latitude:      units.LatitudeFromDegrees(float64(lat%90) + 0.5),
+				Longitude:     units.LongitudeFromDegrees(float64(lon%180) + 0.5),
+				AltitudeValue: AltitudeUnavailable,
+			},
+			StationType: units.StationType(st),
+		}
+		data, err := d.Encode()
+		if err != nil {
+			return false
+		}
+		got, err := DecodeDENM(data)
+		if err != nil {
+			return false
+		}
+		return reflect.DeepEqual(d, got)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(5))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyCAMHighFrequencyRoundTrip(t *testing.T) {
+	f := func(heading uint16, speed uint16, accel int16, yaw int16) bool {
+		cam := sampleCAM()
+		cam.HighFrequency.Heading = units.Heading(heading % 3602)
+		cam.HighFrequency.Speed = units.Speed(speed % 16384)
+		cam.HighFrequency.LongitudinalAcceleration = accel % 161
+		cam.HighFrequency.YawRate = int32(yaw)
+		if cam.HighFrequency.YawRate < -32766 {
+			cam.HighFrequency.YawRate = -32766
+		}
+		data, err := cam.Encode()
+		if err != nil {
+			return false
+		}
+		got, err := DecodeCAM(data)
+		if err != nil {
+			return false
+		}
+		return reflect.DeepEqual(cam, got)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(6))}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,411 @@
+package openc2x
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"testing"
+	"time"
+
+	"itsbed/internal/clock"
+	"itsbed/internal/geo"
+	"itsbed/internal/its/messages"
+	"itsbed/internal/radio"
+	"itsbed/internal/sim"
+	"itsbed/internal/stack"
+	"itsbed/internal/units"
+)
+
+// simPair builds RSU and OBU SimNodes on one kernel/medium.
+func simPair(t *testing.T) (*sim.Kernel, *SimNode, *SimNode) {
+	t.Helper()
+	k := sim.NewKernel(21)
+	frame, err := geo.NewFrame(geo.CISTERLab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	medium := radio.NewMedium(k, radio.MediumConfig{})
+	rsu, err := stack.New(k, medium, stack.Config{
+		Name: "rsu", Role: stack.RoleRSU, StationID: 1001,
+		StationType: units.StationTypeRoadSideUnit, Frame: frame,
+		Mobility: stack.StaticMobility{Geo: geo.CISTERLab},
+		NTP:      clock.PerfectNTP(), DisableCAMTriggers: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	obu, err := stack.New(k, medium, stack.Config{
+		Name: "obu", Role: stack.RoleOBU, StationID: 2001,
+		StationType: units.StationTypePassengerCar, Frame: frame,
+		Mobility: stack.StaticMobility{Point: geo.Point{X: 3}, Geo: geo.CISTERLab},
+		NTP:      clock.PerfectNTP(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return k, NewSimNode(k, rsu, DefaultLatencies()), NewSimNode(k, obu, DefaultLatencies())
+}
+
+func collisionReq() TriggerRequest {
+	return TriggerRequest{
+		CauseCode: 97, SubCauseCode: 2,
+		Latitude: geo.CISTERLab.Lat, Longitude: geo.CISTERLab.Lon,
+		Quality: 3,
+	}
+}
+
+func TestSimNodeTriggerToPoll(t *testing.T) {
+	k, rsu, obu := simPair(t)
+	var triggered bool
+	rsu.TriggerDENM(collisionReq(), func(id messages.ActionID, err error) {
+		if err != nil {
+			t.Errorf("trigger: %v", err)
+		}
+		if id.OriginatingStationID != 1001 {
+			t.Errorf("actionID %v", id)
+		}
+		triggered = true
+	})
+	if err := k.Run(100 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if !triggered {
+		t.Fatal("trigger callback never fired")
+	}
+	if obu.PendingDENMs() != 1 {
+		t.Fatalf("OBU mailbox depth %d", obu.PendingDENMs())
+	}
+	var batch []ReceivedDENM
+	obu.RequestDENM(func(b []ReceivedDENM) { batch = b })
+	if err := k.Run(200 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if len(batch) != 1 {
+		t.Fatalf("poll returned %d DENMs", len(batch))
+	}
+	d := batch[0].DENM
+	if d.Situation.EventType.CauseCode != messages.CauseCollisionRisk {
+		t.Fatal("wrong cause")
+	}
+	// Mailbox drained.
+	if obu.PendingDENMs() != 0 {
+		t.Fatal("mailbox not drained")
+	}
+	if rsu.TriggerCount != 1 || obu.PollCount != 1 {
+		t.Fatalf("counters trigger=%d poll=%d", rsu.TriggerCount, obu.PollCount)
+	}
+}
+
+func TestSimNodeEmptyPoll(t *testing.T) {
+	k, _, obu := simPair(t)
+	polled := false
+	obu.RequestDENM(func(b []ReceivedDENM) {
+		polled = true
+		if len(b) != 0 {
+			t.Errorf("unexpected DENMs: %d", len(b))
+		}
+	})
+	if err := k.Run(100 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if !polled {
+		t.Fatal("poll callback never fired (the HTTP 200 of the paper)")
+	}
+}
+
+func TestSimNodePollLatencyModel(t *testing.T) {
+	k, _, obu := simPair(t)
+	start := k.Now()
+	var at time.Duration
+	obu.RequestDENM(func([]ReceivedDENM) { at = k.Now() })
+	if err := k.Run(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	rtt := at - start
+	lat := DefaultHTTPLatency()
+	if rtt < 2*(lat.Mean-lat.Jitter) || rtt > 2*(lat.Mean+lat.Jitter) {
+		t.Fatalf("poll round trip %v outside the model bounds", rtt)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	d := messages.NewDENM(1001)
+	d.Management = messages.ManagementContainer{
+		ActionID:      messages.ActionID{OriginatingStationID: 1001, SequenceNumber: 3},
+		DetectionTime: 12345,
+		EventPosition: messages.ReferencePosition{
+			Latitude:      units.LatitudeFromDegrees(41.178),
+			Longitude:     units.LongitudeFromDegrees(-8.608),
+			AltitudeValue: messages.AltitudeUnavailable,
+		},
+	}
+	d.Situation = &messages.SituationContainer{
+		EventType: messages.EventType{CauseCode: 97, SubCauseCode: 2},
+	}
+	s := Summarize(ReceivedDENM{DENM: d, ReceivedAt: 1500 * time.Millisecond})
+	if s.OriginatingStationID != 1001 || s.SequenceNumber != 3 {
+		t.Fatalf("summary %+v", s)
+	}
+	if s.CauseCode != 97 || s.CauseDescription != "collisionRisk" {
+		t.Fatalf("cause summary %+v", s)
+	}
+	if s.ReceivedAtMS != 1500 {
+		t.Fatalf("receivedAt %d", s.ReceivedAtMS)
+	}
+	if s.Latitude < 41.17 || s.Latitude > 41.19 {
+		t.Fatalf("latitude %v", s.Latitude)
+	}
+}
+
+// realPair builds two RealNodes linked over loopback UDP.
+func realPair(t *testing.T) (*RealNode, *RealNode, func()) {
+	t.Helper()
+	rsuLink, err := NewUDPLink("127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	obuLink, err := NewUDPLink("127.0.0.1:0", nil)
+	if err != nil {
+		rsuLink.Close()
+		t.Fatal(err)
+	}
+	if err := rsuLink.AddPeer(obuLink.LocalAddr()); err != nil {
+		t.Fatal(err)
+	}
+	if err := obuLink.AddPeer(rsuLink.LocalAddr()); err != nil {
+		t.Fatal(err)
+	}
+	rsu, err := NewRealNode(RealNodeConfig{
+		StationID: 1001, StationType: units.StationTypeRoadSideUnit,
+		Position: geo.CISTERLab, Link: rsuLink,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	obu, err := NewRealNode(RealNodeConfig{
+		StationID: 2001, StationType: units.StationTypePassengerCar,
+		Position: geo.CISTERLab, Link: obuLink,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rsuLink.Start(rsu)
+	obuLink.Start(obu)
+	return rsu, obu, func() {
+		rsuLink.Close()
+		obuLink.Close()
+	}
+}
+
+func waitFor(t *testing.T, timeout time.Duration, cond func() bool) bool {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return true
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	return cond()
+}
+
+func TestRealNodeDENMOverUDP(t *testing.T) {
+	rsu, obu, closeAll := realPair(t)
+	defer closeAll()
+	id, err := rsu.TriggerDENM(collisionReq())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !waitFor(t, 2*time.Second, func() bool { return len(obu.RequestDENM()) > 0 || obu.Received > 0 }) {
+		t.Fatal("DENM never crossed the UDP link")
+	}
+	// The DENM may already have been drained by the condition; trigger
+	// again and poll.
+	if _, err := rsu.TriggerDENM(collisionReq()); err != nil {
+		t.Fatal(err)
+	}
+	var batch []ReceivedDENM
+	if !waitFor(t, 2*time.Second, func() bool {
+		batch = obu.RequestDENM()
+		return len(batch) > 0
+	}) {
+		t.Fatal("second DENM never arrived")
+	}
+	d := batch[0].DENM
+	if d.Management.ActionID.OriginatingStationID != id.OriginatingStationID {
+		t.Fatal("wrong origin")
+	}
+	if d.Situation.EventType.CauseCode != 97 {
+		t.Fatal("wrong cause")
+	}
+}
+
+func TestRealNodeCAMOverUDP(t *testing.T) {
+	rsu, obu, closeAll := realPair(t)
+	defer closeAll()
+	got := make(chan *messages.CAM, 1)
+	obu.SetCAMSink(func(c *messages.CAM) {
+		select {
+		case got <- c:
+		default:
+		}
+	})
+	if err := rsu.TriggerCAM(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case c := <-got:
+		if c.Header.StationID != 1001 {
+			t.Fatal("wrong station")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("CAM never arrived")
+	}
+}
+
+func TestHTTPServerEndpoints(t *testing.T) {
+	rsu, obu, closeAll := realPair(t)
+	defer closeAll()
+	rsuSrv, err := NewServer(rsu, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rsuSrv.Close()
+	go func() { _ = rsuSrv.Serve() }()
+	obuSrv, err := NewServer(obu, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer obuSrv.Close()
+	go func() { _ = obuSrv.Serve() }()
+
+	// trigger_denm on the RSU.
+	body, err := json.Marshal(collisionReq())
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post("http://"+rsuSrv.Addr()+"/trigger_denm", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tr TriggerResponse
+	if err := json.NewDecoder(resp.Body).Decode(&tr); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if !tr.OK || tr.OriginatingStationID != 1001 {
+		t.Fatalf("trigger response %+v", tr)
+	}
+
+	// request_denm on the OBU until the DENM shows up.
+	var batch []DENMSummary
+	if !waitFor(t, 2*time.Second, func() bool {
+		resp, err := http.Post("http://"+obuSrv.Addr()+"/request_denm", "application/json", nil)
+		if err != nil {
+			return false
+		}
+		defer resp.Body.Close()
+		batch = nil
+		if err := json.NewDecoder(resp.Body).Decode(&batch); err != nil {
+			return false
+		}
+		return len(batch) > 0
+	}) {
+		t.Fatal("request_denm never returned the DENM")
+	}
+	if batch[0].CauseCode != 97 || batch[0].CauseDescription != "collisionRisk" {
+		t.Fatalf("summary %+v", batch[0])
+	}
+
+	// causes endpoint.
+	cresp, err := http.Get("http://" + rsuSrv.Addr() + "/causes")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cresp.Body.Close()
+	var causes []struct {
+		Code        uint8  `json:"code"`
+		Description string `json:"description"`
+	}
+	if err := json.NewDecoder(cresp.Body).Decode(&causes); err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, c := range causes {
+		if c.Code == 97 && c.Description == "collisionRisk" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("cause 97 missing from /causes")
+	}
+
+	// Method checks.
+	mresp, err := http.Get("http://" + rsuSrv.Addr() + "/trigger_denm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mresp.Body.Close()
+	if mresp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET trigger_denm status %d", mresp.StatusCode)
+	}
+
+	// Bad JSON.
+	bresp, err := http.Post("http://"+rsuSrv.Addr()+"/trigger_denm", "application/json", bytes.NewReader([]byte("{bad")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bresp.Body.Close()
+	if bresp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad JSON status %d", bresp.StatusCode)
+	}
+}
+
+func TestRealNodeValidation(t *testing.T) {
+	if _, err := NewRealNode(RealNodeConfig{}); err == nil {
+		t.Fatal("node without link accepted")
+	}
+}
+
+func TestServerValidation(t *testing.T) {
+	if _, err := NewServer(nil, "127.0.0.1:0"); err == nil {
+		t.Fatal("server without node accepted")
+	}
+}
+
+func TestSimNodeTriggerWithRepetition(t *testing.T) {
+	k, rsu, obu := simPair(t)
+	req := collisionReq()
+	req.RepetitionIntervalMS = 100
+	req.RepetitionDurationMS = 450
+	rsu.TriggerDENM(req, nil)
+	if err := k.Run(2 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	// Initial + ~4 repetitions reach the OBU stack; the DEN receiver
+	// suppresses the repeats, so the mailbox holds exactly one DENM.
+	if obu.PendingDENMs() != 1 {
+		t.Fatalf("mailbox depth %d, want 1 (repetitions deduplicated)", obu.PendingDENMs())
+	}
+	received, repeated, _ := obu.Station().DENReceiverStats()
+	if received < 4 {
+		t.Fatalf("OBU decoded %d DENMs, repetitions missing", received)
+	}
+	if repeated < 3 {
+		t.Fatalf("suppressed %d repetitions, want >=3", repeated)
+	}
+}
+
+func TestUDPLinkDropsGarbage(t *testing.T) {
+	_, obu, closeAll := realPair(t)
+	defer closeAll()
+	// Hand the node raw garbage as if it came off the air.
+	obu.OnFrame([]byte{0xde, 0xad})
+	obu.OnFrame(nil)
+	if obu.Malformed != 2 {
+		t.Fatalf("malformed=%d, want 2", obu.Malformed)
+	}
+	if len(obu.RequestDENM()) != 0 {
+		t.Fatal("garbage reached the mailbox")
+	}
+}

@@ -1,0 +1,368 @@
+package openc2x
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"itsbed/internal/clock"
+	"itsbed/internal/geo"
+	"itsbed/internal/its/btp"
+	"itsbed/internal/its/geonet"
+	"itsbed/internal/its/messages"
+	"itsbed/internal/units"
+)
+
+// RealNode is the wall-clock OpenC2X deployment used by the rsud/obud
+// daemons: it speaks the same GN/BTP/facilities wire format as the
+// simulated stack, but over a real datagram link (UDP standing in for
+// the 802.11p air interface between two lab machines).
+type RealNode struct {
+	mu sync.Mutex
+
+	stationID   units.StationID
+	stationType units.StationType
+	position    geo.LatLon
+	frame       *geo.Frame
+	link        DatagramLink
+	start       time.Time
+	seq         uint16
+	mailbox     []ReceivedDENM
+	camSink     func(*messages.CAM)
+
+	// Received counts frames decoded successfully.
+	Received uint64
+	// Malformed counts frames that failed to parse.
+	Malformed uint64
+}
+
+// DatagramLink is the transport of a RealNode.
+type DatagramLink interface {
+	SendBroadcast(frame []byte) error
+}
+
+// RealNodeConfig parameterises a RealNode.
+type RealNodeConfig struct {
+	StationID   units.StationID
+	StationType units.StationType
+	Position    geo.LatLon
+	Link        DatagramLink
+}
+
+// NewRealNode builds a node. Frames received from the link must be fed
+// to OnFrame by the transport's read loop.
+func NewRealNode(cfg RealNodeConfig) (*RealNode, error) {
+	if cfg.Link == nil {
+		return nil, fmt.Errorf("openc2x: real node requires a link")
+	}
+	frame, err := geo.NewFrame(cfg.Position)
+	if err != nil {
+		return nil, fmt.Errorf("openc2x: %w", err)
+	}
+	return &RealNode{
+		stationID:   cfg.StationID,
+		stationType: cfg.StationType,
+		position:    cfg.Position,
+		frame:       frame,
+		link:        cfg.Link,
+		start:       time.Now(),
+	}, nil
+}
+
+func (n *RealNode) nowITS() uint64 {
+	return uint64(time.Now().Sub(clock.ITSEpoch) / time.Millisecond)
+}
+
+func (n *RealNode) ego() geonet.LongPositionVector {
+	return geonet.LongPositionVector{
+		Address:          geonet.NewAddress(n.stationType, n.stationID),
+		Timestamp:        uint32(n.nowITS()),
+		Latitude:         units.LatitudeFromDegrees(n.position.Lat),
+		Longitude:        units.LongitudeFromDegrees(n.position.Lon),
+		PositionAccurate: true,
+	}
+}
+
+// TriggerDENM implements the trigger_denm semantics synchronously.
+func (n *RealNode) TriggerDENM(req TriggerRequest) (messages.ActionID, error) {
+	n.mu.Lock()
+	n.seq++
+	id := messages.ActionID{OriginatingStationID: n.stationID, SequenceNumber: n.seq}
+	n.mu.Unlock()
+
+	now := n.nowITS()
+	d := messages.NewDENM(n.stationID)
+	validity := req.ValiditySeconds
+	if validity == 0 {
+		validity = messages.DefaultValidityDuration
+	}
+	d.Management = messages.ManagementContainer{
+		ActionID:      id,
+		DetectionTime: now,
+		ReferenceTime: now,
+		EventPosition: messages.ReferencePosition{
+			Latitude:      units.LatitudeFromDegrees(req.Latitude),
+			Longitude:     units.LongitudeFromDegrees(req.Longitude),
+			AltitudeValue: messages.AltitudeUnavailable,
+		},
+		ValidityDuration: &validity,
+		StationType:      n.stationType,
+	}
+	d.Situation = &messages.SituationContainer{
+		InformationQuality: messages.InformationQuality(req.Quality),
+		EventType: messages.EventType{
+			CauseCode:    messages.CauseCode(req.CauseCode),
+			SubCauseCode: messages.SubCauseCode(req.SubCauseCode),
+		},
+	}
+	d.Location = &messages.LocationContainer{Traces: []messages.Trace{{}}}
+	payload, err := d.Encode()
+	if err != nil {
+		return id, fmt.Errorf("openc2x: encode DENM: %w", err)
+	}
+	pkt, err := btp.Encode(btp.Header{Type: btp.TypeB, DestinationPort: btp.PortDENM}, payload)
+	if err != nil {
+		return id, err
+	}
+	radius := req.RadiusMetres
+	if radius == 0 {
+		radius = 200
+	}
+	gn := &geonet.Packet{
+		Version:           geonet.CurrentVersion,
+		Lifetime:          geonet.DefaultLifetime,
+		RemainingHopLimit: geonet.DefaultHopLimit,
+		Next:              geonet.NextBTPB,
+		Type:              geonet.HeaderTypeGBC,
+		MaxHopLimit:       geonet.DefaultHopLimit,
+		Source:            n.ego(),
+		SequenceNumber:    n.seq,
+		DestArea: geonet.CircleAround(
+			units.LatitudeFromDegrees(req.Latitude),
+			units.LongitudeFromDegrees(req.Longitude),
+			radius,
+		),
+		Payload: pkt,
+	}
+	frame, err := gn.Marshal()
+	if err != nil {
+		return id, fmt.Errorf("openc2x: marshal GN: %w", err)
+	}
+	return id, n.link.SendBroadcast(frame)
+}
+
+// TriggerCAM broadcasts a single CAM with the node's static position
+// (the trigger_cam endpoint).
+func (n *RealNode) TriggerCAM() error {
+	ts := n.nowITS()
+	cam := messages.NewCAM(n.stationID, units.DeltaTimeFromTimestamp(ts))
+	cam.Basic = messages.BasicContainer{
+		StationType: n.stationType,
+		Position: messages.ReferencePosition{
+			Latitude:      units.LatitudeFromDegrees(n.position.Lat),
+			Longitude:     units.LongitudeFromDegrees(n.position.Lon),
+			AltitudeValue: messages.AltitudeUnavailable,
+		},
+	}
+	cam.HighFrequency = messages.BasicVehicleContainerHighFrequency{
+		Heading:                units.HeadingUnavailable,
+		HeadingConfidence:      127,
+		Speed:                  units.SpeedStandstill,
+		SpeedConfidence:        127,
+		DriveDirection:         messages.DriveDirectionUnavailable,
+		VehicleLength:          1023,
+		VehicleWidth:           62,
+		AccelerationConfidence: 102,
+		Curvature:              units.CurvatureUnavailable,
+		YawRate:                32767,
+	}
+	payload, err := cam.Encode()
+	if err != nil {
+		return fmt.Errorf("openc2x: encode CAM: %w", err)
+	}
+	pkt, err := btp.Encode(btp.Header{Type: btp.TypeB, DestinationPort: btp.PortCAM}, payload)
+	if err != nil {
+		return err
+	}
+	gn := &geonet.Packet{
+		Version:           geonet.CurrentVersion,
+		Lifetime:          geonet.Lifetime{Multiplier: 1, Base: 1},
+		RemainingHopLimit: 1,
+		Next:              geonet.NextBTPB,
+		Type:              geonet.HeaderTypeTSB,
+		Subtype:           geonet.SubtypeSHB,
+		MaxHopLimit:       1,
+		Source:            n.ego(),
+		Payload:           pkt,
+	}
+	frame, err := gn.Marshal()
+	if err != nil {
+		return fmt.Errorf("openc2x: marshal GN: %w", err)
+	}
+	return n.link.SendBroadcast(frame)
+}
+
+// OnFrame processes a received datagram (GN packet).
+func (n *RealNode) OnFrame(frame []byte) {
+	p, err := geonet.Unmarshal(frame)
+	if err != nil {
+		n.mu.Lock()
+		n.Malformed++
+		n.mu.Unlock()
+		return
+	}
+	if p.Source.Address == geonet.NewAddress(n.stationType, n.stationID) {
+		return // own broadcast echoed back
+	}
+	var t btp.Type
+	switch p.Next {
+	case geonet.NextBTPA:
+		t = btp.TypeA
+	case geonet.NextBTPB:
+		t = btp.TypeB
+	default:
+		return
+	}
+	h, payload, err := btp.Decode(t, p.Payload)
+	if err != nil {
+		n.mu.Lock()
+		n.Malformed++
+		n.mu.Unlock()
+		return
+	}
+	switch h.DestinationPort {
+	case btp.PortDENM:
+		d, err := messages.DecodeDENM(payload)
+		if err != nil {
+			n.mu.Lock()
+			n.Malformed++
+			n.mu.Unlock()
+			return
+		}
+		n.mu.Lock()
+		n.Received++
+		n.mailbox = append(n.mailbox, ReceivedDENM{DENM: d, ReceivedAt: time.Since(n.start)})
+		n.mu.Unlock()
+	case btp.PortCAM:
+		c, err := messages.DecodeCAM(payload)
+		if err != nil {
+			n.mu.Lock()
+			n.Malformed++
+			n.mu.Unlock()
+			return
+		}
+		n.mu.Lock()
+		n.Received++
+		sink := n.camSink
+		n.mu.Unlock()
+		if sink != nil {
+			sink(c)
+		}
+	}
+}
+
+// SetCAMSink installs a callback for received CAMs.
+func (n *RealNode) SetCAMSink(fn func(*messages.CAM)) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.camSink = fn
+}
+
+// RequestDENM drains the mailbox (the request_denm endpoint).
+func (n *RealNode) RequestDENM() []ReceivedDENM {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out := n.mailbox
+	n.mailbox = nil
+	return out
+}
+
+// UDPLink broadcasts GN frames between lab machines over UDP,
+// standing in for the 802.11p air interface of the daemons.
+type UDPLink struct {
+	conn  *net.UDPConn
+	peers []*net.UDPAddr
+	node  *RealNode
+	done  chan struct{}
+	wg    sync.WaitGroup
+}
+
+// NewUDPLink binds listenAddr and targets the given peer addresses.
+func NewUDPLink(listenAddr string, peerAddrs []string) (*UDPLink, error) {
+	laddr, err := net.ResolveUDPAddr("udp", listenAddr)
+	if err != nil {
+		return nil, fmt.Errorf("openc2x: resolve %q: %w", listenAddr, err)
+	}
+	conn, err := net.ListenUDP("udp", laddr)
+	if err != nil {
+		return nil, fmt.Errorf("openc2x: listen %q: %w", listenAddr, err)
+	}
+	l := &UDPLink{conn: conn, done: make(chan struct{})}
+	for _, a := range peerAddrs {
+		pa, err := net.ResolveUDPAddr("udp", a)
+		if err != nil {
+			conn.Close()
+			return nil, fmt.Errorf("openc2x: resolve peer %q: %w", a, err)
+		}
+		l.peers = append(l.peers, pa)
+	}
+	return l, nil
+}
+
+// LocalAddr returns the bound address (useful with port 0 in tests).
+func (l *UDPLink) LocalAddr() string { return l.conn.LocalAddr().String() }
+
+// AddPeer adds a peer address after construction.
+func (l *UDPLink) AddPeer(addr string) error {
+	pa, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return fmt.Errorf("openc2x: resolve peer %q: %w", addr, err)
+	}
+	l.peers = append(l.peers, pa)
+	return nil
+}
+
+// SendBroadcast sends the frame to every peer.
+func (l *UDPLink) SendBroadcast(frame []byte) error {
+	var firstErr error
+	for _, p := range l.peers {
+		if _, err := l.conn.WriteToUDP(frame, p); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// Start attaches the node and begins the read loop.
+func (l *UDPLink) Start(node *RealNode) {
+	l.node = node
+	l.wg.Add(1)
+	go func() {
+		defer l.wg.Done()
+		buf := make([]byte, 2048)
+		for {
+			select {
+			case <-l.done:
+				return
+			default:
+			}
+			l.conn.SetReadDeadline(time.Now().Add(200 * time.Millisecond))
+			n, _, err := l.conn.ReadFromUDP(buf)
+			if err != nil {
+				continue
+			}
+			frame := make([]byte, n)
+			copy(frame, buf[:n])
+			l.node.OnFrame(frame)
+		}
+	}()
+}
+
+// Close stops the read loop and closes the socket.
+func (l *UDPLink) Close() error {
+	close(l.done)
+	err := l.conn.Close()
+	l.wg.Wait()
+	return err
+}

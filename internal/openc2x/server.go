@@ -1,0 +1,131 @@
+package openc2x
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+
+	"itsbed/internal/its/messages"
+)
+
+// Server exposes a RealNode through the OpenC2X-style HTTP API:
+//
+//	POST /trigger_denm  — body TriggerRequest, response TriggerResponse
+//	POST /request_denm  — response []DENMSummary (empty array when none)
+//	POST /trigger_cam   — broadcast one CAM
+//	GET  /causes        — the DENM cause-code registry (Table I)
+type Server struct {
+	node *RealNode
+	srv  *http.Server
+	ln   net.Listener
+}
+
+// NewServer binds the API to addr (e.g. ":1188"; use ":0" in tests).
+func NewServer(node *RealNode, addr string) (*Server, error) {
+	if node == nil {
+		return nil, fmt.Errorf("openc2x: server requires a node")
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("openc2x: listen %q: %w", addr, err)
+	}
+	s := &Server{node: node, ln: ln}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/trigger_denm", s.handleTrigger)
+	mux.HandleFunc("/request_denm", s.handleRequest)
+	mux.HandleFunc("/trigger_cam", s.handleTriggerCAM)
+	mux.HandleFunc("/causes", s.handleCauses)
+	s.srv = &http.Server{Handler: mux}
+	return s, nil
+}
+
+// Addr returns the bound listen address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Serve blocks serving the API until Close.
+func (s *Server) Serve() error {
+	err := s.srv.Serve(s.ln)
+	if err == http.ErrServerClosed {
+		return nil
+	}
+	return err
+}
+
+// Close shuts the server down.
+func (s *Server) Close() error { return s.srv.Close() }
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func (s *Server) handleTrigger(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST required", http.StatusMethodNotAllowed)
+		return
+	}
+	var req TriggerRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, TriggerResponse{Error: err.Error()})
+		return
+	}
+	id, err := s.node.TriggerDENM(req)
+	if err != nil {
+		writeJSON(w, http.StatusInternalServerError, TriggerResponse{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, TriggerResponse{
+		OK:                   true,
+		OriginatingStationID: uint32(id.OriginatingStationID),
+		SequenceNumber:       id.SequenceNumber,
+	})
+}
+
+func (s *Server) handleRequest(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST required", http.StatusMethodNotAllowed)
+		return
+	}
+	batch := s.node.RequestDENM()
+	out := make([]DENMSummary, 0, len(batch))
+	for _, rd := range batch {
+		out = append(out, Summarize(rd))
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleTriggerCAM(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST required", http.StatusMethodNotAllowed)
+		return
+	}
+	if err := s.node.TriggerCAM(); err != nil {
+		writeJSON(w, http.StatusInternalServerError, map[string]string{"error": err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
+}
+
+type causeJSON struct {
+	Code        uint8             `json:"code"`
+	Description string            `json:"description"`
+	SubCauses   map[string]string `json:"subCauses,omitempty"`
+}
+
+func (s *Server) handleCauses(w http.ResponseWriter, r *http.Request) {
+	all := messages.AllCauses()
+	out := make([]causeJSON, 0, len(all))
+	for _, c := range all {
+		cj := causeJSON{Code: uint8(c.Code), Description: c.Description}
+		if len(c.SubCauses) > 0 {
+			cj.SubCauses = make(map[string]string, len(c.SubCauses))
+			for k, v := range c.SubCauses {
+				cj.SubCauses[fmt.Sprintf("%d", k)] = v
+			}
+		}
+		out = append(out, cj)
+	}
+	writeJSON(w, http.StatusOK, out)
+}

@@ -1,0 +1,158 @@
+package openc2x
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"itsbed/internal/its/facilities/den"
+	"itsbed/internal/its/messages"
+	"itsbed/internal/sim"
+	"itsbed/internal/stack"
+)
+
+// HTTPLatency models one direction of an HTTP request on the wired
+// laboratory network (TCP handshake amortised by keep-alive; request
+// serialisation; kernel and web-framework overhead on the APU2).
+type HTTPLatency struct {
+	Mean   time.Duration
+	Jitter time.Duration // uniform ± jitter
+}
+
+// DefaultHTTPLatency matches a switched-Ethernet lab LAN with the
+// OpenC2X web application as server (light request_denm path).
+func DefaultHTTPLatency() HTTPLatency {
+	return HTTPLatency{Mean: 1200 * time.Microsecond, Jitter: 700 * time.Microsecond}
+}
+
+// DefaultTriggerLatency models the heavier trigger_denm path: the
+// OpenC2X web application relays the request through its ZeroMQ
+// service chain and the DEN service assembles the ASN.1 message
+// before the call returns, which the paper's measurements show costs
+// roughly an order of magnitude more than a plain poll on the APU2.
+func DefaultTriggerLatency() HTTPLatency {
+	return HTTPLatency{Mean: 21 * time.Millisecond, Jitter: 6 * time.Millisecond}
+}
+
+// Latencies bundles the HTTP API latency models of a SimNode.
+type Latencies struct {
+	// Poll is the one-way latency of the request_denm path.
+	Poll HTTPLatency
+	// Trigger is the one-way latency of the trigger_denm path.
+	Trigger HTTPLatency
+}
+
+// DefaultLatencies returns the calibrated lab defaults.
+func DefaultLatencies() Latencies {
+	return Latencies{Poll: DefaultHTTPLatency(), Trigger: DefaultTriggerLatency()}
+}
+
+func (l HTTPLatency) sample(rng *rand.Rand) time.Duration {
+	d := l.Mean
+	if l.Jitter > 0 {
+		d += time.Duration(rng.Int63n(int64(2*l.Jitter))) - l.Jitter
+	}
+	if d < 0 {
+		d = 0
+	}
+	return d
+}
+
+// SimNode is the in-simulation OpenC2X deployment: it owns a
+// stack.Station and reproduces the HTTP API semantics, including the
+// request latency an application experiences.
+type SimNode struct {
+	kernel  *sim.Kernel
+	station *stack.Station
+	lat     Latencies
+	rng     *rand.Rand
+	mailbox []ReceivedDENM
+
+	// TriggerCount counts accepted trigger_denm requests.
+	TriggerCount uint64
+	// PollCount counts request_denm polls served.
+	PollCount uint64
+}
+
+// NewSimNode wraps a started station. The station's OnDENM hook is
+// taken over to fill the node's mailbox; install application hooks via
+// the node, not the station, after this call.
+func NewSimNode(kernel *sim.Kernel, station *stack.Station, lat Latencies) *SimNode {
+	if lat.Poll == (HTTPLatency{}) {
+		lat.Poll = DefaultHTTPLatency()
+	}
+	if lat.Trigger == (HTTPLatency{}) {
+		lat.Trigger = DefaultTriggerLatency()
+	}
+	n := &SimNode{
+		kernel:  kernel,
+		station: station,
+		lat:     lat,
+		rng:     kernel.Rand("openc2x." + station.Name()),
+	}
+	prev := station.OnDENM
+	station.OnDENM = func(d *messages.DENM) {
+		n.mailbox = append(n.mailbox, ReceivedDENM{DENM: d, ReceivedAt: station.Clock.Now()})
+		if prev != nil {
+			prev(d)
+		}
+	}
+	return n
+}
+
+// Station returns the wrapped station.
+func (n *SimNode) Station() *stack.Station { return n.station }
+
+// TriggerDENM models POST /trigger_denm: the request reaches the node
+// after the uplink HTTP latency, the DEN service originates the DENM,
+// and the response callback fires after the downlink latency. The
+// callback runs on the kernel; it may be nil.
+func (n *SimNode) TriggerDENM(req TriggerRequest, cb func(messages.ActionID, error)) {
+	up := n.lat.Trigger.sample(n.rng)
+	n.kernel.Schedule(up, func() {
+		n.TriggerCount++
+		id, err := n.station.DEN.Trigger(den.EventRequest{
+			EventType: messages.EventType{
+				CauseCode:    messages.CauseCode(req.CauseCode),
+				SubCauseCode: messages.SubCauseCode(req.SubCauseCode),
+			},
+			Position:           req.Position(),
+			Quality:            messages.InformationQuality(req.Quality),
+			Validity:           time.Duration(req.ValiditySeconds) * time.Second,
+			RelevanceRadius:    req.RadiusMetres,
+			EventSpeedMS:       req.SpeedMS,
+			EventHeadingRad:    req.HeadingRad,
+			RepetitionInterval: time.Duration(req.RepetitionIntervalMS) * time.Millisecond,
+			RepetitionDuration: time.Duration(req.RepetitionDurationMS) * time.Millisecond,
+		})
+		if cb != nil {
+			down := n.lat.Trigger.sample(n.rng)
+			n.kernel.Schedule(down, func() { cb(id, err) })
+		}
+	})
+}
+
+// RequestDENM models POST /request_denm: after the uplink latency the
+// mailbox is drained; the callback receives the batch (possibly empty,
+// the HTTP 200 of the paper) after the downlink latency.
+func (n *SimNode) RequestDENM(cb func([]ReceivedDENM)) {
+	if cb == nil {
+		return
+	}
+	up := n.lat.Poll.sample(n.rng)
+	n.kernel.Schedule(up, func() {
+		n.PollCount++
+		batch := n.mailbox
+		n.mailbox = nil
+		down := n.lat.Poll.sample(n.rng)
+		n.kernel.Schedule(down, func() { cb(batch) })
+	})
+}
+
+// PendingDENMs reports the mailbox depth without draining it.
+func (n *SimNode) PendingDENMs() int { return len(n.mailbox) }
+
+// String implements fmt.Stringer.
+func (n *SimNode) String() string {
+	return fmt.Sprintf("openc2x(%s)", n.station.Name())
+}

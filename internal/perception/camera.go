@@ -1,0 +1,141 @@
+package perception
+
+import (
+	"math"
+	"math/rand"
+	"time"
+
+	"itsbed/internal/geo"
+	"itsbed/internal/sim"
+	"itsbed/internal/track"
+)
+
+// TargetFunc yields the live pose of the observed vehicle: position,
+// heading and dressing. ok is false when no target is on the floor.
+type TargetFunc func() (pos geo.Point, heading float64, dressing Dressing, ok bool)
+
+// FrameResult is delivered to subscribers when YOLO finishes
+// processing a frame.
+type FrameResult struct {
+	// FrameSeq numbers frames from 0.
+	FrameSeq uint64
+	// CaptureTime is the virtual time the frame was captured.
+	CaptureTime time.Duration
+	// CompletionTime is the virtual time inference finished.
+	CompletionTime time.Duration
+	// Detections from the detector model.
+	Detections []Detection
+	// TruthDistance is the ground-truth camera distance at capture
+	// (for experiment bookkeeping only; services must not use it).
+	TruthDistance float64
+}
+
+// CameraConfig parameterises the road-side camera pipeline.
+type CameraConfig struct {
+	// Camera pose and optics.
+	Camera track.Camera
+	// FramePeriod between processed frames (paper: 4 FPS ⇒ 250 ms).
+	FramePeriod time.Duration
+	// Model of the detector.
+	Model Model
+	// Target provides the observed vehicle's ground truth.
+	Target TargetFunc
+}
+
+// RoadsideCamera runs the capture/inference loop on the kernel and
+// fans results out to subscribers (the Object Detection Service).
+type RoadsideCamera struct {
+	cfg    CameraConfig
+	kernel *sim.Kernel
+	rng    *rand.Rand
+	ticker *sim.Ticker
+	subs   []func(FrameResult)
+	seq    uint64
+
+	// FramesProcessed counts completed inference passes.
+	FramesProcessed uint64
+	// FramesWithDetection counts frames with at least one box.
+	FramesWithDetection uint64
+}
+
+// NewRoadsideCamera builds the camera pipeline. Target is required.
+func NewRoadsideCamera(kernel *sim.Kernel, cfg CameraConfig) *RoadsideCamera {
+	if cfg.FramePeriod <= 0 {
+		cfg.FramePeriod = 250 * time.Millisecond
+	}
+	if cfg.Model == (Model{}) {
+		cfg.Model = DefaultModel()
+	}
+	return &RoadsideCamera{
+		cfg:    cfg,
+		kernel: kernel,
+		rng:    kernel.Rand("perception.camera"),
+	}
+}
+
+// Subscribe registers a consumer of frame results.
+func (c *RoadsideCamera) Subscribe(fn func(FrameResult)) {
+	if fn != nil {
+		c.subs = append(c.subs, fn)
+	}
+}
+
+// Start begins the frame loop.
+func (c *RoadsideCamera) Start() {
+	if c.ticker != nil {
+		return
+	}
+	c.ticker = c.kernel.Every(0, c.cfg.FramePeriod, c.captureFrame)
+}
+
+// Stop halts the frame loop.
+func (c *RoadsideCamera) Stop() {
+	if c.ticker != nil {
+		c.ticker.Stop()
+		c.ticker = nil
+	}
+}
+
+func (c *RoadsideCamera) captureFrame() {
+	capture := c.kernel.Now()
+	seq := c.seq
+	c.seq++
+
+	var truth Truth
+	var truthDist float64
+	if c.cfg.Target != nil {
+		if pos, heading, dressing, ok := c.cfg.Target(); ok {
+			truthDist = c.cfg.Camera.DistanceTo(pos)
+			// View angle between the camera axis and the direction
+			// from camera to target... combined with how much of the
+			// target's front the camera sees.
+			toTarget := pos.Sub(c.cfg.Camera.Position).Heading()
+			facingDiff := math.Abs(geo.HeadingDiff(toTarget, geo.NormalizeHeading(heading+math.Pi)))
+			truth = Truth{
+				Distance:  truthDist,
+				ViewAngle: facingDiff,
+				InFrustum: c.cfg.Camera.Sees(pos),
+				Dressing:  dressing,
+			}
+		}
+	}
+	// Inference runs after capture; the result carries both stamps.
+	lat := c.cfg.Model.InferenceLatency(c.rng)
+	c.kernel.Schedule(lat, func() {
+		dets := c.cfg.Model.Detect(truth, c.rng)
+		c.FramesProcessed++
+		if len(dets) > 0 {
+			c.FramesWithDetection++
+		}
+		res := FrameResult{
+			FrameSeq:       seq,
+			CaptureTime:    capture,
+			CompletionTime: c.kernel.Now(),
+			Detections:     dets,
+			TruthDistance:  truthDist,
+		}
+		for _, fn := range c.subs {
+			fn(res)
+		}
+	})
+}

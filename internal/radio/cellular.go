@@ -1,0 +1,119 @@
+package radio
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"itsbed/internal/sim"
+)
+
+// CellularProfile describes the one-way latency of a cellular (Uu)
+// link between two stations via base station and core/edge network, as
+// used by the paper's planned 5G comparison. Latency is sampled per
+// message as base + exponential jitter, plus a loss probability.
+type CellularProfile struct {
+	Name string
+	// BaseLatency is the minimum one-way latency (scheduling grant +
+	// radio + transport to the edge).
+	BaseLatency time.Duration
+	// JitterMean is the mean of the additional exponential jitter.
+	JitterMean time.Duration
+	// LossProbability of a message (HARQ failures surviving RLC).
+	LossProbability float64
+}
+
+// Profile5GURLLC approximates a 5G NR link with edge breakout and
+// URLLC-grade configuration.
+func Profile5GURLLC() CellularProfile {
+	return CellularProfile{
+		Name:        "5G-URLLC-edge",
+		BaseLatency: 4 * time.Millisecond,
+		JitterMean:  2 * time.Millisecond,
+	}
+}
+
+// Profile5GEMBB approximates a public 5G eMBB network with regional
+// core.
+func Profile5GEMBB() CellularProfile {
+	return CellularProfile{
+		Name:            "5G-eMBB-public",
+		BaseLatency:     12 * time.Millisecond,
+		JitterMean:      8 * time.Millisecond,
+		LossProbability: 0.001,
+	}
+}
+
+// ProfileLTE approximates a public LTE network.
+func ProfileLTE() CellularProfile {
+	return CellularProfile{
+		Name:            "LTE-public",
+		BaseLatency:     25 * time.Millisecond,
+		JitterMean:      15 * time.Millisecond,
+		LossProbability: 0.005,
+	}
+}
+
+// CellularLink is a point-to-multipoint message pipe with the latency
+// law of a cellular network. It implements geonet.LinkLayer so a GN
+// router (or a raw facilities dispatcher) can run over it unchanged.
+type CellularLink struct {
+	kernel    *sim.Kernel
+	profile   CellularProfile
+	rng       *rand.Rand
+	receivers []func(frame []byte)
+
+	// MessagesSent counts messages entering the link.
+	MessagesSent uint64
+	// MessagesLost counts messages dropped by the loss model.
+	MessagesLost uint64
+}
+
+// NewCellularLink creates a cellular link on the kernel.
+func NewCellularLink(kernel *sim.Kernel, profile CellularProfile) *CellularLink {
+	return &CellularLink{
+		kernel:  kernel,
+		profile: profile,
+		rng:     kernel.Rand("radio.cellular." + profile.Name),
+	}
+}
+
+// Subscribe registers a receiver for every message sent on the link.
+func (l *CellularLink) Subscribe(fn func(frame []byte)) {
+	if fn != nil {
+		l.receivers = append(l.receivers, fn)
+	}
+}
+
+// SetReceiver is Subscribe under the name the stack's link override
+// expects, so a CellularLink can stand in for an 802.11p interface.
+func (l *CellularLink) SetReceiver(fn func(frame []byte)) { l.Subscribe(fn) }
+
+// SendBroadcast delivers the frame to every subscriber after an
+// independently sampled cellular latency, satisfying geonet.LinkLayer.
+func (l *CellularLink) SendBroadcast(frame []byte) error {
+	l.MessagesSent++
+	f := make([]byte, len(frame))
+	copy(f, frame)
+	for _, rcv := range l.receivers {
+		if l.profile.LossProbability > 0 && l.rng.Float64() < l.profile.LossProbability {
+			l.MessagesLost++
+			continue
+		}
+		delay := l.profile.BaseLatency
+		if l.profile.JitterMean > 0 {
+			delay += time.Duration(l.rng.ExpFloat64() * float64(l.profile.JitterMean))
+		}
+		rcv := rcv
+		l.kernel.Schedule(delay, func() { rcv(f) })
+	}
+	return nil
+}
+
+// Profile returns the link's latency profile.
+func (l *CellularLink) Profile() CellularProfile { return l.profile }
+
+// String implements fmt.Stringer.
+func (l *CellularLink) String() string {
+	return fmt.Sprintf("cellular(%s)", l.profile.Name)
+}

@@ -1,0 +1,424 @@
+package radio
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"itsbed/internal/geo"
+	"itsbed/internal/sim"
+)
+
+// ObstructionModel adds environment-dependent attenuation per link
+// (walls, the blind corner panel). world.Map satisfies it.
+type ObstructionModel interface {
+	ObstructionLossDB(a, b geo.Point) float64
+}
+
+// MediumConfig parameterises the shared broadcast medium.
+type MediumConfig struct {
+	PathLoss PathLossModel
+	// Obstructions, when set, contributes per-link penetration loss —
+	// the shadowing model the paper lists as future work.
+	Obstructions ObstructionModel
+	// NoiseFloorDBm of the receivers; zero selects the default.
+	NoiseFloorDBm float64
+	// SensitivityDBm below which frames cannot be decoded; zero
+	// selects the default.
+	SensitivityDBm float64
+	// CarrierSenseDBm above which the channel is sensed busy; zero
+	// selects the default.
+	CarrierSenseDBm float64
+}
+
+func (c *MediumConfig) applyDefaults() {
+	if c.NoiseFloorDBm == 0 {
+		c.NoiseFloorDBm = NoiseFloorDBm
+	}
+	if c.SensitivityDBm == 0 {
+		c.SensitivityDBm = DefaultSensitivityDBm
+	}
+	if c.CarrierSenseDBm == 0 {
+		c.CarrierSenseDBm = DefaultCarrierSenseDBm
+	}
+	if c.PathLoss.Exponent == 0 {
+		c.PathLoss = DefaultIndoorPathLoss()
+	}
+}
+
+// transmission is one frame on the air.
+type transmission struct {
+	src      *Interface
+	frame    []byte
+	start    time.Duration
+	end      time.Duration
+	powerDBm float64
+}
+
+// Medium is the shared 802.11p broadcast channel of one collision
+// domain (the laboratory). Interfaces attach with a position; frames
+// propagate to every other attached interface per the path-loss and
+// SINR model.
+type Medium struct {
+	kernel  *sim.Kernel
+	cfg     MediumConfig
+	rng     *rand.Rand
+	ifaces  []*Interface
+	ongoing []*transmission
+	// shadow caches per-link shadowing in dB, symmetric.
+	shadow map[linkKey]float64
+
+	// FramesSent counts transmissions started on the medium.
+	FramesSent uint64
+	// FramesLost counts per-receiver losses (sensitivity or SINR).
+	FramesLost uint64
+	// FramesDelivered counts per-receiver successful deliveries.
+	FramesDelivered uint64
+}
+
+type linkKey struct{ a, b int }
+
+// NewMedium creates a broadcast medium on the kernel.
+func NewMedium(kernel *sim.Kernel, cfg MediumConfig) *Medium {
+	cfg.applyDefaults()
+	return &Medium{
+		kernel: kernel,
+		cfg:    cfg,
+		rng:    kernel.Rand("radio.medium"),
+		shadow: make(map[linkKey]float64),
+	}
+}
+
+// shadowingDB returns the (stable) shadowing for the link a→b.
+func (m *Medium) shadowingDB(a, b int) float64 {
+	if m.cfg.PathLoss.ShadowingSigmaDB == 0 {
+		return 0
+	}
+	k := linkKey{a, b}
+	if a > b {
+		k = linkKey{b, a}
+	}
+	if s, ok := m.shadow[k]; ok {
+		return s
+	}
+	s := m.rng.NormFloat64() * m.cfg.PathLoss.ShadowingSigmaDB
+	m.shadow[k] = s
+	return s
+}
+
+// rxPowerDBm computes the power of src's signal at dst.
+func (m *Medium) rxPowerDBm(t *transmission, dst *Interface) float64 {
+	a, b := t.src.Position(), dst.Position()
+	rx := t.powerDBm - m.cfg.PathLoss.LossDB(a.DistanceTo(b)) - m.shadowingDB(t.src.id, dst.id)
+	if m.cfg.Obstructions != nil {
+		rx -= m.cfg.Obstructions.ObstructionLossDB(a, b)
+	}
+	return rx
+}
+
+// busyAt reports whether iface senses the channel busy at the current
+// instant: any ongoing transmission above the carrier-sense level, or
+// its own frame still on the air (the radio is half-duplex).
+func (m *Medium) busyAt(iface *Interface) bool {
+	now := m.kernel.Now()
+	for _, t := range m.ongoing {
+		if t.end <= now {
+			continue
+		}
+		if t.src == iface || m.rxPowerDBm(t, iface) >= m.cfg.CarrierSenseDBm {
+			return true
+		}
+	}
+	return false
+}
+
+// busyUntil returns the latest end time of transmissions iface must
+// defer to (sensed or its own), or zero when idle.
+func (m *Medium) busyUntil(iface *Interface) time.Duration {
+	now := m.kernel.Now()
+	var until time.Duration
+	for _, t := range m.ongoing {
+		if t.end <= now {
+			continue
+		}
+		if (t.src == iface || m.rxPowerDBm(t, iface) >= m.cfg.CarrierSenseDBm) && t.end > until {
+			until = t.end
+		}
+	}
+	return until
+}
+
+// transmit puts a frame on the air from iface and schedules reception
+// outcomes at every other interface.
+func (m *Medium) transmit(iface *Interface, frame []byte) {
+	now := m.kernel.Now()
+	air := Airtime(len(frame), iface.cfg.MCS)
+	t := &transmission{
+		src:      iface,
+		frame:    frame,
+		start:    now,
+		end:      now + air,
+		powerDBm: iface.cfg.TxPowerDBm,
+	}
+	m.ongoing = append(m.ongoing, t)
+	m.FramesSent++
+	m.kernel.Schedule(air, func() {
+		m.complete(t)
+	})
+}
+
+// complete evaluates reception at each interface when the frame's
+// airtime elapses, then retires the transmission.
+func (m *Medium) complete(t *transmission) {
+	for _, dst := range m.ifaces {
+		if dst == t.src {
+			continue
+		}
+		rx := m.rxPowerDBm(t, dst)
+		if rx < m.cfg.SensitivityDBm {
+			m.FramesLost++
+			continue
+		}
+		// Interference: power of other transmissions overlapping in
+		// time at this receiver.
+		interfMW := dbmToMilliwatt(m.cfg.NoiseFloorDBm)
+		for _, o := range m.ongoing {
+			if o == t || o.src == dst {
+				continue
+			}
+			if o.start < t.end && o.end > t.start { // overlap
+				interfMW += dbmToMilliwatt(m.rxPowerDBm(o, dst))
+			}
+		}
+		sinrDB := rx - milliwattToDBm(interfMW)
+		p := successProbability(sinrDB, t.src.cfg.MCS.SNRThresholdDB)
+		if m.rng.Float64() > p {
+			m.FramesLost++
+			dst.FramesCorrupted++
+			continue
+		}
+		m.FramesDelivered++
+		dst.FramesReceived++
+		frame := make([]byte, len(t.frame))
+		copy(frame, t.frame)
+		if dst.receive != nil {
+			dst.receive(frame)
+		}
+	}
+	// Retire the transmission.
+	for i, o := range m.ongoing {
+		if o == t {
+			m.ongoing = append(m.ongoing[:i], m.ongoing[i+1:]...)
+			break
+		}
+	}
+	// Wake transmitters waiting for an idle channel.
+	for _, iface := range m.ifaces {
+		iface.channelMaybeIdle()
+	}
+}
+
+// InterfaceConfig parameterises one attached radio.
+type InterfaceConfig struct {
+	Name       string
+	MCS        MCS
+	TxPowerDBm float64
+	// DefaultAC is the access category used when Send does not
+	// specify one.
+	DefaultAC AccessCategory
+	// QueueCap bounds the transmit queue; excess frames are dropped
+	// (as a full driver queue would). Zero selects 64.
+	QueueCap int
+}
+
+func (c *InterfaceConfig) applyDefaults() {
+	if c.MCS.BitsPerSymbol == 0 {
+		c.MCS = MCS6Mbps
+	}
+	if c.TxPowerDBm == 0 {
+		c.TxPowerDBm = DefaultTxPowerDBm
+	}
+	if c.DefaultAC == 0 {
+		c.DefaultAC = ACBestEffort
+	}
+	if c.QueueCap == 0 {
+		c.QueueCap = 64
+	}
+}
+
+// PositionFunc yields an interface's current position on the local
+// plane (vehicles move; RSUs are static).
+type PositionFunc func() geo.Point
+
+// queuedFrame is one frame awaiting channel access.
+type queuedFrame struct {
+	frame []byte
+	ac    AccessCategory
+	// enqueued is when the frame entered the queue.
+	enqueued time.Duration
+}
+
+// Interface is one 802.11p radio attached to the medium, with an EDCA
+// transmit path. It implements geonet.LinkLayer via SendBroadcast.
+type Interface struct {
+	id      int
+	medium  *Medium
+	kernel  *sim.Kernel
+	cfg     InterfaceConfig
+	pos     PositionFunc
+	rng     *rand.Rand
+	receive func(frame []byte)
+
+	queue      []queuedFrame
+	accessBusy bool // an access attempt is in flight
+
+	// FramesQueued counts frames accepted into the transmit queue.
+	FramesQueued uint64
+	// FramesDroppedQueueFull counts tail drops.
+	FramesDroppedQueueFull uint64
+	// FramesTransmitted counts frames put on the air.
+	FramesTransmitted uint64
+	// FramesReceived counts frames successfully decoded.
+	FramesReceived uint64
+	// FramesCorrupted counts frames lost to SINR at this receiver.
+	FramesCorrupted uint64
+	// AccessDelayTotal accumulates queue+contention time for
+	// transmitted frames (diagnostics).
+	AccessDelayTotal time.Duration
+}
+
+// Attach adds a radio to the medium. pos must not be nil. The receive
+// callback (set later via SetReceiver) is invoked for each frame
+// decoded at this interface.
+func (m *Medium) Attach(cfg InterfaceConfig, pos PositionFunc) (*Interface, error) {
+	if pos == nil {
+		return nil, fmt.Errorf("radio: attach %q: nil position func", cfg.Name)
+	}
+	cfg.applyDefaults()
+	iface := &Interface{
+		id:     len(m.ifaces),
+		medium: m,
+		kernel: m.kernel,
+		cfg:    cfg,
+		pos:    pos,
+		rng:    m.kernel.Rand("radio.iface." + cfg.Name),
+	}
+	m.ifaces = append(m.ifaces, iface)
+	return iface, nil
+}
+
+// SetReceiver installs the frame-delivery callback (the GN router).
+func (i *Interface) SetReceiver(fn func(frame []byte)) { i.receive = fn }
+
+// Position returns the interface's current position.
+func (i *Interface) Position() geo.Point { return i.pos() }
+
+// Name returns the configured interface name.
+func (i *Interface) Name() string { return i.cfg.Name }
+
+// SendBroadcast queues a frame at the default access category,
+// satisfying geonet.LinkLayer.
+func (i *Interface) SendBroadcast(frame []byte) error {
+	return i.SendBroadcastAC(frame, i.cfg.DefaultAC)
+}
+
+// SendBroadcastPriority maps a GeoNetworking traffic-class identifier
+// (0 = highest) to an EDCA access category, satisfying the router's
+// optional PriorityLink extension: DENMs at TC 0 ride AC_VO, CAMs at
+// TC 2 ride AC_BE, per EN 302 663.
+func (i *Interface) SendBroadcastPriority(frame []byte, priority uint8) error {
+	ac := ACBackground
+	switch priority {
+	case 0:
+		ac = ACVoice
+	case 1:
+		ac = ACVideo
+	case 2:
+		ac = ACBestEffort
+	}
+	return i.SendBroadcastAC(frame, ac)
+}
+
+// SendBroadcastAC queues a frame at an explicit access category.
+func (i *Interface) SendBroadcastAC(frame []byte, ac AccessCategory) error {
+	if len(i.queue) >= i.cfg.QueueCap {
+		i.FramesDroppedQueueFull++
+		return fmt.Errorf("radio: %s transmit queue full (%d frames)", i.cfg.Name, i.cfg.QueueCap)
+	}
+	f := make([]byte, len(frame))
+	copy(f, frame)
+	i.queue = append(i.queue, queuedFrame{frame: f, ac: ac, enqueued: i.kernel.Now()})
+	i.FramesQueued++
+	i.tryAccess()
+	return nil
+}
+
+// tryAccess starts an EDCA access attempt for the head-of-line frame
+// if none is in flight.
+func (i *Interface) tryAccess() {
+	if i.accessBusy || len(i.queue) == 0 {
+		return
+	}
+	i.accessBusy = true
+	head := i.queue[0]
+	aifs := AIFS(head.ac)
+	if !i.medium.busyAt(i) {
+		// Channel idle: transmit after AIFS (assuming it stays idle —
+		// the lab has two radios, so post-AIFS collisions are rare and
+		// are approximated by the SINR overlap model).
+		i.kernel.Schedule(aifs, func() { i.fire() })
+		return
+	}
+	// Busy: defer to end of busy period, then AIFS + random backoff.
+	i.waitForIdle(head.ac)
+}
+
+func (i *Interface) waitForIdle(ac AccessCategory) {
+	until := i.medium.busyUntil(i)
+	if until == 0 {
+		backoff := time.Duration(i.rng.Intn(CWMin(ac)+1)) * SlotTime
+		i.kernel.Schedule(AIFS(ac)+backoff, func() { i.fire() })
+		return
+	}
+	i.kernel.At(until, func() {
+		// Re-check: another transmission may have started meanwhile.
+		if i.medium.busyAt(i) {
+			i.waitForIdle(ac)
+			return
+		}
+		backoff := time.Duration(i.rng.Intn(CWMin(ac)+1)) * SlotTime
+		i.kernel.Schedule(AIFS(ac)+backoff, func() { i.fire() })
+	})
+}
+
+// channelMaybeIdle is called by the medium when a transmission ends,
+// giving deferred transmitters a chance to proceed. Access attempts in
+// flight re-check the channel themselves; idle interfaces with queued
+// frames start an attempt.
+func (i *Interface) channelMaybeIdle() {
+	if !i.accessBusy && len(i.queue) > 0 {
+		i.tryAccess()
+	}
+}
+
+// fire transmits the head-of-line frame if the channel is (still)
+// idle; otherwise the access attempt re-enters the defer path.
+func (i *Interface) fire() {
+	if len(i.queue) == 0 {
+		i.accessBusy = false
+		return
+	}
+	if i.medium.busyAt(i) {
+		i.waitForIdle(i.queue[0].ac)
+		return
+	}
+	head := i.queue[0]
+	i.queue = i.queue[1:]
+	i.FramesTransmitted++
+	i.AccessDelayTotal += i.kernel.Now() - head.enqueued
+	i.medium.transmit(i, head.frame)
+	i.accessBusy = false
+	if len(i.queue) > 0 {
+		i.tryAccess()
+	}
+}

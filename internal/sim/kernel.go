@@ -1,0 +1,262 @@
+// Package sim provides a deterministic discrete-event simulation kernel.
+//
+// The kernel maintains a virtual clock and a priority queue of timed
+// events. All simulated subsystems (radio medium, vehicle physics,
+// perception pipeline, protocol timers) schedule callbacks on a shared
+// Kernel; running the kernel advances virtual time from event to event.
+// Determinism is guaranteed by a stable tie-break on (time, sequence
+// number) and by handing out named, independently seeded random streams.
+package sim
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// ErrStopped is returned by Run when the kernel was stopped explicitly
+// before reaching its horizon.
+var ErrStopped = errors.New("sim: kernel stopped")
+
+// Event is a scheduled callback. It is returned by the scheduling
+// methods and can be used to cancel the event before it fires.
+type Event struct {
+	at     time.Duration
+	seq    uint64
+	fn     func()
+	index  int // heap index, -1 once removed
+	cancel bool
+}
+
+// Time reports the virtual time at which the event fires.
+func (e *Event) Time() time.Duration { return e.at }
+
+// Cancel prevents the event from firing. Cancelling an event that has
+// already fired or was already cancelled is a no-op.
+func (e *Event) Cancel() {
+	if e != nil {
+		e.cancel = true
+	}
+}
+
+type eventQueue []*Event
+
+func (q eventQueue) Len() int { return len(q) }
+
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+
+func (q *eventQueue) Push(x any) {
+	ev := x.(*Event)
+	ev.index = len(*q)
+	*q = append(*q, ev)
+}
+
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*q = old[:n-1]
+	return ev
+}
+
+// Kernel is a single-threaded discrete-event scheduler. It is not safe
+// for concurrent use; all simulated components run inside kernel events.
+type Kernel struct {
+	now     time.Duration
+	queue   eventQueue
+	seq     uint64
+	stopped bool
+	seed    int64
+	streams map[string]*rand.Rand
+	// processed counts events executed, for diagnostics and runaway
+	// detection in tests.
+	processed uint64
+}
+
+// NewKernel returns a kernel whose random streams derive from seed.
+func NewKernel(seed int64) *Kernel {
+	return &Kernel{
+		seed:    seed,
+		streams: make(map[string]*rand.Rand),
+	}
+}
+
+// Now reports the current virtual time since simulation start.
+func (k *Kernel) Now() time.Duration { return k.now }
+
+// Processed reports how many events have been executed so far.
+func (k *Kernel) Processed() uint64 { return k.processed }
+
+// Seed reports the master seed the kernel was created with.
+func (k *Kernel) Seed() int64 { return k.seed }
+
+// Rand returns the named deterministic random stream, creating it on
+// first use. Distinct names yield independent streams; the same name
+// always yields the same sequence for a given kernel seed, regardless
+// of the order in which other streams are created.
+func (k *Kernel) Rand(name string) *rand.Rand {
+	if r, ok := k.streams[name]; ok {
+		return r
+	}
+	h := fnv64(name)
+	r := rand.New(rand.NewSource(k.seed ^ int64(h)))
+	k.streams[name] = r
+	return r
+}
+
+func fnv64(s string) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	var h uint64 = offset
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime
+	}
+	return h
+}
+
+// Schedule runs fn after delay of virtual time. A negative delay is
+// treated as zero (fire as soon as possible, after already-queued
+// events at the current instant).
+func (k *Kernel) Schedule(delay time.Duration, fn func()) *Event {
+	if fn == nil {
+		panic("sim: Schedule with nil callback")
+	}
+	if delay < 0 {
+		delay = 0
+	}
+	ev := &Event{at: k.now + delay, seq: k.seq, fn: fn}
+	k.seq++
+	heap.Push(&k.queue, ev)
+	return ev
+}
+
+// At runs fn at the absolute virtual time t. Times in the past are
+// clamped to now.
+func (k *Kernel) At(t time.Duration, fn func()) *Event {
+	return k.Schedule(t-k.now, fn)
+}
+
+// Every schedules fn periodically, first after start, then every
+// period, until the returned Ticker is stopped.
+func (k *Kernel) Every(start, period time.Duration, fn func()) *Ticker {
+	if period <= 0 {
+		panic(fmt.Sprintf("sim: Every with non-positive period %v", period))
+	}
+	t := &Ticker{kernel: k, period: period, fn: fn}
+	t.ev = k.Schedule(start, t.tick)
+	return t
+}
+
+// Ticker is a periodic event created by Every.
+type Ticker struct {
+	kernel  *Kernel
+	period  time.Duration
+	fn      func()
+	ev      *Event
+	stopped bool
+}
+
+func (t *Ticker) tick() {
+	if t.stopped {
+		return
+	}
+	t.fn()
+	if !t.stopped {
+		t.ev = t.kernel.Schedule(t.period, t.tick)
+	}
+}
+
+// Stop cancels future firings. Safe to call multiple times and from
+// within the ticker callback.
+func (t *Ticker) Stop() {
+	t.stopped = true
+	t.ev.Cancel()
+}
+
+// Stop halts a Run in progress after the current event completes.
+func (k *Kernel) Stop() { k.stopped = true }
+
+// Pending reports the number of events waiting in the queue,
+// including cancelled events not yet discarded.
+func (k *Kernel) Pending() int { return len(k.queue) }
+
+// Run executes events in timestamp order until the queue is empty or
+// virtual time would exceed horizon. Events scheduled exactly at the
+// horizon still run. Returns ErrStopped if Stop was called.
+func (k *Kernel) Run(horizon time.Duration) error {
+	k.stopped = false
+	for len(k.queue) > 0 {
+		if k.stopped {
+			return ErrStopped
+		}
+		next := k.queue[0]
+		if next.at > horizon {
+			// Leave the event queued; advance the clock to the horizon
+			// so successive Run calls continue seamlessly.
+			k.now = horizon
+			return nil
+		}
+		heap.Pop(&k.queue)
+		if next.cancel {
+			continue
+		}
+		k.now = next.at
+		k.processed++
+		next.fn()
+	}
+	if k.now < horizon {
+		k.now = horizon
+	}
+	return nil
+}
+
+// RunUntil executes events until pred returns true (checked after each
+// event) or the horizon passes. It reports whether pred was satisfied.
+func (k *Kernel) RunUntil(horizon time.Duration, pred func() bool) (bool, error) {
+	if pred() {
+		return true, nil
+	}
+	k.stopped = false
+	for len(k.queue) > 0 {
+		if k.stopped {
+			return false, ErrStopped
+		}
+		next := k.queue[0]
+		if next.at > horizon {
+			k.now = horizon
+			return false, nil
+		}
+		heap.Pop(&k.queue)
+		if next.cancel {
+			continue
+		}
+		k.now = next.at
+		k.processed++
+		next.fn()
+		if pred() {
+			return true, nil
+		}
+	}
+	if k.now < horizon {
+		k.now = horizon
+	}
+	return false, nil
+}

@@ -1,0 +1,340 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestScheduleOrdering(t *testing.T) {
+	k := NewKernel(1)
+	var got []int
+	k.Schedule(30*time.Millisecond, func() { got = append(got, 3) })
+	k.Schedule(10*time.Millisecond, func() { got = append(got, 1) })
+	k.Schedule(20*time.Millisecond, func() { got = append(got, 2) })
+	if err := k.Run(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	want := []int{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order %v, want %v", got, want)
+		}
+	}
+}
+
+func TestScheduleTieBreakFIFO(t *testing.T) {
+	k := NewKernel(1)
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		k.Schedule(5*time.Millisecond, func() { got = append(got, i) })
+	}
+	if err := k.Run(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	for i := range got {
+		if got[i] != i {
+			t.Fatalf("same-time events not FIFO: %v", got)
+		}
+	}
+}
+
+func TestNegativeDelayClamped(t *testing.T) {
+	k := NewKernel(1)
+	fired := false
+	k.Schedule(-time.Second, func() { fired = true })
+	if err := k.Run(time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if !fired {
+		t.Fatal("negative-delay event did not fire")
+	}
+	if k.Now() != time.Millisecond {
+		t.Fatalf("Now()=%v, want horizon", k.Now())
+	}
+}
+
+func TestCancel(t *testing.T) {
+	k := NewKernel(1)
+	fired := false
+	ev := k.Schedule(10*time.Millisecond, func() { fired = true })
+	ev.Cancel()
+	if err := k.Run(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+}
+
+func TestCancelIsIdempotentAndNilSafe(t *testing.T) {
+	k := NewKernel(1)
+	ev := k.Schedule(time.Millisecond, func() {})
+	ev.Cancel()
+	ev.Cancel()
+	var nilEv *Event
+	nilEv.Cancel() // must not panic
+	if err := k.Run(time.Second); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHorizonLeavesFutureEventsQueued(t *testing.T) {
+	k := NewKernel(1)
+	fired := false
+	k.Schedule(100*time.Millisecond, func() { fired = true })
+	if err := k.Run(50 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if fired {
+		t.Fatal("event beyond horizon fired")
+	}
+	if k.Now() != 50*time.Millisecond {
+		t.Fatalf("Now()=%v, want 50ms", k.Now())
+	}
+	if err := k.Run(200 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if !fired {
+		t.Fatal("event did not fire on resumed run")
+	}
+}
+
+func TestEventAtHorizonFires(t *testing.T) {
+	k := NewKernel(1)
+	fired := false
+	k.Schedule(50*time.Millisecond, func() { fired = true })
+	if err := k.Run(50 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if !fired {
+		t.Fatal("event exactly at horizon should fire")
+	}
+}
+
+func TestAtAbsoluteTime(t *testing.T) {
+	k := NewKernel(1)
+	var at time.Duration
+	k.Schedule(10*time.Millisecond, func() {
+		k.At(25*time.Millisecond, func() { at = k.Now() })
+	})
+	if err := k.Run(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if at != 25*time.Millisecond {
+		t.Fatalf("At fired at %v, want 25ms", at)
+	}
+}
+
+func TestEvery(t *testing.T) {
+	k := NewKernel(1)
+	var times []time.Duration
+	tk := k.Every(10*time.Millisecond, 20*time.Millisecond, func() {
+		times = append(times, k.Now())
+	})
+	k.Schedule(75*time.Millisecond, tk.Stop)
+	if err := k.Run(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	want := []time.Duration{10 * time.Millisecond, 30 * time.Millisecond, 50 * time.Millisecond, 70 * time.Millisecond}
+	if len(times) != len(want) {
+		t.Fatalf("ticks %v, want %v", times, want)
+	}
+	for i := range want {
+		if times[i] != want[i] {
+			t.Fatalf("tick %d at %v, want %v", i, times[i], want[i])
+		}
+	}
+}
+
+func TestTickerStopFromWithinCallback(t *testing.T) {
+	k := NewKernel(1)
+	n := 0
+	var tk *Ticker
+	tk = k.Every(0, time.Millisecond, func() {
+		n++
+		if n == 3 {
+			tk.Stop()
+		}
+	})
+	if err := k.Run(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 {
+		t.Fatalf("ticker fired %d times, want 3", n)
+	}
+}
+
+func TestStop(t *testing.T) {
+	k := NewKernel(1)
+	n := 0
+	k.Every(0, time.Millisecond, func() {
+		n++
+		if n == 5 {
+			k.Stop()
+		}
+	})
+	if err := k.Run(time.Second); err != ErrStopped {
+		t.Fatalf("Run error %v, want ErrStopped", err)
+	}
+	if n != 5 {
+		t.Fatalf("processed %d events, want 5", n)
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	k := NewKernel(1)
+	n := 0
+	k.Every(0, time.Millisecond, func() { n++ })
+	ok, err := k.RunUntil(time.Second, func() bool { return n >= 10 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("predicate not satisfied")
+	}
+	if n != 10 {
+		t.Fatalf("n=%d, want exactly 10 (stop right after pred)", n)
+	}
+}
+
+func TestRunUntilHorizon(t *testing.T) {
+	k := NewKernel(1)
+	k.Schedule(time.Millisecond, func() {})
+	ok, err := k.RunUntil(time.Second, func() bool { return false })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("predicate unexpectedly satisfied")
+	}
+	if k.Now() != time.Second {
+		t.Fatalf("Now()=%v, want horizon", k.Now())
+	}
+}
+
+func TestRunUntilPredAlreadyTrue(t *testing.T) {
+	k := NewKernel(1)
+	fired := false
+	k.Schedule(time.Millisecond, func() { fired = true })
+	ok, err := k.RunUntil(time.Second, func() bool { return true })
+	if err != nil || !ok {
+		t.Fatalf("ok=%v err=%v", ok, err)
+	}
+	if fired {
+		t.Fatal("no events should run when pred is already true")
+	}
+}
+
+func TestRandStreamsIndependentOfCreationOrder(t *testing.T) {
+	k1 := NewKernel(99)
+	a1 := k1.Rand("a").Int63()
+	b1 := k1.Rand("b").Int63()
+
+	k2 := NewKernel(99)
+	b2 := k2.Rand("b").Int63()
+	a2 := k2.Rand("a").Int63()
+
+	if a1 != a2 || b1 != b2 {
+		t.Fatal("named streams depend on creation order")
+	}
+}
+
+func TestRandStreamsDifferBySeed(t *testing.T) {
+	if NewKernel(1).Rand("x").Int63() == NewKernel(2).Rand("x").Int63() {
+		t.Fatal("different seeds produced identical streams")
+	}
+}
+
+func TestRandSameNameSameStream(t *testing.T) {
+	k := NewKernel(5)
+	r1 := k.Rand("s")
+	r2 := k.Rand("s")
+	if r1 != r2 {
+		t.Fatal("same name returned distinct streams")
+	}
+}
+
+func TestScheduleNilPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Schedule(nil) did not panic")
+		}
+	}()
+	NewKernel(1).Schedule(time.Millisecond, nil)
+}
+
+func TestEveryNonPositivePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Every with period 0 did not panic")
+		}
+	}()
+	NewKernel(1).Every(0, 0, func() {})
+}
+
+// TestPropertyEventsFireInOrder checks, for arbitrary delay sets, that
+// execution times are non-decreasing.
+func TestPropertyEventsFireInOrder(t *testing.T) {
+	f := func(delays []uint16) bool {
+		if len(delays) == 0 {
+			return true
+		}
+		k := NewKernel(7)
+		var fired []time.Duration
+		for _, d := range delays {
+			k.Schedule(time.Duration(d)*time.Microsecond, func() {
+				fired = append(fired, k.Now())
+			})
+		}
+		if err := k.Run(time.Hour); err != nil {
+			return false
+		}
+		if len(fired) != len(delays) {
+			return false
+		}
+		for i := 1; i < len(fired); i++ {
+			if fired[i] < fired[i-1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50, Rand: rand.New(rand.NewSource(1))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProcessedCounter(t *testing.T) {
+	k := NewKernel(1)
+	for i := 0; i < 7; i++ {
+		k.Schedule(time.Duration(i)*time.Millisecond, func() {})
+	}
+	if err := k.Run(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if k.Processed() != 7 {
+		t.Fatalf("Processed()=%d, want 7", k.Processed())
+	}
+}
+
+func TestNestedScheduling(t *testing.T) {
+	k := NewKernel(1)
+	depth := 0
+	var recurse func()
+	recurse = func() {
+		depth++
+		if depth < 100 {
+			k.Schedule(time.Microsecond, recurse)
+		}
+	}
+	k.Schedule(0, recurse)
+	if err := k.Run(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if depth != 100 {
+		t.Fatalf("depth=%d, want 100", depth)
+	}
+}

@@ -1,0 +1,428 @@
+// Package stack assembles a complete ETSI ITS station for the testbed:
+// an 802.11p interface on the shared medium, a GeoNetworking router,
+// BTP dispatch, the CA and DEN basic services, and a Local Dynamic
+// Map — the same layering OpenC2X deploys on the PCEngines APU2
+// OBU/RSU boards of the paper.
+//
+// The station also models the software processing latency of the
+// OpenC2X stack: each message spends a sampled per-direction delay
+// between the application boundary and the radio, so end-to-end
+// timestamps include realistic stack traversal times and not just
+// airtime.
+package stack
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"itsbed/internal/clock"
+	"itsbed/internal/geo"
+	"itsbed/internal/its/btp"
+	"itsbed/internal/its/facilities/ca"
+	"itsbed/internal/its/facilities/den"
+	"itsbed/internal/its/facilities/ldm"
+	"itsbed/internal/its/geonet"
+	"itsbed/internal/its/messages"
+	"itsbed/internal/radio"
+	"itsbed/internal/sim"
+	"itsbed/internal/units"
+)
+
+// Role of a station.
+type Role int
+
+// Station roles.
+const (
+	RoleOBU Role = iota + 1
+	RoleRSU
+)
+
+// String implements fmt.Stringer.
+func (r Role) String() string {
+	switch r {
+	case RoleOBU:
+		return "OBU"
+	case RoleRSU:
+		return "RSU"
+	default:
+		return "station"
+	}
+}
+
+// Mobility yields the station's live position and kinematic state.
+// Vehicles implement it from their physics; RSUs use StaticMobility.
+type Mobility interface {
+	// Position on the local plane (for the radio propagation model).
+	Position() geo.Point
+	// VehicleState for CAM generation (geodetic).
+	VehicleState() ca.VehicleState
+}
+
+// StaticMobility is the fixed mobility of road-side equipment.
+type StaticMobility struct {
+	Point geo.Point
+	Geo   geo.LatLon
+}
+
+// Position implements Mobility.
+func (s StaticMobility) Position() geo.Point { return s.Point }
+
+// VehicleState implements Mobility.
+func (s StaticMobility) VehicleState() ca.VehicleState {
+	return ca.VehicleState{Position: s.Geo}
+}
+
+// LatencyModel is the per-direction software processing latency of the
+// ITS stack (facilities + networking code on the OBU/RSU board).
+type LatencyModel struct {
+	Mean   time.Duration
+	Jitter time.Duration // uniform ± jitter
+}
+
+// sample draws one latency.
+func (l LatencyModel) sample(rng *rand.Rand) time.Duration {
+	d := l.Mean
+	if l.Jitter > 0 {
+		d += time.Duration(rng.Int63n(int64(2*l.Jitter))) - l.Jitter
+	}
+	if d < 0 {
+		d = 0
+	}
+	return d
+}
+
+// DefaultOpenC2XLatency approximates the measured per-direction
+// processing time of the OpenC2X stack on an APU2 board (message
+// (de)serialisation, ZeroMQ hops between service processes, kernel
+// socket path).
+func DefaultOpenC2XLatency() LatencyModel {
+	return LatencyModel{Mean: 650 * time.Microsecond, Jitter: 250 * time.Microsecond}
+}
+
+// Config parameterises a station.
+type Config struct {
+	Name        string
+	Role        Role
+	StationID   units.StationID
+	StationType units.StationType
+	// Frame anchors the shared local plane.
+	Frame *geo.Frame
+	// Mobility is required.
+	Mobility Mobility
+	// NTP is the clock-synchronisation error model.
+	NTP clock.NTPModel
+	// TxLatency and RxLatency model stack software processing; zero
+	// values select DefaultOpenC2XLatency.
+	TxLatency, RxLatency LatencyModel
+	// DisableCAMTriggers forces 1 Hz CAMs (typical for an RSU).
+	DisableCAMTriggers bool
+	// DisableForwarding turns off GBC rebroadcast.
+	DisableForwarding bool
+	// DENMTrafficClass is the GN traffic class for DENMs (0 = highest,
+	// the ETSI default). Raising it demotes DENMs to lower EDCA
+	// priority — used by the channel-access ablation. CAMs always use
+	// traffic class 2 (AC_BE).
+	DENMTrafficClass uint8
+	// EnableKAF turns on DENM keep-alive forwarding: this station
+	// re-broadcasts active events it stops hearing (EN 302 637-3
+	// §8.2.2).
+	EnableKAF bool
+	// EnableBeaconing sends GN position beacons when the station has
+	// transmitted nothing for BeaconInterval (EN 302 636-4-1 §10.2).
+	// A station generating CAMs rarely beacons; a silent one keeps
+	// neighbours' location tables fresh.
+	EnableBeaconing bool
+	// BeaconInterval; zero selects the standard's 3 s default.
+	BeaconInterval time.Duration
+	// KAFInterval overrides the silence interval for events without a
+	// transmissionInterval; zero selects the 500 ms default.
+	KAFInterval time.Duration
+	// Link overrides the access layer: when set, the station uses it
+	// instead of attaching an 802.11p interface to the medium (used
+	// for the cellular-interface comparison). The medium argument to
+	// New may then be nil.
+	Link Link
+}
+
+// Link abstracts the access layer a station binds to.
+type Link interface {
+	SendBroadcast(frame []byte) error
+	SetReceiver(fn func(frame []byte))
+}
+
+// Station is one assembled ITS-G5 station.
+type Station struct {
+	cfg    Config
+	kernel *sim.Kernel
+	rng    *rand.Rand
+
+	Clock  *clock.NTPClock
+	Iface  *radio.Interface
+	Router *geonet.Router
+	CA     *ca.Service
+	DEN    *den.Service
+	LDM    *ldm.Map
+
+	caRx         ca.Receiver
+	denRx        den.Receiver
+	beaconTicker *sim.Ticker
+
+	// OnCAM, if set, receives every new CAM after LDM ingestion.
+	OnCAM func(*messages.CAM)
+	// OnDENM, if set, receives every new or updated DENM after LDM
+	// ingestion. It runs after the modeled receive processing latency.
+	OnDENM func(*messages.DENM)
+
+	// DeliveredDENMs counts DENMs handed to the application.
+	DeliveredDENMs uint64
+	// DeliveredCAMs counts CAMs handed to the application/LDM.
+	DeliveredCAMs uint64
+}
+
+// New attaches a fully wired station to the kernel and medium.
+func New(kernel *sim.Kernel, medium *radio.Medium, cfg Config) (*Station, error) {
+	if cfg.Mobility == nil {
+		return nil, fmt.Errorf("stack: station %q requires mobility", cfg.Name)
+	}
+	if cfg.Frame == nil {
+		return nil, fmt.Errorf("stack: station %q requires a geodetic frame", cfg.Name)
+	}
+	if cfg.TxLatency == (LatencyModel{}) {
+		cfg.TxLatency = DefaultOpenC2XLatency()
+	}
+	if cfg.RxLatency == (LatencyModel{}) {
+		cfg.RxLatency = DefaultOpenC2XLatency()
+	}
+	s := &Station{
+		cfg:    cfg,
+		kernel: kernel,
+		rng:    kernel.Rand("stack." + cfg.Name),
+	}
+	s.Clock = clock.NewNTP(clock.SourceFunc(kernel.Now), cfg.NTP, kernel.Rand("clock."+cfg.Name))
+
+	var link Link
+	if cfg.Link != nil {
+		link = cfg.Link
+	} else {
+		if medium == nil {
+			return nil, fmt.Errorf("stack: station %q requires a medium or a link override", cfg.Name)
+		}
+		iface, err := medium.Attach(radio.InterfaceConfig{
+			Name:      cfg.Name,
+			DefaultAC: radio.ACBestEffort,
+		}, cfg.Mobility.Position)
+		if err != nil {
+			return nil, fmt.Errorf("stack: attach radio: %w", err)
+		}
+		s.Iface = iface
+		link = iface
+	}
+
+	router, err := geonet.NewRouter(geonet.RouterConfig{
+		Frame:             cfg.Frame,
+		Now:               kernel.Now,
+		DisableForwarding: cfg.DisableForwarding,
+	}, link, egoAdapter{s}, s.onIndication)
+	if err != nil {
+		return nil, fmt.Errorf("stack: router: %w", err)
+	}
+	s.Router = router
+	link.SetReceiver(router.OnFrame)
+
+	s.LDM = ldm.New(ldm.Config{Frame: cfg.Frame, Now: kernel.Now})
+
+	s.caRx = ca.Receiver{Sink: func(c *messages.CAM) {
+		s.LDM.IngestCAM(c)
+		s.DeliveredCAMs++
+		if s.OnCAM != nil {
+			s.OnCAM(c)
+		}
+	}}
+	s.denRx = den.Receiver{Sink: func(d *messages.DENM) {
+		s.LDM.IngestDENM(d)
+		s.DeliveredDENMs++
+		if s.OnDENM != nil {
+			s.OnDENM(d)
+		}
+	}}
+	if cfg.EnableKAF {
+		s.denRx.KAF = den.NewKeepAliveForwarder(kernel, s.forwardDENM, cfg.KAFInterval)
+	}
+
+	caSvc, err := ca.New(kernel, ca.Config{
+		StationID:       cfg.StationID,
+		StationType:     cfg.StationType,
+		Provider:        ca.StateFunc(cfg.Mobility.VehicleState),
+		Send:            s.sendCAM,
+		Clock:           s.Clock,
+		DisableTriggers: cfg.DisableCAMTriggers,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("stack: CA service: %w", err)
+	}
+	s.CA = caSvc
+
+	denSvc, err := den.New(kernel, den.Config{
+		StationID:   cfg.StationID,
+		StationType: cfg.StationType,
+		Send:        s.sendDENM,
+		Clock:       s.Clock,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("stack: DEN service: %w", err)
+	}
+	s.DEN = denSvc
+	return s, nil
+}
+
+// egoAdapter derives the GN long position vector from the station's
+// mobility and clock.
+type egoAdapter struct{ s *Station }
+
+func (e egoAdapter) EgoPosition() geonet.LongPositionVector {
+	st := e.s.cfg.Mobility.VehicleState()
+	return geonet.LongPositionVector{
+		Address:          geonet.NewAddress(e.s.cfg.StationType, e.s.cfg.StationID),
+		Timestamp:        uint32(clock.TimestampIts(e.s.Clock.Now())),
+		Latitude:         units.LatitudeFromDegrees(st.Position.Lat),
+		Longitude:        units.LongitudeFromDegrees(st.Position.Lon),
+		PositionAccurate: true,
+		Speed:            uint16(units.SpeedFromMS(st.SpeedMS)),
+		Heading:          units.HeadingFromRadians(st.HeadingRad),
+	}
+}
+
+// Name returns the configured station name.
+func (s *Station) Name() string { return s.cfg.Name }
+
+// StationID returns the configured station ID.
+func (s *Station) StationID() units.StationID { return s.cfg.StationID }
+
+// DefaultBeaconInterval is the GN beacon service retransmit timer.
+const DefaultBeaconInterval = 3 * time.Second
+
+// Start begins the cyclic services (CAM generation, beaconing).
+func (s *Station) Start() {
+	s.CA.Start()
+	if s.cfg.EnableBeaconing && s.beaconTicker == nil {
+		interval := s.cfg.BeaconInterval
+		if interval <= 0 {
+			interval = DefaultBeaconInterval
+		}
+		s.beaconTicker = s.kernel.Every(interval, interval, func() {
+			if s.kernel.Now()-s.Router.LastTransmit() >= interval {
+				_ = s.Router.SendBeacon()
+			}
+		})
+	}
+}
+
+// Stop halts cyclic services, DENM repetition, beaconing and
+// keep-alive forwarding.
+func (s *Station) Stop() {
+	s.CA.Stop()
+	s.DEN.Stop()
+	s.StopKAF()
+	if s.beaconTicker != nil {
+		s.beaconTicker.Stop()
+		s.beaconTicker = nil
+	}
+}
+
+// sendCAM encapsulates a CAM payload in BTP-B/GN-SHB after the tx
+// processing latency.
+func (s *Station) sendCAM(payload []byte) error {
+	pkt, err := btp.Encode(btp.Header{Type: btp.TypeB, DestinationPort: btp.PortCAM}, payload)
+	if err != nil {
+		return err
+	}
+	s.kernel.Schedule(s.cfg.TxLatency.sample(s.rng), func() {
+		_ = s.Router.SendSHB(geonet.NextBTPB, camTrafficClass, pkt)
+	})
+	return nil
+}
+
+// GN traffic classes of the facilities messages (ETSI TS 102 636-4-2
+// profile: DENM at the highest class, CAM at class 2).
+const camTrafficClass geonet.TrafficClass = 2
+
+// sendDENM encapsulates a DENM payload in BTP-B/GN-GBC to the event
+// area after the tx processing latency. DENMs go out at the highest
+// EDCA priority.
+func (s *Station) sendDENM(payload []byte, area den.Area) error {
+	pkt, err := btp.Encode(btp.Header{Type: btp.TypeB, DestinationPort: btp.PortDENM}, payload)
+	if err != nil {
+		return err
+	}
+	gnArea := geonet.CircleAround(
+		units.LatitudeFromDegrees(area.Centre.Lat),
+		units.LongitudeFromDegrees(area.Centre.Lon),
+		area.RadiusMetres,
+	)
+	s.kernel.Schedule(s.cfg.TxLatency.sample(s.rng), func() {
+		_ = s.Router.SendGBC(geonet.NextBTPB, geonet.TrafficClass(s.cfg.DENMTrafficClass), gnArea, time.Minute, pkt)
+	})
+	return nil
+}
+
+// forwardDENM re-broadcasts a raw DENM payload for keep-alive
+// forwarding: same BTP/GBC path as an originated DENM, without
+// re-encoding the message.
+func (s *Station) forwardDENM(payload []byte, area den.Area) error {
+	pkt, err := btp.Encode(btp.Header{Type: btp.TypeB, DestinationPort: btp.PortDENM}, payload)
+	if err != nil {
+		return err
+	}
+	gnArea := geonet.CircleAround(
+		units.LatitudeFromDegrees(area.Centre.Lat),
+		units.LongitudeFromDegrees(area.Centre.Lon),
+		area.RadiusMetres,
+	)
+	s.kernel.Schedule(s.cfg.TxLatency.sample(s.rng), func() {
+		_ = s.Router.SendGBC(geonet.NextBTPB, geonet.TrafficClass(s.cfg.DENMTrafficClass), gnArea, time.Minute, pkt)
+	})
+	return nil
+}
+
+// StopKAF halts keep-alive forwarding timers (shutdown).
+func (s *Station) StopKAF() {
+	if s.denRx.KAF != nil {
+		s.denRx.KAF.Stop()
+	}
+}
+
+// onIndication dispatches received GN payloads by BTP port after the
+// rx processing latency.
+func (s *Station) onIndication(ind geonet.Indication) {
+	var t btp.Type
+	switch ind.Next {
+	case geonet.NextBTPA:
+		t = btp.TypeA
+	case geonet.NextBTPB:
+		t = btp.TypeB
+	default:
+		return
+	}
+	h, payload, err := btp.Decode(t, ind.Payload)
+	if err != nil {
+		return
+	}
+	delay := s.cfg.RxLatency.sample(s.rng)
+	switch h.DestinationPort {
+	case btp.PortCAM:
+		s.kernel.Schedule(delay, func() { s.caRx.OnPayload(payload) })
+	case btp.PortDENM:
+		s.kernel.Schedule(delay, func() { s.denRx.OnPayload(payload) })
+	}
+}
+
+// CAReceiverStats reports CA reception counters.
+func (s *Station) CAReceiverStats() (received, malformed uint64) {
+	return s.caRx.Received, s.caRx.Malformed
+}
+
+// DENReceiverStats reports DEN reception counters.
+func (s *Station) DENReceiverStats() (received, repeated, malformed uint64) {
+	return s.denRx.Received, s.denRx.Repeated, s.denRx.Malformed
+}

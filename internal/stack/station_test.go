@@ -1,0 +1,331 @@
+package stack
+
+import (
+	"testing"
+	"time"
+
+	"itsbed/internal/clock"
+	"itsbed/internal/geo"
+	"itsbed/internal/its/facilities/den"
+	"itsbed/internal/its/geonet"
+	"itsbed/internal/its/messages"
+	"itsbed/internal/radio"
+	"itsbed/internal/sim"
+	"itsbed/internal/units"
+)
+
+type twoStations struct {
+	kernel *sim.Kernel
+	medium *radio.Medium
+	frame  *geo.Frame
+	rsu    *Station
+	obu    *Station
+}
+
+func newTwoStations(t *testing.T) *twoStations {
+	t.Helper()
+	k := sim.NewKernel(3)
+	frame, err := geo.NewFrame(geo.CISTERLab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	medium := radio.NewMedium(k, radio.MediumConfig{})
+	rsuPos := geo.Point{X: 0, Y: 6}
+	rsu, err := New(k, medium, Config{
+		Name:               "rsu",
+		Role:               RoleRSU,
+		StationID:          1001,
+		StationType:        units.StationTypeRoadSideUnit,
+		Frame:              frame,
+		Mobility:           StaticMobility{Point: rsuPos, Geo: frame.ToGeodetic(rsuPos)},
+		NTP:                clock.PerfectNTP(),
+		DisableCAMTriggers: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	obuPos := geo.Point{X: 0, Y: 0}
+	obu, err := New(k, medium, Config{
+		Name:        "obu",
+		Role:        RoleOBU,
+		StationID:   2001,
+		StationType: units.StationTypePassengerCar,
+		Frame:       frame,
+		Mobility:    StaticMobility{Point: obuPos, Geo: frame.ToGeodetic(obuPos)},
+		NTP:         clock.PerfectNTP(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &twoStations{kernel: k, medium: medium, frame: frame, rsu: rsu, obu: obu}
+}
+
+func TestCAMExchangePopulatesLDM(t *testing.T) {
+	ts := newTwoStations(t)
+	ts.rsu.Start()
+	ts.obu.Start()
+	defer ts.rsu.Stop()
+	defer ts.obu.Stop()
+	if err := ts.kernel.Run(3 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	// The RSU's LDM must track the OBU from its CAMs.
+	if _, ok := ts.rsu.LDM.Object(2001); !ok {
+		t.Fatal("RSU LDM does not track the OBU")
+	}
+	if _, ok := ts.obu.LDM.Object(1001); !ok {
+		t.Fatal("OBU LDM does not track the RSU")
+	}
+	rx, malformed := ts.obu.CAReceiverStats()
+	if rx == 0 || malformed != 0 {
+		t.Fatalf("OBU CA stats rx=%d malformed=%d", rx, malformed)
+	}
+}
+
+func TestDENMDeliveredToApplication(t *testing.T) {
+	ts := newTwoStations(t)
+	ts.rsu.Start()
+	ts.obu.Start()
+	defer ts.rsu.Stop()
+	defer ts.obu.Stop()
+
+	var got *messages.DENM
+	var at time.Duration
+	ts.obu.OnDENM = func(d *messages.DENM) {
+		got = d
+		at = ts.kernel.Now()
+	}
+	var sentAt time.Duration
+	ts.kernel.Schedule(time.Second, func() {
+		sentAt = ts.kernel.Now()
+		_, err := ts.rsu.DEN.Trigger(den.EventRequest{
+			EventType: messages.EventType{
+				CauseCode:    messages.CauseCollisionRisk,
+				SubCauseCode: messages.CollisionRiskCrossing,
+			},
+			Position: ts.frame.ToGeodetic(geo.Point{X: 0, Y: 3}),
+			Quality:  3,
+		})
+		if err != nil {
+			t.Error(err)
+		}
+	})
+	if err := ts.kernel.Run(3 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if got == nil {
+		t.Fatal("DENM never delivered")
+	}
+	if got.Situation.EventType.CauseCode != messages.CauseCollisionRisk {
+		t.Fatal("wrong event type")
+	}
+	latency := at - sentAt
+	// Tx stack + airtime + rx stack: ~1-3 ms.
+	if latency <= 0 || latency > 5*time.Millisecond {
+		t.Fatalf("DENM app-to-app latency %v", latency)
+	}
+	// LDM ingested the event.
+	if len(ts.obu.LDM.ActiveEvents()) != 1 {
+		t.Fatal("event missing from OBU LDM")
+	}
+}
+
+func TestDENMOutsideAreaNotDelivered(t *testing.T) {
+	ts := newTwoStations(t)
+	ts.rsu.Start()
+	ts.obu.Start()
+	defer ts.rsu.Stop()
+	defer ts.obu.Stop()
+	n := 0
+	ts.obu.OnDENM = func(*messages.DENM) { n++ }
+	ts.kernel.Schedule(time.Second, func() {
+		// Event area 1 km to the east with a small radius: the OBU is
+		// outside the destination area and must not deliver.
+		_, err := ts.rsu.DEN.Trigger(den.EventRequest{
+			EventType:       messages.EventType{CauseCode: messages.CauseCollisionRisk},
+			Position:        ts.frame.ToGeodetic(geo.Point{X: 1000, Y: 0}),
+			RelevanceRadius: 50,
+		})
+		if err != nil {
+			t.Error(err)
+		}
+	})
+	if err := ts.kernel.Run(3 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 {
+		t.Fatal("out-of-area DENM delivered")
+	}
+}
+
+func TestStationRequiresMobilityAndFrame(t *testing.T) {
+	k := sim.NewKernel(1)
+	medium := radio.NewMedium(k, radio.MediumConfig{})
+	if _, err := New(k, medium, Config{Name: "x", Frame: nil, Mobility: StaticMobility{}}); err == nil {
+		t.Fatal("station without frame accepted")
+	}
+	frame, err := geo.NewFrame(geo.CISTERLab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(k, medium, Config{Name: "x", Frame: frame}); err == nil {
+		t.Fatal("station without mobility accepted")
+	}
+	if _, err := New(k, nil, Config{Name: "x", Frame: frame, Mobility: StaticMobility{}}); err == nil {
+		t.Fatal("station without medium or link accepted")
+	}
+}
+
+// loopLink is a Link that immediately echoes frames to subscribers.
+type loopLink struct{ rcv func([]byte) }
+
+func (l *loopLink) SendBroadcast(f []byte) error {
+	if l.rcv != nil {
+		cp := make([]byte, len(f))
+		copy(cp, f)
+		l.rcv(cp)
+	}
+	return nil
+}
+func (l *loopLink) SetReceiver(fn func([]byte)) { l.rcv = fn }
+
+func TestLinkOverride(t *testing.T) {
+	k := sim.NewKernel(1)
+	frame, err := geo.NewFrame(geo.CISTERLab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := New(k, nil, Config{
+		Name:        "cell",
+		Role:        RoleOBU,
+		StationID:   5,
+		StationType: units.StationTypePassengerCar,
+		Frame:       frame,
+		Mobility:    StaticMobility{Geo: geo.CISTERLab},
+		NTP:         clock.PerfectNTP(),
+		Link:        &loopLink{},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Iface != nil {
+		t.Fatal("link override still attached a radio")
+	}
+	// The loop link echoes our own GBC back; the router's duplicate
+	// filter must drop it rather than deliver.
+	delivered := 0
+	st.OnDENM = func(*messages.DENM) { delivered++ }
+	_, err = st.DEN.Trigger(den.EventRequest{
+		EventType: messages.EventType{CauseCode: messages.CauseCollisionRisk},
+		Position:  geo.CISTERLab,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := k.Run(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if delivered != 0 {
+		t.Fatal("own echoed DENM was delivered")
+	}
+}
+
+func TestRoleStrings(t *testing.T) {
+	if RoleOBU.String() != "OBU" || RoleRSU.String() != "RSU" {
+		t.Fatal("role strings")
+	}
+}
+
+func TestStationAccessors(t *testing.T) {
+	ts := newTwoStations(t)
+	if ts.rsu.Name() != "rsu" || ts.rsu.StationID() != 1001 {
+		t.Fatal("accessors")
+	}
+}
+
+func TestBeaconingKeepsSilentStationVisible(t *testing.T) {
+	k := sim.NewKernel(80)
+	frame, err := geo.NewFrame(geo.CISTERLab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	medium := radio.NewMedium(k, radio.MediumConfig{})
+	silent, err := New(k, medium, Config{
+		Name: "silent", Role: RoleRSU, StationID: 1002,
+		StationType: units.StationTypeRoadSideUnit, Frame: frame,
+		Mobility:           StaticMobility{Point: geo.Point{X: 5}, Geo: frame.ToGeodetic(geo.Point{X: 5})},
+		NTP:                clock.PerfectNTP(),
+		DisableCAMTriggers: true,
+		EnableBeaconing:    true,
+		BeaconInterval:     500 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Suppress even the 1 Hz CAMs: stop the CA service immediately so
+	// only beacons go out.
+	observer, err := New(k, medium, Config{
+		Name: "observer", Role: RoleOBU, StationID: 2002,
+		StationType: units.StationTypePassengerCar, Frame: frame,
+		Mobility: StaticMobility{Geo: geo.CISTERLab},
+		NTP:      clock.PerfectNTP(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	silent.Start()
+	silent.CA.Stop() // beacons only
+	defer silent.Stop()
+	if err := k.Run(3 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if observer.Router.BeaconsReceived == 0 {
+		t.Fatal("observer heard no beacons")
+	}
+	addr := geonet.NewAddress(units.StationTypeRoadSideUnit, 1002)
+	if _, ok := observer.Router.Table().Lookup(addr, k.Now()); !ok {
+		t.Fatal("silent station absent from the observer's location table")
+	}
+	rx, _ := observer.CAReceiverStats()
+	if rx != 0 {
+		t.Fatalf("observer received %d CAMs from a silent station", rx)
+	}
+}
+
+func TestBeaconingSuppressedByCAMTraffic(t *testing.T) {
+	k := sim.NewKernel(81)
+	frame, err := geo.NewFrame(geo.CISTERLab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	medium := radio.NewMedium(k, radio.MediumConfig{})
+	chatty, err := New(k, medium, Config{
+		Name: "chatty", Role: RoleRSU, StationID: 1003,
+		StationType: units.StationTypeRoadSideUnit, Frame: frame,
+		Mobility:           StaticMobility{Geo: geo.CISTERLab},
+		NTP:                clock.PerfectNTP(),
+		DisableCAMTriggers: true, // 1 Hz CAMs — still under the 3 s beacon timer
+		EnableBeaconing:    true,
+		BeaconInterval:     2 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	observer, err := New(k, medium, Config{
+		Name: "observer2", Role: RoleOBU, StationID: 2003,
+		StationType: units.StationTypePassengerCar, Frame: frame,
+		Mobility: StaticMobility{Point: geo.Point{X: 2}, Geo: geo.CISTERLab},
+		NTP:      clock.PerfectNTP(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	chatty.Start()
+	defer chatty.Stop()
+	if err := k.Run(6 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if observer.Router.BeaconsReceived != 0 {
+		t.Fatalf("station beaconed %d times despite regular CAM traffic", observer.Router.BeaconsReceived)
+	}
+}

@@ -1,0 +1,210 @@
+// Package track describes the laboratory floor layout: the line the
+// robotic vehicle follows, the road-side camera pose, and the Action
+// Point — the threshold distance to the camera at which the hazard
+// advertisement service must trigger emergency braking (Fig. 8 of the
+// paper).
+package track
+
+import (
+	"fmt"
+	"math"
+
+	"itsbed/internal/geo"
+)
+
+// Line is the guide line on the floor as a polyline of local-plane
+// points. The vehicle follows it from the first point towards the
+// last.
+type Line struct {
+	points []geo.Point
+	// cumulative[i] is the arc length at points[i].
+	cumulative []float64
+}
+
+// NewLine builds a line from at least two points.
+func NewLine(points []geo.Point) (*Line, error) {
+	if len(points) < 2 {
+		return nil, fmt.Errorf("track: line needs at least 2 points, have %d", len(points))
+	}
+	pts := make([]geo.Point, len(points))
+	copy(pts, points)
+	cum := make([]float64, len(pts))
+	for i := 1; i < len(pts); i++ {
+		cum[i] = cum[i-1] + pts[i].DistanceTo(pts[i-1])
+		if pts[i].DistanceTo(pts[i-1]) == 0 {
+			return nil, fmt.Errorf("track: duplicate consecutive point %d", i)
+		}
+	}
+	return &Line{points: pts, cumulative: cum}, nil
+}
+
+// MustLine is NewLine that panics on error, for static layouts.
+func MustLine(points []geo.Point) *Line {
+	l, err := NewLine(points)
+	if err != nil {
+		panic(err)
+	}
+	return l
+}
+
+// Length returns the total arc length of the line.
+func (l *Line) Length() float64 { return l.cumulative[len(l.cumulative)-1] }
+
+// PointAt returns the point at arc length s (clamped to the line).
+func (l *Line) PointAt(s float64) geo.Point {
+	if s <= 0 {
+		return l.points[0]
+	}
+	if s >= l.Length() {
+		return l.points[len(l.points)-1]
+	}
+	for i := 1; i < len(l.points); i++ {
+		if s <= l.cumulative[i] {
+			seg := geo.Segment{A: l.points[i-1], B: l.points[i]}
+			t := (s - l.cumulative[i-1]) / (l.cumulative[i] - l.cumulative[i-1])
+			return seg.PointAt(t)
+		}
+	}
+	return l.points[len(l.points)-1]
+}
+
+// HeadingAt returns the compass heading of the line at arc length s.
+func (l *Line) HeadingAt(s float64) float64 {
+	if s < 0 {
+		s = 0
+	}
+	if s >= l.Length() {
+		s = l.Length() - 1e-9
+	}
+	for i := 1; i < len(l.points); i++ {
+		if s <= l.cumulative[i] {
+			return geo.Segment{A: l.points[i-1], B: l.points[i]}.Heading()
+		}
+	}
+	return geo.Segment{A: l.points[len(l.points)-2], B: l.points[len(l.points)-1]}.Heading()
+}
+
+// Project returns the arc length and lateral offset of p relative to
+// the line. The offset is signed: positive when p lies to the right of
+// the travel direction.
+func (l *Line) Project(p geo.Point) (s, lateral float64) {
+	best := math.Inf(1)
+	for i := 1; i < len(l.points); i++ {
+		seg := geo.Segment{A: l.points[i-1], B: l.points[i]}
+		c, t := seg.ClosestPoint(p)
+		d := c.DistanceTo(p)
+		if d < best {
+			best = d
+			s = l.cumulative[i-1] + t*seg.Length()
+			// Sign via cross product of travel direction and offset.
+			dir := seg.B.Sub(seg.A)
+			off := p.Sub(c)
+			if dir.Cross(off) < 0 {
+				lateral = d // right of travel
+			} else {
+				lateral = -d
+			}
+		}
+	}
+	return s, lateral
+}
+
+// Camera is the road-side ZED camera pose on the local plane.
+type Camera struct {
+	// Position of the lens.
+	Position geo.Point
+	// Facing is the compass heading of the optical axis.
+	Facing float64
+	// FOV is the horizontal field of view in radians.
+	FOV float64
+	// MaxRange beyond which detection is impossible.
+	MaxRange float64
+}
+
+// Sees reports whether p falls inside the camera frustum.
+func (c Camera) Sees(p geo.Point) bool {
+	v := p.Sub(c.Position)
+	d := v.Norm()
+	if d == 0 || d > c.MaxRange {
+		return false
+	}
+	dh := math.Abs(geo.HeadingDiff(c.Facing, v.Heading()))
+	return dh <= c.FOV/2
+}
+
+// DistanceTo returns the straight-line distance from the lens to p.
+func (c Camera) DistanceTo(p geo.Point) float64 { return c.Position.DistanceTo(p) }
+
+// Layout is a complete experimental floor layout.
+type Layout struct {
+	Line   *Line
+	Camera Camera
+	// ActionPointDistance is the threshold distance from the camera at
+	// which braking must be initiated (1.52 m in the paper's run #4).
+	ActionPointDistance float64
+	// Frame anchors the layout geodetically.
+	Frame *geo.Frame
+}
+
+// ActionPointArc returns the arc length along the line at which the
+// vehicle first comes within the action-point distance of the camera,
+// searching from the start. Returns false if the line never enters
+// that range.
+func (ly Layout) ActionPointArc() (float64, bool) {
+	const step = 0.005
+	for s := 0.0; s <= ly.Line.Length(); s += step {
+		if ly.Camera.DistanceTo(ly.Line.PointAt(s)) <= ly.ActionPointDistance {
+			return s, true
+		}
+	}
+	return 0, false
+}
+
+// PaperLab reproduces the paper's Fig. 8 setup: a straight guide line
+// several metres long heading towards the road-side camera, with the
+// action point at 1.52 m from the lens.
+func PaperLab() Layout {
+	frame, err := geo.NewFrame(geo.CISTERLab)
+	if err != nil {
+		panic(err) // static origin is always valid
+	}
+	// Line runs north along Y from y=0 to y=6; camera at the far end
+	// looking back south at the approaching vehicle.
+	line := MustLine([]geo.Point{{X: 0, Y: 0}, {X: 0, Y: 6}})
+	cam := Camera{
+		Position: geo.Point{X: 0, Y: 6.6},
+		Facing:   math.Pi, // south
+		FOV:      110 * math.Pi / 180,
+		MaxRange: 12,
+	}
+	return Layout{
+		Line:                line,
+		Camera:              cam,
+		ActionPointDistance: 1.52,
+		Frame:               frame,
+	}
+}
+
+// Intersection builds a blind-corner intersection layout for the
+// motivating use case (Fig. 1): the protagonist's line approaches from
+// the south while a crossing road enters from the west; the camera
+// watches the crossing region.
+func Intersection() Layout {
+	frame, err := geo.NewFrame(geo.CISTERLab)
+	if err != nil {
+		panic(err)
+	}
+	line := MustLine([]geo.Point{{X: 0, Y: -6}, {X: 0, Y: 6}})
+	cam := Camera{
+		Position: geo.Point{X: 1.5, Y: 1.5},
+		Facing:   math.Pi + math.Pi/4, // south-west towards the junction
+		FOV:      110 * math.Pi / 180,
+		MaxRange: 12,
+	}
+	return Layout{
+		Line:                line,
+		Camera:              cam,
+		ActionPointDistance: 2.5,
+		Frame:               frame,
+	}
+}

@@ -1,0 +1,140 @@
+package track
+
+import (
+	"math"
+	"testing"
+
+	"itsbed/internal/geo"
+)
+
+func TestLineValidation(t *testing.T) {
+	if _, err := NewLine([]geo.Point{{X: 0, Y: 0}}); err == nil {
+		t.Fatal("single-point line accepted")
+	}
+	if _, err := NewLine([]geo.Point{{X: 0, Y: 0}, {X: 0, Y: 0}}); err == nil {
+		t.Fatal("duplicate points accepted")
+	}
+}
+
+func TestLineLengthAndPointAt(t *testing.T) {
+	l := MustLine([]geo.Point{{X: 0, Y: 0}, {X: 0, Y: 3}, {X: 4, Y: 3}})
+	if l.Length() != 7 {
+		t.Fatalf("length %v", l.Length())
+	}
+	if p := l.PointAt(0); p != (geo.Point{X: 0, Y: 0}) {
+		t.Fatalf("start %v", p)
+	}
+	if p := l.PointAt(3); p.DistanceTo(geo.Point{X: 0, Y: 3}) > 1e-9 {
+		t.Fatalf("knee %v", p)
+	}
+	if p := l.PointAt(5); p.DistanceTo(geo.Point{X: 2, Y: 3}) > 1e-9 {
+		t.Fatalf("mid second leg %v", p)
+	}
+	// Clamping beyond the ends.
+	if p := l.PointAt(-1); p != (geo.Point{X: 0, Y: 0}) {
+		t.Fatal("negative arc not clamped")
+	}
+	if p := l.PointAt(100); p != (geo.Point{X: 4, Y: 3}) {
+		t.Fatal("overlong arc not clamped")
+	}
+}
+
+func TestLineHeadingAt(t *testing.T) {
+	l := MustLine([]geo.Point{{X: 0, Y: 0}, {X: 0, Y: 3}, {X: 4, Y: 3}})
+	if h := l.HeadingAt(1); math.Abs(h) > 1e-9 {
+		t.Fatalf("first leg heading %v, want north", h)
+	}
+	if h := l.HeadingAt(5); math.Abs(h-math.Pi/2) > 1e-9 {
+		t.Fatalf("second leg heading %v, want east", h)
+	}
+}
+
+func TestLineProject(t *testing.T) {
+	l := MustLine([]geo.Point{{X: 0, Y: 0}, {X: 0, Y: 10}})
+	s, lat := l.Project(geo.Point{X: 0.5, Y: 4})
+	if math.Abs(s-4) > 1e-9 {
+		t.Fatalf("arc %v", s)
+	}
+	// Northbound travel: +X is to the right.
+	if math.Abs(lat-0.5) > 1e-9 {
+		t.Fatalf("lateral %v, want +0.5 (right)", lat)
+	}
+	_, latLeft := l.Project(geo.Point{X: -0.5, Y: 4})
+	if math.Abs(latLeft+0.5) > 1e-9 {
+		t.Fatalf("lateral %v, want -0.5 (left)", latLeft)
+	}
+}
+
+func TestCameraFrustum(t *testing.T) {
+	cam := Camera{
+		Position: geo.Point{X: 0, Y: 0},
+		Facing:   math.Pi, // south
+		FOV:      90 * math.Pi / 180,
+		MaxRange: 10,
+	}
+	if !cam.Sees(geo.Point{X: 0, Y: -5}) {
+		t.Fatal("point straight ahead not seen")
+	}
+	if cam.Sees(geo.Point{X: 0, Y: 5}) {
+		t.Fatal("point behind seen")
+	}
+	if cam.Sees(geo.Point{X: 0, Y: -15}) {
+		t.Fatal("point beyond range seen")
+	}
+	// 44° off-axis: inside the 45° half-FOV.
+	if !cam.Sees(geo.Point{X: math.Sin(0.76) * 3, Y: -math.Cos(0.76) * 3}) {
+		t.Fatal("point just inside FOV rejected")
+	}
+	// 50° off-axis: outside.
+	if cam.Sees(geo.Point{X: math.Sin(0.88) * 3, Y: -math.Cos(0.88) * 3}) {
+		t.Fatal("point outside FOV accepted")
+	}
+	if cam.Sees(cam.Position) {
+		t.Fatal("camera sees itself")
+	}
+}
+
+func TestPaperLabLayout(t *testing.T) {
+	ly := PaperLab()
+	if ly.ActionPointDistance != 1.52 {
+		t.Fatalf("action point %v, want the paper's 1.52 m", ly.ActionPointDistance)
+	}
+	if ly.Line.Length() < 5 {
+		t.Fatal("approach line too short for a realistic run")
+	}
+	// The camera watches the line.
+	if !ly.Camera.Sees(ly.Line.PointAt(ly.Line.Length() - 0.5)) {
+		t.Fatal("camera does not see the end of the line")
+	}
+	arc, ok := ly.ActionPointArc()
+	if !ok {
+		t.Fatal("no action point on the line")
+	}
+	d := ly.Camera.DistanceTo(ly.Line.PointAt(arc))
+	if d > ly.ActionPointDistance+0.01 {
+		t.Fatalf("action point arc at distance %v", d)
+	}
+}
+
+func TestIntersectionLayout(t *testing.T) {
+	ly := Intersection()
+	if _, ok := ly.ActionPointArc(); !ok {
+		t.Fatal("intersection layout has no action point")
+	}
+}
+
+func TestActionPointArcAbsent(t *testing.T) {
+	frame, err := geo.NewFrame(geo.CISTERLab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ly := Layout{
+		Line:                MustLine([]geo.Point{{X: 100, Y: 0}, {X: 100, Y: 5}}),
+		Camera:              Camera{Position: geo.Point{}, MaxRange: 10},
+		ActionPointDistance: 1,
+		Frame:               frame,
+	}
+	if _, ok := ly.ActionPointArc(); ok {
+		t.Fatal("action point found on a line that never approaches the camera")
+	}
+}

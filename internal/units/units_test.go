@@ -1,0 +1,163 @@
+package units
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestLatitudeRoundTrip(t *testing.T) {
+	f := func(microdeg int32) bool {
+		deg := float64(microdeg%900000000) / 1e7
+		l := LatitudeFromDegrees(deg)
+		return math.Abs(l.Degrees()-deg) < 1e-7/2+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLatitudeClamping(t *testing.T) {
+	if LatitudeFromDegrees(95) != LatitudeMax-1 {
+		t.Fatalf("over-range latitude = %d", LatitudeFromDegrees(95))
+	}
+	if LatitudeFromDegrees(-95) != LatitudeMin {
+		t.Fatalf("under-range latitude = %d", LatitudeFromDegrees(-95))
+	}
+}
+
+func TestLatitudeSentinel(t *testing.T) {
+	if LatitudeUnavailable.Available() {
+		t.Fatal("sentinel reported available")
+	}
+	if !LatitudeFromDegrees(41.178).Available() {
+		t.Fatal("valid latitude reported unavailable")
+	}
+}
+
+func TestLongitudeRoundTrip(t *testing.T) {
+	for _, deg := range []float64{-180, -8.6080, 0, 8.6, 179.9999999} {
+		l := LongitudeFromDegrees(deg)
+		if math.Abs(l.Degrees()-deg) > 1e-7 {
+			t.Fatalf("longitude %v -> %v", deg, l.Degrees())
+		}
+	}
+	if LongitudeUnavailable.Available() {
+		t.Fatal("sentinel reported available")
+	}
+}
+
+func TestSpeedConversions(t *testing.T) {
+	if SpeedFromMS(0) != SpeedStandstill {
+		t.Fatal("zero speed is not standstill")
+	}
+	if SpeedFromMS(-3) != SpeedStandstill {
+		t.Fatal("negative speed not clamped")
+	}
+	if SpeedFromMS(1.5) != 150 {
+		t.Fatalf("1.5 m/s = %d, want 150", SpeedFromMS(1.5))
+	}
+	if SpeedFromMS(1e6) != SpeedMax {
+		t.Fatal("over-range speed not clamped to max")
+	}
+	if SpeedUnavailable.Available() {
+		t.Fatal("speed sentinel reported available")
+	}
+	if !almost(SpeedFromMS(1.5).MS(), 1.5, 0.005) {
+		t.Fatal("speed round trip")
+	}
+}
+
+func TestHeadingConversions(t *testing.T) {
+	if HeadingFromRadians(0) != HeadingNorth {
+		t.Fatal("zero heading is not north")
+	}
+	if HeadingFromRadians(math.Pi/2) != 900 {
+		t.Fatalf("east = %d, want 900", HeadingFromRadians(math.Pi/2))
+	}
+	// Negative angles wrap.
+	if HeadingFromRadians(-math.Pi/2) != 2700 {
+		t.Fatalf("west = %d, want 2700", HeadingFromRadians(-math.Pi/2))
+	}
+	// 360° wraps to 0.
+	if HeadingFromRadians(2*math.Pi) != 0 {
+		t.Fatalf("360° = %d, want 0", HeadingFromRadians(2*math.Pi))
+	}
+	if HeadingUnavailable.Available() {
+		t.Fatal("heading sentinel reported available")
+	}
+}
+
+func TestHeadingRoundTrip(t *testing.T) {
+	f := func(milli uint16) bool {
+		rad := float64(milli) / 65535 * 2 * math.Pi * 0.9999
+		h := HeadingFromRadians(rad)
+		diff := math.Abs(h.Radians() - rad)
+		if diff > math.Pi {
+			diff = 2*math.Pi - diff
+		}
+		return diff < 0.1*math.Pi/180+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCurvature(t *testing.T) {
+	if CurvatureFromRadius(math.Inf(1)) != 0 {
+		t.Fatal("straight line curvature")
+	}
+	if CurvatureFromRadius(10) != 1000 {
+		t.Fatalf("10 m radius = %d, want 1000", CurvatureFromRadius(10))
+	}
+	if CurvatureFromRadius(-10) != -1000 {
+		t.Fatal("left/right sign")
+	}
+	if CurvatureFromRadius(0.1) != 1022 {
+		t.Fatal("tight curvature not clamped")
+	}
+}
+
+func TestStationTypeStrings(t *testing.T) {
+	cases := map[StationType]string{
+		StationTypePassengerCar: "passengerCar",
+		StationTypeRoadSideUnit: "roadSideUnit",
+		StationTypeMotorcycle:   "motorcycle",
+		StationType(200):        "unknown",
+	}
+	for st, want := range cases {
+		if st.String() != want {
+			t.Fatalf("%d.String()=%q, want %q", st, st, want)
+		}
+	}
+}
+
+func TestDeltaTime(t *testing.T) {
+	if DeltaTimeFromTimestamp(65536) != 0 {
+		t.Fatal("delta time must wrap at 2^16")
+	}
+	if DeltaTimeFromTimestamp(65537) != 1 {
+		t.Fatal("delta time wrap offset")
+	}
+}
+
+func TestSemiAxis(t *testing.T) {
+	if SemiAxisFromMetres(-1) != SemiAxisUnavailable {
+		t.Fatal("negative confidence")
+	}
+	if SemiAxisFromMetres(0.05) != 5 {
+		t.Fatalf("5 cm = %d", SemiAxisFromMetres(0.05))
+	}
+	if SemiAxisFromMetres(1000) != 4094 {
+		t.Fatal("out-of-range confidence should use the out-of-range code")
+	}
+}
+
+func TestValidity(t *testing.T) {
+	if Validity(600) != 10*time.Minute {
+		t.Fatal("validity conversion")
+	}
+}
+
+func almost(a, b, eps float64) bool { return math.Abs(a-b) <= eps }

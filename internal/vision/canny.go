@@ -1,0 +1,179 @@
+package vision
+
+import "math"
+
+// CannyParams tune the edge detector.
+type CannyParams struct {
+	// LowThreshold and HighThreshold for hysteresis on the gradient
+	// magnitude (0..~1442 for Sobel on 8-bit input).
+	LowThreshold  float64
+	HighThreshold float64
+}
+
+// DefaultCanny matches the OpenCV defaults the testbed's line follower
+// uses.
+func DefaultCanny() CannyParams {
+	return CannyParams{LowThreshold: 50, HighThreshold: 150}
+}
+
+// gaussian5 applies a 5×5 Gaussian blur (σ≈1.1) and returns a new
+// image.
+func gaussian5(src *Gray) *Gray {
+	kernel := [5]float64{1, 4, 6, 4, 1} // binomial approximation
+	const norm = 16.0
+	tmp := make([]float64, src.W*src.H)
+	out := NewGray(src.W, src.H)
+	// Horizontal pass.
+	for y := 0; y < src.H; y++ {
+		for x := 0; x < src.W; x++ {
+			var acc float64
+			for k := -2; k <= 2; k++ {
+				xx := x + k
+				if xx < 0 {
+					xx = 0
+				}
+				if xx >= src.W {
+					xx = src.W - 1
+				}
+				acc += kernel[k+2] * float64(src.At(xx, y))
+			}
+			tmp[y*src.W+x] = acc / norm
+		}
+	}
+	// Vertical pass.
+	for y := 0; y < src.H; y++ {
+		for x := 0; x < src.W; x++ {
+			var acc float64
+			for k := -2; k <= 2; k++ {
+				yy := y + k
+				if yy < 0 {
+					yy = 0
+				}
+				if yy >= src.H {
+					yy = src.H - 1
+				}
+				acc += kernel[k+2] * tmp[yy*src.W+x]
+			}
+			v := acc / norm
+			if v > 255 {
+				v = 255
+			}
+			out.Set(x, y, uint8(v))
+		}
+	}
+	return out
+}
+
+// Canny runs the full edge detector: Gaussian smoothing, Sobel
+// gradients, non-maximum suppression, and double-threshold hysteresis.
+// The result is a binary image (0 or 255).
+func Canny(src *Gray, p CannyParams) *Gray {
+	blurred := gaussian5(src)
+	w, h := src.W, src.H
+	mag := make([]float64, w*h)
+	dir := make([]uint8, w*h) // quantised gradient direction 0..3
+
+	for y := 1; y < h-1; y++ {
+		for x := 1; x < w-1; x++ {
+			gx := -float64(blurred.At(x-1, y-1)) + float64(blurred.At(x+1, y-1)) +
+				-2*float64(blurred.At(x-1, y)) + 2*float64(blurred.At(x+1, y)) +
+				-float64(blurred.At(x-1, y+1)) + float64(blurred.At(x+1, y+1))
+			gy := -float64(blurred.At(x-1, y-1)) - 2*float64(blurred.At(x, y-1)) - float64(blurred.At(x+1, y-1)) +
+				float64(blurred.At(x-1, y+1)) + 2*float64(blurred.At(x, y+1)) + float64(blurred.At(x+1, y+1))
+			m := math.Hypot(gx, gy)
+			mag[y*w+x] = m
+			// Quantise the gradient angle to 4 directions.
+			angle := math.Atan2(gy, gx)
+			if angle < 0 {
+				angle += math.Pi
+			}
+			switch {
+			case angle < math.Pi/8 || angle >= 7*math.Pi/8:
+				dir[y*w+x] = 0 // horizontal gradient → vertical edge
+			case angle < 3*math.Pi/8:
+				dir[y*w+x] = 1 // 45°
+			case angle < 5*math.Pi/8:
+				dir[y*w+x] = 2 // vertical gradient → horizontal edge
+			default:
+				dir[y*w+x] = 3 // 135°
+			}
+		}
+	}
+
+	// Non-maximum suppression.
+	const (
+		weak   = 128
+		strong = 255
+	)
+	nms := NewGray(w, h)
+	for y := 1; y < h-1; y++ {
+		for x := 1; x < w-1; x++ {
+			m := mag[y*w+x]
+			if m < p.LowThreshold {
+				continue
+			}
+			var m1, m2 float64
+			switch dir[y*w+x] {
+			case 0:
+				m1, m2 = mag[y*w+x-1], mag[y*w+x+1]
+			case 1:
+				m1, m2 = mag[(y-1)*w+x+1], mag[(y+1)*w+x-1]
+			case 2:
+				m1, m2 = mag[(y-1)*w+x], mag[(y+1)*w+x]
+			default:
+				m1, m2 = mag[(y-1)*w+x-1], mag[(y+1)*w+x+1]
+			}
+			if m < m1 || m < m2 {
+				continue
+			}
+			if m >= p.HighThreshold {
+				nms.Set(x, y, strong)
+			} else {
+				nms.Set(x, y, weak)
+			}
+		}
+	}
+
+	// Hysteresis: weak pixels survive only when 8-connected to a
+	// strong pixel (iterative flood from strong seeds).
+	out := NewGray(w, h)
+	stack := make([][2]int, 0, w*h/8)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			if nms.At(x, y) == strong {
+				out.Set(x, y, 255)
+				stack = append(stack, [2]int{x, y})
+			}
+		}
+	}
+	for len(stack) > 0 {
+		px := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for dy := -1; dy <= 1; dy++ {
+			for dx := -1; dx <= 1; dx++ {
+				x, y := px[0]+dx, px[1]+dy
+				if nms.At(x, y) == weak && out.At(x, y) == 0 {
+					out.Set(x, y, 255)
+					stack = append(stack, [2]int{x, y})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// RegionFilter zeroes all pixels outside the central column band
+// [left, right) expressed as fractions of the width — the paper's
+// "region filter to only receive the center of the image". Returns a
+// new image.
+func RegionFilter(src *Gray, left, right float64) *Gray {
+	out := NewGray(src.W, src.H)
+	lo := int(left * float64(src.W))
+	hi := int(right * float64(src.W))
+	for y := 0; y < src.H; y++ {
+		for x := lo; x < hi && x < src.W; x++ {
+			out.Set(x, y, src.At(x, y))
+		}
+	}
+	return out
+}

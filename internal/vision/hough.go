@@ -1,0 +1,181 @@
+package vision
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// LineSegment is a detected line in pixel coordinates.
+type LineSegment struct {
+	X1, Y1, X2, Y2 float64
+}
+
+// Length returns the segment length in pixels.
+func (s LineSegment) Length() float64 { return math.Hypot(s.X2-s.X1, s.Y2-s.Y1) }
+
+// Midpoint returns the segment midpoint.
+func (s LineSegment) Midpoint() (float64, float64) {
+	return (s.X1 + s.X2) / 2, (s.Y1 + s.Y2) / 2
+}
+
+// HoughParams tune the progressive probabilistic Hough transform
+// (Matas et al., the algorithm behind OpenCV's HoughLinesP that the
+// paper's line follower uses).
+type HoughParams struct {
+	// RhoResolution in pixels.
+	RhoResolution float64
+	// ThetaResolution in radians.
+	ThetaResolution float64
+	// Threshold is the accumulator vote count needed to declare a line.
+	Threshold int
+	// MinLineLength discards shorter segments.
+	MinLineLength float64
+	// MaxLineGap joins collinear segments separated by fewer pixels.
+	MaxLineGap float64
+}
+
+// DefaultHough matches the OpenCV parameterisation typical for line
+// following on a 160×120 frame.
+func DefaultHough() HoughParams {
+	return HoughParams{
+		RhoResolution:   1,
+		ThetaResolution: math.Pi / 180,
+		Threshold:       20,
+		MinLineLength:   20,
+		MaxLineGap:      5,
+	}
+}
+
+// HoughLinesP runs the progressive probabilistic Hough transform on a
+// binary edge image and returns detected segments, longest first. rng
+// drives the random point selection; pass a deterministic source for
+// reproducible runs.
+func HoughLinesP(edges *Gray, p HoughParams, rng *rand.Rand) []LineSegment {
+	w, h := edges.W, edges.H
+	numTheta := int(math.Pi/p.ThetaResolution + 0.5)
+	maxRho := math.Hypot(float64(w), float64(h))
+	numRho := int(2*maxRho/p.RhoResolution) + 1
+
+	// Collect edge points.
+	type pt struct{ x, y int }
+	points := make([]pt, 0, w*h/16)
+	present := make([]bool, w*h)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			if edges.At(x, y) != 0 {
+				points = append(points, pt{x, y})
+				present[y*w+x] = true
+			}
+		}
+	}
+	if len(points) == 0 {
+		return nil
+	}
+
+	// Precompute trig tables.
+	sins := make([]float64, numTheta)
+	coss := make([]float64, numTheta)
+	for t := 0; t < numTheta; t++ {
+		angle := float64(t) * p.ThetaResolution
+		sins[t] = math.Sin(angle)
+		coss[t] = math.Cos(angle)
+	}
+
+	acc := make([]int, numTheta*numRho)
+	var segments []LineSegment
+
+	// Process points in random order (the "probabilistic" part).
+	order := rng.Perm(len(points))
+	for _, idx := range order {
+		q := points[idx]
+		if !present[q.y*w+q.x] {
+			continue // consumed by an earlier segment
+		}
+		// Vote.
+		bestVotes, bestTheta := 0, 0
+		for t := 0; t < numTheta; t++ {
+			rho := float64(q.x)*coss[t] + float64(q.y)*sins[t]
+			r := int((rho + maxRho) / p.RhoResolution)
+			if r < 0 || r >= numRho {
+				continue
+			}
+			acc[t*numRho+r]++
+			if acc[t*numRho+r] > bestVotes {
+				bestVotes = acc[t*numRho+r]
+				bestTheta = t
+			}
+		}
+		if bestVotes < p.Threshold {
+			continue
+		}
+		// Walk along the line direction from the seed point in both
+		// directions, tolerating gaps up to MaxLineGap.
+		dirX, dirY := -sins[bestTheta], coss[bestTheta]
+		end := [2][2]float64{}
+		for k := 0; k < 2; k++ {
+			sign := 1.0
+			if k == 1 {
+				sign = -1
+			}
+			x, y := float64(q.x), float64(q.y)
+			lastX, lastY := x, y
+			gap := 0.0
+			for {
+				x += sign * dirX
+				y += sign * dirY
+				xi, yi := int(x+0.5), int(y+0.5)
+				if xi < 0 || yi < 0 || xi >= w || yi >= h {
+					break
+				}
+				if present[yi*w+xi] {
+					lastX, lastY = x, y
+					gap = 0
+				} else {
+					gap++
+					if gap > p.MaxLineGap {
+						break
+					}
+				}
+			}
+			end[k] = [2]float64{lastX, lastY}
+		}
+		seg := LineSegment{X1: end[1][0], Y1: end[1][1], X2: end[0][0], Y2: end[0][1]}
+		if seg.Length() < p.MinLineLength {
+			continue
+		}
+		// Erase the segment's points from the edge set and un-vote
+		// them so they do not seed further lines.
+		eraseAlong(seg, present, acc, w, h, numRho, numTheta, maxRho, p, sins, coss)
+		segments = append(segments, seg)
+	}
+	sort.Slice(segments, func(i, j int) bool { return segments[i].Length() > segments[j].Length() })
+	return segments
+}
+
+// eraseAlong removes points within 1 px of the segment from the
+// present set and subtracts their accumulator votes.
+func eraseAlong(seg LineSegment, present []bool, acc []int, w, h, numRho, numTheta int, maxRho float64, p HoughParams, sins, coss []float64) {
+	steps := int(seg.Length()) + 1
+	for i := 0; i <= steps; i++ {
+		t := float64(i) / float64(steps)
+		cx := seg.X1 + t*(seg.X2-seg.X1)
+		cy := seg.Y1 + t*(seg.Y2-seg.Y1)
+		for dy := -1; dy <= 1; dy++ {
+			for dx := -1; dx <= 1; dx++ {
+				x, y := int(cx+0.5)+dx, int(cy+0.5)+dy
+				if x < 0 || y < 0 || x >= w || y >= h || !present[y*w+x] {
+					continue
+				}
+				present[y*w+x] = false
+				for th := 0; th < numTheta; th++ {
+					rho := float64(x)*coss[th] + float64(y)*sins[th]
+					r := int((rho + maxRho) / p.RhoResolution)
+					if r >= 0 && r < numRho && acc[th*numRho+r] > 0 {
+						acc[th*numRho+r]--
+					}
+				}
+			}
+		}
+	}
+}

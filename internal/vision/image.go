@@ -1,0 +1,124 @@
+// Package vision implements the vehicle's line-following perception
+// pipeline from Fig. 6 of the paper, for real: a synthetic camera
+// frame is rendered from the vehicle pose and track geometry (the
+// stand-in for the ZED capture), then passed through Canny edge
+// detection and a probabilistic Hough transform to recover the line
+// coordinates the motion planner steers towards.
+package vision
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"itsbed/internal/geo"
+	"itsbed/internal/track"
+)
+
+// Gray is a single-channel 8-bit image.
+type Gray struct {
+	W, H int
+	Pix  []uint8
+}
+
+// NewGray allocates a zeroed image.
+func NewGray(w, h int) *Gray {
+	return &Gray{W: w, H: h, Pix: make([]uint8, w*h)}
+}
+
+// At returns the pixel value, 0 outside the bounds.
+func (g *Gray) At(x, y int) uint8 {
+	if x < 0 || y < 0 || x >= g.W || y >= g.H {
+		return 0
+	}
+	return g.Pix[y*g.W+x]
+}
+
+// Set writes a pixel, ignoring out-of-bounds coordinates.
+func (g *Gray) Set(x, y int, v uint8) {
+	if x < 0 || y < 0 || x >= g.W || y >= g.H {
+		return
+	}
+	g.Pix[y*g.W+x] = v
+}
+
+// CameraModel is the vehicle's front camera in bird's-eye (inverse
+// perspective mapped) form: the frame covers a ground patch ahead of
+// the vehicle. Row H-1 is nearest the bumper; columns span laterally.
+type CameraModel struct {
+	// Width and Height of the frame in pixels.
+	Width, Height int
+	// PatchLength is the forward extent of the ground patch in metres.
+	PatchLength float64
+	// PatchWidth is the lateral extent in metres.
+	PatchWidth float64
+	// NearOffset is the distance from the rear axle to the bottom edge
+	// of the patch.
+	NearOffset float64
+	// NoiseSigma is the additive Gaussian pixel noise (0..255 scale).
+	NoiseSigma float64
+}
+
+// DefaultZED approximates the ZED stream the line follower consumes
+// after region filtering.
+func DefaultZED() CameraModel {
+	return CameraModel{
+		Width:       160,
+		Height:      120,
+		PatchLength: 1.2,
+		PatchWidth:  0.8,
+		NearOffset:  0.15,
+		NoiseSigma:  6,
+	}
+}
+
+// Render produces the synthetic grayscale frame for a vehicle at the
+// given pose: light floor (≈200), dark guide line (≈30) of the given
+// width, with additive noise. rng may be nil for a noiseless frame.
+func (c CameraModel) Render(line *track.Line, pos geo.Point, heading float64, lineWidthM float64, rng *rand.Rand) *Gray {
+	img := NewGray(c.Width, c.Height)
+	const floor, ink = 200, 30
+	cosH, sinH := math.Cos(heading), math.Sin(heading)
+	for v := 0; v < c.Height; v++ {
+		// Row → forward distance (row 0 is far).
+		fwd := c.NearOffset + c.PatchLength*float64(c.Height-1-v)/float64(c.Height-1)
+		for u := 0; u < c.Width; u++ {
+			lat := c.PatchWidth * (float64(u)/float64(c.Width-1) - 0.5)
+			// Vehicle frame (fwd, lat) → world. Heading 0 is north
+			// (+Y); lateral positive to the right.
+			wx := pos.X + fwd*sinH + lat*cosH
+			wy := pos.Y + fwd*cosH - lat*sinH
+			_, off := line.Project(geo.Point{X: wx, Y: wy})
+			val := uint8(floor)
+			if math.Abs(off) <= lineWidthM/2 {
+				val = ink
+			}
+			if c.NoiseSigma > 0 && rng != nil {
+				n := rng.NormFloat64() * c.NoiseSigma
+				f := float64(val) + n
+				if f < 0 {
+					f = 0
+				}
+				if f > 255 {
+					f = 255
+				}
+				val = uint8(f)
+			}
+			img.Set(u, v, val)
+		}
+	}
+	return img
+}
+
+// PixelToGround converts frame coordinates back to the vehicle frame:
+// forward and lateral offsets in metres.
+func (c CameraModel) PixelToGround(u, v float64) (fwd, lat float64) {
+	fwd = c.NearOffset + c.PatchLength*(float64(c.Height-1)-v)/float64(c.Height-1)
+	lat = c.PatchWidth * (u/float64(c.Width-1) - 0.5)
+	return fwd, lat
+}
+
+// String implements fmt.Stringer.
+func (c CameraModel) String() string {
+	return fmt.Sprintf("cam %dx%d %.1fx%.1fm", c.Width, c.Height, c.PatchLength, c.PatchWidth)
+}

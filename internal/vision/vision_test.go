@@ -1,0 +1,225 @@
+package vision
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"itsbed/internal/geo"
+	"itsbed/internal/track"
+)
+
+func straightLine() *track.Line {
+	return track.MustLine([]geo.Point{{X: 0, Y: -5}, {X: 0, Y: 10}})
+}
+
+func TestGrayBounds(t *testing.T) {
+	g := NewGray(4, 3)
+	g.Set(0, 0, 10)
+	g.Set(3, 2, 20)
+	g.Set(-1, 0, 99) // ignored
+	g.Set(4, 0, 99)  // ignored
+	if g.At(0, 0) != 10 || g.At(3, 2) != 20 {
+		t.Fatal("set/get")
+	}
+	if g.At(-1, 0) != 0 || g.At(4, 3) != 0 {
+		t.Fatal("out of bounds must read 0")
+	}
+}
+
+func TestRenderShowsLine(t *testing.T) {
+	cam := DefaultZED()
+	img := cam.Render(straightLine(), geo.Point{X: 0, Y: 0}, 0, 0.05, nil)
+	// The line runs vertically through the image centre: dark pixels
+	// near u=W/2, light at the borders.
+	mid := img.At(cam.Width/2, cam.Height/2)
+	edge := img.At(2, cam.Height/2)
+	if mid > 100 {
+		t.Fatalf("line pixel %d, want dark", mid)
+	}
+	if edge < 150 {
+		t.Fatalf("floor pixel %d, want light", edge)
+	}
+}
+
+func TestRenderOffsetShiftsLine(t *testing.T) {
+	cam := DefaultZED()
+	// Vehicle to the right of the line → the line appears left of
+	// centre.
+	img := cam.Render(straightLine(), geo.Point{X: 0.2, Y: 0}, 0, 0.05, nil)
+	leftDark, rightDark := 0, 0
+	for u := 0; u < cam.Width; u++ {
+		if img.At(u, cam.Height/2) < 100 {
+			if u < cam.Width/2 {
+				leftDark++
+			} else {
+				rightDark++
+			}
+		}
+	}
+	if leftDark == 0 || rightDark != 0 {
+		t.Fatalf("line pixels left=%d right=%d, want all left", leftDark, rightDark)
+	}
+}
+
+func TestPixelToGroundRoundTrip(t *testing.T) {
+	cam := DefaultZED()
+	fwd, lat := cam.PixelToGround(float64(cam.Width-1)/2, float64(cam.Height-1))
+	if math.Abs(lat) > 1e-9 {
+		t.Fatalf("centre-bottom lateral %v", lat)
+	}
+	if math.Abs(fwd-cam.NearOffset) > 1e-9 {
+		t.Fatalf("bottom row forward %v, want NearOffset", fwd)
+	}
+	fwdTop, _ := cam.PixelToGround(0, 0)
+	if math.Abs(fwdTop-(cam.NearOffset+cam.PatchLength)) > 1e-9 {
+		t.Fatalf("top row forward %v", fwdTop)
+	}
+}
+
+func TestCannyFindsLineEdges(t *testing.T) {
+	cam := DefaultZED()
+	img := cam.Render(straightLine(), geo.Point{}, 0, 0.05, nil)
+	edges := Canny(img, DefaultCanny())
+	n := 0
+	for _, p := range edges.Pix {
+		if p != 0 {
+			n++
+		}
+	}
+	// Two vertical edges of ~full height: expect hundreds of pixels.
+	if n < 100 {
+		t.Fatalf("only %d edge pixels", n)
+	}
+	// Edge pixels hug the line boundary; none in the far corners.
+	for _, u := range []int{1, cam.Width - 2} {
+		for v := 1; v < cam.Height-1; v += 7 {
+			if edges.At(u, v) != 0 {
+				t.Fatalf("spurious edge at image border (%d,%d)", u, v)
+			}
+		}
+	}
+}
+
+func TestCannyFlatImageNoEdges(t *testing.T) {
+	img := NewGray(64, 64)
+	for i := range img.Pix {
+		img.Pix[i] = 128
+	}
+	edges := Canny(img, DefaultCanny())
+	for i, p := range edges.Pix {
+		if p != 0 {
+			t.Fatalf("edge at %d in a flat image", i)
+		}
+	}
+}
+
+func TestRegionFilter(t *testing.T) {
+	img := NewGray(100, 10)
+	for i := range img.Pix {
+		img.Pix[i] = 255
+	}
+	out := RegionFilter(img, 0.25, 0.75)
+	if out.At(10, 5) != 0 || out.At(90, 5) != 0 {
+		t.Fatal("outside band not zeroed")
+	}
+	if out.At(50, 5) != 255 {
+		t.Fatal("centre band zeroed")
+	}
+}
+
+func TestHoughRecoversSyntheticLine(t *testing.T) {
+	img := NewGray(100, 100)
+	// Vertical line at u=40 from v=10 to v=90.
+	for v := 10; v <= 90; v++ {
+		img.Set(40, v, 255)
+	}
+	segs := HoughLinesP(img, DefaultHough(), rand.New(rand.NewSource(1)))
+	if len(segs) == 0 {
+		t.Fatal("no segment found")
+	}
+	s := segs[0]
+	if s.Length() < 80*0.7 {
+		t.Fatalf("segment length %v, want most of the 80 px line", s.Length())
+	}
+	mu, _ := s.Midpoint()
+	if math.Abs(mu-40) > 2 {
+		t.Fatalf("segment at u=%v, want 40", mu)
+	}
+}
+
+func TestHoughDiagonalLine(t *testing.T) {
+	img := NewGray(100, 100)
+	for i := 10; i <= 90; i++ {
+		img.Set(i, i, 255)
+	}
+	segs := HoughLinesP(img, DefaultHough(), rand.New(rand.NewSource(2)))
+	if len(segs) == 0 {
+		t.Fatal("no diagonal segment found")
+	}
+	s := segs[0]
+	// Segment direction is arbitrary; compare the undirected angle.
+	angle := math.Mod(math.Atan2(s.Y2-s.Y1, s.X2-s.X1)+math.Pi, math.Pi)
+	if math.Abs(angle-math.Pi/4) > 0.1 {
+		t.Fatalf("diagonal angle %v", angle)
+	}
+}
+
+func TestHoughEmptyImage(t *testing.T) {
+	img := NewGray(50, 50)
+	if segs := HoughLinesP(img, DefaultHough(), rand.New(rand.NewSource(1))); len(segs) != 0 {
+		t.Fatalf("segments in an empty image: %d", len(segs))
+	}
+}
+
+func TestHoughIgnoresSparseNoise(t *testing.T) {
+	img := NewGray(100, 100)
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 30; i++ {
+		img.Set(rng.Intn(100), rng.Intn(100), 255)
+	}
+	segs := HoughLinesP(img, DefaultHough(), rand.New(rand.NewSource(4)))
+	if len(segs) != 0 {
+		t.Fatalf("hallucinated %d segments from noise", len(segs))
+	}
+}
+
+func TestDetectorOnTrack(t *testing.T) {
+	det := NewDetector(rand.New(rand.NewSource(5)))
+	d := det.Detect(straightLine(), geo.Point{X: 0, Y: 0}, 0)
+	if !d.Found {
+		t.Fatal("line not detected")
+	}
+	if math.Abs(d.LateralError) > 0.08 {
+		t.Fatalf("on-line lateral error %v", d.LateralError)
+	}
+	if d.TargetForward < 0.3 {
+		t.Fatalf("target too close: %v", d.TargetForward)
+	}
+}
+
+func TestDetectorSignConvention(t *testing.T) {
+	det := NewDetector(rand.New(rand.NewSource(6)))
+	// Vehicle right of the line → the line (and target) appear to the
+	// LEFT → negative lateral values.
+	d := det.Detect(straightLine(), geo.Point{X: 0.15, Y: 0}, 0)
+	if !d.Found {
+		t.Fatal("line not detected")
+	}
+	if d.TargetLateral >= 0 {
+		t.Fatalf("target lateral %v, want negative (left)", d.TargetLateral)
+	}
+	// Vehicle left of the line → line appears right.
+	d2 := det.Detect(straightLine(), geo.Point{X: -0.15, Y: 0}, 0)
+	if d2.Found && d2.TargetLateral <= 0 {
+		t.Fatalf("target lateral %v, want positive (right)", d2.TargetLateral)
+	}
+}
+
+func TestDetectorNoLineInView(t *testing.T) {
+	det := NewDetector(rand.New(rand.NewSource(7)))
+	d := det.Detect(straightLine(), geo.Point{X: 3, Y: 0}, 0) // 3 m off the line
+	if d.Found {
+		t.Fatal("detected a line 3 m away from the patch")
+	}
+}

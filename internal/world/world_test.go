@@ -1,0 +1,134 @@
+package world
+
+import (
+	"math"
+	"testing"
+
+	"itsbed/internal/geo"
+)
+
+func wallAt(x float64, y0, y1 float64, m Material) Wall {
+	return Wall{Segment: geo.Segment{A: geo.Point{X: x, Y: y0}, B: geo.Point{X: x, Y: y1}}, Material: m}
+}
+
+func TestLineOfSightOpenWorld(t *testing.T) {
+	var m *Map // nil map: fully open
+	if !m.LineOfSight(geo.Point{}, geo.Point{X: 100, Y: 100}) {
+		t.Fatal("nil map must be open")
+	}
+	empty := NewMap(nil)
+	if !empty.LineOfSight(geo.Point{}, geo.Point{X: 5}) {
+		t.Fatal("empty map must be open")
+	}
+}
+
+func TestLineOfSightBlocked(t *testing.T) {
+	m := NewMap([]Wall{wallAt(1, -1, 1, MaterialBrick)})
+	if m.LineOfSight(geo.Point{X: 0}, geo.Point{X: 2}) {
+		t.Fatal("wall did not block")
+	}
+	// Parallel path on one side: clear.
+	if !m.LineOfSight(geo.Point{X: 0, Y: 2}, geo.Point{X: 2, Y: 2}) {
+		t.Fatal("clear path blocked")
+	}
+	// Path ending before the wall: clear.
+	if !m.LineOfSight(geo.Point{X: 0}, geo.Point{X: 0.9}) {
+		t.Fatal("short path blocked")
+	}
+}
+
+func TestObstructionLossAccumulates(t *testing.T) {
+	m := NewMap([]Wall{
+		wallAt(1, -1, 1, MaterialBrick),
+		wallAt(2, -1, 1, MaterialConcrete),
+	})
+	loss := m.ObstructionLossDB(geo.Point{X: 0}, geo.Point{X: 3})
+	want := MaterialBrick.PenetrationLossDB() + MaterialConcrete.PenetrationLossDB()
+	if loss != want {
+		t.Fatalf("loss %v, want %v", loss, want)
+	}
+	// One wall only.
+	if m.ObstructionLossDB(geo.Point{X: 0}, geo.Point{X: 1.5}) != MaterialBrick.PenetrationLossDB() {
+		t.Fatal("partial path loss wrong")
+	}
+	if m.ObstructionLossDB(geo.Point{X: 0}, geo.Point{X: 0.5}) != 0 {
+		t.Fatal("clear path has loss")
+	}
+}
+
+func TestMaterialOrdering(t *testing.T) {
+	if !(MaterialDrywall.PenetrationLossDB() < MaterialBrick.PenetrationLossDB() &&
+		MaterialBrick.PenetrationLossDB() < MaterialConcrete.PenetrationLossDB() &&
+		MaterialConcrete.PenetrationLossDB() < MaterialMetal.PenetrationLossDB()) {
+		t.Fatal("material losses not ordered")
+	}
+	if Material(0).PenetrationLossDB() != 0 {
+		t.Fatal("void material must be lossless")
+	}
+}
+
+func TestRaycast(t *testing.T) {
+	m := NewMap([]Wall{wallAt(3, -5, 5, MaterialBrick)})
+	d, ok := m.Raycast(geo.Point{}, geo.Vector{X: 1}, 10)
+	if !ok || math.Abs(d-3) > 1e-9 {
+		t.Fatalf("raycast d=%v ok=%v, want 3", d, ok)
+	}
+	// Away from the wall: no hit.
+	if _, ok := m.Raycast(geo.Point{}, geo.Vector{X: -1}, 10); ok {
+		t.Fatal("hit behind the ray")
+	}
+	// Beyond range: no hit.
+	if _, ok := m.Raycast(geo.Point{}, geo.Vector{X: 1}, 2); ok {
+		t.Fatal("hit beyond max range")
+	}
+	// Diagonal.
+	d, ok = m.Raycast(geo.Point{}, geo.Vector{X: 1, Y: 1}, 10)
+	if !ok || math.Abs(d-3*math.Sqrt2) > 1e-9 {
+		t.Fatalf("diagonal raycast %v", d)
+	}
+	// Nearest of several walls wins.
+	m.AddWall(wallAt(2, -5, 5, MaterialMetal))
+	d, _ = m.Raycast(geo.Point{}, geo.Vector{X: 1}, 10)
+	if math.Abs(d-2) > 1e-9 {
+		t.Fatalf("nearest wall not selected: %v", d)
+	}
+}
+
+func TestRaycastDegenerate(t *testing.T) {
+	m := NewMap([]Wall{wallAt(1, -1, 1, MaterialBrick)})
+	if _, ok := m.Raycast(geo.Point{}, geo.Vector{}, 10); ok {
+		t.Fatal("zero direction hit something")
+	}
+	if _, ok := m.Raycast(geo.Point{}, geo.Vector{X: 1}, 0); ok {
+		t.Fatal("zero range hit something")
+	}
+}
+
+func TestBlindCornerLabGeometry(t *testing.T) {
+	m := BlindCornerLab(5.2)
+	vehicleSouth := geo.Point{X: 0, Y: 3}
+	hazardEast := geo.Point{X: 2, Y: 5.0}
+	if m.LineOfSight(vehicleSouth, hazardEast) {
+		t.Fatal("corner does not hide the hazard")
+	}
+	// Past the wall's north end the view opens.
+	vehicleNorth := geo.Point{X: 0, Y: 5.4}
+	hazardNorth := geo.Point{X: 2, Y: 5.6}
+	if !m.LineOfSight(vehicleNorth, hazardNorth) {
+		t.Fatal("view does not open past the corner")
+	}
+}
+
+func TestWallsCopySemantics(t *testing.T) {
+	walls := []Wall{wallAt(1, 0, 1, MaterialBrick)}
+	m := NewMap(walls)
+	walls[0].Segment.A.X = 99
+	if m.Walls()[0].Segment.A.X == 99 {
+		t.Fatal("map aliases the caller's slice")
+	}
+	got := m.Walls()
+	got[0].Segment.A.X = 55
+	if m.Walls()[0].Segment.A.X == 55 {
+		t.Fatal("Walls returns an aliased slice")
+	}
+}

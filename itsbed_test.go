@@ -1,0 +1,63 @@
+package itsbed_test
+
+import (
+	"testing"
+	"time"
+
+	"itsbed"
+)
+
+func TestRunQuick(t *testing.T) {
+	res, err := itsbed.RunQuick(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Stopped {
+		t.Fatal("vehicle did not stop")
+	}
+	if res.Intervals.Total <= 0 || res.Intervals.Total >= 100*time.Millisecond {
+		t.Fatalf("total delay %v", res.Intervals.Total)
+	}
+}
+
+func TestFacadeTestbed(t *testing.T) {
+	tb, err := itsbed.New(itsbed.Config{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := tb.RunScenario(30 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Run.Complete() {
+		t.Fatal("chain incomplete")
+	}
+	if res.BrakingDistance <= 0 {
+		t.Fatal("no braking distance")
+	}
+}
+
+func TestFacadeLayout(t *testing.T) {
+	ly := itsbed.PaperLab()
+	if ly.ActionPointDistance != 1.52 {
+		t.Fatal("paper layout action point")
+	}
+}
+
+func TestFacadeMessages(t *testing.T) {
+	// Encode via the quickstart surface: run the scenario, then decode
+	// cause codes through the re-exported registry helpers.
+	if itsbed.CauseCode(97).String() != "collisionRisk" {
+		t.Fatal("cause registry not reachable through the facade")
+	}
+}
+
+func TestFacadeExperiments(t *testing.T) {
+	res, err := itsbed.TableII(itsbed.ScenarioOptions{BaseSeed: 42, Runs: 3, UseVision: false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatal("rows")
+	}
+}
