@@ -12,6 +12,7 @@ package itsbed_test
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 	"testing"
 
@@ -124,7 +125,7 @@ func BenchmarkFigure11_EDF(b *testing.B) {
 // version).
 func BenchmarkExt_LatencyCDF(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.LatencyCDF(1000, 60)
+		res, err := experiments.LatencyCDF(1000, 60, 0)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -138,7 +139,7 @@ func BenchmarkExt_LatencyCDF(b *testing.B) {
 // comparison.
 func BenchmarkExt_RadioComparison(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.RadioComparison(2000, 6)
+		res, err := experiments.RadioComparison(2000, 6, 0)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -172,6 +173,37 @@ func BenchmarkExt_BlindCornerBaseline(b *testing.B) {
 		if i == 0 {
 			printArtifact(b, "baseline", res.Format())
 		}
+	}
+}
+
+// BenchmarkCampaignTableII measures the parallel campaign engine on a
+// Table II-sized campaign (Runs=20) across worker counts. Expect
+// near-linear scaling from workers=1 to workers=NumCPU; the bench also
+// asserts the engine's determinism guarantee by requiring the
+// formatted table to be byte-identical for every worker count.
+func BenchmarkCampaignTableII(b *testing.B) {
+	var mu sync.Mutex
+	baseline := ""
+	for _, w := range []int{1, 2, 4, 8, runtime.NumCPU()} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := experiments.TableII(experiments.ScenarioOptions{
+					BaseSeed: 42, Runs: 20, UseVision: false, Workers: w,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				text := res.Format()
+				mu.Lock()
+				if baseline == "" {
+					baseline = text
+				} else if text != baseline {
+					mu.Unlock()
+					b.Fatalf("workers=%d produced a different Table II", w)
+				}
+				mu.Unlock()
+			}
+		})
 	}
 }
 

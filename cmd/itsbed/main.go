@@ -21,13 +21,16 @@
 //	itsbed ntp-sweep         # ABL-4 clock-sync quality vs measured intervals
 //	itsbed all               # everything above
 //
-// Common flags: -seed S, -runs R, -vision=(true|false).
+// Common flags: -seed S, -runs R, -vision=(true|false), -workers W.
+// Runs execute concurrently on W workers (default: all CPUs); results
+// are bit-identical for every worker count.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"itsbed/internal/experiments"
 	"itsbed/internal/its/messages"
@@ -46,6 +49,7 @@ func run(args []string) error {
 	runs := fs.Int("runs", 0, "number of runs (0 = experiment default)")
 	n := fs.Int("n", 0, "sample count for the extension studies (0 = default)")
 	vision := fs.Bool("vision", true, "use the full image pipeline in the line follower")
+	workers := fs.Int("workers", runtime.NumCPU(), "concurrent scenario runs (results are identical for any value)")
 	if len(args) == 0 {
 		args = []string{"all"}
 	}
@@ -53,7 +57,7 @@ func run(args []string) error {
 	if err := fs.Parse(args[1:]); err != nil {
 		return err
 	}
-	opt := experiments.ScenarioOptions{BaseSeed: *seed, Runs: *runs, UseVision: *vision}
+	opt := experiments.ScenarioOptions{BaseSeed: *seed, Runs: *runs, UseVision: *vision, Workers: *workers}
 
 	dispatch := map[string]func() error{
 		"table1":      func() error { return printTable1() },
@@ -62,16 +66,16 @@ func run(args []string) error {
 		"fig7":        func() error { return printFig7(*seed) },
 		"fig10":       func() error { return printFig10(opt) },
 		"fig11":       func() error { return printFig11(opt) },
-		"cdf":         func() error { return printCDF(*seed, *n) },
-		"radios":      func() error { return printRadios(*seed, *n) },
+		"cdf":         func() error { return printCDF(*seed, *n, *workers) },
+		"radios":      func() error { return printRadios(*seed, *n, *workers) },
 		"platoon":     func() error { return printPlatoon(*seed, *n) },
 		"baseline":    func() error { return printBaseline(*seed, *n) },
-		"poll-sweep":  func() error { return printPollSweep(*seed, *n) },
-		"fps-sweep":   func() error { return printFPSSweep(*seed, *n) },
-		"load-sweep":  func() error { return printLoadSweep(*seed, *n) },
-		"obstruction": func() error { return printObstruction(*seed, *n) },
-		"platoon-acc": func() error { return printPlatoonACC(*seed, *n) },
-		"ntp-sweep":   func() error { return printNTPSweep(*seed, *n) },
+		"poll-sweep":  func() error { return printPollSweep(*seed, *n, *workers) },
+		"fps-sweep":   func() error { return printFPSSweep(*seed, *n, *workers) },
+		"load-sweep":  func() error { return printLoadSweep(*seed, *n, *workers) },
+		"obstruction": func() error { return printObstruction(*seed, *n, *workers) },
+		"platoon-acc": func() error { return printPlatoonACC(*seed, *n, *workers) },
+		"ntp-sweep":   func() error { return printNTPSweep(*seed, *n, *workers) },
 	}
 	if cmd == "all" {
 		order := []string{
@@ -94,8 +98,8 @@ func run(args []string) error {
 	return fn()
 }
 
-func printPollSweep(seed int64, n int) error {
-	rows, err := experiments.PollIntervalSweep(seed+7000, n, nil)
+func printPollSweep(seed int64, n, workers int) error {
+	rows, err := experiments.PollIntervalSweep(seed+7000, n, nil, workers)
 	if err != nil {
 		return err
 	}
@@ -103,8 +107,8 @@ func printPollSweep(seed int64, n int) error {
 	return nil
 }
 
-func printFPSSweep(seed int64, n int) error {
-	rows, err := experiments.CameraFPSSweep(seed+7100, n, nil)
+func printFPSSweep(seed int64, n, workers int) error {
+	rows, err := experiments.CameraFPSSweep(seed+7100, n, nil, workers)
 	if err != nil {
 		return err
 	}
@@ -112,8 +116,8 @@ func printFPSSweep(seed int64, n int) error {
 	return nil
 }
 
-func printLoadSweep(seed int64, n int) error {
-	rows, err := experiments.ChannelLoadSweep(seed+7200, n, nil)
+func printLoadSweep(seed int64, n, workers int) error {
+	rows, err := experiments.ChannelLoadSweep(seed+7200, n, nil, workers)
 	if err != nil {
 		return err
 	}
@@ -121,8 +125,8 @@ func printLoadSweep(seed int64, n int) error {
 	return nil
 }
 
-func printPlatoonACC(seed int64, n int) error {
-	rows, err := experiments.PlatoonACC(seed+9000, n, nil)
+func printPlatoonACC(seed int64, n, workers int) error {
+	rows, err := experiments.PlatoonACC(seed+9000, n, nil, workers)
 	if err != nil {
 		return err
 	}
@@ -130,8 +134,8 @@ func printPlatoonACC(seed int64, n int) error {
 	return nil
 }
 
-func printNTPSweep(seed int64, n int) error {
-	rows, err := experiments.NTPQualitySweep(seed+11000, n)
+func printNTPSweep(seed int64, n, workers int) error {
+	rows, err := experiments.NTPQualitySweep(seed+11000, n, workers)
 	if err != nil {
 		return err
 	}
@@ -139,8 +143,8 @@ func printNTPSweep(seed int64, n int) error {
 	return nil
 }
 
-func printObstruction(seed int64, n int) error {
-	rows, err := experiments.ObstructedLink(seed+7300, n)
+func printObstruction(seed int64, n, workers int) error {
+	rows, err := experiments.ObstructedLink(seed+7300, n, workers)
 	if err != nil {
 		return err
 	}
@@ -212,8 +216,8 @@ func printFig11(opt experiments.ScenarioOptions) error {
 	return nil
 }
 
-func printCDF(seed int64, n int) error {
-	res, err := experiments.LatencyCDF(seed+1000, n)
+func printCDF(seed int64, n, workers int) error {
+	res, err := experiments.LatencyCDF(seed+1000, n, workers)
 	if err != nil {
 		return err
 	}
@@ -221,8 +225,8 @@ func printCDF(seed int64, n int) error {
 	return nil
 }
 
-func printRadios(seed int64, n int) error {
-	res, err := experiments.RadioComparison(seed+2000, n)
+func printRadios(seed int64, n, workers int) error {
+	res, err := experiments.RadioComparison(seed+2000, n, workers)
 	if err != nil {
 		return err
 	}

@@ -18,7 +18,7 @@ func main() {
 	fmt.Println("(full-scale-equivalent path loss; delivery conditioned on a sent DENM)")
 	fmt.Println()
 
-	rows, err := itsbed.ObstructedLink(31, 12)
+	rows, err := itsbed.ObstructedLink(31, 12, 0)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,0 +1,202 @@
+package campaign
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"sync/atomic"
+	"testing"
+)
+
+// spin burns a little CPU so attempts genuinely overlap in time and
+// finish out of order under contention.
+func spin(n int) int {
+	s := 0
+	for i := 0; i < n; i++ {
+		s += i * i
+	}
+	return s
+}
+
+func TestCollectMatchesSerialAcrossWorkerCounts(t *testing.T) {
+	// Accept roughly two thirds of attempts, by a deterministic rule of
+	// the attempt index, so the engine must retry past n attempts.
+	run := func(i int) (int, error) {
+		spin(2000 + i%7*500)
+		return i, nil
+	}
+	accept := func(v int) bool { return v%3 != 0 }
+	want, err := Collect(Options{Workers: 1}, 10, 40, run, accept)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []int{2, 3, 4, 8, 16} {
+		got, err := Collect(Options{Workers: w}, 10, 40, run, accept)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", w, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("workers=%d: got %v, want %v", w, got, want)
+		}
+	}
+}
+
+func TestCollectAcceptCalledInOrderFromOneGoroutine(t *testing.T) {
+	// The accept callback may be stateful (the harness tests count
+	// attempts through it); it must see attempts 0, 1, 2, ... exactly
+	// as the serial loop would, with no calls past the decision point.
+	var seen []int
+	_, err := Collect(Options{Workers: 8}, 3, 40,
+		func(i int) (int, error) { spin(5000); return i, nil },
+		func(v int) bool {
+			seen = append(seen, v)
+			return v >= 2 // reject 0 and 1, accept 2, 3, 4
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(seen, []int{0, 1, 2, 3, 4}) {
+		t.Fatalf("accept saw %v, want [0 1 2 3 4]", seen)
+	}
+}
+
+func TestCollectExhaustion(t *testing.T) {
+	for _, w := range []int{1, 4} {
+		_, err := Collect(Options{Workers: w}, 2, 8,
+			func(i int) (int, error) { return i, nil },
+			func(int) bool { return false })
+		var ex *ExhaustedError
+		if !errors.As(err, &ex) {
+			t.Fatalf("workers=%d: error %v, want ExhaustedError", w, err)
+		}
+		if ex.Accepted != 0 || ex.Wanted != 2 || ex.Attempts != 8 {
+			t.Fatalf("workers=%d: %+v", w, ex)
+		}
+	}
+}
+
+func TestCollectErrorAtCursorWins(t *testing.T) {
+	// Attempt 3 fails. The serial loop would accept 0..2, then abort on
+	// 3 before ever reaching 4+; every worker count must do the same.
+	boom := errors.New("boom")
+	run := func(i int) (int, error) {
+		spin(3000)
+		if i == 3 {
+			return 0, boom
+		}
+		return i, nil
+	}
+	for _, w := range []int{1, 2, 8} {
+		_, err := Collect(Options{Workers: w}, 10, 40, run, func(int) bool { return true })
+		if !errors.Is(err, boom) {
+			t.Fatalf("workers=%d: error %v, want boom", w, err)
+		}
+	}
+}
+
+func TestCollectErrorPastDecisionPointIgnored(t *testing.T) {
+	// Attempt 7 fails, but the serial loop accepts attempts 0..4 and
+	// never runs 7. Speculative execution may run it; the failure must
+	// not leak into the result.
+	run := func(i int) (int, error) {
+		spin(3000)
+		if i == 7 {
+			return 0, errors.New("speculative failure")
+		}
+		return i, nil
+	}
+	for _, w := range []int{1, 4, 8} {
+		got, err := Collect(Options{Workers: w}, 5, 40, run, func(int) bool { return true })
+		if err != nil {
+			t.Fatalf("workers=%d: %v", w, err)
+		}
+		if !reflect.DeepEqual(got, []int{0, 1, 2, 3, 4}) {
+			t.Fatalf("workers=%d: got %v", w, got)
+		}
+	}
+}
+
+func TestCollectZeroRuns(t *testing.T) {
+	got, err := Collect(Options{}, 0, 10,
+		func(i int) (int, error) { t.Fatal("run called"); return 0, nil },
+		func(int) bool { return true })
+	if err != nil || len(got) != 0 {
+		t.Fatalf("got %v, %v", got, err)
+	}
+}
+
+func TestMapOrderAndError(t *testing.T) {
+	got, err := Map(Options{Workers: 8}, 20, func(i int) (int, error) {
+		spin(2000 + i%5*1000)
+		return i * i, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range got {
+		if v != i*i {
+			t.Fatalf("index %d: got %d", i, v)
+		}
+	}
+	boom := errors.New("job 2")
+	_, err = Map(Options{Workers: 4}, 10, func(i int) (int, error) {
+		if i == 2 {
+			return 0, boom
+		}
+		return i, nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("error %v, want job 2", err)
+	}
+}
+
+func TestCollectDoesNotOverScheduleAfterDecision(t *testing.T) {
+	// Speculation is bounded: once n runs are accepted, no new attempts
+	// start. With W workers at most ~W attempts beyond the decision
+	// point can already be in flight; the hard ceiling checked here is
+	// generous but catches runaway scheduling.
+	var started atomic.Int64
+	n, w := 4, 4
+	_, err := Collect(Options{Workers: w}, n, 1000,
+		func(i int) (int, error) { started.Add(1); spin(2000); return i, nil },
+		func(int) bool { return true })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := started.Load(); s > int64(n+3*w) {
+		t.Fatalf("started %d attempts for n=%d, workers=%d", s, n, w)
+	}
+}
+
+func TestWorkersResolution(t *testing.T) {
+	for _, tc := range []struct {
+		opt  Options
+		jobs int
+		min  int
+	}{
+		{Options{Workers: 4}, 2, 2},  // clamped to job count
+		{Options{Workers: -1}, 1, 1}, // NumCPU, clamped to 1 job
+		{Options{Workers: 3}, 100, 3},
+	} {
+		if got := tc.opt.workers(tc.jobs); got != tc.min {
+			t.Fatalf("workers(%+v, %d) = %d, want %d", tc.opt, tc.jobs, got, tc.min)
+		}
+	}
+}
+
+func BenchmarkCollectScaling(b *testing.B) {
+	// Synthetic CPU-bound attempts (~1e6 multiplies each): the engine
+	// should scale near-linearly in the worker count.
+	for _, w := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_, err := Collect(Options{Workers: w}, 32, 128,
+					func(i int) (int, error) { return spin(1_000_000), nil },
+					func(int) bool { return true })
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

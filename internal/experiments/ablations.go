@@ -5,6 +5,7 @@ import (
 	"strings"
 	"time"
 
+	"itsbed/internal/campaign"
 	"itsbed/internal/core"
 	"itsbed/internal/geo"
 	"itsbed/internal/radio"
@@ -28,8 +29,9 @@ type PollSweepRow struct {
 
 // PollIntervalSweep quantifies how the paper's request_denm polling
 // period drives the OBU→actuator latency (the largest term of
-// Table II).
-func PollIntervalSweep(baseSeed int64, runs int, intervals []time.Duration) ([]PollSweepRow, error) {
+// Table II). workers bounds the concurrent scenario runs across the
+// sweep (<= 0 selects runtime.NumCPU()).
+func PollIntervalSweep(baseSeed int64, runs int, intervals []time.Duration, workers int) ([]PollSweepRow, error) {
 	if runs <= 0 {
 		runs = 20
 	}
@@ -39,31 +41,31 @@ func PollIntervalSweep(baseSeed int64, runs int, intervals []time.Duration) ([]P
 			50 * time.Millisecond, 75 * time.Millisecond, 100 * time.Millisecond,
 		}
 	}
-	var out []PollSweepRow
-	for vi, iv := range intervals {
-		iv := iv
+	outer, inner := campaign.Split(workers, len(intervals))
+	return campaign.Map(campaign.Options{Workers: outer}, len(intervals), func(vi int) (PollSweepRow, error) {
+		iv := intervals[vi]
 		opt := ScenarioOptions{
 			BaseSeed:  baseSeed + int64(vi)*10000,
 			Runs:      runs,
 			UseVision: false,
 			Configure: func(c *core.Config) { c.Vehicle.PollInterval = iv },
+			Workers:   inner,
 		}.withDefaults()
 		collected, err := CollectRuns(opt, runs, func(r *core.Result) bool { return r.Run.Complete() })
 		if err != nil {
-			return nil, fmt.Errorf("experiments: poll sweep %v: %w", iv, err)
+			return PollSweepRow{}, fmt.Errorf("experiments: poll sweep %v: %w", iv, err)
 		}
 		var r2a, total []float64
 		for _, r := range collected {
 			r2a = append(r2a, ms(r.Intervals.ReceiveToAction))
 			total = append(total, ms(r.Intervals.Total))
 		}
-		out = append(out, PollSweepRow{
+		return PollSweepRow{
 			PollInterval:    iv,
 			ReceiveToAction: stats.Summarize(r2a),
 			Total:           stats.Summarize(total),
-		})
-	}
-	return out, nil
+		}, nil
+	})
 }
 
 // FormatPollSweep renders the sweep.
@@ -93,8 +95,9 @@ type FPSSweepRow struct {
 
 // CameraFPSSweep quantifies the 4 FPS processing-rate choice: slower
 // frame rates catch the vehicle deeper past the action point and miss
-// the eligible window more often.
-func CameraFPSSweep(baseSeed int64, attempts int, periods []time.Duration) ([]FPSSweepRow, error) {
+// the eligible window more often. workers bounds the concurrent
+// scenario runs across the sweep (<= 0 selects runtime.NumCPU()).
+func CameraFPSSweep(baseSeed int64, attempts int, periods []time.Duration, workers int) ([]FPSSweepRow, error) {
 	if attempts <= 0 {
 		attempts = 25
 	}
@@ -104,22 +107,25 @@ func CameraFPSSweep(baseSeed int64, attempts int, periods []time.Duration) ([]FP
 			400 * time.Millisecond, 600 * time.Millisecond,
 		}
 	}
-	var out []FPSSweepRow
-	for vi, p := range periods {
-		p := p
+	outer, inner := campaign.Split(workers, len(periods))
+	return campaign.Map(campaign.Options{Workers: outer}, len(periods), func(vi int) (FPSSweepRow, error) {
+		p := periods[vi]
 		opt := ScenarioOptions{
 			BaseSeed:  baseSeed + int64(vi)*10000,
 			Runs:      attempts,
 			UseVision: false,
 			Configure: func(c *core.Config) { c.CameraFramePeriod = p },
 		}.withDefaults()
+		// Every attempt counts here (failures are the signal), so this
+		// is a fixed-size Map, not a retrying Collect.
+		results, err := campaign.Map(campaign.Options{Workers: inner}, attempts,
+			func(i int) (*core.Result, error) { return runOnce(opt, i) })
+		if err != nil {
+			return FPSSweepRow{}, fmt.Errorf("experiments: fps sweep %v: %w", p, err)
+		}
 		success := 0
 		var braking, lag []float64
-		for i := 0; i < attempts; i++ {
-			res, err := runOnce(opt, i)
-			if err != nil {
-				return nil, fmt.Errorf("experiments: fps sweep %v: %w", p, err)
-			}
+		for _, res := range results {
 			if res.Run.Complete() && res.Stopped {
 				success++
 				braking = append(braking, res.BrakingDistance)
@@ -128,14 +134,13 @@ func CameraFPSSweep(baseSeed int64, attempts int, periods []time.Duration) ([]FP
 				}
 			}
 		}
-		out = append(out, FPSSweepRow{
+		return FPSSweepRow{
 			FramePeriod:     p,
 			SuccessRate:     float64(success) / float64(attempts),
 			BrakingDistance: stats.Summarize(braking),
 			CrossingLag:     stats.Summarize(lag),
-		})
-	}
-	return out, nil
+		}, nil
+	})
 }
 
 // FormatFPSSweep renders the sweep.
@@ -164,17 +169,18 @@ type LoadSweepRow struct {
 // ChannelLoadSweep floods the 802.11p channel with CAM-chattering
 // background stations and compares DENM send→receive latency with the
 // DENM at the standard highest EDCA priority versus demoted — the
-// ablation of the EDCA design choice.
-func ChannelLoadSweep(baseSeed int64, runs int, loads []int) ([]LoadSweepRow, error) {
+// ablation of the EDCA design choice. workers bounds the concurrent
+// scenario runs across the sweep (<= 0 selects runtime.NumCPU()).
+func ChannelLoadSweep(baseSeed int64, runs int, loads []int, workers int) ([]LoadSweepRow, error) {
 	if runs <= 0 {
 		runs = 15
 	}
 	if len(loads) == 0 {
 		loads = []int{0, 10, 25, 50}
 	}
-	var out []LoadSweepRow
-	for vi, n := range loads {
-		n := n
+	outer, inner := campaign.Split(workers, len(loads))
+	return campaign.Map(campaign.Options{Workers: outer}, len(loads), func(vi int) (LoadSweepRow, error) {
+		n := loads[vi]
 		row := LoadSweepRow{BackgroundVehicles: n}
 		for arm := 0; arm < 2; arm++ {
 			tc := uint8(0)
@@ -189,10 +195,11 @@ func ChannelLoadSweep(baseSeed int64, runs int, loads []int) ([]LoadSweepRow, er
 					c.BackgroundVehicles = n
 					c.DENMTrafficClass = tc
 				},
+				Workers: inner,
 			}.withDefaults()
 			collected, err := CollectRuns(opt, runs, func(r *core.Result) bool { return r.Run.Complete() })
 			if err != nil {
-				return nil, fmt.Errorf("experiments: load sweep n=%d tc=%d: %w", n, tc, err)
+				return LoadSweepRow{}, fmt.Errorf("experiments: load sweep n=%d tc=%d: %w", n, tc, err)
 			}
 			var link []float64
 			for _, r := range collected {
@@ -204,9 +211,8 @@ func ChannelLoadSweep(baseSeed int64, runs int, loads []int) ([]LoadSweepRow, er
 				row.LowPriority = stats.Summarize(link)
 			}
 		}
-		out = append(out, row)
-	}
-	return out, nil
+		return row, nil
+	})
 }
 
 // FormatLoadSweep renders the sweep.
@@ -255,14 +261,14 @@ func fullScalePathLoss() radio.PathLossModel {
 // hard blockage). This is the paper's "model attenuation by shadowing"
 // future-work item made concrete. Delivery is conditioned on the DENM
 // actually having been sent, so camera misses do not pollute the rate.
-func ObstructedLink(baseSeed int64, runs int) ([]ObstructionRow, error) {
+func ObstructedLink(baseSeed int64, runs, workers int) ([]ObstructionRow, error) {
 	if runs <= 0 {
 		runs = 15
 	}
 	materials := []world.Material{0, world.MaterialDrywall, world.MaterialBrick, world.MaterialConcrete, world.MaterialMetal}
-	var out []ObstructionRow
-	for vi, mat := range materials {
-		mat := mat
+	outer, inner := campaign.Split(workers, len(materials))
+	return campaign.Map(campaign.Options{Workers: outer}, len(materials), func(vi int) (ObstructionRow, error) {
+		mat := materials[vi]
 		row := ObstructionRow{Material: mat}
 		for arm := 0; arm < 2; arm++ {
 			repetition := time.Duration(0)
@@ -291,13 +297,16 @@ func ObstructedLink(baseSeed int64, runs int) ([]ObstructionRow, error) {
 					c.DENMRepetitionInterval = repetition
 				},
 			}.withDefaults()
+			// Failed deliveries are the measurement, so run a fixed
+			// number of attempts rather than retrying to n accepted.
+			results, err := campaign.Map(campaign.Options{Workers: inner}, runs,
+				func(i int) (*core.Result, error) { return runOnce(opt, i) })
+			if err != nil {
+				return ObstructionRow{}, fmt.Errorf("experiments: obstruction %v: %w", mat, err)
+			}
 			sent, delivered := 0, 0
 			var totals []float64
-			for i := 0; i < runs; i++ {
-				res, err := runOnce(opt, i)
-				if err != nil {
-					return nil, fmt.Errorf("experiments: obstruction %v: %w", mat, err)
-				}
+			for _, res := range results {
 				if !res.Run.Stamped(trace.StepRSUSend) {
 					continue // camera never armed the trigger; not a link failure
 				}
@@ -320,9 +329,8 @@ func ObstructedLink(baseSeed int64, runs int) ([]ObstructionRow, error) {
 				row.WithRepetitionRate = rate
 			}
 		}
-		out = append(out, row)
-	}
-	return out, nil
+		return row, nil
+	})
 }
 
 // FormatObstruction renders the study.

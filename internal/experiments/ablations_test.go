@@ -11,7 +11,7 @@ import (
 func TestPollIntervalSweepMonotone(t *testing.T) {
 	rows, err := PollIntervalSweep(7000, 8, []time.Duration{
 		10 * time.Millisecond, 50 * time.Millisecond, 100 * time.Millisecond,
-	})
+	}, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -36,7 +36,7 @@ func TestPollIntervalSweepMonotone(t *testing.T) {
 func TestCameraFPSSweepSuccessDegrades(t *testing.T) {
 	rows, err := CameraFPSSweep(7100, 12, []time.Duration{
 		100 * time.Millisecond, 600 * time.Millisecond,
-	})
+	}, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -53,7 +53,7 @@ func TestCameraFPSSweepSuccessDegrades(t *testing.T) {
 }
 
 func TestChannelLoadSweepRuns(t *testing.T) {
-	rows, err := ChannelLoadSweep(7200, 4, []int{0, 15})
+	rows, err := ChannelLoadSweep(7200, 4, []int{0, 15}, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -74,7 +74,7 @@ func TestChannelLoadSweepRuns(t *testing.T) {
 }
 
 func TestObstructedLinkGradient(t *testing.T) {
-	rows, err := ObstructedLink(7300, 8)
+	rows, err := ObstructedLink(7300, 8, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -119,7 +119,7 @@ func TestBlindCornerVideoStoryHolds(t *testing.T) {
 }
 
 func TestPlatoonACCStringStability(t *testing.T) {
-	rows, err := PlatoonACC(9000, 3, []float64{0.5, 1.2})
+	rows, err := PlatoonACC(9000, 3, []float64{0.5, 1.2}, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -145,7 +145,7 @@ func TestPlatoonACCStringStability(t *testing.T) {
 }
 
 func TestNTPQualitySweepArtefacts(t *testing.T) {
-	rows, err := NTPQualitySweep(11000, 8)
+	rows, err := NTPQualitySweep(11000, 8, 0)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -139,7 +139,7 @@ func TestFigure7Ordering(t *testing.T) {
 }
 
 func TestLatencyCDFSmall(t *testing.T) {
-	res, err := LatencyCDF(1000, 40)
+	res, err := LatencyCDF(1000, 40, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -158,7 +158,7 @@ func TestLatencyCDFSmall(t *testing.T) {
 }
 
 func TestRadioComparisonOrdering(t *testing.T) {
-	res, err := RadioComparison(2000, 8)
+	res, err := RadioComparison(2000, 8, 0)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -5,6 +5,7 @@ import (
 	"math"
 	"strings"
 
+	"itsbed/internal/campaign"
 	"itsbed/internal/core"
 	"itsbed/internal/radio"
 	"itsbed/internal/stats"
@@ -29,12 +30,13 @@ type CDFResult struct {
 
 // LatencyCDF runs the emergency-brake scenario n times (ground-truth
 // line follower for speed) and fits candidate distributions to the
-// end-to-end delay.
-func LatencyCDF(baseSeed int64, n int) (CDFResult, error) {
+// end-to-end delay. workers bounds the concurrent runs (<= 0 selects
+// runtime.NumCPU()).
+func LatencyCDF(baseSeed int64, n, workers int) (CDFResult, error) {
 	if n <= 0 {
 		n = 200
 	}
-	opt := ScenarioOptions{BaseSeed: baseSeed, Runs: n, UseVision: false}.withDefaults()
+	opt := ScenarioOptions{BaseSeed: baseSeed, Runs: n, UseVision: false, Workers: workers}.withDefaults()
 	runs, err := CollectRuns(opt, n, func(r *core.Result) bool { return r.Run.Complete() })
 	if err != nil {
 		return CDFResult{}, err
@@ -123,8 +125,10 @@ type RadioComparisonResult struct {
 	Rows []RadioRow
 }
 
-// RadioComparison runs the scenario over each interface.
-func RadioComparison(baseSeed int64, runs int) (RadioComparisonResult, error) {
+// RadioComparison runs the scenario over each interface. workers
+// bounds the concurrent scenario runs across all variant rows (<= 0
+// selects runtime.NumCPU()).
+func RadioComparison(baseSeed int64, runs, workers int) (RadioComparisonResult, error) {
 	if runs <= 0 {
 		runs = 30
 	}
@@ -147,17 +151,19 @@ func RadioComparison(baseSeed int64, runs int) (RadioComparisonResult, error) {
 			c.CellularProfile = radio.ProfileLTE()
 		}},
 	}
-	var out RadioComparisonResult
-	for vi, v := range variants {
+	outer, inner := campaign.Split(workers, len(variants))
+	rows, err := campaign.Map(campaign.Options{Workers: outer}, len(variants), func(vi int) (RadioRow, error) {
+		v := variants[vi]
 		opt := ScenarioOptions{
 			BaseSeed:  baseSeed + int64(vi)*100000,
 			Runs:      runs,
 			UseVision: false,
 			Configure: v.conf,
+			Workers:   inner,
 		}.withDefaults()
 		collected, err := CollectRuns(opt, runs, func(r *core.Result) bool { return r.Run.Complete() })
 		if err != nil {
-			return out, fmt.Errorf("experiments: radio %q: %w", v.name, err)
+			return RadioRow{}, fmt.Errorf("experiments: radio %q: %w", v.name, err)
 		}
 		row := RadioRow{Name: v.name, Runs: runs}
 		var linkSum float64
@@ -167,9 +173,12 @@ func RadioComparison(baseSeed int64, runs int) (RadioComparisonResult, error) {
 		}
 		row.Summary = stats.Summarize(row.TotalsMS)
 		row.SendToReceiveMS = linkSum / float64(len(collected))
-		out.Rows = append(out.Rows, row)
+		return row, nil
+	})
+	if err != nil {
+		return RadioComparisonResult{}, err
 	}
-	return out, nil
+	return RadioComparisonResult{Rows: rows}, nil
 }
 
 // Format renders the comparison.

@@ -5,6 +5,7 @@ import (
 	"strings"
 	"time"
 
+	"itsbed/internal/campaign"
 	"itsbed/internal/clock"
 	"itsbed/internal/core"
 	"itsbed/internal/stats"
@@ -28,8 +29,9 @@ type NTPSweepRow struct {
 }
 
 // NTPQualitySweep runs the scenario under different clock-error
-// models.
-func NTPQualitySweep(baseSeed int64, runs int) ([]NTPSweepRow, error) {
+// models. workers bounds the total number of concurrent scenario runs
+// across the sweep (<= 0 selects runtime.NumCPU()).
+func NTPQualitySweep(baseSeed int64, runs, workers int) ([]NTPSweepRow, error) {
 	if runs <= 0 {
 		runs = 20
 	}
@@ -51,18 +53,19 @@ func NTPQualitySweep(baseSeed int64, runs int) ([]NTPSweepRow, error) {
 			DriftPPM:     50,
 		}},
 	}
-	var out []NTPSweepRow
-	for vi, v := range variants {
-		v := v
+	outer, inner := campaign.Split(workers, len(variants))
+	return campaign.Map(campaign.Options{Workers: outer}, len(variants), func(vi int) (NTPSweepRow, error) {
+		v := variants[vi]
 		opt := ScenarioOptions{
 			BaseSeed:  baseSeed + int64(vi)*10000,
 			Runs:      runs,
 			UseVision: false,
 			Configure: func(c *core.Config) { c.NTP = v.model },
+			Workers:   inner,
 		}.withDefaults()
 		collected, err := CollectRuns(opt, runs, func(r *core.Result) bool { return r.Run.Complete() })
 		if err != nil {
-			return nil, fmt.Errorf("experiments: NTP sweep %q: %w", v.name, err)
+			return NTPSweepRow{}, fmt.Errorf("experiments: NTP sweep %q: %w", v.name, err)
 		}
 		row := NTPSweepRow{Name: v.name, Runs: runs}
 		var xs []float64
@@ -74,9 +77,8 @@ func NTPQualitySweep(baseSeed int64, runs int) ([]NTPSweepRow, error) {
 			}
 		}
 		row.Measured = stats.Summarize(xs)
-		out = append(out, row)
-	}
-	return out, nil
+		return row, nil
+	})
 }
 
 // FormatNTPSweep renders the sweep.

@@ -1,0 +1,69 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+)
+
+// The campaign engine's contract: the same BaseSeed must produce
+// field-by-field identical experiment outputs for every worker count.
+
+func TestTableIIDeterministicAcrossWorkers(t *testing.T) {
+	base := func(w int) ScenarioOptions {
+		o := fastOpt(42, 5)
+		o.Workers = w
+		return o
+	}
+	want, err := TableII(base(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []int{4, 8} {
+		got, err := TableII(base(w))
+		if err != nil {
+			t.Fatalf("workers=%d: %v", w, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("workers=%d: Table II differs from serial run:\ngot  %+v\nwant %+v", w, got, want)
+		}
+		if got.Format() != want.Format() {
+			t.Fatalf("workers=%d: formatted Table II not byte-identical", w)
+		}
+	}
+}
+
+func TestTableIIIDeterministicAcrossWorkers(t *testing.T) {
+	opt := fastOpt(300, 7)
+	opt.Workers = 1
+	want, err := TableIII(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt.Workers = 8
+	got, err := TableIII(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Table III differs at workers=8:\ngot  %+v\nwant %+v", got, want)
+	}
+}
+
+func TestNTPSweepDeterministicAcrossWorkers(t *testing.T) {
+	want, err := NTPQualitySweep(11000, 6, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []int{4, 8} {
+		got, err := NTPQualitySweep(11000, 6, w)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", w, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("workers=%d: NTP sweep differs from serial run:\ngot  %+v\nwant %+v", w, got, want)
+		}
+		if FormatNTPSweep(got) != FormatNTPSweep(want) {
+			t.Fatalf("workers=%d: formatted NTP sweep not byte-identical", w)
+		}
+	}
+}

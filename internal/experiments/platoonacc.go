@@ -7,6 +7,7 @@ import (
 	"strings"
 	"time"
 
+	"itsbed/internal/campaign"
 	"itsbed/internal/clock"
 	"itsbed/internal/edge"
 	"itsbed/internal/geo"
@@ -63,53 +64,73 @@ const followerCarRadius = 0.15
 // accDesiredHeadway adds a speed-dependent term to the standstill gap.
 const accDesiredHeadway = 0.30 // seconds
 
+// accPair is one seeded paired attempt: both arms under the same seed.
+// valid is false when either arm's detection chain failed (the pair is
+// voided and retried, like a repeatable lab failure).
+type accPair struct {
+	v2xCollided, accCollided bool
+	v2xMin, accMin           float64
+	valid                    bool
+}
+
 // PlatoonACC runs the study: for each initial gap, `runs` seeded
-// repetitions of both arms.
-func PlatoonACC(baseSeed int64, runs int, gaps []float64) ([]PlatoonACCRow, error) {
+// repetitions of both arms. workers bounds the concurrent paired runs
+// across the whole sweep (<= 0 selects runtime.NumCPU()).
+func PlatoonACC(baseSeed int64, runs int, gaps []float64, workers int) ([]PlatoonACCRow, error) {
 	if runs <= 0 {
 		runs = 10
 	}
 	if len(gaps) == 0 {
 		gaps = []float64{0.5, 0.7, 0.9, 1.2}
 	}
-	var out []PlatoonACCRow
-	for gi, gap := range gaps {
-		row := PlatoonACCRow{Gap: gap, Runs: runs, V2XMinGap: math.Inf(1), ACCMinGap: math.Inf(1)}
-		collected := 0
-		for attempt := 0; collected < runs; attempt++ {
-			if attempt >= runs*maxAttemptFactor {
-				return nil, fmt.Errorf("experiments: platoon ACC gap %.1f: only %d/%d paired runs succeeded", gap, collected, runs)
-			}
+	outer, inner := campaign.Split(workers, len(gaps))
+	return campaign.Map(campaign.Options{Workers: outer}, len(gaps), func(gi int) (PlatoonACCRow, error) {
+		gap := gaps[gi]
+		runPair := func(attempt int) (accPair, error) {
 			seed := baseSeed + int64(gi)*10000 + int64(attempt)
 			// Both arms must share the seed; a camera miss in either
 			// voids the pair (a repeatable lab failure).
 			v2xCollided, v2xMin, err := platoonACCRun(seed, gap, 4, true)
 			if errors.Is(err, errNoDetection) {
-				continue
+				return accPair{}, nil
 			}
 			if err != nil {
-				return nil, fmt.Errorf("experiments: platoon ACC gap %.1f: %w", gap, err)
+				return accPair{}, fmt.Errorf("experiments: platoon ACC gap %.1f: %w", gap, err)
 			}
 			accCollided, accMin, err := platoonACCRun(seed, gap, 4, false)
 			if errors.Is(err, errNoDetection) {
-				continue
+				return accPair{}, nil
 			}
 			if err != nil {
-				return nil, fmt.Errorf("experiments: platoon ACC gap %.1f: %w", gap, err)
+				return accPair{}, fmt.Errorf("experiments: platoon ACC gap %.1f: %w", gap, err)
 			}
-			collected++
-			if v2xCollided {
+			return accPair{
+				v2xCollided: v2xCollided, accCollided: accCollided,
+				v2xMin: v2xMin, accMin: accMin, valid: true,
+			}, nil
+		}
+		pairs, err := campaign.Collect(campaign.Options{Workers: inner}, runs, runs*maxAttemptFactor,
+			runPair, func(p accPair) bool { return p.valid })
+		var ex *campaign.ExhaustedError
+		if errors.As(err, &ex) {
+			return PlatoonACCRow{}, fmt.Errorf("experiments: platoon ACC gap %.1f: only %d/%d paired runs succeeded", gap, ex.Accepted, ex.Wanted)
+		}
+		if err != nil {
+			return PlatoonACCRow{}, err
+		}
+		row := PlatoonACCRow{Gap: gap, Runs: runs, V2XMinGap: math.Inf(1), ACCMinGap: math.Inf(1)}
+		for _, p := range pairs {
+			if p.v2xCollided {
 				row.V2XCollisions++
 			}
-			row.V2XMinGap = math.Min(row.V2XMinGap, v2xMin)
-			if accCollided {
+			row.V2XMinGap = math.Min(row.V2XMinGap, p.v2xMin)
+			if p.accCollided {
 				row.ACCCollisions++
 			}
-			row.ACCMinGap = math.Min(row.ACCMinGap, accMin)
+			row.ACCMinGap = math.Min(row.ACCMinGap, p.accMin)
 		}
-		out = append(out, row)
-	}
-	return out, nil
+		return row, nil
+	})
 }
 
 // platoonACCRun executes one run. Returns whether any rear-end contact

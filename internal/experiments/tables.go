@@ -9,11 +9,13 @@
 package experiments
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 	"strings"
 	"time"
 
+	"itsbed/internal/campaign"
 	"itsbed/internal/core"
 	"itsbed/internal/stats"
 )
@@ -31,6 +33,11 @@ type ScenarioOptions struct {
 	Horizon time.Duration
 	// Configure, if set, customises the testbed config before each run.
 	Configure func(*core.Config)
+	// Workers is the number of scenario runs executed concurrently
+	// (each on a private simulation kernel). Zero or negative selects
+	// runtime.NumCPU(); one forces serial execution. Results are
+	// bit-identical regardless of the worker count.
+	Workers int
 }
 
 func (o ScenarioOptions) withDefaults() ScenarioOptions {
@@ -96,22 +103,19 @@ type TableIIResult struct {
 const maxAttemptFactor = 4
 
 // CollectRuns executes scenarios until n complete runs are gathered,
-// repeating failed attempts as a lab operator would.
+// repeating failed attempts as a lab operator would. Attempts run
+// concurrently on opt.Workers workers (each with a private simulation
+// kernel and the derived seed BaseSeed+attempt); the campaign engine
+// guarantees the accepted set is identical to serial execution.
 func CollectRuns(opt ScenarioOptions, n int, accept func(*core.Result) bool) ([]*core.Result, error) {
-	var out []*core.Result
-	for i := 0; len(out) < n; i++ {
-		if i >= n*maxAttemptFactor {
-			return nil, fmt.Errorf("experiments: only %d/%d runs succeeded after %d attempts", len(out), n, i)
-		}
-		res, err := runOnce(opt, i)
-		if err != nil {
-			return nil, err
-		}
-		if accept(res) {
-			out = append(out, res)
-		}
+	out, err := campaign.Collect(campaign.Options{Workers: opt.Workers}, n, n*maxAttemptFactor,
+		func(i int) (*core.Result, error) { return runOnce(opt, i) }, accept)
+	var ex *campaign.ExhaustedError
+	if errors.As(err, &ex) {
+		return nil, fmt.Errorf("experiments: only %d/%d runs succeeded after %d attempts",
+			ex.Accepted, ex.Wanted, ex.Attempts)
 	}
-	return out, nil
+	return out, err
 }
 
 // TableII reproduces the paper's Table II: per-run step intervals of

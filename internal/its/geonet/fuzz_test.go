@@ -34,6 +34,41 @@ func TestRouterOnFrameNeverPanics(t *testing.T) {
 	}
 }
 
+// FuzzUnmarshal drives the GN packet decoder with arbitrary frames:
+// it must reject malformed input with an error, never panic. Run
+// continuously in CI (fuzz-smoke job) and at will with
+//
+//	go test -run='^$' -fuzz=FuzzUnmarshal ./internal/its/geonet
+func FuzzUnmarshal(f *testing.F) {
+	p := &Packet{
+		Version: CurrentVersion, Lifetime: DefaultLifetime, RemainingHopLimit: 5,
+		Next: NextBTPB, Type: HeaderTypeGBC, MaxHopLimit: 5,
+		Source:         LongPositionVector{Address: NewAddress(1, 1)},
+		SequenceNumber: 3,
+		DestArea:       Area{Shape: ShapeCircle, DistanceA: 100},
+		Payload:        []byte("denm-bytes"),
+	}
+	if seed, err := p.Marshal(); err == nil {
+		f.Add(seed)
+	}
+	shb := &Packet{
+		Version: CurrentVersion, Lifetime: Lifetime{Multiplier: 1, Base: 1},
+		RemainingHopLimit: 1, Next: NextBTPB, Type: HeaderTypeTSB, Subtype: SubtypeSHB,
+		MaxHopLimit: 1, Source: LongPositionVector{Address: NewAddress(5, 2001)},
+		Payload: []byte("cam-bytes"),
+	}
+	if seed, err := shb.Marshal(); err == nil {
+		f.Add(seed)
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0x00})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Unmarshal must not panic; errors are the expected outcome for
+		// arbitrary bytes (these frames arrive from the air).
+		_, _ = Unmarshal(data)
+	})
+}
+
 func TestUnmarshalMutatedPacket(t *testing.T) {
 	p := &Packet{
 		Version: CurrentVersion, Lifetime: DefaultLifetime, RemainingHopLimit: 5,

@@ -38,6 +38,49 @@ func TestPeekNeverPanics(t *testing.T) {
 	neverPanics(t, "Peek", func(b []byte) { _, _, _ = Peek(b) })
 }
 
+// FuzzDecodeDENM drives the UPER DENM decoder with arbitrary bytes.
+// The invariant (also pinned by TestDecodeMutatedDENM): decoding never
+// panics, and any accepted decode re-encodes without error. Run
+// continuously in CI (fuzz-smoke job) and at will with
+//
+//	go test -run='^$' -fuzz=FuzzDecodeDENM ./internal/its/messages
+func FuzzDecodeDENM(f *testing.F) {
+	if seed, err := sampleDENM().Encode(); err == nil {
+		f.Add(seed)
+	}
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		d, err := DecodeDENM(data)
+		if err != nil {
+			return
+		}
+		if _, err := d.Encode(); err != nil {
+			t.Fatalf("accepted decode produced unencodable DENM: %v", err)
+		}
+	})
+}
+
+// FuzzDecodeCAM is the CAM counterpart of FuzzDecodeDENM.
+func FuzzDecodeCAM(f *testing.F) {
+	cam := sampleCAM()
+	cam.LowFrequency = &BasicVehicleContainerLowFrequency{
+		PathHistory: []PathPoint{{DeltaLatitude: 1, DeltaLongitude: 1, DeltaTime: 1}},
+	}
+	if seed, err := cam.Encode(); err == nil {
+		f.Add(seed)
+	}
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		c, err := DecodeCAM(data)
+		if err != nil {
+			return
+		}
+		if _, err := c.Encode(); err != nil {
+			t.Fatalf("accepted decode produced unencodable CAM: %v", err)
+		}
+	})
+}
+
 // TestDecodeMutatedDENM flips bits in a valid encoding: every mutation
 // must either decode cleanly or fail with an error — no panics, no
 // invalid field ranges slipping through unnoticed.

@@ -216,7 +216,7 @@ func TestRealNodeDENMOverUDP(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !waitFor(t, 2*time.Second, func() bool { return len(obu.RequestDENM()) > 0 || obu.Received > 0 }) {
+	if !waitFor(t, 2*time.Second, func() bool { return len(obu.RequestDENM()) > 0 || obu.ReceivedCount() > 0 }) {
 		t.Fatal("DENM never crossed the UDP link")
 	}
 	// The DENM may already have been drained by the condition; trigger
@@ -402,8 +402,8 @@ func TestUDPLinkDropsGarbage(t *testing.T) {
 	// Hand the node raw garbage as if it came off the air.
 	obu.OnFrame([]byte{0xde, 0xad})
 	obu.OnFrame(nil)
-	if obu.Malformed != 2 {
-		t.Fatalf("malformed=%d, want 2", obu.Malformed)
+	if obu.MalformedCount() != 2 {
+		t.Fatalf("malformed=%d, want 2", obu.MalformedCount())
 	}
 	if len(obu.RequestDENM()) != 0 {
 		t.Fatal("garbage reached the mailbox")

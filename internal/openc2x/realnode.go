@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"itsbed/internal/clock"
@@ -31,11 +32,18 @@ type RealNode struct {
 	mailbox     []ReceivedDENM
 	camSink     func(*messages.CAM)
 
-	// Received counts frames decoded successfully.
-	Received uint64
-	// Malformed counts frames that failed to parse.
-	Malformed uint64
+	// received counts frames decoded successfully; malformed counts
+	// frames that failed to parse. Atomic: OnFrame runs on the link's
+	// read-loop goroutine while callers poll the counters.
+	received  atomic.Uint64
+	malformed atomic.Uint64
 }
+
+// ReceivedCount reports how many frames decoded successfully.
+func (n *RealNode) ReceivedCount() uint64 { return n.received.Load() }
+
+// MalformedCount reports how many frames failed to parse.
+func (n *RealNode) MalformedCount() uint64 { return n.malformed.Load() }
 
 // DatagramLink is the transport of a RealNode.
 type DatagramLink interface {
@@ -207,9 +215,7 @@ func (n *RealNode) TriggerCAM() error {
 func (n *RealNode) OnFrame(frame []byte) {
 	p, err := geonet.Unmarshal(frame)
 	if err != nil {
-		n.mu.Lock()
-		n.Malformed++
-		n.mu.Unlock()
+		n.malformed.Add(1)
 		return
 	}
 	if p.Source.Address == geonet.NewAddress(n.stationType, n.stationID) {
@@ -226,34 +232,28 @@ func (n *RealNode) OnFrame(frame []byte) {
 	}
 	h, payload, err := btp.Decode(t, p.Payload)
 	if err != nil {
-		n.mu.Lock()
-		n.Malformed++
-		n.mu.Unlock()
+		n.malformed.Add(1)
 		return
 	}
 	switch h.DestinationPort {
 	case btp.PortDENM:
 		d, err := messages.DecodeDENM(payload)
 		if err != nil {
-			n.mu.Lock()
-			n.Malformed++
-			n.mu.Unlock()
+			n.malformed.Add(1)
 			return
 		}
+		n.received.Add(1)
 		n.mu.Lock()
-		n.Received++
 		n.mailbox = append(n.mailbox, ReceivedDENM{DENM: d, ReceivedAt: time.Since(n.start)})
 		n.mu.Unlock()
 	case btp.PortCAM:
 		c, err := messages.DecodeCAM(payload)
 		if err != nil {
-			n.mu.Lock()
-			n.Malformed++
-			n.mu.Unlock()
+			n.malformed.Add(1)
 			return
 		}
+		n.received.Add(1)
 		n.mu.Lock()
-		n.Received++
 		sink := n.camSink
 		n.mu.Unlock()
 		if sink != nil {

@@ -26,19 +26,22 @@ type Event struct {
 	at     time.Duration
 	seq    uint64
 	fn     func()
-	index  int // heap index, -1 once removed
-	cancel bool
+	index  int // heap index, -1 once fired or cancelled
+	kernel *Kernel
 }
 
 // Time reports the virtual time at which the event fires.
 func (e *Event) Time() time.Duration { return e.at }
 
-// Cancel prevents the event from firing. Cancelling an event that has
-// already fired or was already cancelled is a no-op.
+// Cancel prevents the event from firing and removes it from the queue
+// immediately, so Pending never counts it. Cancelling an event that
+// has already fired or was already cancelled is a no-op.
 func (e *Event) Cancel() {
-	if e != nil {
-		e.cancel = true
+	if e == nil || e.index < 0 || e.kernel == nil {
+		return
 	}
+	heap.Remove(&e.kernel.queue, e.index) // sets e.index = -1 via Pop
+	e.fn = nil                            // release the closure
 }
 
 type eventQueue []*Event
@@ -142,7 +145,7 @@ func (k *Kernel) Schedule(delay time.Duration, fn func()) *Event {
 	if delay < 0 {
 		delay = 0
 	}
-	ev := &Event{at: k.now + delay, seq: k.seq, fn: fn}
+	ev := &Event{at: k.now + delay, seq: k.seq, fn: fn, kernel: k}
 	k.seq++
 	heap.Push(&k.queue, ev)
 	return ev
@@ -194,8 +197,9 @@ func (t *Ticker) Stop() {
 // Stop halts a Run in progress after the current event completes.
 func (k *Kernel) Stop() { k.stopped = true }
 
-// Pending reports the number of events waiting in the queue,
-// including cancelled events not yet discarded.
+// Pending reports the number of live events waiting in the queue.
+// Cancelled events are removed at Cancel time and never counted, so
+// campaign-level pending checks are exact.
 func (k *Kernel) Pending() int { return len(k.queue) }
 
 // Run executes events in timestamp order until the queue is empty or
@@ -215,9 +219,6 @@ func (k *Kernel) Run(horizon time.Duration) error {
 			return nil
 		}
 		heap.Pop(&k.queue)
-		if next.cancel {
-			continue
-		}
 		k.now = next.at
 		k.processed++
 		next.fn()
@@ -245,9 +246,6 @@ func (k *Kernel) RunUntil(horizon time.Duration, pred func() bool) (bool, error)
 			return false, nil
 		}
 		heap.Pop(&k.queue)
-		if next.cancel {
-			continue
-		}
 		k.now = next.at
 		k.processed++
 		next.fn()

@@ -81,6 +81,64 @@ func TestCancelIsIdempotentAndNilSafe(t *testing.T) {
 	}
 }
 
+func TestPendingExcludesCancelled(t *testing.T) {
+	k := NewKernel(1)
+	evs := make([]*Event, 3)
+	for i := range evs {
+		evs[i] = k.Schedule(time.Duration(i+1)*time.Millisecond, func() {})
+	}
+	if k.Pending() != 3 {
+		t.Fatalf("Pending()=%d, want 3", k.Pending())
+	}
+	evs[1].Cancel()
+	if k.Pending() != 2 {
+		t.Fatalf("Pending()=%d after cancel, want 2 (cancelled events must not linger)", k.Pending())
+	}
+	evs[1].Cancel() // idempotent
+	if k.Pending() != 2 {
+		t.Fatalf("Pending()=%d after double cancel, want 2", k.Pending())
+	}
+	if err := k.Run(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if k.Pending() != 0 {
+		t.Fatalf("Pending()=%d after run, want 0", k.Pending())
+	}
+	if k.Processed() != 2 {
+		t.Fatalf("Processed()=%d, want 2", k.Processed())
+	}
+}
+
+func TestCancelFromWithinCallback(t *testing.T) {
+	k := NewKernel(1)
+	fired := false
+	victim := k.Schedule(20*time.Millisecond, func() { fired = true })
+	k.Schedule(10*time.Millisecond, func() {
+		victim.Cancel()
+		if k.Pending() != 0 {
+			t.Fatalf("Pending()=%d inside callback, want 0", k.Pending())
+		}
+	})
+	if err := k.Run(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+}
+
+func TestTickerStopKeepsQueueClean(t *testing.T) {
+	k := NewKernel(1)
+	tk := k.Every(time.Millisecond, time.Millisecond, func() {})
+	k.Schedule(500*time.Microsecond, tk.Stop)
+	if err := k.Run(10 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if k.Pending() != 0 {
+		t.Fatalf("Pending()=%d after ticker stop, want 0", k.Pending())
+	}
+}
+
 func TestHorizonLeavesFutureEventsQueued(t *testing.T) {
 	k := NewKernel(1)
 	fired := false
