@@ -21,9 +21,15 @@
 //	itsbed ntp-sweep         # ABL-4 clock-sync quality vs measured intervals
 //	itsbed all               # everything above
 //
-// Common flags: -seed S, -runs R, -vision=(true|false), -workers W.
-// Runs execute concurrently on W workers (default: all CPUs); results
-// are bit-identical for every worker count.
+// Common flags: -seed S, -runs R, -vision=(true|false), -workers W,
+// -metrics. Flags may precede or follow the command name. Runs execute
+// concurrently on W workers (default: all CPUs); results — including
+// the -metrics output — are bit-identical for every worker count.
+//
+// -metrics prints, after the table2 output, the per-layer delay
+// budget of the warning chain (radio / geonet / facilities /
+// openc2x-poll / actuation) plus the merged metrics snapshot of every
+// accepted run.
 package main
 
 import (
@@ -50,18 +56,25 @@ func run(args []string) error {
 	n := fs.Int("n", 0, "sample count for the extension studies (0 = default)")
 	vision := fs.Bool("vision", true, "use the full image pipeline in the line follower")
 	workers := fs.Int("workers", runtime.NumCPU(), "concurrent scenario runs (results are identical for any value)")
-	if len(args) == 0 {
-		args = []string{"all"}
+	showMetrics := fs.Bool("metrics", false, "print the per-layer delay budget and metric counters after the experiment")
+	// Accept flags before the command ("-metrics table2") as well as
+	// after it ("table2 -metrics").
+	cmd := "all"
+	if len(args) > 0 && args[0] != "" && args[0][0] != '-' {
+		cmd = args[0]
+		args = args[1:]
 	}
-	cmd := args[0]
-	if err := fs.Parse(args[1:]); err != nil {
+	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if cmd == "all" && fs.NArg() > 0 {
+		cmd = fs.Arg(0)
 	}
 	opt := experiments.ScenarioOptions{BaseSeed: *seed, Runs: *runs, UseVision: *vision, Workers: *workers}
 
 	dispatch := map[string]func() error{
 		"table1":      func() error { return printTable1() },
-		"table2":      func() error { return printTable2(opt) },
+		"table2":      func() error { return printTable2(opt, *showMetrics) },
 		"table3":      func() error { return printTable3(opt) },
 		"fig7":        func() error { return printFig7(*seed) },
 		"fig10":       func() error { return printFig10(opt) },
@@ -175,12 +188,18 @@ func printTable1() error {
 	return nil
 }
 
-func printTable2(opt experiments.ScenarioOptions) error {
+func printTable2(opt experiments.ScenarioOptions, showMetrics bool) error {
 	res, err := experiments.TableII(opt)
 	if err != nil {
 		return err
 	}
 	fmt.Print(res.Format())
+	if showMetrics {
+		fmt.Println()
+		fmt.Print(res.LayerBudget().Format())
+		fmt.Println()
+		fmt.Print(res.Metrics.Format())
+	}
 	return nil
 }
 

@@ -34,6 +34,7 @@ func run() error {
 	station := flag.Uint("station", 2001, "station ID")
 	lat := flag.Float64("lat", geo.CISTERLab.Lat, "OBU latitude")
 	lon := flag.Float64("lon", geo.CISTERLab.Lon, "OBU longitude")
+	pprof := flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ on the API port")
 	flag.Parse()
 
 	var peerList []string
@@ -61,7 +62,10 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("obud: station %d, API on %s, link on %s, peers %v\n",
+	if *pprof {
+		srv.EnablePprof()
+	}
+	fmt.Printf("obud: station %d, API on %s (metrics on /metrics), link on %s, peers %v\n",
 		*station, srv.Addr(), link.LocalAddr(), peerList)
 
 	done := make(chan os.Signal, 1)

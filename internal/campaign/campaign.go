@@ -33,6 +33,8 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"itsbed/internal/metrics"
 )
 
 // Options tune a campaign execution.
@@ -40,6 +42,27 @@ type Options struct {
 	// Workers is the number of concurrent attempts. Zero or negative
 	// selects runtime.NumCPU(); one forces the serial fast path.
 	Workers int
+	// Metrics, when non-nil, receives the campaign_* counters. Only the
+	// deterministic decision path increments them (attempts processed
+	// at the cursor, accepted, rejected) — never the speculative
+	// workers — so the values are identical for any worker count.
+	Metrics *metrics.Registry
+}
+
+// counters caches the campaign counter families (all nil-safe).
+type counters struct {
+	processed, accepted, rejected *metrics.Counter
+}
+
+func (o Options) counters() counters {
+	if o.Metrics == nil {
+		return counters{}
+	}
+	return counters{
+		processed: o.Metrics.Counter("campaign_attempts_processed_total"),
+		accepted:  o.Metrics.Counter("campaign_runs_accepted_total"),
+		rejected:  o.Metrics.Counter("campaign_runs_rejected_total"),
+	}
 }
 
 // workers resolves the worker count, never exceeding the job count.
@@ -114,14 +137,14 @@ func Collect[T any](opt Options, n, maxAttempts int,
 		maxAttempts = n
 	}
 	if opt.workers(maxAttempts) == 1 {
-		return collectSerial(n, maxAttempts, run, accept)
+		return collectSerial(opt.counters(), n, maxAttempts, run, accept)
 	}
-	return collectParallel(opt.workers(maxAttempts), n, maxAttempts, run, accept)
+	return collectParallel(opt.counters(), opt.workers(maxAttempts), n, maxAttempts, run, accept)
 }
 
 // collectSerial is the reference implementation: the exact loop the
 // experiment harnesses ran before the engine existed.
-func collectSerial[T any](n, maxAttempts int,
+func collectSerial[T any](c counters, n, maxAttempts int,
 	run func(int) (T, error), accept func(T) bool) ([]T, error) {
 	out := make([]T, 0, n)
 	for i := 0; len(out) < n; i++ {
@@ -132,14 +155,18 @@ func collectSerial[T any](n, maxAttempts int,
 		if err != nil {
 			return nil, err
 		}
+		c.processed.Inc()
 		if accept(v) {
+			c.accepted.Inc()
 			out = append(out, v)
+		} else {
+			c.rejected.Inc()
 		}
 	}
 	return out, nil
 }
 
-func collectParallel[T any](workers, n, maxAttempts int,
+func collectParallel[T any](c counters, workers, n, maxAttempts int,
 	run func(int) (T, error), accept func(T) bool) ([]T, error) {
 	var (
 		next    atomic.Int64 // next attempt index to schedule
@@ -192,12 +219,16 @@ func collectParallel[T any](workers, n, maxAttempts int,
 				decided = true
 				break
 			}
+			c.processed.Inc()
 			if accept(cur.val) {
+				c.accepted.Inc()
 				out = append(out, cur.val)
 				if len(out) == n {
 					decided = true
 					break
 				}
+			} else {
+				c.rejected.Inc()
 			}
 			if cursor == maxAttempts {
 				finalErr = &ExhaustedError{Accepted: len(out), Wanted: n, Attempts: maxAttempts}

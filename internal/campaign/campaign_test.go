@@ -6,6 +6,8 @@ import (
 	"reflect"
 	"sync/atomic"
 	"testing"
+
+	"itsbed/internal/metrics"
 )
 
 // spin burns a little CPU so attempts genuinely overlap in time and
@@ -198,5 +200,41 @@ func BenchmarkCollectScaling(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+func TestCampaignCountersDeterministicAcrossWorkers(t *testing.T) {
+	// The campaign counters are incremented only on the decision path
+	// (the in-order collector), never in speculative workers, so their
+	// values match the serial outcome for any worker count.
+	run := func(i int) (int, error) {
+		spin(1500 + i%5*400)
+		return i, nil
+	}
+	accept := func(v int) bool { return v%3 != 0 }
+	counts := func(w int) (processed, accepted, rejected uint64) {
+		reg := metrics.NewRegistry()
+		if _, err := Collect(Options{Workers: w, Metrics: reg}, 10, 40, run, accept); err != nil {
+			t.Fatalf("workers=%d: %v", w, err)
+		}
+		s := reg.Snapshot()
+		p, _ := s.FindCounter("campaign_attempts_processed_total")
+		a, _ := s.FindCounter("campaign_runs_accepted_total")
+		r, _ := s.FindCounter("campaign_runs_rejected_total")
+		return p.Value, a.Value, r.Value
+	}
+	wp, wa, wr := counts(1)
+	if wa != 10 {
+		t.Fatalf("accepted = %d, want 10", wa)
+	}
+	if wp != wa+wr {
+		t.Fatalf("processed %d != accepted %d + rejected %d", wp, wa, wr)
+	}
+	for _, w := range []int{2, 8} {
+		gp, ga, gr := counts(w)
+		if gp != wp || ga != wa || gr != wr {
+			t.Fatalf("workers=%d: counters (%d,%d,%d) differ from serial (%d,%d,%d)",
+				w, gp, ga, gr, wp, wa, wr)
+		}
 	}
 }

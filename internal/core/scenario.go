@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"itsbed/internal/metrics"
 	"itsbed/internal/trace"
 )
 
@@ -35,6 +36,8 @@ type Result struct {
 	// Collision reports whether the vehicle reached the camera
 	// position (it ran through the hazard without stopping).
 	Collision bool
+	// Metrics is the end-of-run snapshot of the testbed's registry.
+	Metrics metrics.Snapshot
 }
 
 // VideoAnalysis is the Fig. 10 measurement: the detection-to-stop
@@ -121,6 +124,7 @@ func (tb *Testbed) RunScenario(horizon time.Duration) (*Result, error) {
 		res.BrakingDistance = res.DistanceTravelled
 	}
 	res.Video = tb.analyzeVideo()
+	res.Metrics = tb.Metrics.Snapshot()
 	return res, nil
 }
 

@@ -16,6 +16,7 @@ import (
 	"itsbed/internal/geo"
 	"itsbed/internal/its/facilities/ca"
 	"itsbed/internal/its/messages"
+	"itsbed/internal/metrics"
 	"itsbed/internal/openc2x"
 	"itsbed/internal/perception"
 	"itsbed/internal/radio"
@@ -84,6 +85,9 @@ type Config struct {
 	// DENMRepetitionInterval enables DEN repetition at the RSU (zero:
 	// single shot, as the paper's testbed).
 	DENMRepetitionInterval time.Duration
+	// Metrics receives every layer's instrumentation; nil creates a
+	// private registry so each testbed is always fully instrumented.
+	Metrics *metrics.Registry
 }
 
 // withDefaults fills unset fields.
@@ -119,6 +123,9 @@ func (c Config) withDefaults() Config {
 	if c.Radio == 0 {
 		c.Radio = RadioITSG5
 	}
+	if c.Metrics == nil {
+		c.Metrics = metrics.NewRegistry()
+	}
 	return c
 }
 
@@ -141,6 +148,9 @@ type Testbed struct {
 	OBU     *stack.Station
 	RSUNode *openc2x.SimNode
 	OBUNode *openc2x.SimNode
+
+	// Metrics is the registry every layer of this testbed reports into.
+	Metrics *metrics.Registry
 
 	Vehicle   *vehicle.Vehicle
 	Camera    *perception.RoadsideCamera
@@ -171,10 +181,11 @@ type frameObservation struct {
 func New(cfg Config) (*Testbed, error) {
 	cfg = cfg.withDefaults()
 	tb := &Testbed{
-		cfg:    cfg,
-		Kernel: sim.NewKernel(cfg.Seed),
-		Layout: cfg.Layout,
-		Run:    trace.NewRun(),
+		cfg:     cfg,
+		Kernel:  sim.NewKernel(cfg.Seed),
+		Layout:  cfg.Layout,
+		Run:     trace.NewRun(),
+		Metrics: cfg.Metrics,
 	}
 	k := tb.Kernel
 
@@ -199,6 +210,7 @@ func New(cfg Config) (*Testbed, error) {
 		tb.Medium = radio.NewMedium(k, radio.MediumConfig{
 			PathLoss:     cfg.PathLoss,
 			Obstructions: cfg.Obstructions,
+			Metrics:      cfg.Metrics,
 		})
 	}
 
@@ -215,6 +227,7 @@ func New(cfg Config) (*Testbed, error) {
 		DisableCAMTriggers: true,
 		DENMTrafficClass:   cfg.DENMTrafficClass,
 		Link:               rsuLink,
+		Metrics:            cfg.Metrics,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("core: RSU: %w", err)
@@ -232,6 +245,7 @@ func New(cfg Config) (*Testbed, error) {
 		Mobility:    veh.Mobility(),
 		NTP:         cfg.NTP,
 		Link:        obuLink,
+		Metrics:     cfg.Metrics,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("core: OBU: %w", err)
@@ -309,6 +323,7 @@ func (tb *Testbed) addBackgroundVehicles(n int) error {
 			Frame:       tb.Layout.Frame,
 			Mobility:    mob,
 			NTP:         tb.cfg.NTP,
+			Metrics:     tb.cfg.Metrics,
 		})
 		if err != nil {
 			return fmt.Errorf("core: background station %d: %w", i, err)
@@ -334,11 +349,13 @@ func (tb *Testbed) wireTimestamps() {
 	// the hazard service decision fires on exactly that frame.
 	tb.Hazard.OnDecision = func(_ edge.TrackedObject, _ perception.FrameResult, _ time.Duration) {
 		run.Stamp(trace.StepDetection, tb.EdgeClock.Now())
+		run.AttachSnapshot(trace.StepDetection, tb.Metrics.Snapshot())
 		tb.detectionPos = tb.Vehicle.Body.State().Position
 	}
 	// Step 3: the RSU registers the time of sending.
 	tb.RSU.DEN.OnTransmit = func(_ *messages.DENM) {
 		run.Stamp(trace.StepRSUSend, tb.RSU.Clock.Now())
+		run.AttachSnapshot(trace.StepRSUSend, tb.Metrics.Snapshot())
 	}
 	// Step 4: the OBU registers the time of reception. The SimNode
 	// already chained the mailbox handler over station.OnDENM; wrap it
@@ -346,6 +363,7 @@ func (tb *Testbed) wireTimestamps() {
 	prev := tb.OBU.OnDENM
 	tb.OBU.OnDENM = func(d *messages.DENM) {
 		run.Stamp(trace.StepOBUReceive, tb.OBU.Clock.Now())
+		run.AttachSnapshot(trace.StepOBUReceive, tb.Metrics.Snapshot())
 		if prev != nil {
 			prev(d)
 		}
@@ -353,10 +371,12 @@ func (tb *Testbed) wireTimestamps() {
 	// Step 5: the vehicle ECU registers the actuator command.
 	tb.Vehicle.OnStopCommand = func(t time.Duration) {
 		run.Stamp(trace.StepActuatorCommand, t)
+		run.AttachSnapshot(trace.StepActuatorCommand, tb.Metrics.Snapshot())
 	}
 	// Step 6: the vehicle halts (true/video time).
 	tb.Vehicle.OnHalt = func(t time.Duration) {
 		run.Stamp(trace.StepHalt, t)
+		run.AttachSnapshot(trace.StepHalt, tb.Metrics.Snapshot())
 		tb.haltPos = tb.Vehicle.Body.State().Position
 	}
 }

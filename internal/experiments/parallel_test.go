@@ -3,6 +3,7 @@ package experiments
 import (
 	"reflect"
 	"testing"
+	"time"
 )
 
 // The campaign engine's contract: the same BaseSeed must produce
@@ -65,5 +66,67 @@ func TestNTPSweepDeterministicAcrossWorkers(t *testing.T) {
 		if FormatNTPSweep(got) != FormatNTPSweep(want) {
 			t.Fatalf("workers=%d: formatted NTP sweep not byte-identical", w)
 		}
+	}
+}
+
+func TestMetricsOutputDeterministicAcrossWorkers(t *testing.T) {
+	// The tentpole contract of the metrics layer: each attempt records
+	// into a private registry and accepted runs are merged in attempt
+	// order, so the rendered metrics and the per-layer budget are
+	// byte-identical for every -workers value.
+	base := func(w int) ScenarioOptions {
+		o := fastOpt(42, 5)
+		o.Workers = w
+		return o
+	}
+	want, err := TableII(base(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantMetrics := want.Metrics.Format()
+	wantBudget := want.LayerBudget().Format()
+	if wantMetrics == "" {
+		t.Fatal("serial run produced an empty metrics snapshot")
+	}
+	if len(want.Metrics.Histograms) == 0 {
+		t.Fatal("serial run recorded no histograms")
+	}
+	for _, w := range []int{2, 8} {
+		got, err := TableII(base(w))
+		if err != nil {
+			t.Fatalf("workers=%d: %v", w, err)
+		}
+		if got.Metrics.Format() != wantMetrics {
+			t.Fatalf("workers=%d: metrics snapshot not byte-identical to serial run", w)
+		}
+		if got.LayerBudget().Format() != wantBudget {
+			t.Fatalf("workers=%d: layer budget not byte-identical to serial run", w)
+		}
+	}
+}
+
+func TestLayerBudgetSumsToTableIIAverage(t *testing.T) {
+	res, err := TableII(fastOpt(42, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := res.LayerBudget()
+	var sum time.Duration
+	for _, r := range b.Rows {
+		sum += r.Mean
+	}
+	if sum != res.AvgTotal {
+		t.Fatalf("budget rows sum to %v, want Table II avg total %v", sum, res.AvgTotal)
+	}
+	// The measured layers must account for a nonzero share of the
+	// chain: radio and facilities cannot both be empty.
+	var measured time.Duration
+	for _, r := range b.Rows {
+		if r.Layer == "facilities" || r.Layer == "radio" || r.Layer == "openc2x-poll" {
+			measured += r.Mean
+		}
+	}
+	if measured <= 0 {
+		t.Fatal("no layer recorded any measured latency")
 	}
 }

@@ -17,6 +17,7 @@ import (
 
 	"itsbed/internal/campaign"
 	"itsbed/internal/core"
+	"itsbed/internal/metrics"
 	"itsbed/internal/stats"
 )
 
@@ -38,6 +39,10 @@ type ScenarioOptions struct {
 	// runtime.NumCPU(); one forces serial execution. Results are
 	// bit-identical regardless of the worker count.
 	Workers int
+	// Metrics, when non-nil, receives the campaign-level counters and
+	// the merged per-run registries. Nil keeps the harness using a
+	// private registry, so per-run metrics still appear in the results.
+	Metrics *metrics.Registry
 }
 
 func (o ScenarioOptions) withDefaults() ScenarioOptions {
@@ -94,6 +99,9 @@ type TableIIResult struct {
 	AvgTotal           time.Duration
 	// MaxTotal supports the paper's "never exceeded 100 ms" claim.
 	MaxTotal time.Duration
+	// Metrics is the merge of every accepted run's registry snapshot,
+	// in run order, so the output is identical for any worker count.
+	Metrics metrics.Snapshot
 }
 
 // maxAttemptFactor bounds run repetition: like the lab experimenters,
@@ -108,7 +116,7 @@ const maxAttemptFactor = 4
 // kernel and the derived seed BaseSeed+attempt); the campaign engine
 // guarantees the accepted set is identical to serial execution.
 func CollectRuns(opt ScenarioOptions, n int, accept func(*core.Result) bool) ([]*core.Result, error) {
-	out, err := campaign.Collect(campaign.Options{Workers: opt.Workers}, n, n*maxAttemptFactor,
+	out, err := campaign.Collect(campaign.Options{Workers: opt.Workers, Metrics: opt.Metrics}, n, n*maxAttemptFactor,
 		func(i int) (*core.Result, error) { return runOnce(opt, i) }, accept)
 	var ex *campaign.ExhaustedError
 	if errors.As(err, &ex) {
@@ -128,7 +136,12 @@ func TableII(opt ScenarioOptions) (TableIIResult, error) {
 	if err != nil {
 		return out, err
 	}
+	merged := opt.Metrics
+	if merged == nil {
+		merged = metrics.NewRegistry()
+	}
 	for i, res := range runs {
+		merged.Merge(res.Metrics)
 		iv := res.Intervals
 		out.Rows = append(out.Rows, TableIIRow{
 			Run:             i + 1,
@@ -150,6 +163,7 @@ func TableII(opt ScenarioOptions) (TableIIResult, error) {
 	out.AvgSendToReceive = sum[1] / n
 	out.AvgReceiveToAction = sum[2] / n
 	out.AvgTotal = sum[3] / n
+	out.Metrics = merged.Snapshot()
 	return out, nil
 }
 

@@ -18,6 +18,7 @@ import (
 	"itsbed/internal/clock"
 	"itsbed/internal/geo"
 	"itsbed/internal/its/messages"
+	"itsbed/internal/metrics"
 	"itsbed/internal/sim"
 	"itsbed/internal/units"
 )
@@ -72,6 +73,10 @@ type Config struct {
 	Clock *clock.NTPClock
 	// DisableTriggers forces pure 1 Hz operation (RSU-style CAMs).
 	DisableTriggers bool
+	// Metrics, when non-nil, receives ca_* counters labeled with Name.
+	Metrics *metrics.Registry
+	// Name is the station label used on metric families.
+	Name string
 }
 
 // Service is the CA basic service of one station.
@@ -93,6 +98,8 @@ type Service struct {
 	Generated uint64
 	// SendErrors counts lower-layer send failures.
 	SendErrors uint64
+
+	mGen, mErr *metrics.Counter
 }
 
 // New creates a CA service. Start must be called to begin generation.
@@ -100,7 +107,13 @@ func New(kernel *sim.Kernel, cfg Config) (*Service, error) {
 	if cfg.Provider == nil || cfg.Send == nil || cfg.Clock == nil {
 		return nil, fmt.Errorf("ca: provider, send and clock are required")
 	}
-	return &Service{cfg: cfg, kernel: kernel}, nil
+	s := &Service{cfg: cfg, kernel: kernel}
+	if cfg.Metrics != nil {
+		st := metrics.L("station", cfg.Name)
+		s.mGen = cfg.Metrics.Counter("ca_generated_total", st)
+		s.mErr = cfg.Metrics.Counter("ca_send_errors_total", st)
+	}
+	return s, nil
 }
 
 // Start begins the generation check cycle.
@@ -204,13 +217,16 @@ func (s *Service) generate(now time.Duration, st VehicleState) {
 	payload, err := cam.Encode()
 	if err != nil {
 		s.SendErrors++
+		s.mErr.Inc()
 		return
 	}
 	if err := s.cfg.Send(payload); err != nil {
 		s.SendErrors++
+		s.mErr.Inc()
 		return
 	}
 	s.Generated++
+	s.mGen.Inc()
 	s.lastGen = now
 	s.lastState = st
 	s.hasLast = true
@@ -286,20 +302,34 @@ func (s *Service) pathHistory(st VehicleState) []messages.PathPoint {
 type Receiver struct {
 	// Sink receives every decoded CAM (typically the LDM).
 	Sink func(*messages.CAM)
+	// Metrics, when non-nil, receives ca_rx_* counters labeled with
+	// Name.
+	Metrics *metrics.Registry
+	// Name is the station label used on metric families.
+	Name string
 	// Received counts successfully decoded CAMs.
 	Received uint64
 	// Malformed counts undecodable payloads.
 	Malformed uint64
+
+	mRecv, mMalf *metrics.Counter
 }
 
 // OnPayload processes one received CA payload.
 func (r *Receiver) OnPayload(payload []byte) {
+	if r.Metrics != nil && r.mRecv == nil {
+		st := metrics.L("station", r.Name)
+		r.mRecv = r.Metrics.Counter("ca_rx_received_total", st)
+		r.mMalf = r.Metrics.Counter("ca_rx_malformed_total", st)
+	}
 	cam, err := messages.DecodeCAM(payload)
 	if err != nil {
 		r.Malformed++
+		r.mMalf.Inc()
 		return
 	}
 	r.Received++
+	r.mRecv.Inc()
 	if r.Sink != nil {
 		r.Sink(cam)
 	}

@@ -13,6 +13,7 @@ import (
 	"itsbed/internal/clock"
 	"itsbed/internal/geo"
 	"itsbed/internal/its/messages"
+	"itsbed/internal/metrics"
 	"itsbed/internal/sim"
 	"itsbed/internal/units"
 )
@@ -65,6 +66,10 @@ type Config struct {
 	StationType units.StationType
 	Send        SendFunc
 	Clock       *clock.NTPClock
+	// Metrics, when non-nil, receives den_* counters labeled with Name.
+	Metrics *metrics.Registry
+	// Name is the station label used on metric families.
+	Name string
 }
 
 // activeEvent is one originated event under repetition management.
@@ -92,6 +97,8 @@ type Service struct {
 	Transmitted uint64
 	// SendErrors counts lower-layer failures.
 	SendErrors uint64
+
+	mTrig, mTx, mRep, mErr *metrics.Counter
 }
 
 // New creates a DEN service.
@@ -99,7 +106,15 @@ func New(kernel *sim.Kernel, cfg Config) (*Service, error) {
 	if cfg.Send == nil || cfg.Clock == nil {
 		return nil, fmt.Errorf("den: send and clock are required")
 	}
-	return &Service{cfg: cfg, kernel: kernel, active: make(map[messages.ActionID]*activeEvent)}, nil
+	s := &Service{cfg: cfg, kernel: kernel, active: make(map[messages.ActionID]*activeEvent)}
+	if cfg.Metrics != nil {
+		st := metrics.L("station", cfg.Name)
+		s.mTrig = cfg.Metrics.Counter("den_triggers_total", st)
+		s.mTx = cfg.Metrics.Counter("den_transmissions_total", st)
+		s.mRep = cfg.Metrics.Counter("den_repetitions_total", st)
+		s.mErr = cfg.Metrics.Counter("den_send_errors_total", st)
+	}
+	return s, nil
 }
 
 // Trigger originates a new DENM per the request and returns its
@@ -151,6 +166,7 @@ func (s *Service) Trigger(req EventRequest) (messages.ActionID, error) {
 	ev := &activeEvent{denm: d, area: area}
 	s.active[id] = ev
 	s.Originated++
+	s.mTrig.Inc()
 	if err := s.transmit(ev); err != nil {
 		return id, err
 	}
@@ -168,6 +184,7 @@ func (s *Service) Trigger(req EventRequest) (messages.ActionID, error) {
 			// Repetitions re-send the DENM unchanged: the reference
 			// time stays put so receivers recognise them as copies,
 			// not updates (EN 302 637-3 §8.1.2).
+			s.mRep.Inc()
 			if err := s.transmit(ev); err != nil {
 				s.SendErrors++
 			}
@@ -223,13 +240,16 @@ func (s *Service) transmit(ev *activeEvent) error {
 	payload, err := ev.denm.Encode()
 	if err != nil {
 		s.SendErrors++
+		s.mErr.Inc()
 		return fmt.Errorf("den: encode: %w", err)
 	}
 	if err := s.cfg.Send(payload, ev.area); err != nil {
 		s.SendErrors++
+		s.mErr.Inc()
 		return fmt.Errorf("den: send: %w", err)
 	}
 	s.Transmitted++
+	s.mTx.Inc()
 	if s.OnTransmit != nil {
 		s.OnTransmit(ev.denm)
 	}
@@ -260,22 +280,43 @@ type Receiver struct {
 	KAF  *KeepAliveForwarder
 	seen map[messages.ActionID]uint64 // last delivered referenceTime
 
+	// Metrics, when non-nil, receives den_rx_* counters labeled with
+	// Name.
+	Metrics *metrics.Registry
+	// Name is the station label used on metric families.
+	Name string
+
 	// Received counts successfully decoded DENMs.
 	Received uint64
 	// Repeated counts suppressed repetitions.
 	Repeated uint64
 	// Malformed counts undecodable payloads.
 	Malformed uint64
+
+	mRecv, mSupp, mMalf *metrics.Counter
+}
+
+func (r *Receiver) initMetrics() {
+	if r.Metrics == nil || r.mRecv != nil {
+		return
+	}
+	st := metrics.L("station", r.Name)
+	r.mRecv = r.Metrics.Counter("den_rx_received_total", st)
+	r.mSupp = r.Metrics.Counter("den_rx_suppressed_total", st)
+	r.mMalf = r.Metrics.Counter("den_rx_malformed_total", st)
 }
 
 // OnPayload processes one received DEN payload.
 func (r *Receiver) OnPayload(payload []byte) {
+	r.initMetrics()
 	d, err := messages.DecodeDENM(payload)
 	if err != nil {
 		r.Malformed++
+		r.mMalf.Inc()
 		return
 	}
 	r.Received++
+	r.mRecv.Inc()
 	if r.seen == nil {
 		r.seen = make(map[messages.ActionID]uint64)
 	}
@@ -288,6 +329,7 @@ func (r *Receiver) OnPayload(payload []byte) {
 	}
 	if last, ok := r.seen[id]; ok && d.Management.ReferenceTime <= last {
 		r.Repeated++
+		r.mSupp.Inc()
 		return
 	}
 	r.seen[id] = d.Management.ReferenceTime
@@ -311,8 +353,16 @@ type KeepAliveForwarder struct {
 	defaultInterval time.Duration
 	entries         map[messages.ActionID]*kafEntry
 
+	// Metrics, when non-nil, receives the den_kaf_forwarded_total
+	// counter labeled with Name. Set before the first Observe.
+	Metrics *metrics.Registry
+	// Name is the station label used on metric families.
+	Name string
+
 	// Forwarded counts keep-alive re-broadcasts.
 	Forwarded uint64
+
+	mFwd *metrics.Counter
 }
 
 type kafEntry struct {
@@ -321,6 +371,9 @@ type kafEntry struct {
 	timer   *sim.Event
 	expires time.Duration
 	stopped bool
+	// lastRef is the highest ReferenceTime observed; only messages
+	// advancing it restart the validity interval.
+	lastRef uint64
 }
 
 // NewKeepAliveForwarder builds a forwarder. defaultInterval applies to
@@ -351,15 +404,24 @@ func (k *KeepAliveForwarder) Observe(d *messages.DENM, payload []byte) {
 		return
 	}
 	if !ok {
-		e = &kafEntry{}
+		e = &kafEntry{lastRef: d.Management.ReferenceTime}
 		k.entries[id] = e
+		// Validity runs from the event's first observation here; later
+		// copies must NOT push expiry out again, or repetitions would
+		// keep the forwarder alive indefinitely (EN 302 637-3).
+		e.expires = k.kernel.Now() + time.Duration(d.Validity())*time.Second
+	} else if d.Management.ReferenceTime < e.lastRef {
+		return // stale copy of an older version
+	} else if d.Management.ReferenceTime > e.lastRef {
+		// A genuine update restarts the validity interval.
+		e.expires = k.kernel.Now() + time.Duration(d.Validity())*time.Second
+		e.lastRef = d.Management.ReferenceTime
 	}
 	e.payload = append(e.payload[:0], payload...)
 	e.area = NewArea(geo.LatLon{
 		Lat: d.Management.EventPosition.Latitude.Degrees(),
 		Lon: d.Management.EventPosition.Longitude.Degrees(),
 	}, 200)
-	e.expires = k.kernel.Now() + time.Duration(d.Validity())*time.Second
 	interval := k.defaultInterval
 	if ti := d.Management.TransmissionInterval; ti != nil {
 		interval = time.Duration(*ti) * time.Millisecond
@@ -389,6 +451,10 @@ func (k *KeepAliveForwarder) arm(id messages.ActionID, e *kafEntry, interval tim
 		if k.forward != nil {
 			if err := k.forward(e.payload, e.area); err == nil {
 				k.Forwarded++
+				if k.Metrics != nil && k.mFwd == nil {
+					k.mFwd = k.Metrics.Counter("den_kaf_forwarded_total", metrics.L("station", k.Name))
+				}
+				k.mFwd.Inc()
 			}
 		}
 		k.arm(id, e, interval)

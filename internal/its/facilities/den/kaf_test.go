@@ -165,3 +165,64 @@ func TestKAFStop(t *testing.T) {
 		t.Fatal("forwarded after Stop")
 	}
 }
+
+func TestKAFRepetitionDoesNotExtendValidity(t *testing.T) {
+	// Repetitions of the same event version (same referenceTime) re-arm
+	// the silence timer but must not push the validity expiry forward:
+	// keep-alive forwarding would otherwise sustain a dead event
+	// indefinitely — each forwarder's repetition refreshing the next's.
+	h := newKAFHarness(t, 200*time.Millisecond)
+	h.rx.OnPayload(kafDENM(t, 1, 1, false)) // 1 s validity from first hear
+	// Keep repeating the identical DENM well past the original expiry.
+	rep := h.kernel.Every(100*time.Millisecond, 100*time.Millisecond, func() {
+		if h.kernel.Now() < 3*time.Second {
+			h.rx.OnPayload(kafDENM(t, 1, 1, false))
+		}
+	})
+	defer rep.Stop()
+	if err := h.kernel.Run(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	// The 100 ms repetitions keep the silence timer backed off, so no
+	// forwards at all; the crucial check: the entry dies at the original
+	// detection+validity instead of three seconds later.
+	if h.kaf.Active() != 0 {
+		t.Fatal("repetitions extended the event's validity; entry still managed")
+	}
+	if len(h.forwarded) != 0 {
+		t.Fatalf("forwarded %d times while the event was continuously heard", len(h.forwarded))
+	}
+}
+
+func TestKAFUpdateReanchorsValidity(t *testing.T) {
+	// An update (advanced referenceTime) restarts the validity window,
+	// so forwarding continues past the original expiry.
+	h := newKAFHarness(t, 200*time.Millisecond)
+	h.rx.OnPayload(kafDENM(t, 1, 1, false))
+	h.kernel.Schedule(900*time.Millisecond, func() {
+		upd := messages.NewDENM(1001)
+		validity := uint32(1)
+		upd.Management = messages.ManagementContainer{
+			ActionID:         messages.ActionID{OriginatingStationID: 1001, SequenceNumber: 1},
+			DetectionTime:    2,
+			ReferenceTime:    2, // advanced: a genuine update
+			EventPosition:    messages.ReferencePosition{AltitudeValue: messages.AltitudeUnavailable},
+			ValidityDuration: &validity,
+			StationType:      units.StationTypeRoadSideUnit,
+		}
+		payload, err := upd.Encode()
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		h.rx.OnPayload(payload)
+	})
+	if err := h.kernel.Run(1500 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	// At 1.5 s the original window (0..1 s) is over but the update's
+	// (0.9..1.9 s) is not: the entry must still be managed.
+	if h.kaf.Active() != 1 {
+		t.Fatalf("active = %d, want 1: update did not re-anchor validity", h.kaf.Active())
+	}
+}

@@ -47,6 +47,9 @@ type Event struct {
 	Expires   time.Duration
 	// Terminated marks cancelled events retained until expiry.
 	Terminated bool
+	// lastRef is the highest ReferenceTime seen for the ActionID; only
+	// messages advancing it are genuine updates (EN 302 637-3).
+	lastRef uint64
 }
 
 // Config parameterises the LDM.
@@ -138,13 +141,28 @@ func (m *Map) IngestDENM(d *messages.DENM) {
 	if !ok {
 		ev = &Event{ActionID: d.Management.ActionID, Detection: now}
 		m.events[d.Management.ActionID] = ev
+		// Anchor expiry to the event's detection: validityDuration runs
+		// from detectionTime (EN 302 637-3), which the first reception
+		// approximates locally. Re-anchoring on every copy would let
+		// DEN repetitions extend the event's lifetime indefinitely.
+		ev.Expires = now + time.Duration(d.Validity())*time.Second
+		ev.lastRef = d.Management.ReferenceTime
+	} else if d.Management.ReferenceTime < ev.lastRef {
+		return // stale copy of an older version
+	} else if d.Management.ReferenceTime > ev.lastRef {
+		// A genuine update (or termination) carries a new referenceTime
+		// and restarts the validity interval from its own detection.
+		ev.Expires = now + time.Duration(d.Validity())*time.Second
+		ev.lastRef = d.Management.ReferenceTime
+		ev.Terminated = d.IsTermination()
 	}
 	if d.Situation != nil {
 		ev.EventType = d.Situation.EventType
 	}
 	ev.Position = pos
-	ev.Expires = now + time.Duration(d.Validity())*time.Second
-	ev.Terminated = d.IsTermination()
+	if d.IsTermination() {
+		ev.Terminated = true
+	}
 }
 
 // Object returns the tracked object for a station ID.

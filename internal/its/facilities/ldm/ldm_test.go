@@ -190,3 +190,67 @@ func TestDENMWithoutSituationKeepsPreviousType(t *testing.T) {
 		t.Fatal("event type lost on situationless update")
 	}
 }
+
+func TestDENMRepetitionDoesNotExtendExpiry(t *testing.T) {
+	// EN 302 637-3: validityDuration runs from the event's detection.
+	// Repetitions (same referenceTime) refresh content but must not
+	// push the expiry forward — that would keep a 60 s event alive
+	// forever under 1 Hz repetition.
+	m, now := newTestMap(t)
+	m.IngestDENM(testDENM(1001, 1, 60))
+	for s := time.Duration(10); s <= 50; s += 10 {
+		*now = s * time.Second
+		m.IngestDENM(testDENM(1001, 1, 60)) // identical repetition
+	}
+	*now = 59 * time.Second
+	if len(m.ActiveEvents()) != 1 {
+		t.Fatal("event should still be active just before the original expiry")
+	}
+	*now = 61 * time.Second
+	if len(m.ActiveEvents()) != 0 {
+		t.Fatal("repetitions extended the event's lifetime past detection+validity")
+	}
+}
+
+func TestDENMUpdateReanchorsExpiry(t *testing.T) {
+	// An update DENM (advanced referenceTime) restarts the validity
+	// interval: the originator re-assessed the event.
+	m, now := newTestMap(t)
+	m.IngestDENM(testDENM(1001, 1, 60))
+	*now = 50 * time.Second
+	upd := testDENM(1001, 1, 60)
+	upd.Management.ReferenceTime = 2
+	m.IngestDENM(upd)
+	*now = 100 * time.Second // < 50 + 60
+	if len(m.ActiveEvents()) != 1 {
+		t.Fatal("updated event expired too early")
+	}
+	*now = 111 * time.Second
+	if len(m.ActiveEvents()) != 0 {
+		t.Fatal("updated event outlived its re-anchored validity")
+	}
+}
+
+func TestDENMStaleReferenceTimeIgnored(t *testing.T) {
+	m, now := newTestMap(t)
+	first := testDENM(1001, 1, 60)
+	first.Management.ReferenceTime = 5
+	m.IngestDENM(first)
+	// A late copy of an older version must not roll the event back.
+	*now = 10 * time.Second
+	stale := testDENM(1001, 1, 600)
+	stale.Management.ReferenceTime = 2
+	stale.Situation.EventType.CauseCode = messages.CauseDangerousSituation
+	m.IngestDENM(stale)
+	ev, ok := m.Event(messages.ActionID{OriginatingStationID: 1001, SequenceNumber: 1})
+	if !ok {
+		t.Fatal("event lost")
+	}
+	if ev.EventType.CauseCode != messages.CauseCollisionRisk {
+		t.Fatal("stale copy overwrote the event type")
+	}
+	*now = 61 * time.Second
+	if len(m.ActiveEvents()) != 0 {
+		t.Fatal("stale copy's longer validity extended the event")
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"itsbed/internal/geo"
+	"itsbed/internal/metrics"
 	"itsbed/internal/units"
 )
 
@@ -62,6 +63,11 @@ type RouterConfig struct {
 	// DisableForwarding turns off GBC rebroadcast (single-hop setups
 	// such as the paper's lab need none).
 	DisableForwarding bool
+	// Metrics, when non-nil, receives geonet_* counters labeled with
+	// Name.
+	Metrics *metrics.Registry
+	// Name is the station label used on metric families.
+	Name string
 }
 
 // Router implements GN packet handling for one station: sending SHB
@@ -84,6 +90,8 @@ type Router struct {
 	Forwarded       uint64
 	OutOfArea       uint64
 	BeaconsReceived uint64
+
+	mSent, mRecv, mDup, mFwd, mOOA, mBeacon *metrics.Counter
 }
 
 // NewRouter builds a router. All arguments are required except that
@@ -101,13 +109,23 @@ func NewRouter(cfg RouterConfig, link LinkLayer, ego EgoPositionProvider, handle
 	if cfg.DefaultHopLimit == 0 {
 		cfg.DefaultHopLimit = DefaultHopLimit
 	}
-	return &Router{
+	r := &Router{
 		cfg:     cfg,
 		link:    link,
 		ego:     ego,
 		handler: handler,
 		table:   NewLocationTable(0),
-	}, nil
+	}
+	if reg := cfg.Metrics; reg != nil {
+		st := metrics.L("station", cfg.Name)
+		r.mSent = reg.Counter("geonet_sent_total", st)
+		r.mRecv = reg.Counter("geonet_received_total", st)
+		r.mDup = reg.Counter("geonet_duplicates_dropped_total", st)
+		r.mFwd = reg.Counter("geonet_forwarded_total", st)
+		r.mOOA = reg.Counter("geonet_out_of_area_total", st)
+		r.mBeacon = reg.Counter("geonet_beacons_received_total", st)
+	}
+	return r, nil
 }
 
 // Table exposes the location table (read-mostly; used by the LDM and
@@ -132,6 +150,7 @@ func (r *Router) SendBeacon() error {
 		return fmt.Errorf("geonet: marshal beacon: %w", err)
 	}
 	r.Sent++
+	r.mSent.Inc()
 	r.lastTx = r.cfg.Now()
 	return r.send(frame, 3) // lowest priority
 }
@@ -159,6 +178,7 @@ func (r *Router) SendSHB(next NextHeader, tc TrafficClass, payload []byte) error
 		return fmt.Errorf("geonet: marshal SHB: %w", err)
 	}
 	r.Sent++
+	r.mSent.Inc()
 	r.lastTx = r.cfg.Now()
 	return r.send(frame, tc)
 }
@@ -187,6 +207,7 @@ func (r *Router) SendGBC(next NextHeader, tc TrafficClass, area Area, lifetime t
 	// re-delivered locally.
 	r.table.IsDuplicate(p.Source.Address, p.SequenceNumber, p.Lifetime.Duration(), r.cfg.Now())
 	r.Sent++
+	r.mSent.Inc()
 	r.lastTx = r.cfg.Now()
 	return r.send(frame, tc)
 }
@@ -203,21 +224,26 @@ func (r *Router) OnFrame(frame []byte) {
 	case HeaderTypeBeacon:
 		// Beacons only feed the location table.
 		r.BeaconsReceived++
+		r.mBeacon.Inc()
 	case HeaderTypeTSB:
 		r.Received++
+		r.mRecv.Inc()
 		r.deliver(p)
 	case HeaderTypeGBC:
 		if r.table.IsDuplicate(p.Source.Address, p.SequenceNumber, p.Lifetime.Duration(), now) {
 			r.Duplicates++
+			r.mDup.Inc()
 			return
 		}
 		ego := r.ego.EgoPosition()
 		inside := p.DestArea.Contains(r.cfg.Frame, ego.Latitude, ego.Longitude)
 		if inside {
 			r.Received++
+			r.mRecv.Inc()
 			r.deliver(p)
 		} else {
 			r.OutOfArea++
+			r.mOOA.Inc()
 		}
 		// Simplified area forwarding: stations inside the destination
 		// area rebroadcast while hops remain, so the warning floods
@@ -228,6 +254,7 @@ func (r *Router) OnFrame(frame []byte) {
 			fwd.RemainingHopLimit--
 			if frame, err := fwd.Marshal(); err == nil {
 				r.Forwarded++
+				r.mFwd.Inc()
 				_ = r.send(frame, p.TrafficClass)
 			}
 		}

@@ -1,0 +1,291 @@
+package metrics
+
+import (
+	"encoding/json"
+	"math"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounter(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("frames_total", L("station", "rsu"))
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	// Same name+labels in any label order reaches the same instrument.
+	same := r.Counter("frames_total", L("station", "rsu"))
+	if same != c {
+		t.Fatal("same family returned a different counter")
+	}
+	other := r.Counter("frames_total", L("station", "obu"))
+	if other == c {
+		t.Fatal("different labels returned the same counter")
+	}
+	if other.Value() != 0 {
+		t.Fatalf("fresh counter = %d, want 0", other.Value())
+	}
+}
+
+func TestLabelOrderCanonicalised(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("x", L("a", "1"), L("b", "2"))
+	b := r.Counter("x", L("b", "2"), L("a", "1"))
+	if a != b {
+		t.Fatal("label order created distinct families")
+	}
+}
+
+func TestGauge(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("depth")
+	g.Set(3)
+	g.SetMax(2) // must not regress
+	if g.Value() != 3 {
+		t.Fatalf("gauge = %g, want 3", g.Value())
+	}
+	g.SetMax(7)
+	if g.Value() != 7 {
+		t.Fatalf("gauge = %g, want 7", g.Value())
+	}
+}
+
+func TestHistogramObserve(t *testing.T) {
+	r := NewRegistry()
+	h := r.HistogramBuckets("lat", []float64{0.001, 0.01, 0.1})
+	for _, v := range []float64{0.0005, 0.002, 0.02, 0.5} {
+		h.Observe(v)
+	}
+	s, ok := r.Snapshot().FindHistogram("lat")
+	if !ok {
+		t.Fatal("histogram missing from snapshot")
+	}
+	if s.Count != 4 {
+		t.Fatalf("count = %d, want 4", s.Count)
+	}
+	wantCounts := []uint64{1, 1, 1, 1} // one per bucket incl. overflow
+	if !reflect.DeepEqual(s.Counts, wantCounts) {
+		t.Fatalf("counts = %v, want %v", s.Counts, wantCounts)
+	}
+	if s.Min != 0.0005 || s.Max != 0.5 {
+		t.Fatalf("min/max = %g/%g, want 0.0005/0.5", s.Min, s.Max)
+	}
+	if got, want := s.Mean(), (0.0005+0.002+0.02+0.5)/4; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("mean = %g, want %g", got, want)
+	}
+}
+
+func TestHistogramBucketBoundaryInclusive(t *testing.T) {
+	r := NewRegistry()
+	h := r.HistogramBuckets("lat", []float64{1, 2})
+	h.Observe(1) // exactly on a bound lands in that bucket
+	s, _ := r.Snapshot().FindHistogram("lat")
+	if s.Counts[0] != 1 {
+		t.Fatalf("counts = %v, want value 1 in bucket <=1", s.Counts)
+	}
+}
+
+func TestObserveDuration(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat")
+	h.ObserveDuration(1500 * time.Microsecond)
+	s, _ := r.Snapshot().FindHistogram("lat")
+	if math.Abs(s.Sum-0.0015) > 1e-12 {
+		t.Fatalf("sum = %g, want 0.0015", s.Sum)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	r := NewRegistry()
+	h := r.HistogramBuckets("lat", []float64{1, 2, 3, 4})
+	for i := 0; i < 100; i++ {
+		h.Observe(float64(i%4) + 0.5)
+	}
+	s, _ := r.Snapshot().FindHistogram("lat")
+	p50 := s.Quantile(0.50)
+	if p50 < 1 || p50 > 3 {
+		t.Fatalf("p50 = %g, want within [1, 3]", p50)
+	}
+	if p100 := s.Quantile(1); p100 < 3 {
+		t.Fatalf("p100 = %g, want >= 3", p100)
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x")
+	g := r.Gauge("x")
+	h := r.Histogram("x")
+	c.Inc()
+	c.Add(2)
+	g.Set(1)
+	g.SetMax(2)
+	h.Observe(1)
+	h.ObserveDuration(time.Second)
+	if c.Value() != 0 || g.Value() != 0 {
+		t.Fatal("nil instruments must read zero")
+	}
+	snap := r.Snapshot()
+	if len(snap.Counters) != 0 {
+		t.Fatal("nil registry snapshot must be empty")
+	}
+	r.Merge(Snapshot{})
+}
+
+func TestSnapshotSortedAndStable(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b_total").Inc()
+	r.Counter("a_total", L("station", "rsu")).Inc()
+	r.Counter("a_total", L("station", "obu")).Inc()
+	s := r.Snapshot()
+	var names []string
+	for _, c := range s.Counters {
+		k := c.Name
+		for _, l := range c.Labels {
+			k += "|" + l.Value
+		}
+		names = append(names, k)
+	}
+	want := []string{"a_total|obu", "a_total|rsu", "b_total"}
+	if !reflect.DeepEqual(names, want) {
+		t.Fatalf("snapshot order = %v, want %v", names, want)
+	}
+	if !reflect.DeepEqual(r.Snapshot(), s) {
+		t.Fatal("consecutive snapshots of an idle registry differ")
+	}
+}
+
+func TestMergeSemantics(t *testing.T) {
+	run1 := NewRegistry()
+	run1.Counter("sent_total").Add(3)
+	run1.Gauge("depth_max").SetMax(2)
+	run1.HistogramBuckets("lat", []float64{1, 2}).Observe(0.5)
+
+	run2 := NewRegistry()
+	run2.Counter("sent_total").Add(4)
+	run2.Gauge("depth_max").SetMax(5)
+	run2.HistogramBuckets("lat", []float64{1, 2}).Observe(1.5)
+
+	merged := NewRegistry()
+	merged.Merge(run1.Snapshot())
+	merged.Merge(run2.Snapshot())
+	s := merged.Snapshot()
+
+	if c, _ := s.FindCounter("sent_total"); c.Value != 7 {
+		t.Fatalf("merged counter = %d, want 7", c.Value)
+	}
+	if g, _ := s.FindGauge("depth_max"); g.Value != 5 {
+		t.Fatalf("merged gauge = %g, want 5", g.Value)
+	}
+	h, _ := s.FindHistogram("lat")
+	if h.Count != 2 || h.Min != 0.5 || h.Max != 1.5 {
+		t.Fatalf("merged histogram = count %d min %g max %g, want 2/0.5/1.5", h.Count, h.Min, h.Max)
+	}
+	if !reflect.DeepEqual(h.Counts, []uint64{1, 1, 0}) {
+		t.Fatalf("merged counts = %v, want [1 1 0]", h.Counts)
+	}
+}
+
+func TestMergeOrderIndependentForIntegers(t *testing.T) {
+	a := NewRegistry()
+	a.Counter("c").Add(1)
+	b := NewRegistry()
+	b.Counter("c").Add(2)
+
+	ab := NewRegistry()
+	ab.Merge(a.Snapshot())
+	ab.Merge(b.Snapshot())
+	ba := NewRegistry()
+	ba.Merge(b.Snapshot())
+	ba.Merge(a.Snapshot())
+	if !reflect.DeepEqual(ab.Snapshot(), ba.Snapshot()) {
+		t.Fatal("integer-only merge should commute")
+	}
+}
+
+func TestCounterDelta(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("sent_total", L("station", "rsu"))
+	c.Add(2)
+	before := r.Snapshot()
+	c.Add(5)
+	after := r.Snapshot()
+	if d := CounterDelta(before, after, "sent_total", L("station", "rsu")); d != 5 {
+		t.Fatalf("delta = %d, want 5", d)
+	}
+	if d := CounterDelta(before, after, "missing_total"); d != 0 {
+		t.Fatalf("missing delta = %d, want 0", d)
+	}
+}
+
+func TestFormatDeterministic(t *testing.T) {
+	build := func() string {
+		r := NewRegistry()
+		r.Counter("z_total").Add(9)
+		r.Counter("a_total", L("station", "rsu")).Add(1)
+		r.Gauge("depth").Set(3)
+		r.Histogram("lat", L("station", "obu")).Observe(0.002)
+		return r.Snapshot().Format()
+	}
+	one, two := build(), build()
+	if one != two {
+		t.Fatal("Format not deterministic across identical registries")
+	}
+	for _, want := range []string{"a_total{station=rsu}", "z_total", "depth", "lat{station=obu}"} {
+		if !strings.Contains(one, want) {
+			t.Fatalf("Format output missing %q:\n%s", want, one)
+		}
+	}
+}
+
+func TestHandlerServesJSON(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("sent_total").Add(3)
+	srv := httptest.NewServer(Handler(func() Snapshot { return r.Snapshot() }))
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("content type = %q", ct)
+	}
+	var s Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&s); err != nil {
+		t.Fatal(err)
+	}
+	if c, ok := s.FindCounter("sent_total"); !ok || c.Value != 3 {
+		t.Fatalf("served snapshot = %+v", s)
+	}
+}
+
+func TestConcurrentUse(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				r.Counter("c").Inc()
+				r.Gauge("g").SetMax(float64(j))
+				r.Histogram("h").Observe(float64(j) / 1000)
+				_ = r.Snapshot()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("c").Value(); got != 8000 {
+		t.Fatalf("counter = %d, want 8000", got)
+	}
+	if h, _ := r.Snapshot().FindHistogram("h"); h.Count != 8000 {
+		t.Fatalf("histogram count = %d, want 8000", h.Count)
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"itsbed/internal/clock"
 	"itsbed/internal/geo"
 	"itsbed/internal/its/messages"
+	"itsbed/internal/metrics"
 	"itsbed/internal/radio"
 	"itsbed/internal/sim"
 	"itsbed/internal/stack"
@@ -407,5 +408,56 @@ func TestUDPLinkDropsGarbage(t *testing.T) {
 	}
 	if len(obu.RequestDENM()) != 0 {
 		t.Fatal("garbage reached the mailbox")
+	}
+}
+
+func TestServerMetricsEndpoint(t *testing.T) {
+	rsu, obu, closeAll := realPair(t)
+	defer closeAll()
+	srv, err := NewServer(rsu, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	srv.EnablePprof()
+	go func() { _ = srv.Serve() }()
+
+	// Push one DENM across so the counters move.
+	if _, err := rsu.TriggerDENM(collisionReq()); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for obu.ReceivedCount() == 0 && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	resp, err := http.Get("http://" + srv.Addr() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("/metrics content type %q", ct)
+	}
+	var snap metrics.Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	c, ok := snap.FindCounter("openc2x_triggers_total")
+	if !ok || c.Value != 1 {
+		t.Fatalf("openc2x_triggers_total = %+v (found %v)", c, ok)
+	}
+
+	// pprof is mounted on demand.
+	pp, err := http.Get("http://" + srv.Addr() + "/debug/pprof/cmdline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pp.Body.Close()
+	if pp.StatusCode != http.StatusOK {
+		t.Fatalf("/debug/pprof/cmdline status %d", pp.StatusCode)
 	}
 }

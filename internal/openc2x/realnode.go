@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"net"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"itsbed/internal/clock"
@@ -12,6 +11,7 @@ import (
 	"itsbed/internal/its/btp"
 	"itsbed/internal/its/geonet"
 	"itsbed/internal/its/messages"
+	"itsbed/internal/metrics"
 	"itsbed/internal/units"
 )
 
@@ -32,18 +32,28 @@ type RealNode struct {
 	mailbox     []ReceivedDENM
 	camSink     func(*messages.CAM)
 
-	// received counts frames decoded successfully; malformed counts
-	// frames that failed to parse. Atomic: OnFrame runs on the link's
-	// read-loop goroutine while callers poll the counters.
-	received  atomic.Uint64
-	malformed atomic.Uint64
+	// reg collects the daemon's openc2x_* metrics; the counters below
+	// are cached families from it. OnFrame runs on the link's read-loop
+	// goroutine while callers poll the counters, so everything is
+	// atomic underneath.
+	reg       *metrics.Registry
+	received  *metrics.Counter
+	malformed *metrics.Counter
+	denms     *metrics.Counter
+	cams      *metrics.Counter
+	triggers  *metrics.Counter
+	polls     *metrics.Counter
+	depthMax  *metrics.Gauge
 }
 
 // ReceivedCount reports how many frames decoded successfully.
-func (n *RealNode) ReceivedCount() uint64 { return n.received.Load() }
+func (n *RealNode) ReceivedCount() uint64 { return n.received.Value() }
 
 // MalformedCount reports how many frames failed to parse.
-func (n *RealNode) MalformedCount() uint64 { return n.malformed.Load() }
+func (n *RealNode) MalformedCount() uint64 { return n.malformed.Value() }
+
+// Metrics returns the node's metrics registry (the /metrics endpoint).
+func (n *RealNode) Metrics() *metrics.Registry { return n.reg }
 
 // DatagramLink is the transport of a RealNode.
 type DatagramLink interface {
@@ -68,6 +78,7 @@ func NewRealNode(cfg RealNodeConfig) (*RealNode, error) {
 	if err != nil {
 		return nil, fmt.Errorf("openc2x: %w", err)
 	}
+	reg := metrics.NewRegistry()
 	return &RealNode{
 		stationID:   cfg.StationID,
 		stationType: cfg.StationType,
@@ -75,11 +86,19 @@ func NewRealNode(cfg RealNodeConfig) (*RealNode, error) {
 		frame:       frame,
 		link:        cfg.Link,
 		start:       time.Now(),
+		reg:         reg,
+		received:    reg.Counter("openc2x_frames_received_total"),
+		malformed:   reg.Counter("openc2x_frames_malformed_total"),
+		denms:       reg.Counter("openc2x_denms_received_total"),
+		cams:        reg.Counter("openc2x_cams_received_total"),
+		triggers:    reg.Counter("openc2x_triggers_total"),
+		polls:       reg.Counter("openc2x_polls_total"),
+		depthMax:    reg.Gauge("openc2x_mailbox_depth_max"),
 	}, nil
 }
 
 func (n *RealNode) nowITS() uint64 {
-	return uint64(time.Now().Sub(clock.ITSEpoch) / time.Millisecond)
+	return uint64(time.Since(clock.ITSEpoch) / time.Millisecond)
 }
 
 func (n *RealNode) ego() geonet.LongPositionVector {
@@ -98,6 +117,7 @@ func (n *RealNode) TriggerDENM(req TriggerRequest) (messages.ActionID, error) {
 	n.seq++
 	id := messages.ActionID{OriginatingStationID: n.stationID, SequenceNumber: n.seq}
 	n.mu.Unlock()
+	n.triggers.Inc()
 
 	now := n.nowITS()
 	d := messages.NewDENM(n.stationID)
@@ -243,8 +263,10 @@ func (n *RealNode) OnFrame(frame []byte) {
 			return
 		}
 		n.received.Add(1)
+		n.denms.Add(1)
 		n.mu.Lock()
 		n.mailbox = append(n.mailbox, ReceivedDENM{DENM: d, ReceivedAt: time.Since(n.start)})
+		n.depthMax.SetMax(float64(len(n.mailbox)))
 		n.mu.Unlock()
 	case btp.PortCAM:
 		c, err := messages.DecodeCAM(payload)
@@ -253,6 +275,7 @@ func (n *RealNode) OnFrame(frame []byte) {
 			return
 		}
 		n.received.Add(1)
+		n.cams.Add(1)
 		n.mu.Lock()
 		sink := n.camSink
 		n.mu.Unlock()
@@ -271,6 +294,7 @@ func (n *RealNode) SetCAMSink(fn func(*messages.CAM)) {
 
 // RequestDENM drains the mailbox (the request_denm endpoint).
 func (n *RealNode) RequestDENM() []ReceivedDENM {
+	n.polls.Inc()
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	out := n.mailbox

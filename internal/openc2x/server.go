@@ -5,8 +5,10 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"net/http/pprof"
 
 	"itsbed/internal/its/messages"
+	"itsbed/internal/metrics"
 )
 
 // Server exposes a RealNode through the OpenC2X-style HTTP API:
@@ -15,10 +17,15 @@ import (
 //	POST /request_denm  — response []DENMSummary (empty array when none)
 //	POST /trigger_cam   — broadcast one CAM
 //	GET  /causes        — the DENM cause-code registry (Table I)
+//	GET  /metrics       — JSON snapshot of the node's metrics registry
+//
+// EnablePprof additionally mounts the net/http/pprof profiling
+// handlers under /debug/pprof/.
 type Server struct {
 	node *RealNode
 	srv  *http.Server
 	ln   net.Listener
+	mux  *http.ServeMux
 }
 
 // NewServer binds the API to addr (e.g. ":1188"; use ":0" in tests).
@@ -36,8 +43,21 @@ func NewServer(node *RealNode, addr string) (*Server, error) {
 	mux.HandleFunc("/request_denm", s.handleRequest)
 	mux.HandleFunc("/trigger_cam", s.handleTriggerCAM)
 	mux.HandleFunc("/causes", s.handleCauses)
+	mux.Handle("/metrics", metrics.Handler(func() metrics.Snapshot { return node.Metrics().Snapshot() }))
+	s.mux = mux
 	s.srv = &http.Server{Handler: mux}
 	return s, nil
+}
+
+// EnablePprof mounts the standard library profiling handlers under
+// /debug/pprof/ (heap, goroutine, profile, trace, ...). Call before
+// Serve.
+func (s *Server) EnablePprof() {
+	s.mux.HandleFunc("/debug/pprof/", pprof.Index)
+	s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 }
 
 // Addr returns the bound listen address.

@@ -7,6 +7,7 @@ import (
 
 	"itsbed/internal/its/facilities/den"
 	"itsbed/internal/its/messages"
+	"itsbed/internal/metrics"
 	"itsbed/internal/sim"
 	"itsbed/internal/stack"
 )
@@ -67,11 +68,18 @@ type SimNode struct {
 	lat     Latencies
 	rng     *rand.Rand
 	mailbox []ReceivedDENM
+	// mailboxAt records the kernel time each mailbox entry arrived, for
+	// the residency histogram.
+	mailboxAt []time.Duration
 
 	// TriggerCount counts accepted trigger_denm requests.
 	TriggerCount uint64
 	// PollCount counts request_denm polls served.
 	PollCount uint64
+
+	mTrigUp, mTrigDown, mPollUp, mPollDown, mResidency *metrics.Histogram
+	mTriggers, mPolls                                  *metrics.Counter
+	mDepthMax                                          *metrics.Gauge
 }
 
 // NewSimNode wraps a started station. The station's OnDENM hook is
@@ -90,9 +98,22 @@ func NewSimNode(kernel *sim.Kernel, station *stack.Station, lat Latencies) *SimN
 		lat:     lat,
 		rng:     kernel.Rand("openc2x." + station.Name()),
 	}
+	if r := station.Metrics(); r != nil {
+		st := metrics.L("station", station.Name())
+		n.mTrigUp = r.Histogram("openc2x_trigger_latency_seconds", st, metrics.L("dir", "up"))
+		n.mTrigDown = r.Histogram("openc2x_trigger_latency_seconds", st, metrics.L("dir", "down"))
+		n.mPollUp = r.Histogram("openc2x_poll_latency_seconds", st, metrics.L("dir", "up"))
+		n.mPollDown = r.Histogram("openc2x_poll_latency_seconds", st, metrics.L("dir", "down"))
+		n.mResidency = r.Histogram("openc2x_mailbox_residency_seconds", st)
+		n.mTriggers = r.Counter("openc2x_triggers_total", st)
+		n.mPolls = r.Counter("openc2x_polls_total", st)
+		n.mDepthMax = r.Gauge("openc2x_mailbox_depth_max", st)
+	}
 	prev := station.OnDENM
 	station.OnDENM = func(d *messages.DENM) {
 		n.mailbox = append(n.mailbox, ReceivedDENM{DENM: d, ReceivedAt: station.Clock.Now()})
+		n.mailboxAt = append(n.mailboxAt, kernel.Now())
+		n.mDepthMax.SetMax(float64(len(n.mailbox)))
 		if prev != nil {
 			prev(d)
 		}
@@ -109,8 +130,10 @@ func (n *SimNode) Station() *stack.Station { return n.station }
 // callback runs on the kernel; it may be nil.
 func (n *SimNode) TriggerDENM(req TriggerRequest, cb func(messages.ActionID, error)) {
 	up := n.lat.Trigger.sample(n.rng)
+	n.mTrigUp.ObserveDuration(up)
 	n.kernel.Schedule(up, func() {
 		n.TriggerCount++
+		n.mTriggers.Inc()
 		id, err := n.station.DEN.Trigger(den.EventRequest{
 			EventType: messages.EventType{
 				CauseCode:    messages.CauseCode(req.CauseCode),
@@ -127,6 +150,7 @@ func (n *SimNode) TriggerDENM(req TriggerRequest, cb func(messages.ActionID, err
 		})
 		if cb != nil {
 			down := n.lat.Trigger.sample(n.rng)
+			n.mTrigDown.ObserveDuration(down)
 			n.kernel.Schedule(down, func() { cb(id, err) })
 		}
 	})
@@ -140,11 +164,19 @@ func (n *SimNode) RequestDENM(cb func([]ReceivedDENM)) {
 		return
 	}
 	up := n.lat.Poll.sample(n.rng)
+	n.mPollUp.ObserveDuration(up)
 	n.kernel.Schedule(up, func() {
 		n.PollCount++
+		n.mPolls.Inc()
 		batch := n.mailbox
 		n.mailbox = nil
+		now := n.kernel.Now()
+		for _, at := range n.mailboxAt {
+			n.mResidency.ObserveDuration(now - at)
+		}
+		n.mailboxAt = nil
 		down := n.lat.Poll.sample(n.rng)
+		n.mPollDown.ObserveDuration(down)
 		n.kernel.Schedule(down, func() { cb(batch) })
 	})
 }

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"itsbed/internal/geo"
+	"itsbed/internal/metrics"
 	"itsbed/internal/sim"
 )
 
@@ -29,6 +30,9 @@ type MediumConfig struct {
 	// CarrierSenseDBm above which the channel is sensed busy; zero
 	// selects the default.
 	CarrierSenseDBm float64
+	// Metrics, when non-nil, receives radio_* counters and latency
+	// histograms (frame outcomes, per-AC airtime and EDCA access delay).
+	Metrics *metrics.Registry
 }
 
 func (c *MediumConfig) applyDefaults() {
@@ -74,6 +78,9 @@ type Medium struct {
 	FramesLost uint64
 	// FramesDelivered counts per-receiver successful deliveries.
 	FramesDelivered uint64
+
+	mSent, mDelivered, mLostSens, mLostSINR *metrics.Counter
+	mAirtime                                [ACBackground + 1]*metrics.Histogram
 }
 
 type linkKey struct{ a, b int }
@@ -81,12 +88,22 @@ type linkKey struct{ a, b int }
 // NewMedium creates a broadcast medium on the kernel.
 func NewMedium(kernel *sim.Kernel, cfg MediumConfig) *Medium {
 	cfg.applyDefaults()
-	return &Medium{
+	m := &Medium{
 		kernel: kernel,
 		cfg:    cfg,
 		rng:    kernel.Rand("radio.medium"),
 		shadow: make(map[linkKey]float64),
 	}
+	if r := cfg.Metrics; r != nil {
+		m.mSent = r.Counter("radio_frames_sent_total")
+		m.mDelivered = r.Counter("radio_frames_delivered_total")
+		m.mLostSens = r.Counter("radio_frames_lost_total", metrics.L("reason", "sensitivity"))
+		m.mLostSINR = r.Counter("radio_frames_lost_total", metrics.L("reason", "sinr"))
+		for ac := ACVoice; ac <= ACBackground; ac++ {
+			m.mAirtime[ac] = r.Histogram("radio_airtime_seconds", metrics.L("ac", ac.String()))
+		}
+	}
+	return m
 }
 
 // shadowingDB returns the (stable) shadowing for the link a→b.
@@ -150,7 +167,7 @@ func (m *Medium) busyUntil(iface *Interface) time.Duration {
 
 // transmit puts a frame on the air from iface and schedules reception
 // outcomes at every other interface.
-func (m *Medium) transmit(iface *Interface, frame []byte) {
+func (m *Medium) transmit(iface *Interface, frame []byte, ac AccessCategory) {
 	now := m.kernel.Now()
 	air := Airtime(len(frame), iface.cfg.MCS)
 	t := &transmission{
@@ -162,6 +179,10 @@ func (m *Medium) transmit(iface *Interface, frame []byte) {
 	}
 	m.ongoing = append(m.ongoing, t)
 	m.FramesSent++
+	m.mSent.Inc()
+	if ac >= ACVoice && ac <= ACBackground {
+		m.mAirtime[ac].ObserveDuration(air)
+	}
 	m.kernel.Schedule(air, func() {
 		m.complete(t)
 	})
@@ -177,6 +198,7 @@ func (m *Medium) complete(t *transmission) {
 		rx := m.rxPowerDBm(t, dst)
 		if rx < m.cfg.SensitivityDBm {
 			m.FramesLost++
+			m.mLostSens.Inc()
 			continue
 		}
 		// Interference: power of other transmissions overlapping in
@@ -194,11 +216,15 @@ func (m *Medium) complete(t *transmission) {
 		p := successProbability(sinrDB, t.src.cfg.MCS.SNRThresholdDB)
 		if m.rng.Float64() > p {
 			m.FramesLost++
+			m.mLostSINR.Inc()
 			dst.FramesCorrupted++
+			dst.mCorrupt.Inc()
 			continue
 		}
 		m.FramesDelivered++
+		m.mDelivered.Inc()
 		dst.FramesReceived++
+		dst.mRx.Inc()
 		frame := make([]byte, len(t.frame))
 		copy(frame, t.frame)
 		if dst.receive != nil {
@@ -285,6 +311,9 @@ type Interface struct {
 	// AccessDelayTotal accumulates queue+contention time for
 	// transmitted frames (diagnostics).
 	AccessDelayTotal time.Duration
+
+	mQueued, mDropped, mTx, mRx, mCorrupt *metrics.Counter
+	mAccessDelay                          [ACBackground + 1]*metrics.Histogram
 }
 
 // Attach adds a radio to the medium. pos must not be nil. The receive
@@ -302,6 +331,17 @@ func (m *Medium) Attach(cfg InterfaceConfig, pos PositionFunc) (*Interface, erro
 		cfg:    cfg,
 		pos:    pos,
 		rng:    m.kernel.Rand("radio.iface." + cfg.Name),
+	}
+	if r := m.cfg.Metrics; r != nil {
+		st := metrics.L("station", cfg.Name)
+		iface.mQueued = r.Counter("radio_tx_queued_total", st)
+		iface.mDropped = r.Counter("radio_tx_queue_drops_total", st)
+		iface.mTx = r.Counter("radio_tx_frames_total", st)
+		iface.mRx = r.Counter("radio_rx_frames_total", st)
+		iface.mCorrupt = r.Counter("radio_rx_corrupted_total", st)
+		for ac := ACVoice; ac <= ACBackground; ac++ {
+			iface.mAccessDelay[ac] = r.Histogram("radio_access_delay_seconds", st, metrics.L("ac", ac.String()))
+		}
 	}
 	m.ifaces = append(m.ifaces, iface)
 	return iface, nil
@@ -343,12 +383,14 @@ func (i *Interface) SendBroadcastPriority(frame []byte, priority uint8) error {
 func (i *Interface) SendBroadcastAC(frame []byte, ac AccessCategory) error {
 	if len(i.queue) >= i.cfg.QueueCap {
 		i.FramesDroppedQueueFull++
+		i.mDropped.Inc()
 		return fmt.Errorf("radio: %s transmit queue full (%d frames)", i.cfg.Name, i.cfg.QueueCap)
 	}
 	f := make([]byte, len(frame))
 	copy(f, frame)
 	i.queue = append(i.queue, queuedFrame{frame: f, ac: ac, enqueued: i.kernel.Now()})
 	i.FramesQueued++
+	i.mQueued.Inc()
 	i.tryAccess()
 	return nil
 }
@@ -415,8 +457,13 @@ func (i *Interface) fire() {
 	head := i.queue[0]
 	i.queue = i.queue[1:]
 	i.FramesTransmitted++
-	i.AccessDelayTotal += i.kernel.Now() - head.enqueued
-	i.medium.transmit(i, head.frame)
+	i.mTx.Inc()
+	delay := i.kernel.Now() - head.enqueued
+	i.AccessDelayTotal += delay
+	if head.ac >= ACVoice && head.ac <= ACBackground {
+		i.mAccessDelay[head.ac].ObserveDuration(delay)
+	}
+	i.medium.transmit(i, head.frame, head.ac)
 	i.accessBusy = false
 	if len(i.queue) > 0 {
 		i.tryAccess()

@@ -24,6 +24,7 @@ import (
 	"itsbed/internal/its/facilities/ldm"
 	"itsbed/internal/its/geonet"
 	"itsbed/internal/its/messages"
+	"itsbed/internal/metrics"
 	"itsbed/internal/radio"
 	"itsbed/internal/sim"
 	"itsbed/internal/units"
@@ -143,6 +144,10 @@ type Config struct {
 	// for the cellular-interface comparison). The medium argument to
 	// New may then be nil.
 	Link Link
+	// Metrics, when non-nil, is threaded through every layer of the
+	// station (router, facilities, receivers) and receives the
+	// stack_* processing-latency histograms.
+	Metrics *metrics.Registry
 }
 
 // Link abstracts the access layer a station binds to.
@@ -178,6 +183,9 @@ type Station struct {
 	DeliveredDENMs uint64
 	// DeliveredCAMs counts CAMs handed to the application/LDM.
 	DeliveredCAMs uint64
+
+	mTxCAM, mTxDENM, mRxCAM, mRxDENM *metrics.Histogram
+	mDelCAM, mDelDENM                *metrics.Counter
 }
 
 // New attaches a fully wired station to the kernel and medium.
@@ -200,6 +208,15 @@ func New(kernel *sim.Kernel, medium *radio.Medium, cfg Config) (*Station, error)
 		rng:    kernel.Rand("stack." + cfg.Name),
 	}
 	s.Clock = clock.NewNTP(clock.SourceFunc(kernel.Now), cfg.NTP, kernel.Rand("clock."+cfg.Name))
+	if r := cfg.Metrics; r != nil {
+		st := metrics.L("station", cfg.Name)
+		s.mTxCAM = r.Histogram("stack_tx_latency_seconds", st, metrics.L("msg", "cam"))
+		s.mTxDENM = r.Histogram("stack_tx_latency_seconds", st, metrics.L("msg", "denm"))
+		s.mRxCAM = r.Histogram("stack_rx_latency_seconds", st, metrics.L("msg", "cam"))
+		s.mRxDENM = r.Histogram("stack_rx_latency_seconds", st, metrics.L("msg", "denm"))
+		s.mDelCAM = r.Counter("stack_delivered_total", st, metrics.L("msg", "cam"))
+		s.mDelDENM = r.Counter("stack_delivered_total", st, metrics.L("msg", "denm"))
+	}
 
 	var link Link
 	if cfg.Link != nil {
@@ -223,6 +240,8 @@ func New(kernel *sim.Kernel, medium *radio.Medium, cfg Config) (*Station, error)
 		Frame:             cfg.Frame,
 		Now:               kernel.Now,
 		DisableForwarding: cfg.DisableForwarding,
+		Metrics:           cfg.Metrics,
+		Name:              cfg.Name,
 	}, link, egoAdapter{s}, s.onIndication)
 	if err != nil {
 		return nil, fmt.Errorf("stack: router: %w", err)
@@ -232,22 +251,26 @@ func New(kernel *sim.Kernel, medium *radio.Medium, cfg Config) (*Station, error)
 
 	s.LDM = ldm.New(ldm.Config{Frame: cfg.Frame, Now: kernel.Now})
 
-	s.caRx = ca.Receiver{Sink: func(c *messages.CAM) {
+	s.caRx = ca.Receiver{Metrics: cfg.Metrics, Name: cfg.Name, Sink: func(c *messages.CAM) {
 		s.LDM.IngestCAM(c)
 		s.DeliveredCAMs++
+		s.mDelCAM.Inc()
 		if s.OnCAM != nil {
 			s.OnCAM(c)
 		}
 	}}
-	s.denRx = den.Receiver{Sink: func(d *messages.DENM) {
+	s.denRx = den.Receiver{Metrics: cfg.Metrics, Name: cfg.Name, Sink: func(d *messages.DENM) {
 		s.LDM.IngestDENM(d)
 		s.DeliveredDENMs++
+		s.mDelDENM.Inc()
 		if s.OnDENM != nil {
 			s.OnDENM(d)
 		}
 	}}
 	if cfg.EnableKAF {
 		s.denRx.KAF = den.NewKeepAliveForwarder(kernel, s.forwardDENM, cfg.KAFInterval)
+		s.denRx.KAF.Metrics = cfg.Metrics
+		s.denRx.KAF.Name = cfg.Name
 	}
 
 	caSvc, err := ca.New(kernel, ca.Config{
@@ -257,6 +280,8 @@ func New(kernel *sim.Kernel, medium *radio.Medium, cfg Config) (*Station, error)
 		Send:            s.sendCAM,
 		Clock:           s.Clock,
 		DisableTriggers: cfg.DisableCAMTriggers,
+		Metrics:         cfg.Metrics,
+		Name:            cfg.Name,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("stack: CA service: %w", err)
@@ -268,6 +293,8 @@ func New(kernel *sim.Kernel, medium *radio.Medium, cfg Config) (*Station, error)
 		StationType: cfg.StationType,
 		Send:        s.sendDENM,
 		Clock:       s.Clock,
+		Metrics:     cfg.Metrics,
+		Name:        cfg.Name,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("stack: DEN service: %w", err)
@@ -337,7 +364,9 @@ func (s *Station) sendCAM(payload []byte) error {
 	if err != nil {
 		return err
 	}
-	s.kernel.Schedule(s.cfg.TxLatency.sample(s.rng), func() {
+	d := s.cfg.TxLatency.sample(s.rng)
+	s.mTxCAM.ObserveDuration(d)
+	s.kernel.Schedule(d, func() {
 		_ = s.Router.SendSHB(geonet.NextBTPB, camTrafficClass, pkt)
 	})
 	return nil
@@ -360,7 +389,9 @@ func (s *Station) sendDENM(payload []byte, area den.Area) error {
 		units.LongitudeFromDegrees(area.Centre.Lon),
 		area.RadiusMetres,
 	)
-	s.kernel.Schedule(s.cfg.TxLatency.sample(s.rng), func() {
+	d := s.cfg.TxLatency.sample(s.rng)
+	s.mTxDENM.ObserveDuration(d)
+	s.kernel.Schedule(d, func() {
 		_ = s.Router.SendGBC(geonet.NextBTPB, geonet.TrafficClass(s.cfg.DENMTrafficClass), gnArea, time.Minute, pkt)
 	})
 	return nil
@@ -379,7 +410,9 @@ func (s *Station) forwardDENM(payload []byte, area den.Area) error {
 		units.LongitudeFromDegrees(area.Centre.Lon),
 		area.RadiusMetres,
 	)
-	s.kernel.Schedule(s.cfg.TxLatency.sample(s.rng), func() {
+	d := s.cfg.TxLatency.sample(s.rng)
+	s.mTxDENM.ObserveDuration(d)
+	s.kernel.Schedule(d, func() {
 		_ = s.Router.SendGBC(geonet.NextBTPB, geonet.TrafficClass(s.cfg.DENMTrafficClass), gnArea, time.Minute, pkt)
 	})
 	return nil
@@ -411,11 +444,17 @@ func (s *Station) onIndication(ind geonet.Indication) {
 	delay := s.cfg.RxLatency.sample(s.rng)
 	switch h.DestinationPort {
 	case btp.PortCAM:
+		s.mRxCAM.ObserveDuration(delay)
 		s.kernel.Schedule(delay, func() { s.caRx.OnPayload(payload) })
 	case btp.PortDENM:
+		s.mRxDENM.ObserveDuration(delay)
 		s.kernel.Schedule(delay, func() { s.denRx.OnPayload(payload) })
 	}
 }
+
+// Metrics returns the registry this station reports into (nil when
+// metrics are disabled).
+func (s *Station) Metrics() *metrics.Registry { return s.cfg.Metrics }
 
 // CAReceiverStats reports CA reception counters.
 func (s *Station) CAReceiverStats() (received, malformed uint64) {

@@ -70,11 +70,10 @@ func NewEDF(xs []float64) EDF {
 
 // At evaluates the EDF at value v.
 func (e EDF) At(v float64) float64 {
-	idx := sort.SearchFloat64s(e.X, v)
-	// idx is the first element >= v; count elements <= v.
-	for idx < len(e.X) && e.X[idx] <= v {
-		idx++
-	}
+	// Binary search for the upper bound of the tie group: the number
+	// of elements <= v. (A linear scan here is O(n) on duplicate-heavy
+	// samples such as quantised latencies.)
+	idx := sort.Search(len(e.X), func(i int) bool { return e.X[i] > v })
 	return float64(idx) / float64(len(e.X))
 }
 
@@ -172,11 +171,22 @@ func FitGamma(xs []float64) GammaFit {
 func KolmogorovSmirnov(xs []float64, cdf func(float64) float64) float64 {
 	e := NewEDF(xs)
 	var d float64
-	for i, x := range e.X {
-		fx := cdf(x)
-		lo := math.Abs(fx - float64(i)/float64(len(e.X)))
-		hi := math.Abs(e.F[i] - fx)
+	// Walk tie groups: at a value x repeated over sorted indices i..j,
+	// the EDF jumps from F(X[i-1]) (the value before the whole group)
+	// to F(X[j]). Using i/n per element would treat intermediate
+	// within-group levels as attained, overstating D on tied samples.
+	prevF := 0.0
+	for i := 0; i < len(e.X); {
+		j := i
+		for j+1 < len(e.X) && e.X[j+1] == e.X[i] {
+			j++
+		}
+		fx := cdf(e.X[i])
+		lo := math.Abs(fx - prevF)
+		hi := math.Abs(e.F[j] - fx)
 		d = math.Max(d, math.Max(lo, hi))
+		prevF = e.F[j]
+		i = j + 1
 	}
 	return d
 }

@@ -187,3 +187,59 @@ func TestFormatEDF(t *testing.T) {
 		t.Fatal("empty format")
 	}
 }
+
+func TestEDFAtAllTiedValues(t *testing.T) {
+	// Quantised latency samples collapse onto few distinct values; the
+	// EDF must count the whole tie group at once.
+	e := NewEDF([]float64{2, 2, 2, 2})
+	if got := e.At(2); got != 1 {
+		t.Fatalf("F(2)=%v, want 1", got)
+	}
+	if got := e.At(1.999); got != 0 {
+		t.Fatalf("F(1.999)=%v, want 0", got)
+	}
+	e = NewEDF([]float64{1, 2, 2, 3})
+	if got := e.At(2); got != 0.75 {
+		t.Fatalf("F(2)=%v, want 0.75", got)
+	}
+	if got := e.At(1); got != 0.25 {
+		t.Fatalf("F(1)=%v, want 0.25", got)
+	}
+}
+
+func TestKolmogorovSmirnovTiedSamples(t *testing.T) {
+	// xs = {1,1,1,2} against U(0,2): the EDF jumps 0 -> 0.75 at x=1
+	// (cdf 0.5) and 0.75 -> 1 at x=2 (cdf 1.0). Hand-computed D:
+	// max(|0.5-0|, |0.75-0.5|, |1.0-0.75|, |1.0-1.0|) = 0.5.
+	uniform := func(x float64) float64 {
+		switch {
+		case x <= 0:
+			return 0
+		case x >= 2:
+			return 1
+		default:
+			return x / 2
+		}
+	}
+	got := KolmogorovSmirnov([]float64{1, 1, 1, 2}, uniform)
+	if math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("KS=%v, want 0.5", got)
+	}
+}
+
+func TestKolmogorovSmirnovPerfectFit(t *testing.T) {
+	// The EDF of n equally spaced uniform quantiles deviates from the
+	// true uniform CDF by exactly 1/n.
+	n := 10
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = (float64(i) + 0.5) / float64(n)
+	}
+	ks := KolmogorovSmirnov(xs, func(x float64) float64 {
+		return math.Min(1, math.Max(0, x))
+	})
+	want := 1.0 / float64(n) * 1.5 // 0.15: |F - cdf| peaks at 0.05+0.10
+	if ks > want+1e-12 {
+		t.Fatalf("KS=%v for a well-matched sample, want <= %v", ks, want)
+	}
+}
