@@ -22,14 +22,20 @@
 //	itsbed all               # everything above
 //
 // Common flags: -seed S, -runs R, -vision=(true|false), -workers W,
-// -metrics. Flags may precede or follow the command name. Runs execute
-// concurrently on W workers (default: all CPUs); results — including
-// the -metrics output — are bit-identical for every worker count.
+// -metrics, -trace-out FILE, -spans. Flags may precede or follow the
+// command name. Runs execute concurrently on W workers (default: all
+// CPUs); results — including the -metrics and trace output — are
+// bit-identical for every worker count.
 //
 // -metrics prints, after the table2 output, the per-layer delay
 // budget of the warning chain (radio / geonet / facilities /
 // openc2x-poll / actuation) plus the merged metrics snapshot of every
 // accepted run.
+//
+// -trace-out writes, for table2, every recorded per-message span as a
+// Chrome trace-event JSON file loadable in Perfetto (ui.perfetto.dev)
+// or chrome://tracing. -spans prints an ASCII waterfall of each run's
+// end-to-end denm.chain trace instead.
 package main
 
 import (
@@ -40,6 +46,7 @@ import (
 
 	"itsbed/internal/experiments"
 	"itsbed/internal/its/messages"
+	"itsbed/internal/tracing"
 )
 
 func main() {
@@ -57,6 +64,8 @@ func run(args []string) error {
 	vision := fs.Bool("vision", true, "use the full image pipeline in the line follower")
 	workers := fs.Int("workers", runtime.NumCPU(), "concurrent scenario runs (results are identical for any value)")
 	showMetrics := fs.Bool("metrics", false, "print the per-layer delay budget and metric counters after the experiment")
+	traceOut := fs.String("trace-out", "", "write per-message spans as Chrome trace-event JSON to this file (table2)")
+	showSpans := fs.Bool("spans", false, "print an ASCII waterfall of each run's end-to-end trace (table2)")
 	// Accept flags before the command ("-metrics table2") as well as
 	// after it ("table2 -metrics").
 	cmd := "all"
@@ -70,11 +79,17 @@ func run(args []string) error {
 	if cmd == "all" && fs.NArg() > 0 {
 		cmd = fs.Arg(0)
 	}
-	opt := experiments.ScenarioOptions{BaseSeed: *seed, Runs: *runs, UseVision: *vision, Workers: *workers}
+	opt := experiments.ScenarioOptions{
+		BaseSeed:  *seed,
+		Runs:      *runs,
+		UseVision: *vision,
+		Workers:   *workers,
+		Trace:     *traceOut != "" || *showSpans,
+	}
 
 	dispatch := map[string]func() error{
 		"table1":      func() error { return printTable1() },
-		"table2":      func() error { return printTable2(opt, *showMetrics) },
+		"table2":      func() error { return printTable2(opt, *showMetrics, *traceOut, *showSpans) },
 		"table3":      func() error { return printTable3(opt) },
 		"fig7":        func() error { return printFig7(*seed) },
 		"fig10":       func() error { return printFig10(opt) },
@@ -188,7 +203,7 @@ func printTable1() error {
 	return nil
 }
 
-func printTable2(opt experiments.ScenarioOptions, showMetrics bool) error {
+func printTable2(opt experiments.ScenarioOptions, showMetrics bool, traceOut string, showSpans bool) error {
 	res, err := experiments.TableII(opt)
 	if err != nil {
 		return err
@@ -199,6 +214,20 @@ func printTable2(opt experiments.ScenarioOptions, showMetrics bool) error {
 		fmt.Print(res.LayerBudget().Format())
 		fmt.Println()
 		fmt.Print(res.Metrics.Format())
+	}
+	if traceOut != "" {
+		if err := os.WriteFile(traceOut, tracing.ChromeTrace(res.Traces), 0o644); err != nil {
+			return fmt.Errorf("write trace: %w", err)
+		}
+		fmt.Printf("\nwrote %d spans to %s (load in ui.perfetto.dev or chrome://tracing)\n",
+			len(res.Traces.Spans), traceOut)
+	}
+	if showSpans {
+		chains := res.Traces.FilterTraces(func(root tracing.SpanRecord) bool {
+			return root.Name == "denm.chain"
+		})
+		fmt.Println()
+		fmt.Print(tracing.Waterfall(chains))
 	}
 	return nil
 }

@@ -35,7 +35,14 @@ func run() error {
 	lat := flag.Float64("lat", geo.CISTERLab.Lat, "OBU latitude")
 	lon := flag.Float64("lon", geo.CISTERLab.Lon, "OBU longitude")
 	pprof := flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ on the API port")
+	logFormat := flag.String("log-format", "text", "log output format: text or json")
+	logLevel := flag.String("log-level", "info", "minimum log level: debug, info, warn or error (per-DENM records log at debug)")
 	flag.Parse()
+
+	logger, err := openc2x.NewLogger(os.Stderr, *logFormat, *logLevel)
+	if err != nil {
+		return err
+	}
 
 	var peerList []string
 	if *peers != "" {
@@ -52,6 +59,7 @@ func run() error {
 		StationType: units.StationTypePassengerCar,
 		Position:    geo.LatLon{Lat: *lat, Lon: *lon},
 		Link:        link,
+		Logger:      logger,
 	})
 	if err != nil {
 		return err
@@ -65,8 +73,12 @@ func run() error {
 	if *pprof {
 		srv.EnablePprof()
 	}
-	fmt.Printf("obud: station %d, API on %s (metrics on /metrics), link on %s, peers %v\n",
-		*station, srv.Addr(), link.LocalAddr(), peerList)
+	logger.Info("obud started",
+		"station", *station,
+		"api", srv.Addr(),
+		"endpoints", "/metrics /trace",
+		"link", link.LocalAddr(),
+		"peers", peerList)
 
 	done := make(chan os.Signal, 1)
 	signal.Notify(done, syscall.SIGINT, syscall.SIGTERM)

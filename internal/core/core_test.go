@@ -6,6 +6,7 @@ import (
 
 	"itsbed/internal/radio"
 	"itsbed/internal/trace"
+	"itsbed/internal/tracing"
 )
 
 // runScenario runs one default scenario with the ground-truth line
@@ -246,5 +247,101 @@ func TestDENMRepetitionPlumbedThrough(t *testing.T) {
 	// The OBU suppressed the repeats: exactly one delivery.
 	if tb.OBU.DeliveredDENMs != 1 {
 		t.Fatalf("OBU delivered %d DENMs, want 1", tb.OBU.DeliveredDENMs)
+	}
+}
+
+// traceScenario runs one ground-truth scenario with tracing enabled.
+func traceScenario(t *testing.T, seed int64) (*Testbed, *Result) {
+	t.Helper()
+	cfg := Config{Seed: seed}
+	cfg.Layout = cfg.withDefaults().Layout
+	vcfg := cfg.withDefaults().Vehicle
+	vcfg.UseVision = false
+	cfg.Vehicle = vcfg
+	cfg.Tracer = tracing.New()
+	tb, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := tb.RunScenario(30 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tb, res
+}
+
+func TestTraceChainConnected(t *testing.T) {
+	_, res := traceScenario(t, 101)
+	if !res.Stopped || !res.Run.Complete() {
+		t.Fatal("scenario did not complete")
+	}
+	if len(res.Spans.Spans) == 0 {
+		t.Fatal("tracing enabled but no spans recorded")
+	}
+
+	chains := res.Spans.FilterTraces(func(root tracing.SpanRecord) bool {
+		return root.Name == "denm.chain"
+	})
+	roots := 0
+	var root tracing.SpanRecord
+	byID := make(map[uint64]tracing.SpanRecord)
+	for _, rec := range chains.Spans {
+		byID[rec.ID] = rec
+		if rec.ID == rec.Trace {
+			roots++
+			root = rec
+		}
+	}
+	if roots != 1 {
+		t.Fatalf("want exactly one denm.chain root, got %d", roots)
+	}
+
+	// Every span of the chain trace links back to the root.
+	stations := make(map[string]bool)
+	names := make(map[string]bool)
+	for _, rec := range chains.Spans {
+		names[rec.Name] = true
+		stations[rec.Station] = true
+		cur := rec
+		for cur.Parent != 0 {
+			parent, ok := byID[cur.Parent]
+			if !ok {
+				t.Fatalf("span %d (%s) has dangling parent %d", rec.ID, rec.Name, cur.Parent)
+			}
+			cur = parent
+		}
+		if cur.ID != root.ID {
+			t.Fatalf("span %d (%s) not connected to the chain root", rec.ID, rec.Name)
+		}
+	}
+	// The single trace crosses both stations and every layer of the
+	// Fig. 4 chain.
+	if !stations["rsu"] || !stations["obu"] {
+		t.Fatalf("chain does not cross both stations: %v", stations)
+	}
+	for _, want := range []string{
+		"openc2x.trigger_denm", "den.trigger", "den.transmit", "stack.tx",
+		"geonet.send", "radio.access", "radio.air", "geonet.receive",
+		"stack.rx", "den.receive", "openc2x.mailbox",
+		"openc2x.poll_delivery", "vehicle.actuation",
+	} {
+		if !names[want] {
+			t.Fatalf("chain missing span %q (have %v)", want, names)
+		}
+	}
+
+	// The root span's extent IS the Table II total delay (steps 2->5).
+	if !root.Ended {
+		t.Fatal("chain root never ended")
+	}
+	if got := root.End - root.Start; got != res.Intervals.Total {
+		t.Fatalf("root extent %v != Table II total %v", got, res.Intervals.Total)
+	}
+}
+
+func TestTracingDisabledByDefault(t *testing.T) {
+	_, res := runScenario(t, 101, false)
+	if len(res.Spans.Spans) != 0 {
+		t.Fatalf("tracing off should record nothing, got %d spans", len(res.Spans.Spans))
 	}
 }

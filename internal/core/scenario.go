@@ -6,6 +6,7 @@ import (
 
 	"itsbed/internal/metrics"
 	"itsbed/internal/trace"
+	"itsbed/internal/tracing"
 )
 
 // Result is the outcome of one emergency-braking scenario run.
@@ -38,6 +39,9 @@ type Result struct {
 	Collision bool
 	// Metrics is the end-of-run snapshot of the testbed's registry.
 	Metrics metrics.Snapshot
+	// Spans holds every recorded span when the testbed was built with a
+	// Tracer (empty otherwise).
+	Spans tracing.Snapshot
 }
 
 // VideoAnalysis is the Fig. 10 measurement: the detection-to-stop
@@ -125,6 +129,9 @@ func (tb *Testbed) RunScenario(horizon time.Duration) (*Result, error) {
 	}
 	res.Video = tb.analyzeVideo()
 	res.Metrics = tb.Metrics.Snapshot()
+	if tb.Tracer != nil {
+		res.Spans = tb.Tracer.Snapshot()
+	}
 	return res, nil
 }
 

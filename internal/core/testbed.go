@@ -23,6 +23,7 @@ import (
 	"itsbed/internal/sim"
 	"itsbed/internal/stack"
 	"itsbed/internal/trace"
+	"itsbed/internal/tracing"
 	"itsbed/internal/track"
 	"itsbed/internal/units"
 	"itsbed/internal/vehicle"
@@ -88,6 +89,9 @@ type Config struct {
 	// Metrics receives every layer's instrumentation; nil creates a
 	// private registry so each testbed is always fully instrumented.
 	Metrics *metrics.Registry
+	// Tracer, when non-nil, records per-message causal spans across
+	// every layer; nil disables tracing entirely.
+	Tracer *tracing.Tracer
 }
 
 // withDefaults fills unset fields.
@@ -151,6 +155,9 @@ type Testbed struct {
 
 	// Metrics is the registry every layer of this testbed reports into.
 	Metrics *metrics.Registry
+	// Tracer records per-message spans when tracing is enabled (nil
+	// otherwise).
+	Tracer *tracing.Tracer
 
 	Vehicle   *vehicle.Vehicle
 	Camera    *perception.RoadsideCamera
@@ -169,6 +176,10 @@ type Testbed struct {
 	detectionPos geo.Point
 	haltPos      geo.Point
 	watchTicker  *sim.Ticker
+
+	// chainRoot is the denm.chain root span of the current scenario,
+	// opened at the hazard decision and closed at the actuator command.
+	chainRoot *tracing.Span
 }
 
 type frameObservation struct {
@@ -186,6 +197,7 @@ func New(cfg Config) (*Testbed, error) {
 		Layout:  cfg.Layout,
 		Run:     trace.NewRun(),
 		Metrics: cfg.Metrics,
+		Tracer:  cfg.Tracer,
 	}
 	k := tb.Kernel
 
@@ -211,6 +223,7 @@ func New(cfg Config) (*Testbed, error) {
 			PathLoss:     cfg.PathLoss,
 			Obstructions: cfg.Obstructions,
 			Metrics:      cfg.Metrics,
+			Tracer:       cfg.Tracer,
 		})
 	}
 
@@ -228,6 +241,7 @@ func New(cfg Config) (*Testbed, error) {
 		DENMTrafficClass:   cfg.DENMTrafficClass,
 		Link:               rsuLink,
 		Metrics:            cfg.Metrics,
+		Tracer:             cfg.Tracer,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("core: RSU: %w", err)
@@ -246,6 +260,7 @@ func New(cfg Config) (*Testbed, error) {
 		NTP:         cfg.NTP,
 		Link:        obuLink,
 		Metrics:     cfg.Metrics,
+		Tracer:      cfg.Tracer,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("core: OBU: %w", err)
@@ -324,6 +339,7 @@ func (tb *Testbed) addBackgroundVehicles(n int) error {
 			Mobility:    mob,
 			NTP:         tb.cfg.NTP,
 			Metrics:     tb.cfg.Metrics,
+			Tracer:      tb.cfg.Tracer,
 		})
 		if err != nil {
 			return fmt.Errorf("core: background station %d: %w", i, err)
@@ -351,6 +367,14 @@ func (tb *Testbed) wireTimestamps() {
 		run.Stamp(trace.StepDetection, tb.EdgeClock.Now())
 		run.AttachSnapshot(trace.StepDetection, tb.Metrics.Snapshot())
 		tb.detectionPos = tb.Vehicle.Body.State().Position
+		if tb.Tracer != nil && tb.chainRoot == nil {
+			// Root the end-to-end trace at the step-2 stamp so its extent
+			// reconciles exactly with the Table II 2→5 total; the hazard
+			// service's TriggerDENM finds it via the chain key.
+			at, _ := run.At(trace.StepDetection)
+			tb.chainRoot = tb.Tracer.StartChild(nil, "denm.chain", "core", "edge", at)
+			tb.Tracer.Bind(tracing.KeyChain, tb.chainRoot)
+		}
 	}
 	// Step 3: the RSU registers the time of sending.
 	tb.RSU.DEN.OnTransmit = func(_ *messages.DENM) {
@@ -372,6 +396,18 @@ func (tb *Testbed) wireTimestamps() {
 	tb.Vehicle.OnStopCommand = func(t time.Duration) {
 		run.Stamp(trace.StepActuatorCommand, t)
 		run.AttachSnapshot(trace.StepActuatorCommand, tb.Metrics.Snapshot())
+		if tb.Tracer != nil {
+			parent := tb.Tracer.Find(tracing.KeyPoll("obu"))
+			if parent == nil {
+				parent = tb.chainRoot
+			}
+			sp := tb.Tracer.StartChild(parent, "vehicle.actuation", "vehicle", tb.cfg.Vehicle.Name, parent.EndTime())
+			sp.End(tb.Kernel.Now())
+			if tb.chainRoot != nil {
+				at, _ := run.At(trace.StepActuatorCommand)
+				tb.chainRoot.End(at)
+			}
+		}
 	}
 	// Step 6: the vehicle halts (true/video time).
 	tb.Vehicle.OnHalt = func(t time.Duration) {

@@ -4,6 +4,8 @@ import (
 	"reflect"
 	"testing"
 	"time"
+
+	"itsbed/internal/tracing"
 )
 
 // The campaign engine's contract: the same BaseSeed must produce
@@ -128,5 +130,49 @@ func TestLayerBudgetSumsToTableIIAverage(t *testing.T) {
 	}
 	if measured <= 0 {
 		t.Fatal("no layer recorded any measured latency")
+	}
+}
+
+func TestTraceDeterministicAcrossWorkers(t *testing.T) {
+	// The tracing tentpole's contract: each attempt records into a
+	// private tracer, accepted runs merge in attempt order, and both
+	// export formats are byte-identical for every -workers value.
+	base := func(w int) ScenarioOptions {
+		o := fastOpt(42, 5)
+		o.Workers = w
+		o.Trace = true
+		return o
+	}
+	want, err := TableII(base(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(want.Traces.Spans) == 0 {
+		t.Fatal("serial traced run recorded no spans")
+	}
+	wantChrome := string(tracing.ChromeTrace(want.Traces))
+	wantFall := tracing.Waterfall(want.Traces.FilterTraces(func(root tracing.SpanRecord) bool {
+		return root.Name == "denm.chain"
+	}))
+	if wantFall == "" {
+		t.Fatal("no denm.chain traces in serial run")
+	}
+	for _, w := range []int{2, 8} {
+		got, err := TableII(base(w))
+		if err != nil {
+			t.Fatalf("workers=%d: %v", w, err)
+		}
+		if !reflect.DeepEqual(got.Traces, want.Traces) {
+			t.Fatalf("workers=%d: merged trace snapshot differs from serial run", w)
+		}
+		if string(tracing.ChromeTrace(got.Traces)) != wantChrome {
+			t.Fatalf("workers=%d: Chrome trace JSON not byte-identical", w)
+		}
+		gotFall := tracing.Waterfall(got.Traces.FilterTraces(func(root tracing.SpanRecord) bool {
+			return root.Name == "denm.chain"
+		}))
+		if gotFall != wantFall {
+			t.Fatalf("workers=%d: waterfall not byte-identical", w)
+		}
 	}
 }

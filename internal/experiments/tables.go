@@ -19,6 +19,7 @@ import (
 	"itsbed/internal/core"
 	"itsbed/internal/metrics"
 	"itsbed/internal/stats"
+	"itsbed/internal/tracing"
 )
 
 // ScenarioOptions tune the common emergency-brake scenario.
@@ -43,6 +44,10 @@ type ScenarioOptions struct {
 	// the merged per-run registries. Nil keeps the harness using a
 	// private registry, so per-run metrics still appear in the results.
 	Metrics *metrics.Registry
+	// Trace enables per-message span tracing: each run gets a private
+	// tracer and the harness merges the accepted runs' spans in run
+	// order, so the trace output is identical for any worker count.
+	Trace bool
 }
 
 func (o ScenarioOptions) withDefaults() ScenarioOptions {
@@ -66,6 +71,9 @@ func runOnce(opt ScenarioOptions, i int) (*core.Result, error) {
 	rng := rand.New(rand.NewSource(opt.BaseSeed + int64(i)*7919))
 	cfg.Vehicle.CruiseSpeed += rng.Float64()*0.40 - 0.20
 	cfg.Vehicle.Params.BrakeDecel += rng.Float64()*1.6 - 0.8
+	if opt.Trace {
+		cfg.Tracer = tracing.New()
+	}
 	if opt.Configure != nil {
 		opt.Configure(&cfg)
 	}
@@ -102,6 +110,9 @@ type TableIIResult struct {
 	// Metrics is the merge of every accepted run's registry snapshot,
 	// in run order, so the output is identical for any worker count.
 	Metrics metrics.Snapshot
+	// Traces holds the merged spans of every accepted run (run order,
+	// IDs rebased per run) when ScenarioOptions.Trace was set.
+	Traces tracing.Snapshot
 }
 
 // maxAttemptFactor bounds run repetition: like the lab experimenters,
@@ -140,8 +151,12 @@ func TableII(opt ScenarioOptions) (TableIIResult, error) {
 	if merged == nil {
 		merged = metrics.NewRegistry()
 	}
+	var spans []tracing.Snapshot
 	for i, res := range runs {
 		merged.Merge(res.Metrics)
+		if opt.Trace {
+			spans = append(spans, res.Spans)
+		}
 		iv := res.Intervals
 		out.Rows = append(out.Rows, TableIIRow{
 			Run:             i + 1,
@@ -164,6 +179,9 @@ func TableII(opt ScenarioOptions) (TableIIResult, error) {
 	out.AvgReceiveToAction = sum[2] / n
 	out.AvgTotal = sum[3] / n
 	out.Metrics = merged.Snapshot()
+	if opt.Trace {
+		out.Traces = tracing.MergeRuns(spans)
+	}
 	return out, nil
 }
 

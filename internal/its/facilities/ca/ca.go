@@ -20,6 +20,7 @@ import (
 	"itsbed/internal/its/messages"
 	"itsbed/internal/metrics"
 	"itsbed/internal/sim"
+	"itsbed/internal/tracing"
 	"itsbed/internal/units"
 )
 
@@ -77,6 +78,8 @@ type Config struct {
 	Metrics *metrics.Registry
 	// Name is the station label used on metric families.
 	Name string
+	// Tracer, when non-nil, records a span for each generated CAM.
+	Tracer *tracing.Tracer
 }
 
 // Service is the CA basic service of one station.
@@ -214,17 +217,23 @@ func (s *Service) generate(now time.Duration, st VehicleState) {
 		s.lastLF = s.kernel.Now()
 		s.hasLastLF = true
 	}
+	sp := s.cfg.Tracer.Start("ca.generate", "facilities", s.cfg.Name, now)
 	payload, err := cam.Encode()
 	if err != nil {
+		sp.Drop(s.kernel.Now(), "encode_error")
 		s.SendErrors++
 		s.mErr.Inc()
 		return
 	}
-	if err := s.cfg.Send(payload); err != nil {
+	var sendErr error
+	s.cfg.Tracer.Scope(sp, func() { sendErr = s.cfg.Send(payload) })
+	if sendErr != nil {
+		sp.Drop(s.kernel.Now(), "send_error")
 		s.SendErrors++
 		s.mErr.Inc()
 		return
 	}
+	sp.End(s.kernel.Now())
 	s.Generated++
 	s.mGen.Inc()
 	s.lastGen = now
@@ -307,6 +316,10 @@ type Receiver struct {
 	Metrics *metrics.Registry
 	// Name is the station label used on metric families.
 	Name string
+	// Tracer, when non-nil, records a span for each received CAM.
+	Tracer *tracing.Tracer
+	// Now supplies span timestamps when Tracer is set.
+	Now func() time.Duration
 	// Received counts successfully decoded CAMs.
 	Received uint64
 	// Malformed counts undecodable payloads.
@@ -322,15 +335,31 @@ func (r *Receiver) OnPayload(payload []byte) {
 		r.mRecv = r.Metrics.Counter("ca_rx_received_total", st)
 		r.mMalf = r.Metrics.Counter("ca_rx_malformed_total", st)
 	}
+	now := r.now()
 	cam, err := messages.DecodeCAM(payload)
 	if err != nil {
+		if r.Tracer != nil {
+			r.Tracer.Start("ca.receive", "facilities", r.Name, now).Drop(now, "malformed")
+		}
 		r.Malformed++
 		r.mMalf.Inc()
 		return
 	}
+	var sp *tracing.Span
+	if r.Tracer != nil {
+		sp = r.Tracer.Start("ca.receive", "facilities", r.Name, now)
+	}
 	r.Received++
 	r.mRecv.Inc()
 	if r.Sink != nil {
-		r.Sink(cam)
+		r.Tracer.Scope(sp, func() { r.Sink(cam) })
 	}
+	sp.End(r.now())
+}
+
+func (r *Receiver) now() time.Duration {
+	if r.Now == nil {
+		return 0
+	}
+	return r.Now()
 }

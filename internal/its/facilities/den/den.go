@@ -15,6 +15,7 @@ import (
 	"itsbed/internal/its/messages"
 	"itsbed/internal/metrics"
 	"itsbed/internal/sim"
+	"itsbed/internal/tracing"
 	"itsbed/internal/units"
 )
 
@@ -70,6 +71,9 @@ type Config struct {
 	Metrics *metrics.Registry
 	// Name is the station label used on metric families.
 	Name string
+	// Tracer, when non-nil, records trigger/encode spans; repetitions
+	// re-attach to their trigger by ActionID.
+	Tracer *tracing.Tracer
 }
 
 // activeEvent is one originated event under repetition management.
@@ -167,8 +171,17 @@ func (s *Service) Trigger(req EventRequest) (messages.ActionID, error) {
 	s.active[id] = ev
 	s.Originated++
 	s.mTrig.Inc()
-	if err := s.transmit(ev); err != nil {
-		return id, err
+	// The trigger span parents every transmission of this event —
+	// including repetitions, which fire from a ticker and re-attach by
+	// the ActionID identity the message carries.
+	sp := s.cfg.Tracer.Start("den.trigger", "facilities", s.cfg.Name, s.kernel.Now())
+	sp.SetAttr("action_id", fmt.Sprintf("%d:%d", uint32(id.OriginatingStationID), id.SequenceNumber))
+	s.cfg.Tracer.Bind(tracing.KeyDENM(s.cfg.Name, uint32(id.OriginatingStationID), id.SequenceNumber), sp)
+	var txErr error
+	s.cfg.Tracer.Scope(sp, func() { txErr = s.transmit(ev) })
+	sp.End(s.kernel.Now())
+	if txErr != nil {
+		return id, txErr
 	}
 	if req.RepetitionInterval > 0 {
 		dur := req.RepetitionDuration
@@ -237,17 +250,29 @@ func (s *Service) Stop() {
 }
 
 func (s *Service) transmit(ev *activeEvent) error {
+	id := ev.denm.Management.ActionID
+	parent := s.cfg.Tracer.Current()
+	if parent == nil {
+		// Repetition ticker: re-attach to the originating trigger.
+		parent = s.cfg.Tracer.Find(tracing.KeyDENM(s.cfg.Name, uint32(id.OriginatingStationID), id.SequenceNumber))
+	}
+	sp := s.cfg.Tracer.StartChild(parent, "den.transmit", "facilities", s.cfg.Name, s.kernel.Now())
 	payload, err := ev.denm.Encode()
 	if err != nil {
 		s.SendErrors++
 		s.mErr.Inc()
+		sp.Drop(s.kernel.Now(), "encode_error")
 		return fmt.Errorf("den: encode: %w", err)
 	}
-	if err := s.cfg.Send(payload, ev.area); err != nil {
+	var sendErr error
+	s.cfg.Tracer.Scope(sp, func() { sendErr = s.cfg.Send(payload, ev.area) })
+	if sendErr != nil {
 		s.SendErrors++
 		s.mErr.Inc()
-		return fmt.Errorf("den: send: %w", err)
+		sp.Drop(s.kernel.Now(), "send_error")
+		return fmt.Errorf("den: send: %w", sendErr)
 	}
+	sp.End(s.kernel.Now())
 	s.Transmitted++
 	s.mTx.Inc()
 	if s.OnTransmit != nil {
@@ -285,6 +310,12 @@ type Receiver struct {
 	Metrics *metrics.Registry
 	// Name is the station label used on metric families.
 	Name string
+	// Tracer, when non-nil, records decode/deliver spans (suppressed
+	// repetitions end with drop_reason=repetition). Now supplies span
+	// timestamps and is required alongside Tracer.
+	Tracer *tracing.Tracer
+	// Now is the time source for span stamps (the simulation kernel).
+	Now func() time.Duration
 
 	// Received counts successfully decoded DENMs.
 	Received uint64
@@ -309,10 +340,15 @@ func (r *Receiver) initMetrics() {
 // OnPayload processes one received DEN payload.
 func (r *Receiver) OnPayload(payload []byte) {
 	r.initMetrics()
+	now := r.now()
 	d, err := messages.DecodeDENM(payload)
 	if err != nil {
 		r.Malformed++
 		r.mMalf.Inc()
+		if r.Tracer != nil {
+			sp := r.Tracer.Start("den.receive", "facilities", r.Name, now)
+			sp.Drop(r.now(), "malformed")
+		}
 		return
 	}
 	r.Received++
@@ -321,6 +357,14 @@ func (r *Receiver) OnPayload(payload []byte) {
 		r.seen = make(map[messages.ActionID]uint64)
 	}
 	id := d.Management.ActionID
+	var sp *tracing.Span
+	if r.Tracer != nil {
+		sp = r.Tracer.Start("den.receive", "facilities", r.Name, now)
+		sp.SetAttr("action_id", fmt.Sprintf("%d:%d", uint32(id.OriginatingStationID), id.SequenceNumber))
+		// Bind the last received copy so this station's keep-alive
+		// re-broadcast re-attaches to what it heard.
+		r.Tracer.Bind(tracing.KeyDENM(r.Name, uint32(id.OriginatingStationID), id.SequenceNumber), sp)
+	}
 	if r.KAF != nil {
 		// Every copy refreshes the forwarder, including repetitions:
 		// hearing the event again postpones this station's own
@@ -330,12 +374,22 @@ func (r *Receiver) OnPayload(payload []byte) {
 	if last, ok := r.seen[id]; ok && d.Management.ReferenceTime <= last {
 		r.Repeated++
 		r.mSupp.Inc()
+		sp.Drop(r.now(), "repetition")
 		return
 	}
 	r.seen[id] = d.Management.ReferenceTime
 	if r.Sink != nil {
-		r.Sink(d)
+		r.Tracer.Scope(sp, func() { r.Sink(d) })
 	}
+	sp.End(r.now())
+}
+
+// now returns the receiver's clock, zero when unset (tracing off).
+func (r *Receiver) now() time.Duration {
+	if r.Now == nil {
+		return 0
+	}
+	return r.Now()
 }
 
 // ForwardFunc re-broadcasts a raw DENM payload to the event's area.
@@ -358,6 +412,9 @@ type KeepAliveForwarder struct {
 	Metrics *metrics.Registry
 	// Name is the station label used on metric families.
 	Name string
+	// Tracer, when non-nil, records keep-alive re-broadcast spans,
+	// attached to the last received copy of the event by ActionID.
+	Tracer *tracing.Tracer
 
 	// Forwarded counts keep-alive re-broadcasts.
 	Forwarded uint64
@@ -449,7 +506,13 @@ func (k *KeepAliveForwarder) arm(id messages.ActionID, e *kafEntry, interval tim
 			return
 		}
 		if k.forward != nil {
-			if err := k.forward(e.payload, e.area); err == nil {
+			now := k.kernel.Now()
+			parent := k.Tracer.Find(tracing.KeyDENM(k.Name, uint32(id.OriginatingStationID), id.SequenceNumber))
+			sp := k.Tracer.StartChild(parent, "den.kaf_forward", "facilities", k.Name, now)
+			var fwdErr error
+			k.Tracer.Scope(sp, func() { fwdErr = k.forward(e.payload, e.area) })
+			sp.End(k.kernel.Now())
+			if fwdErr == nil {
 				k.Forwarded++
 				if k.Metrics != nil && k.mFwd == nil {
 					k.mFwd = k.Metrics.Counter("den_kaf_forwarded_total", metrics.L("station", k.Name))

@@ -6,6 +6,7 @@ import (
 
 	"itsbed/internal/geo"
 	"itsbed/internal/metrics"
+	"itsbed/internal/tracing"
 	"itsbed/internal/units"
 )
 
@@ -68,6 +69,9 @@ type RouterConfig struct {
 	Metrics *metrics.Registry
 	// Name is the station label used on metric families.
 	Name string
+	// Tracer, when non-nil, records per-packet send/receive spans;
+	// duplicate and out-of-area receptions end with a drop_reason.
+	Tracer *tracing.Tracer
 }
 
 // Router implements GN packet handling for one station: sending SHB
@@ -179,8 +183,14 @@ func (r *Router) SendSHB(next NextHeader, tc TrafficClass, payload []byte) error
 	}
 	r.Sent++
 	r.mSent.Inc()
-	r.lastTx = r.cfg.Now()
-	return r.send(frame, tc)
+	now := r.cfg.Now()
+	r.lastTx = now
+	sp := r.cfg.Tracer.Start("geonet.send", "geonet", r.cfg.Name, now)
+	sp.SetAttr("type", "shb")
+	var sendErr error
+	r.cfg.Tracer.Scope(sp, func() { sendErr = r.send(frame, tc) })
+	sp.End(r.cfg.Now())
+	return sendErr
 }
 
 // SendGBC broadcasts payload to the destination area (used for DENM).
@@ -205,11 +215,21 @@ func (r *Router) SendGBC(next NextHeader, tc TrafficClass, area Area, lifetime t
 	}
 	// Record own packet so an echo or a forwarded copy is not
 	// re-delivered locally.
-	r.table.IsDuplicate(p.Source.Address, p.SequenceNumber, p.Lifetime.Duration(), r.cfg.Now())
+	now := r.cfg.Now()
+	r.table.IsDuplicate(p.Source.Address, p.SequenceNumber, p.Lifetime.Duration(), now)
 	r.Sent++
 	r.mSent.Inc()
-	r.lastTx = r.cfg.Now()
-	return r.send(frame, tc)
+	r.lastTx = now
+	sp := r.cfg.Tracer.Start("geonet.send", "geonet", r.cfg.Name, now)
+	sp.SetAttr("type", "gbc")
+	sp.SetAttr("gn_seq", fmt.Sprintf("%d", p.SequenceNumber))
+	// Bind the GN identity (source address + sequence) so a receiver
+	// without synchronous context can re-attach to this tree.
+	r.cfg.Tracer.Bind(tracing.KeyGBC(p.Source.Address.String(), p.SequenceNumber), sp)
+	var sendErr error
+	r.cfg.Tracer.Scope(sp, func() { sendErr = r.send(frame, tc) })
+	sp.End(r.cfg.Now())
+	return sendErr
 }
 
 // OnFrame processes a frame arriving from the link layer.
@@ -228,11 +248,16 @@ func (r *Router) OnFrame(frame []byte) {
 	case HeaderTypeTSB:
 		r.Received++
 		r.mRecv.Inc()
-		r.deliver(p)
+		sp := r.cfg.Tracer.Start("geonet.receive", "geonet", r.cfg.Name, now)
+		sp.SetAttr("type", "shb")
+		r.cfg.Tracer.Scope(sp, func() { r.deliver(p) })
+		sp.End(r.cfg.Now())
 	case HeaderTypeGBC:
+		sp := r.rxSpan(p, now)
 		if r.table.IsDuplicate(p.Source.Address, p.SequenceNumber, p.Lifetime.Duration(), now) {
 			r.Duplicates++
 			r.mDup.Inc()
+			sp.Drop(now, "duplicate")
 			return
 		}
 		ego := r.ego.EgoPosition()
@@ -240,10 +265,11 @@ func (r *Router) OnFrame(frame []byte) {
 		if inside {
 			r.Received++
 			r.mRecv.Inc()
-			r.deliver(p)
+			r.cfg.Tracer.Scope(sp, func() { r.deliver(p) })
 		} else {
 			r.OutOfArea++
 			r.mOOA.Inc()
+			sp.Drop(now, "out_of_area")
 		}
 		// Simplified area forwarding: stations inside the destination
 		// area rebroadcast while hops remain, so the warning floods
@@ -255,10 +281,31 @@ func (r *Router) OnFrame(frame []byte) {
 			if frame, err := fwd.Marshal(); err == nil {
 				r.Forwarded++
 				r.mFwd.Inc()
-				_ = r.send(frame, p.TrafficClass)
+				sp.SetAttr("forwarded", "true")
+				r.cfg.Tracer.Scope(sp, func() { _ = r.send(frame, p.TrafficClass) })
 			}
 		}
+		if inside {
+			sp.End(r.cfg.Now())
+		}
 	}
+}
+
+// rxSpan opens the receive span for a GBC packet: under the sender's
+// airtime span when reception is synchronous (the simulated medium),
+// else re-attached by the GN source address + sequence identity.
+func (r *Router) rxSpan(p *Packet, now time.Duration) *tracing.Span {
+	if r.cfg.Tracer == nil {
+		return nil
+	}
+	parent := r.cfg.Tracer.Current()
+	if parent == nil {
+		parent = r.cfg.Tracer.Find(tracing.KeyGBC(p.Source.Address.String(), p.SequenceNumber))
+	}
+	sp := r.cfg.Tracer.StartChild(parent, "geonet.receive", "geonet", r.cfg.Name, now)
+	sp.SetAttr("type", "gbc")
+	sp.SetAttr("gn_seq", fmt.Sprintf("%d", p.SequenceNumber))
+	return sp
 }
 
 func (r *Router) deliver(p *Packet) {

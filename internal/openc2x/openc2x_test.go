@@ -461,3 +461,71 @@ func TestServerMetricsEndpoint(t *testing.T) {
 		t.Fatalf("/debug/pprof/cmdline status %d", pp.StatusCode)
 	}
 }
+
+func TestServerTraceEndpoint(t *testing.T) {
+	rsu, obu, closeAll := realPair(t)
+	defer closeAll()
+	srv, err := NewServer(obu, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	go func() { _ = srv.Serve() }()
+
+	if _, err := rsu.TriggerDENM(collisionReq()); err != nil {
+		t.Fatal(err)
+	}
+	if !waitFor(t, 2*time.Second, func() bool { return obu.ReceivedCount() > 0 }) {
+		t.Fatal("DENM never arrived at the OBU")
+	}
+	// Draining the mailbox moves the DENM's trace into the /trace ring.
+	if n := len(obu.RequestDENM()); n != 1 {
+		t.Fatalf("drained %d DENMs, want 1", n)
+	}
+
+	for _, path := range []string{"/metrics", "/trace"} {
+		resp, err := http.Get("http://" + srv.Addr() + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ct := resp.Header.Get("Content-Type")
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s status %d", path, resp.StatusCode)
+		}
+		if ct != "application/json" {
+			t.Fatalf("%s content type %q, want application/json", path, ct)
+		}
+	}
+
+	resp, err := http.Get("http://" + srv.Addr() + "/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var page struct {
+		Capacity int `json:"capacity"`
+		Traces   []struct {
+			Spans []struct {
+				Name  string `json:"name"`
+				Ended bool   `json:"ended"`
+			} `json:"spans"`
+		} `json:"traces"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&page); err != nil {
+		t.Fatal(err)
+	}
+	if page.Capacity != 64 || len(page.Traces) != 1 {
+		t.Fatalf("trace page capacity=%d traces=%d", page.Capacity, len(page.Traces))
+	}
+	names := make(map[string]bool)
+	for _, sp := range page.Traces[0].Spans {
+		names[sp.Name] = true
+		if !sp.Ended {
+			t.Fatalf("span %q left open in ringed trace", sp.Name)
+		}
+	}
+	if !names["openc2x.rx_frame"] || !names["openc2x.mailbox"] {
+		t.Fatalf("trace missing expected spans: %v", names)
+	}
+}

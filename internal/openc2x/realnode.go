@@ -2,7 +2,11 @@ package openc2x
 
 import (
 	"fmt"
+	"io"
+	"log/slog"
 	"net"
+	"net/http"
+	"strconv"
 	"sync"
 	"time"
 
@@ -12,6 +16,7 @@ import (
 	"itsbed/internal/its/geonet"
 	"itsbed/internal/its/messages"
 	"itsbed/internal/metrics"
+	"itsbed/internal/tracing"
 	"itsbed/internal/units"
 )
 
@@ -31,6 +36,16 @@ type RealNode struct {
 	seq         uint16
 	mailbox     []ReceivedDENM
 	camSink     func(*messages.CAM)
+	label       string
+	logger      *slog.Logger
+
+	// tracer records per-DENM spans on the wall clock (offsets from
+	// start); finished traces move into ring, which backs /trace.
+	tracer *tracing.Tracer
+	ring   *tracing.Ring
+	// mailboxSpans parallels mailbox: open openc2x.mailbox spans ended
+	// when a poll drains the entry.
+	mailboxSpans []*tracing.Span
 
 	// reg collects the daemon's openc2x_* metrics; the counters below
 	// are cached families from it. OnFrame runs on the link's read-loop
@@ -66,6 +81,9 @@ type RealNodeConfig struct {
 	StationType units.StationType
 	Position    geo.LatLon
 	Link        DatagramLink
+	// Logger, when non-nil, receives per-message debug records and
+	// operational events; defaults to a discarding logger.
+	Logger *slog.Logger
 }
 
 // NewRealNode builds a node. Frames received from the link must be fed
@@ -78,6 +96,10 @@ func NewRealNode(cfg RealNodeConfig) (*RealNode, error) {
 	if err != nil {
 		return nil, fmt.Errorf("openc2x: %w", err)
 	}
+	logger := cfg.Logger
+	if logger == nil {
+		logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
 	reg := metrics.NewRegistry()
 	return &RealNode{
 		stationID:   cfg.StationID,
@@ -86,6 +108,10 @@ func NewRealNode(cfg RealNodeConfig) (*RealNode, error) {
 		frame:       frame,
 		link:        cfg.Link,
 		start:       time.Now(),
+		label:       strconv.FormatUint(uint64(cfg.StationID), 10),
+		logger:      logger,
+		tracer:      tracing.New(),
+		ring:        tracing.NewRing(64),
 		reg:         reg,
 		received:    reg.Counter("openc2x_frames_received_total"),
 		malformed:   reg.Counter("openc2x_frames_malformed_total"),
@@ -119,6 +145,16 @@ func (n *RealNode) TriggerDENM(req TriggerRequest) (messages.ActionID, error) {
 	n.mu.Unlock()
 	n.triggers.Inc()
 
+	sp := n.tracer.Start("openc2x.trigger_denm", "openc2x", n.label, time.Since(n.start))
+	sp.SetAttr("action_id", fmt.Sprintf("%d:%d", uint32(id.OriginatingStationID), id.SequenceNumber))
+	defer func() {
+		sp.End(time.Since(n.start))
+		n.ring.Add(n.tracer.Take(sp.TraceID()))
+	}()
+	n.logger.Debug("trigger_denm",
+		"action_id", fmt.Sprintf("%d:%d", uint32(id.OriginatingStationID), id.SequenceNumber),
+		"cause", req.CauseCode, "sub_cause", req.SubCauseCode)
+
 	now := n.nowITS()
 	d := messages.NewDENM(n.stationID)
 	validity := req.ValiditySeconds
@@ -147,10 +183,12 @@ func (n *RealNode) TriggerDENM(req TriggerRequest) (messages.ActionID, error) {
 	d.Location = &messages.LocationContainer{Traces: []messages.Trace{{}}}
 	payload, err := d.Encode()
 	if err != nil {
+		sp.Drop(time.Since(n.start), "encode_error")
 		return id, fmt.Errorf("openc2x: encode DENM: %w", err)
 	}
 	pkt, err := btp.Encode(btp.Header{Type: btp.TypeB, DestinationPort: btp.PortDENM}, payload)
 	if err != nil {
+		sp.Drop(time.Since(n.start), "encode_error")
 		return id, err
 	}
 	radius := req.RadiusMetres
@@ -175,9 +213,14 @@ func (n *RealNode) TriggerDENM(req TriggerRequest) (messages.ActionID, error) {
 	}
 	frame, err := gn.Marshal()
 	if err != nil {
+		sp.Drop(time.Since(n.start), "encode_error")
 		return id, fmt.Errorf("openc2x: marshal GN: %w", err)
 	}
-	return id, n.link.SendBroadcast(frame)
+	if err := n.link.SendBroadcast(frame); err != nil {
+		sp.Drop(time.Since(n.start), "send_error")
+		return id, err
+	}
+	return id, nil
 }
 
 // TriggerCAM broadcasts a single CAM with the node's static position
@@ -264,8 +307,18 @@ func (n *RealNode) OnFrame(frame []byte) {
 		}
 		n.received.Add(1)
 		n.denms.Add(1)
+		id := d.Management.ActionID
+		now := time.Since(n.start)
+		root := n.tracer.Start("openc2x.rx_frame", "openc2x", n.label, now)
+		root.SetAttr("action_id", fmt.Sprintf("%d:%d", uint32(id.OriginatingStationID), id.SequenceNumber))
+		msp := n.tracer.StartChild(root, "openc2x.mailbox", "openc2x", n.label, now)
+		root.End(now)
+		n.logger.Debug("denm received",
+			"action_id", fmt.Sprintf("%d:%d", uint32(id.OriginatingStationID), id.SequenceNumber),
+			"source", p.Source.Address.String())
 		n.mu.Lock()
-		n.mailbox = append(n.mailbox, ReceivedDENM{DENM: d, ReceivedAt: time.Since(n.start)})
+		n.mailbox = append(n.mailbox, ReceivedDENM{DENM: d, ReceivedAt: now})
+		n.mailboxSpans = append(n.mailboxSpans, msp)
 		n.depthMax.SetMax(float64(len(n.mailbox)))
 		n.mu.Unlock()
 	case btp.PortCAM:
@@ -292,15 +345,27 @@ func (n *RealNode) SetCAMSink(fn func(*messages.CAM)) {
 	n.camSink = fn
 }
 
-// RequestDENM drains the mailbox (the request_denm endpoint).
+// RequestDENM drains the mailbox (the request_denm endpoint). Each
+// drained message's trace moves from the tracer into the /trace ring.
 func (n *RealNode) RequestDENM() []ReceivedDENM {
 	n.polls.Inc()
 	n.mu.Lock()
-	defer n.mu.Unlock()
 	out := n.mailbox
 	n.mailbox = nil
+	spans := n.mailboxSpans
+	n.mailboxSpans = nil
+	n.mu.Unlock()
+	now := time.Since(n.start)
+	for _, sp := range spans {
+		sp.End(now)
+		n.ring.Add(n.tracer.Take(sp.TraceID()))
+	}
 	return out
 }
+
+// TraceHandler serves the ring of recent DENM traces as JSON (the
+// daemons' /trace endpoint).
+func (n *RealNode) TraceHandler() http.Handler { return n.ring.Handler() }
 
 // UDPLink broadcasts GN frames between lab machines over UDP,
 // standing in for the 802.11p air interface of the daemons.

@@ -44,6 +44,7 @@ func NewServer(node *RealNode, addr string) (*Server, error) {
 	mux.HandleFunc("/trigger_cam", s.handleTriggerCAM)
 	mux.HandleFunc("/causes", s.handleCauses)
 	mux.Handle("/metrics", metrics.Handler(func() metrics.Snapshot { return node.Metrics().Snapshot() }))
+	mux.Handle("/trace", node.TraceHandler())
 	s.mux = mux
 	s.srv = &http.Server{Handler: mux}
 	return s, nil

@@ -10,6 +10,7 @@ import (
 	"itsbed/internal/metrics"
 	"itsbed/internal/sim"
 	"itsbed/internal/stack"
+	"itsbed/internal/tracing"
 )
 
 // HTTPLatency models one direction of an HTTP request on the wired
@@ -71,6 +72,10 @@ type SimNode struct {
 	// mailboxAt records the kernel time each mailbox entry arrived, for
 	// the residency histogram.
 	mailboxAt []time.Duration
+	// mailboxSpans holds one open openc2x.mailbox span per mailbox
+	// entry (nil entries when tracing is off), ended at poll pickup.
+	mailboxSpans []*tracing.Span
+	tracer       *tracing.Tracer
 
 	// TriggerCount counts accepted trigger_denm requests.
 	TriggerCount uint64
@@ -97,6 +102,7 @@ func NewSimNode(kernel *sim.Kernel, station *stack.Station, lat Latencies) *SimN
 		station: station,
 		lat:     lat,
 		rng:     kernel.Rand("openc2x." + station.Name()),
+		tracer:  station.Tracer(),
 	}
 	if r := station.Metrics(); r != nil {
 		st := metrics.L("station", station.Name())
@@ -111,8 +117,13 @@ func NewSimNode(kernel *sim.Kernel, station *stack.Station, lat Latencies) *SimN
 	}
 	prev := station.OnDENM
 	station.OnDENM = func(d *messages.DENM) {
+		// The hook runs inside the den.receive scope, so Start attaches
+		// the mailbox span to the delivery chain; it stays open until a
+		// request_denm poll drains the entry.
+		sp := n.tracer.Start("openc2x.mailbox", "openc2x", station.Name(), kernel.Now())
 		n.mailbox = append(n.mailbox, ReceivedDENM{DENM: d, ReceivedAt: station.Clock.Now()})
 		n.mailboxAt = append(n.mailboxAt, kernel.Now())
+		n.mailboxSpans = append(n.mailboxSpans, sp)
 		n.mDepthMax.SetMax(float64(len(n.mailbox)))
 		if prev != nil {
 			prev(d)
@@ -129,25 +140,39 @@ func (n *SimNode) Station() *stack.Station { return n.station }
 // and the response callback fires after the downlink latency. The
 // callback runs on the kernel; it may be nil.
 func (n *SimNode) TriggerDENM(req TriggerRequest, cb func(messages.ActionID, error)) {
+	parent := n.tracer.Current()
+	if parent == nil {
+		parent = n.tracer.Find(tracing.KeyChain)
+	}
+	sp := n.tracer.StartChild(parent, "openc2x.trigger_denm", "openc2x", n.station.Name(), n.kernel.Now())
 	up := n.lat.Trigger.sample(n.rng)
 	n.mTrigUp.ObserveDuration(up)
 	n.kernel.Schedule(up, func() {
 		n.TriggerCount++
 		n.mTriggers.Inc()
-		id, err := n.station.DEN.Trigger(den.EventRequest{
-			EventType: messages.EventType{
-				CauseCode:    messages.CauseCode(req.CauseCode),
-				SubCauseCode: messages.SubCauseCode(req.SubCauseCode),
-			},
-			Position:           req.Position(),
-			Quality:            messages.InformationQuality(req.Quality),
-			Validity:           time.Duration(req.ValiditySeconds) * time.Second,
-			RelevanceRadius:    req.RadiusMetres,
-			EventSpeedMS:       req.SpeedMS,
-			EventHeadingRad:    req.HeadingRad,
-			RepetitionInterval: time.Duration(req.RepetitionIntervalMS) * time.Millisecond,
-			RepetitionDuration: time.Duration(req.RepetitionDurationMS) * time.Millisecond,
+		var id messages.ActionID
+		var err error
+		n.tracer.Scope(sp, func() {
+			id, err = n.station.DEN.Trigger(den.EventRequest{
+				EventType: messages.EventType{
+					CauseCode:    messages.CauseCode(req.CauseCode),
+					SubCauseCode: messages.SubCauseCode(req.SubCauseCode),
+				},
+				Position:           req.Position(),
+				Quality:            messages.InformationQuality(req.Quality),
+				Validity:           time.Duration(req.ValiditySeconds) * time.Second,
+				RelevanceRadius:    req.RadiusMetres,
+				EventSpeedMS:       req.SpeedMS,
+				EventHeadingRad:    req.HeadingRad,
+				RepetitionInterval: time.Duration(req.RepetitionIntervalMS) * time.Millisecond,
+				RepetitionDuration: time.Duration(req.RepetitionDurationMS) * time.Millisecond,
+			})
 		})
+		if err != nil {
+			sp.Drop(n.kernel.Now(), "trigger_error")
+		} else {
+			sp.End(n.kernel.Now())
+		}
 		if cb != nil {
 			down := n.lat.Trigger.sample(n.rng)
 			n.mTrigDown.ObserveDuration(down)
@@ -175,9 +200,25 @@ func (n *SimNode) RequestDENM(cb func([]ReceivedDENM)) {
 			n.mResidency.ObserveDuration(now - at)
 		}
 		n.mailboxAt = nil
+		spans := n.mailboxSpans
+		n.mailboxSpans = nil
+		var delivery *tracing.Span
+		for _, msp := range spans {
+			msp.End(now)
+			if delivery == nil && msp != nil {
+				// The poll delivers the whole batch in one response; hang
+				// the delivery span off the oldest waiting message.
+				delivery = n.tracer.StartChild(msp, "openc2x.poll_delivery", "openc2x", n.station.Name(), now)
+				delivery.SetAttr("batch", fmt.Sprintf("%d", len(batch)))
+				n.tracer.Bind(tracing.KeyPoll(n.station.Name()), delivery)
+			}
+		}
 		down := n.lat.Poll.sample(n.rng)
 		n.mPollDown.ObserveDuration(down)
-		n.kernel.Schedule(down, func() { cb(batch) })
+		n.kernel.Schedule(down, func() {
+			n.tracer.Scope(delivery, func() { cb(batch) })
+			delivery.End(n.kernel.Now())
+		})
 	})
 }
 

@@ -8,6 +8,7 @@ import (
 	"itsbed/internal/geo"
 	"itsbed/internal/metrics"
 	"itsbed/internal/sim"
+	"itsbed/internal/tracing"
 )
 
 // ObstructionModel adds environment-dependent attenuation per link
@@ -33,6 +34,9 @@ type MediumConfig struct {
 	// Metrics, when non-nil, receives radio_* counters and latency
 	// histograms (frame outcomes, per-AC airtime and EDCA access delay).
 	Metrics *metrics.Registry
+	// Tracer, when non-nil, records per-frame spans: EDCA access delay,
+	// airtime, and per-receiver outcomes (drops carry a drop_reason).
+	Tracer *tracing.Tracer
 }
 
 func (c *MediumConfig) applyDefaults() {
@@ -57,6 +61,8 @@ type transmission struct {
 	start    time.Duration
 	end      time.Duration
 	powerDBm float64
+	// span covers the airtime; per-receiver outcome spans hang off it.
+	span *tracing.Span
 }
 
 // Medium is the shared 802.11p broadcast channel of one collision
@@ -166,8 +172,9 @@ func (m *Medium) busyUntil(iface *Interface) time.Duration {
 }
 
 // transmit puts a frame on the air from iface and schedules reception
-// outcomes at every other interface.
-func (m *Medium) transmit(iface *Interface, frame []byte, ac AccessCategory) {
+// outcomes at every other interface. parent is the frame's channel-
+// access span (nil when tracing is off).
+func (m *Medium) transmit(iface *Interface, frame []byte, ac AccessCategory, parent *tracing.Span) {
 	now := m.kernel.Now()
 	air := Airtime(len(frame), iface.cfg.MCS)
 	t := &transmission{
@@ -176,7 +183,9 @@ func (m *Medium) transmit(iface *Interface, frame []byte, ac AccessCategory) {
 		start:    now,
 		end:      now + air,
 		powerDBm: iface.cfg.TxPowerDBm,
+		span:     m.cfg.Tracer.StartChild(parent, "radio.air", "radio", iface.cfg.Name, now),
 	}
+	t.span.SetAttr("ac", ac.String())
 	m.ongoing = append(m.ongoing, t)
 	m.FramesSent++
 	m.mSent.Inc()
@@ -191,6 +200,8 @@ func (m *Medium) transmit(iface *Interface, frame []byte, ac AccessCategory) {
 // complete evaluates reception at each interface when the frame's
 // airtime elapses, then retires the transmission.
 func (m *Medium) complete(t *transmission) {
+	now := m.kernel.Now()
+	t.span.End(now)
 	for _, dst := range m.ifaces {
 		if dst == t.src {
 			continue
@@ -199,6 +210,9 @@ func (m *Medium) complete(t *transmission) {
 		if rx < m.cfg.SensitivityDBm {
 			m.FramesLost++
 			m.mLostSens.Inc()
+			if sp := m.cfg.Tracer.StartChild(t.span, "radio.rx", "radio", dst.cfg.Name, now); sp != nil {
+				sp.Drop(now, "sensitivity")
+			}
 			continue
 		}
 		// Interference: power of other transmissions overlapping in
@@ -219,6 +233,9 @@ func (m *Medium) complete(t *transmission) {
 			m.mLostSINR.Inc()
 			dst.FramesCorrupted++
 			dst.mCorrupt.Inc()
+			if sp := m.cfg.Tracer.StartChild(t.span, "radio.rx", "radio", dst.cfg.Name, now); sp != nil {
+				sp.Drop(now, "sinr")
+			}
 			continue
 		}
 		m.FramesDelivered++
@@ -228,7 +245,9 @@ func (m *Medium) complete(t *transmission) {
 		frame := make([]byte, len(t.frame))
 		copy(frame, t.frame)
 		if dst.receive != nil {
-			dst.receive(frame)
+			// Receiver processing happens in the airtime span's scope so
+			// the receiving stack's spans join the sender's trace tree.
+			m.cfg.Tracer.Scope(t.span, func() { dst.receive(frame) })
 		}
 	}
 	// Retire the transmission.
@@ -282,6 +301,8 @@ type queuedFrame struct {
 	ac    AccessCategory
 	// enqueued is when the frame entered the queue.
 	enqueued time.Duration
+	// span covers queueing + EDCA contention (the access delay).
+	span *tracing.Span
 }
 
 // Interface is one 802.11p radio attached to the medium, with an EDCA
@@ -381,14 +402,18 @@ func (i *Interface) SendBroadcastPriority(frame []byte, priority uint8) error {
 
 // SendBroadcastAC queues a frame at an explicit access category.
 func (i *Interface) SendBroadcastAC(frame []byte, ac AccessCategory) error {
+	now := i.kernel.Now()
+	sp := i.medium.cfg.Tracer.Start("radio.access", "radio", i.cfg.Name, now)
+	sp.SetAttr("ac", ac.String())
 	if len(i.queue) >= i.cfg.QueueCap {
 		i.FramesDroppedQueueFull++
 		i.mDropped.Inc()
+		sp.Drop(now, "queue_full")
 		return fmt.Errorf("radio: %s transmit queue full (%d frames)", i.cfg.Name, i.cfg.QueueCap)
 	}
 	f := make([]byte, len(frame))
 	copy(f, frame)
-	i.queue = append(i.queue, queuedFrame{frame: f, ac: ac, enqueued: i.kernel.Now()})
+	i.queue = append(i.queue, queuedFrame{frame: f, ac: ac, enqueued: now, span: sp})
 	i.FramesQueued++
 	i.mQueued.Inc()
 	i.tryAccess()
@@ -463,7 +488,8 @@ func (i *Interface) fire() {
 	if head.ac >= ACVoice && head.ac <= ACBackground {
 		i.mAccessDelay[head.ac].ObserveDuration(delay)
 	}
-	i.medium.transmit(i, head.frame, head.ac)
+	head.span.End(i.kernel.Now())
+	i.medium.transmit(i, head.frame, head.ac, head.span)
 	i.accessBusy = false
 	if len(i.queue) > 0 {
 		i.tryAccess()

@@ -27,6 +27,7 @@ import (
 	"itsbed/internal/metrics"
 	"itsbed/internal/radio"
 	"itsbed/internal/sim"
+	"itsbed/internal/tracing"
 	"itsbed/internal/units"
 )
 
@@ -148,6 +149,10 @@ type Config struct {
 	// station (router, facilities, receivers) and receives the
 	// stack_* processing-latency histograms.
 	Metrics *metrics.Registry
+	// Tracer, when non-nil, is threaded through every layer of the
+	// station so each message produces a causal span tree (facilities →
+	// stack latency → geonet → radio and back up on the receive side).
+	Tracer *tracing.Tracer
 }
 
 // Link abstracts the access layer a station binds to.
@@ -242,6 +247,7 @@ func New(kernel *sim.Kernel, medium *radio.Medium, cfg Config) (*Station, error)
 		DisableForwarding: cfg.DisableForwarding,
 		Metrics:           cfg.Metrics,
 		Name:              cfg.Name,
+		Tracer:            cfg.Tracer,
 	}, link, egoAdapter{s}, s.onIndication)
 	if err != nil {
 		return nil, fmt.Errorf("stack: router: %w", err)
@@ -251,7 +257,7 @@ func New(kernel *sim.Kernel, medium *radio.Medium, cfg Config) (*Station, error)
 
 	s.LDM = ldm.New(ldm.Config{Frame: cfg.Frame, Now: kernel.Now})
 
-	s.caRx = ca.Receiver{Metrics: cfg.Metrics, Name: cfg.Name, Sink: func(c *messages.CAM) {
+	s.caRx = ca.Receiver{Metrics: cfg.Metrics, Name: cfg.Name, Tracer: cfg.Tracer, Now: kernel.Now, Sink: func(c *messages.CAM) {
 		s.LDM.IngestCAM(c)
 		s.DeliveredCAMs++
 		s.mDelCAM.Inc()
@@ -259,7 +265,7 @@ func New(kernel *sim.Kernel, medium *radio.Medium, cfg Config) (*Station, error)
 			s.OnCAM(c)
 		}
 	}}
-	s.denRx = den.Receiver{Metrics: cfg.Metrics, Name: cfg.Name, Sink: func(d *messages.DENM) {
+	s.denRx = den.Receiver{Metrics: cfg.Metrics, Name: cfg.Name, Tracer: cfg.Tracer, Now: kernel.Now, Sink: func(d *messages.DENM) {
 		s.LDM.IngestDENM(d)
 		s.DeliveredDENMs++
 		s.mDelDENM.Inc()
@@ -271,6 +277,7 @@ func New(kernel *sim.Kernel, medium *radio.Medium, cfg Config) (*Station, error)
 		s.denRx.KAF = den.NewKeepAliveForwarder(kernel, s.forwardDENM, cfg.KAFInterval)
 		s.denRx.KAF.Metrics = cfg.Metrics
 		s.denRx.KAF.Name = cfg.Name
+		s.denRx.KAF.Tracer = cfg.Tracer
 	}
 
 	caSvc, err := ca.New(kernel, ca.Config{
@@ -282,6 +289,7 @@ func New(kernel *sim.Kernel, medium *radio.Medium, cfg Config) (*Station, error)
 		DisableTriggers: cfg.DisableCAMTriggers,
 		Metrics:         cfg.Metrics,
 		Name:            cfg.Name,
+		Tracer:          cfg.Tracer,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("stack: CA service: %w", err)
@@ -295,6 +303,7 @@ func New(kernel *sim.Kernel, medium *radio.Medium, cfg Config) (*Station, error)
 		Clock:       s.Clock,
 		Metrics:     cfg.Metrics,
 		Name:        cfg.Name,
+		Tracer:      cfg.Tracer,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("stack: DEN service: %w", err)
@@ -366,10 +375,22 @@ func (s *Station) sendCAM(payload []byte) error {
 	}
 	d := s.cfg.TxLatency.sample(s.rng)
 	s.mTxCAM.ObserveDuration(d)
+	sp := s.txSpan("cam")
 	s.kernel.Schedule(d, func() {
-		_ = s.Router.SendSHB(geonet.NextBTPB, camTrafficClass, pkt)
+		s.cfg.Tracer.Scope(sp, func() {
+			_ = s.Router.SendSHB(geonet.NextBTPB, camTrafficClass, pkt)
+		})
+		sp.End(s.kernel.Now())
 	})
 	return nil
+}
+
+// txSpan opens the stack tx-latency span as a child of the caller's
+// context (the facilities encode span).
+func (s *Station) txSpan(msg string) *tracing.Span {
+	sp := s.cfg.Tracer.Start("stack.tx", "stack", s.cfg.Name, s.kernel.Now())
+	sp.SetAttr("msg", msg)
+	return sp
 }
 
 // GN traffic classes of the facilities messages (ETSI TS 102 636-4-2
@@ -391,8 +412,12 @@ func (s *Station) sendDENM(payload []byte, area den.Area) error {
 	)
 	d := s.cfg.TxLatency.sample(s.rng)
 	s.mTxDENM.ObserveDuration(d)
+	sp := s.txSpan("denm")
 	s.kernel.Schedule(d, func() {
-		_ = s.Router.SendGBC(geonet.NextBTPB, geonet.TrafficClass(s.cfg.DENMTrafficClass), gnArea, time.Minute, pkt)
+		s.cfg.Tracer.Scope(sp, func() {
+			_ = s.Router.SendGBC(geonet.NextBTPB, geonet.TrafficClass(s.cfg.DENMTrafficClass), gnArea, time.Minute, pkt)
+		})
+		sp.End(s.kernel.Now())
 	})
 	return nil
 }
@@ -412,8 +437,13 @@ func (s *Station) forwardDENM(payload []byte, area den.Area) error {
 	)
 	d := s.cfg.TxLatency.sample(s.rng)
 	s.mTxDENM.ObserveDuration(d)
+	sp := s.txSpan("denm")
+	sp.SetAttr("kaf", "true")
 	s.kernel.Schedule(d, func() {
-		_ = s.Router.SendGBC(geonet.NextBTPB, geonet.TrafficClass(s.cfg.DENMTrafficClass), gnArea, time.Minute, pkt)
+		s.cfg.Tracer.Scope(sp, func() {
+			_ = s.Router.SendGBC(geonet.NextBTPB, geonet.TrafficClass(s.cfg.DENMTrafficClass), gnArea, time.Minute, pkt)
+		})
+		sp.End(s.kernel.Now())
 	})
 	return nil
 }
@@ -445,16 +475,36 @@ func (s *Station) onIndication(ind geonet.Indication) {
 	switch h.DestinationPort {
 	case btp.PortCAM:
 		s.mRxCAM.ObserveDuration(delay)
-		s.kernel.Schedule(delay, func() { s.caRx.OnPayload(payload) })
+		sp := s.rxSpan("cam")
+		s.kernel.Schedule(delay, func() {
+			s.cfg.Tracer.Scope(sp, func() { s.caRx.OnPayload(payload) })
+			sp.End(s.kernel.Now())
+		})
 	case btp.PortDENM:
 		s.mRxDENM.ObserveDuration(delay)
-		s.kernel.Schedule(delay, func() { s.denRx.OnPayload(payload) })
+		sp := s.rxSpan("denm")
+		s.kernel.Schedule(delay, func() {
+			s.cfg.Tracer.Scope(sp, func() { s.denRx.OnPayload(payload) })
+			sp.End(s.kernel.Now())
+		})
 	}
+}
+
+// rxSpan opens the stack rx-latency span as a child of the caller's
+// context (the geonet receive span).
+func (s *Station) rxSpan(msg string) *tracing.Span {
+	sp := s.cfg.Tracer.Start("stack.rx", "stack", s.cfg.Name, s.kernel.Now())
+	sp.SetAttr("msg", msg)
+	return sp
 }
 
 // Metrics returns the registry this station reports into (nil when
 // metrics are disabled).
 func (s *Station) Metrics() *metrics.Registry { return s.cfg.Metrics }
+
+// Tracer returns the tracer this station records spans into (nil when
+// tracing is disabled).
+func (s *Station) Tracer() *tracing.Tracer { return s.cfg.Tracer }
 
 // CAReceiverStats reports CA reception counters.
 func (s *Station) CAReceiverStats() (received, malformed uint64) {

@@ -74,8 +74,12 @@ func NewRun() *Run {
 }
 
 // Stamp records the first occurrence of a step; later stamps of the
-// same step are ignored (the chain fires once per run).
+// same step are ignored (the chain fires once per run). A zero-value
+// Run is usable: the maps are allocated on first write.
 func (r *Run) Stamp(s Step, t time.Duration) {
+	if r.stamps == nil {
+		r.stamps = make(map[Step]time.Duration)
+	}
 	if _, ok := r.stamps[s]; !ok {
 		r.stamps[s] = t
 	}
@@ -122,7 +126,12 @@ func (r *Run) At(s Step) (time.Duration, bool) {
 }
 
 // SetMetric records a named scalar (e.g. "braking_distance_m").
-func (r *Run) SetMetric(name string, v float64) { r.metrics[name] = v }
+func (r *Run) SetMetric(name string, v float64) {
+	if r.metrics == nil {
+		r.metrics = make(map[string]float64)
+	}
+	r.metrics[name] = v
+}
 
 // Metric returns a named scalar.
 func (r *Run) Metric(name string) (float64, bool) {

@@ -135,3 +135,29 @@ func TestRunCounterDelta(t *testing.T) {
 		t.Fatalf("delta with missing snapshot = %d, want 0", d)
 	}
 }
+
+func TestZeroValueRunUsable(t *testing.T) {
+	// A zero-value Run (not built with NewRun) must not panic: the
+	// write paths allocate their maps lazily.
+	var r Run
+	r.Stamp(StepDetection, time.Second)
+	r.SetMetric("braking_distance_m", 0.36)
+	r.AttachSnapshot(StepDetection, metrics.Snapshot{})
+	if at, ok := r.At(StepDetection); !ok || at != time.Second {
+		t.Fatalf("stamp on zero-value run lost: %v %v", at, ok)
+	}
+	if v, ok := r.Metric("braking_distance_m"); !ok || v != 0.36 {
+		t.Fatalf("metric on zero-value run lost: %v %v", v, ok)
+	}
+	if _, ok := r.SnapshotAt(StepDetection); !ok {
+		t.Fatal("snapshot on zero-value run lost")
+	}
+	// Read paths on a fresh zero value are safe too.
+	var empty Run
+	if empty.Stamped(StepHalt) || empty.Complete() {
+		t.Fatal("empty zero-value run claims stamps")
+	}
+	if _, ok := empty.Metric("x"); ok {
+		t.Fatal("empty zero-value run claims metrics")
+	}
+}

@@ -1,0 +1,121 @@
+package tracing
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+)
+
+// chromeEvent is one entry of the Chrome trace-event format ("X"
+// complete events for spans, "M" metadata events for process/thread
+// names), the JSON that chrome://tracing and https://ui.perfetto.dev
+// load directly.
+type chromeEvent struct {
+	Name  string `json:"name"`
+	Phase string `json:"ph"`
+	// Ts and Dur are microseconds.
+	Ts   float64           `json:"ts"`
+	Dur  *float64          `json:"dur,omitempty"`
+	Pid  int               `json:"pid"`
+	Tid  int               `json:"tid"`
+	Cat  string            `json:"cat,omitempty"`
+	Args map[string]string `json:"args,omitempty"`
+}
+
+type chromeFile struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// ChromeTrace renders a snapshot as Chrome trace-event JSON. Each run
+// becomes a process (pid = run index; 1 when the snapshot was never
+// merged) and each station a thread, so Perfetto shows one swimlane
+// per station per run. Output is deterministic for identical input.
+func ChromeTrace(s Snapshot) []byte {
+	// Stable station → tid assignment across the whole snapshot.
+	stations := make(map[string]int)
+	var names []string
+	for _, rec := range s.Spans {
+		st := rec.Station
+		if st == "" {
+			st = "-"
+		}
+		if _, ok := stations[st]; !ok {
+			stations[st] = 0
+			names = append(names, st)
+		}
+	}
+	sort.Strings(names)
+	for i, n := range names {
+		stations[n] = i + 1
+	}
+	runs := make(map[int]bool)
+	for _, rec := range s.Spans {
+		runs[runOf(rec)] = true
+	}
+	var runList []int
+	for r := range runs {
+		runList = append(runList, r)
+	}
+	sort.Ints(runList)
+
+	f := chromeFile{TraceEvents: []chromeEvent{}, DisplayTimeUnit: "ms"}
+	for _, r := range runList {
+		f.TraceEvents = append(f.TraceEvents, chromeEvent{
+			Name: "process_name", Phase: "M", Pid: r, Tid: 0,
+			Args: map[string]string{"name": fmt.Sprintf("run %d", r)},
+		})
+		for _, n := range names {
+			f.TraceEvents = append(f.TraceEvents, chromeEvent{
+				Name: "thread_name", Phase: "M", Pid: r, Tid: stations[n],
+				Args: map[string]string{"name": n},
+			})
+		}
+	}
+	for _, rec := range s.Spans {
+		st := rec.Station
+		if st == "" {
+			st = "-"
+		}
+		ev := chromeEvent{
+			Name:  rec.Name,
+			Phase: "X",
+			Ts:    float64(rec.Start.Nanoseconds()) / 1000.0,
+			Pid:   runOf(rec),
+			Tid:   stations[st],
+			Cat:   rec.Layer,
+			Args: map[string]string{
+				"trace": fmt.Sprintf("%d", rec.Trace),
+				"span":  fmt.Sprintf("%d", rec.ID),
+			},
+		}
+		dur := 0.0
+		if rec.Ended {
+			dur = float64((rec.End - rec.Start).Nanoseconds()) / 1000.0
+		} else {
+			ev.Args["unended"] = "true"
+		}
+		ev.Dur = &dur
+		if rec.Parent != 0 {
+			ev.Args["parent"] = fmt.Sprintf("%d", rec.Parent)
+		}
+		for _, a := range rec.Attrs {
+			ev.Args[a.Key] = a.Value
+		}
+		f.TraceEvents = append(f.TraceEvents, ev)
+	}
+	out, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		// The structures above are always marshalable.
+		panic(fmt.Sprintf("tracing: chrome export: %v", err))
+	}
+	return append(out, '\n')
+}
+
+// runOf maps the pre-merge zero Run to run 1.
+func runOf(rec SpanRecord) int {
+	if rec.Run == 0 {
+		return 1
+	}
+	return rec.Run
+}

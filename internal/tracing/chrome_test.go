@@ -1,0 +1,88 @@
+package tracing
+
+import (
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// goldenSnapshot builds a small two-station trace resembling one
+// warning chain, entirely from fixed values.
+func goldenSnapshot() Snapshot {
+	tr := New()
+	root := tr.StartChild(nil, "denm.chain", "core", "edge", 0)
+	tx := tr.StartChild(root, "stack.tx", "stack", "rsu", 2*time.Millisecond)
+	air := tr.StartChild(tx, "radio.air", "radio", "rsu", 3*time.Millisecond)
+	rx := tr.StartChild(air, "den.receive", "facilities", "obu", 3500*time.Microsecond)
+	lost := tr.StartChild(air, "radio.rx", "radio", "bg00", 3500*time.Microsecond)
+	lost.Drop(3500*time.Microsecond, "sensitivity")
+	open := tr.StartChild(rx, "openc2x.mailbox", "openc2x", "obu", 4*time.Millisecond)
+	_ = open // never ended: exercises the unended marker
+	rx.End(4 * time.Millisecond)
+	air.End(3400 * time.Microsecond)
+	tx.End(3 * time.Millisecond)
+	root.End(10 * time.Millisecond)
+	return tr.Snapshot()
+}
+
+func TestChromeTraceGolden(t *testing.T) {
+	got := ChromeTrace(goldenSnapshot())
+	path := filepath.Join("testdata", "chrome_golden.json")
+	if *update {
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to create): %v", err)
+	}
+	if string(got) != string(want) {
+		t.Errorf("chrome export drifted from golden file\ngot:\n%s\nwant:\n%s", got, want)
+	}
+	// Whatever the golden says, the output must stay valid JSON with
+	// the trace-event envelope Perfetto expects.
+	var doc struct {
+		TraceEvents     []map[string]any `json:"traceEvents"`
+		DisplayTimeUnit string           `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(got, &doc); err != nil {
+		t.Fatalf("export is not valid JSON: %v", err)
+	}
+	if doc.DisplayTimeUnit != "ms" || len(doc.TraceEvents) == 0 {
+		t.Fatalf("unexpected envelope: %+v", doc)
+	}
+}
+
+func TestWaterfall(t *testing.T) {
+	out := Waterfall(goldenSnapshot())
+	if !strings.HasPrefix(out, `run 1 trace 1 "denm.chain" total 10.000 ms`) {
+		t.Fatalf("waterfall header wrong:\n%s", out)
+	}
+	for _, want := range []string{
+		"denm.chain", "stack.tx", "radio.air", "den.receive",
+		"drop:sensitivity", "…", // unended mailbox span
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("waterfall missing %q:\n%s", want, out)
+		}
+	}
+	// Children render indented under their parents.
+	lines := strings.Split(out, "\n")
+	if len(lines) < 7 {
+		t.Fatalf("waterfall too short:\n%s", out)
+	}
+	if !strings.HasPrefix(lines[1], "  denm.chain") || !strings.HasPrefix(lines[2], "    stack.tx") {
+		t.Fatalf("indentation wrong:\n%s", out)
+	}
+	// Deterministic rendering.
+	if out != Waterfall(goldenSnapshot()) {
+		t.Fatal("waterfall output is not deterministic")
+	}
+}

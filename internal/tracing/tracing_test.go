@@ -1,0 +1,209 @@
+package tracing
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"reflect"
+	"testing"
+	"time"
+)
+
+func TestDeterministicIDs(t *testing.T) {
+	build := func() Snapshot {
+		tr := New()
+		root := tr.StartChild(nil, "root", "core", "edge", 0)
+		child := tr.StartChild(root, "child", "stack", "rsu", time.Millisecond)
+		child.End(2 * time.Millisecond)
+		root.End(3 * time.Millisecond)
+		return tr.Snapshot()
+	}
+	a, b := build(), build()
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("two identical builds differ:\n%v\n%v", a, b)
+	}
+	if a.Spans[0].ID != 1 || a.Spans[0].Trace != 1 {
+		t.Fatalf("root should have ID == Trace == 1, got %+v", a.Spans[0])
+	}
+	if a.Spans[1].Parent != 1 || a.Spans[1].Trace != 1 {
+		t.Fatalf("child should link to root: %+v", a.Spans[1])
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	var tr *Tracer
+	sp := tr.Start("x", "l", "s", 0)
+	if sp != nil {
+		t.Fatal("nil tracer must return nil spans")
+	}
+	sp.End(time.Second)
+	sp.Drop(time.Second, "reason")
+	sp.SetAttr("k", "v")
+	if sp.ID() != 0 || sp.TraceID() != 0 || sp.EndTime() != 0 {
+		t.Fatal("nil span accessors must return zero")
+	}
+	ran := false
+	tr.Scope(sp, func() { ran = true })
+	if !ran {
+		t.Fatal("Scope must run fn even when disabled")
+	}
+	tr.Bind("k", sp)
+	if tr.Find("k") != nil || tr.Current() != nil || tr.Count() != 0 {
+		t.Fatal("nil tracer lookups must be empty")
+	}
+	if got := tr.Snapshot(); len(got.Spans) != 0 {
+		t.Fatal("nil tracer snapshot must be empty")
+	}
+}
+
+func TestScopeNesting(t *testing.T) {
+	tr := New()
+	outer := tr.Start("outer", "l", "s", 0)
+	var inner *Span
+	tr.Scope(outer, func() {
+		inner = tr.Start("inner", "l", "s", time.Millisecond)
+	})
+	if inner.rec.Parent != outer.rec.ID {
+		t.Fatalf("inner span should be child of scoped span, parent=%d", inner.rec.Parent)
+	}
+	if tr.Current() != nil {
+		t.Fatal("stack should be empty after Scope returns")
+	}
+}
+
+func TestBindFind(t *testing.T) {
+	tr := New()
+	sp := tr.Start("a", "l", "s", 0)
+	tr.Bind(KeyDENM("rsu", 1001, 7), sp)
+	if tr.Find(KeyDENM("rsu", 1001, 7)) != sp {
+		t.Fatal("Find should return the bound span")
+	}
+	if tr.Find(KeyDENM("obu", 1001, 7)) != nil {
+		t.Fatal("keys must be station-scoped")
+	}
+}
+
+func TestEndFirstWins(t *testing.T) {
+	tr := New()
+	sp := tr.Start("a", "l", "s", 0)
+	sp.End(time.Millisecond)
+	sp.End(5 * time.Millisecond)
+	rec := tr.Snapshot().Spans[0]
+	if rec.End != time.Millisecond {
+		t.Fatalf("first End should win, got %v", rec.End)
+	}
+	if rec.Duration() != time.Millisecond {
+		t.Fatalf("duration = %v", rec.Duration())
+	}
+}
+
+func TestDropRecordsReason(t *testing.T) {
+	tr := New()
+	sp := tr.Start("a", "radio", "obu", 0)
+	sp.Drop(time.Millisecond, "sinr")
+	rec := tr.Snapshot().Spans[0]
+	if !rec.Ended || rec.Attr(AttrDropReason) != "sinr" {
+		t.Fatalf("drop not recorded: %+v", rec)
+	}
+}
+
+func TestTake(t *testing.T) {
+	tr := New()
+	a := tr.StartChild(nil, "a", "l", "s", 0)
+	b := tr.StartChild(a, "b", "l", "s", 0)
+	c := tr.StartChild(nil, "c", "l", "s", 0)
+	tr.Bind("ka", a)
+	tr.Bind("kc", c)
+	got := tr.Take(a.TraceID())
+	if len(got) != 2 || got[0].ID != a.ID() || got[1].ID != b.ID() {
+		t.Fatalf("Take returned %+v", got)
+	}
+	if tr.Count() != 1 {
+		t.Fatalf("tracer should keep the other trace, count=%d", tr.Count())
+	}
+	if tr.Find("ka") != nil {
+		t.Fatal("binds of the taken trace must be removed")
+	}
+	if tr.Find("kc") != c {
+		t.Fatal("binds of other traces must survive")
+	}
+}
+
+func TestMergeRunsRebasesIDs(t *testing.T) {
+	mk := func() Snapshot {
+		tr := New()
+		root := tr.StartChild(nil, "root", "l", "s", 0)
+		tr.StartChild(root, "child", "l", "s", 0)
+		return tr.Snapshot()
+	}
+	merged := MergeRuns([]Snapshot{mk(), mk()})
+	if len(merged.Spans) != 4 {
+		t.Fatalf("want 4 spans, got %d", len(merged.Spans))
+	}
+	second := merged.Spans[2]
+	if second.Run != 2 || second.ID != 3 || second.Trace != 3 {
+		t.Fatalf("second run not rebased: %+v", second)
+	}
+	if merged.Spans[3].Parent != 3 {
+		t.Fatalf("child parent not rebased: %+v", merged.Spans[3])
+	}
+	if merged.Spans[0].Run != 1 {
+		t.Fatalf("first run should be tagged 1: %+v", merged.Spans[0])
+	}
+}
+
+func TestFilterTraces(t *testing.T) {
+	tr := New()
+	keep := tr.StartChild(nil, "denm.chain", "core", "edge", 0)
+	tr.StartChild(keep, "child", "l", "s", 0)
+	tr.StartChild(nil, "ca.generate", "facilities", "rsu", 0)
+	got := tr.Snapshot().FilterTraces(func(root SpanRecord) bool {
+		return root.Name == "denm.chain"
+	})
+	if len(got.Spans) != 2 {
+		t.Fatalf("want the chain's 2 spans, got %d", len(got.Spans))
+	}
+	for _, rec := range got.Spans {
+		if rec.Trace != keep.TraceID() {
+			t.Fatalf("unexpected trace in filter output: %+v", rec)
+		}
+	}
+}
+
+func TestRingEvictsOldest(t *testing.T) {
+	r := NewRing(2)
+	for i := 0; i < 3; i++ {
+		r.Add([]SpanRecord{{Trace: uint64(i + 1), ID: uint64(i + 1), Name: "x"}})
+	}
+	got := r.Traces()
+	if len(got) != 2 {
+		t.Fatalf("ring should hold 2 traces, got %d", len(got))
+	}
+	if got[0].Spans[0].Trace != 2 || got[1].Spans[0].Trace != 3 {
+		t.Fatalf("oldest trace should be evicted: %+v", got)
+	}
+	r.Add(nil) // ignored
+	if r.Len() != 2 {
+		t.Fatalf("empty adds must be ignored, len=%d", r.Len())
+	}
+}
+
+func TestRingHandler(t *testing.T) {
+	r := NewRing(4)
+	r.Add([]SpanRecord{{Trace: 1, ID: 1, Name: "openc2x.rx_frame", Ended: true}})
+	rec := httptest.NewRecorder()
+	r.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/trace", nil))
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	var page struct {
+		Capacity int `json:"capacity"`
+		Total    uint64
+		Traces   []TraceRecord `json:"traces"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &page); err != nil {
+		t.Fatalf("response is not JSON: %v", err)
+	}
+	if page.Capacity != 4 || len(page.Traces) != 1 {
+		t.Fatalf("unexpected page: %+v", page)
+	}
+}

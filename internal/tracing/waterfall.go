@@ -1,0 +1,152 @@
+package tracing
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// barWidth is the width of the waterfall's timeline column.
+const barWidth = 32
+
+// Waterfall renders each trace of the snapshot as an indented ASCII
+// tree with a proportional timeline, one row per span:
+//
+//	run 1 trace 3 "denm.chain" total 38.1 ms
+//	  denm.chain                 edge        +0.000  38.100 ms |================|
+//	    openc2x.trigger_denm     rsu         +0.212  21.400 ms |====......      |
+//
+// Offsets are relative to the trace root's start; a trailing "…"
+// marks spans that never ended. Output is deterministic.
+func Waterfall(s Snapshot) string {
+	type traceKey struct {
+		run   int
+		trace uint64
+	}
+	byTrace := make(map[traceKey][]SpanRecord)
+	var order []traceKey
+	for _, rec := range s.Spans {
+		k := traceKey{runOf(rec), rec.Trace}
+		if _, ok := byTrace[k]; !ok {
+			order = append(order, k)
+		}
+		byTrace[k] = append(byTrace[k], rec)
+	}
+	sort.Slice(order, func(i, j int) bool {
+		if order[i].run != order[j].run {
+			return order[i].run < order[j].run
+		}
+		return order[i].trace < order[j].trace
+	})
+
+	var b strings.Builder
+	for _, k := range order {
+		renderTrace(&b, k.run, byTrace[k])
+	}
+	return b.String()
+}
+
+func renderTrace(b *strings.Builder, run int, spans []SpanRecord) {
+	byID := make(map[uint64]SpanRecord, len(spans))
+	children := make(map[uint64][]SpanRecord)
+	for _, rec := range spans {
+		byID[rec.ID] = rec
+	}
+	var roots []SpanRecord
+	for _, rec := range spans {
+		if _, ok := byID[rec.Parent]; rec.Parent != 0 && ok {
+			children[rec.Parent] = append(children[rec.Parent], rec)
+		} else {
+			roots = append(roots, rec)
+		}
+	}
+	sortSpans := func(list []SpanRecord) {
+		sort.Slice(list, func(i, j int) bool {
+			if list[i].Start != list[j].Start {
+				return list[i].Start < list[j].Start
+			}
+			return list[i].ID < list[j].ID
+		})
+	}
+	sortSpans(roots)
+	for _, c := range children {
+		sortSpans(c)
+	}
+	if len(roots) == 0 {
+		return
+	}
+	origin := roots[0].Start
+	// The timeline extent covers every span of the trace (children may
+	// start marginally before the root when stamped on another
+	// platform's NTP-disciplined clock).
+	extent := time.Duration(1)
+	for _, rec := range spans {
+		end := rec.End
+		if !rec.Ended {
+			end = rec.Start
+		}
+		if end-origin > extent {
+			extent = end - origin
+		}
+	}
+	root := roots[0]
+	fmt.Fprintf(b, "run %d trace %d %q total %s\n",
+		run, root.Trace, root.Name, fmtMS(root.Duration()))
+	var walk func(rec SpanRecord, depth int)
+	walk = func(rec SpanRecord, depth int) {
+		renderSpan(b, rec, depth, origin, extent)
+		for _, c := range children[rec.ID] {
+			walk(c, depth+1)
+		}
+	}
+	for _, r := range roots {
+		walk(r, 0)
+	}
+}
+
+func renderSpan(b *strings.Builder, rec SpanRecord, depth int, origin, extent time.Duration) {
+	name := strings.Repeat("  ", depth+1) + rec.Name
+	dur := "…"
+	if rec.Ended {
+		dur = fmtMS(rec.End - rec.Start)
+	}
+	fmt.Fprintf(b, "%-50s %-8s %+9.3f %10s |%s|", name, rec.Station,
+		float64(rec.Start-origin)/float64(time.Millisecond), dur, bar(rec, origin, extent))
+	if reason := rec.Attr(AttrDropReason); reason != "" {
+		fmt.Fprintf(b, " drop:%s", reason)
+	}
+	b.WriteString("\n")
+}
+
+// bar draws the span's interval on a barWidth timeline of the trace.
+func bar(rec SpanRecord, origin, extent time.Duration) string {
+	pos := func(t time.Duration) int {
+		p := int(int64(t-origin) * int64(barWidth) / int64(extent))
+		if p < 0 {
+			p = 0
+		}
+		if p > barWidth {
+			p = barWidth
+		}
+		return p
+	}
+	start := pos(rec.Start)
+	end := start + 1
+	if rec.Ended {
+		if e := pos(rec.End); e > end {
+			end = e
+		}
+	}
+	if start >= barWidth {
+		start = barWidth - 1
+	}
+	if end > barWidth {
+		end = barWidth
+	}
+	return strings.Repeat(" ", start) + strings.Repeat("=", end-start) + strings.Repeat(" ", barWidth-end)
+}
+
+func fmtMS(d time.Duration) string {
+	return fmt.Sprintf("%.3f ms", float64(d)/float64(time.Millisecond))
+}
