@@ -19,13 +19,22 @@
 //	itsbed obstruction       # EXT-5 obstructed-link study
 //	itsbed platoon-acc       # EXT-6 platoon string-stability study
 //	itsbed ntp-sweep         # ABL-4 clock-sync quality vs measured intervals
-//	itsbed all               # everything above
+//	itsbed resilience        # EXT-7 fault-plan resilience sweep (-faults)
+//	itsbed all               # everything above (resilience excluded)
 //
 // Common flags: -seed S, -runs R, -vision=(true|false), -workers W,
 // -metrics, -trace-out FILE, -spans. Flags may precede or follow the
 // command name. Runs execute concurrently on W workers (default: all
 // CPUs); results — including the -metrics and trace output — are
 // bit-identical for every worker count.
+//
+// -faults selects the fault plan for the resilience command: either
+// the name of a builtin plan (blackout, burst-loss, crash-rsu,
+// crash-obu, camera-dropout, http-flaky, chaos) or the path of a JSON
+// plan file. The sweep injects the plan into every run with the
+// vehicle's fail-safe watchdog and the edge trigger retries enabled,
+// and reports the outcome distribution (warned stop / fail-safe stop /
+// miss) plus the latency inflation versus the fault-free baseline.
 //
 // -metrics prints, after the table2 output, the per-layer delay
 // budget of the warning chain (radio / geonet / facilities /
@@ -43,8 +52,10 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strings"
 
 	"itsbed/internal/experiments"
+	"itsbed/internal/faults"
 	"itsbed/internal/its/messages"
 	"itsbed/internal/tracing"
 )
@@ -66,6 +77,7 @@ func run(args []string) error {
 	showMetrics := fs.Bool("metrics", false, "print the per-layer delay budget and metric counters after the experiment")
 	traceOut := fs.String("trace-out", "", "write per-message spans as Chrome trace-event JSON to this file (table2)")
 	showSpans := fs.Bool("spans", false, "print an ASCII waterfall of each run's end-to-end trace (table2)")
+	faultPlan := fs.String("faults", "chaos", "fault plan for the resilience command: builtin name or JSON file path")
 	// Accept flags before the command ("-metrics table2") as well as
 	// after it ("table2 -metrics").
 	cmd := "all"
@@ -104,6 +116,7 @@ func run(args []string) error {
 		"obstruction": func() error { return printObstruction(*seed, *n, *workers) },
 		"platoon-acc": func() error { return printPlatoonACC(*seed, *n, *workers) },
 		"ntp-sweep":   func() error { return printNTPSweep(*seed, *n, *workers) },
+		"resilience":  func() error { return printResilience(opt, *faultPlan, *showMetrics) },
 	}
 	if cmd == "all" {
 		order := []string{
@@ -121,9 +134,49 @@ func run(args []string) error {
 	}
 	fn, ok := dispatch[cmd]
 	if !ok {
-		return fmt.Errorf("unknown command %q (try: table1 table2 table3 fig7 fig10 fig11 cdf radios platoon baseline poll-sweep fps-sweep load-sweep obstruction platoon-acc ntp-sweep all)", cmd)
+		return fmt.Errorf("unknown command %q (try: table1 table2 table3 fig7 fig10 fig11 cdf radios platoon baseline poll-sweep fps-sweep load-sweep obstruction platoon-acc ntp-sweep resilience all)", cmd)
 	}
 	return fn()
+}
+
+// loadFaultPlan resolves -faults: a readable file parses as a JSON
+// plan, otherwise the name must be a builtin.
+func loadFaultPlan(arg string) (faults.Plan, error) {
+	if data, err := os.ReadFile(arg); err == nil {
+		plan, err := faults.ParsePlan(data)
+		if err != nil {
+			return faults.Plan{}, fmt.Errorf("fault plan %s: %w", arg, err)
+		}
+		return plan, nil
+	}
+	if plan, ok := faults.BuiltinPlan(arg); ok {
+		return plan, nil
+	}
+	return faults.Plan{}, fmt.Errorf("unknown fault plan %q (builtins: %s; or pass a JSON file path)",
+		arg, strings.Join(faults.Builtins(), " "))
+}
+
+func printResilience(opt experiments.ScenarioOptions, planArg string, showMetrics bool) error {
+	plan, err := loadFaultPlan(planArg)
+	if err != nil {
+		return err
+	}
+	res, err := experiments.Resilience(experiments.ResilienceOptions{
+		BaseSeed:  opt.BaseSeed,
+		Runs:      opt.Runs,
+		Workers:   opt.Workers,
+		UseVision: opt.UseVision,
+		Plan:      plan,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Print(res.Format())
+	if showMetrics {
+		fmt.Println()
+		fmt.Print(res.Metrics.Format())
+	}
+	return nil
 }
 
 func printPollSweep(seed int64, n, workers int) error {

@@ -8,12 +8,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"os/signal"
 	"strings"
 	"syscall"
+	"time"
 
 	"itsbed/internal/geo"
 	"itsbed/internal/openc2x"
@@ -85,8 +87,20 @@ func run() error {
 	errc := make(chan error, 1)
 	go func() { errc <- srv.Serve() }()
 	select {
-	case <-done:
-		return srv.Close()
+	case sig := <-done:
+		// Graceful exit: let in-flight polls finish, then drop any
+		// undelivered DENMs and close the radio link (deferred).
+		logger.Info("shutting down", "signal", sig.String())
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			logger.Warn("shutdown incomplete, closing", "err", err)
+			srv.Close()
+		}
+		if n := node.DrainMailbox("shutdown"); n > 0 {
+			logger.Info("drained mailbox", "undelivered_denms", n)
+		}
+		return nil
 	case err := <-errc:
 		return err
 	}

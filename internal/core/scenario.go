@@ -7,7 +7,36 @@ import (
 	"itsbed/internal/metrics"
 	"itsbed/internal/trace"
 	"itsbed/internal/tracing"
+	"itsbed/internal/vehicle"
 )
+
+// Outcome classifies one run for the resilience analysis.
+type Outcome int
+
+// Run outcomes.
+const (
+	// OutcomeMiss: the vehicle never stopped — it ran through the
+	// hazard.
+	OutcomeMiss Outcome = iota
+	// OutcomeWarnedStop: the vehicle stopped on the network warning
+	// path (received DENM, or a direct onboard stop).
+	OutcomeWarnedStop
+	// OutcomeFailSafeStop: the network watchdog braked autonomously
+	// after connectivity went stale.
+	OutcomeFailSafeStop
+)
+
+// String implements fmt.Stringer.
+func (o Outcome) String() string {
+	switch o {
+	case OutcomeWarnedStop:
+		return "warned-stop"
+	case OutcomeFailSafeStop:
+		return "failsafe-stop"
+	default:
+		return "miss"
+	}
+}
 
 // Result is the outcome of one emergency-braking scenario run.
 type Result struct {
@@ -34,6 +63,12 @@ type Result struct {
 	Video VideoAnalysis
 	// Stopped reports whether the vehicle halted before the horizon.
 	Stopped bool
+	// StopCause says what triggered the stop (vehicle.StopCauseDENM,
+	// StopCauseWatchdog or StopCauseDirect); empty when no stop was
+	// issued.
+	StopCause string
+	// Outcome classifies the run: warned stop, fail-safe stop, or miss.
+	Outcome Outcome
 	// Collision reports whether the vehicle reached the camera
 	// position (it ran through the hazard without stopping).
 	Collision bool
@@ -110,7 +145,16 @@ func (tb *Testbed) RunScenario(horizon time.Duration) (*Result, error) {
 	res := &Result{
 		Run:           tb.Run,
 		Stopped:       tb.Vehicle.Halted(),
+		StopCause:     tb.Vehicle.StopCause(),
 		ApproachSpeed: speedAtStop,
+	}
+	switch {
+	case res.Stopped && res.StopCause == vehicle.StopCauseWatchdog:
+		res.Outcome = OutcomeFailSafeStop
+	case res.Stopped:
+		res.Outcome = OutcomeWarnedStop
+	default:
+		res.Outcome = OutcomeMiss
 	}
 	st := tb.Vehicle.Body.State()
 	res.FinalCameraDistance = tb.Layout.Camera.DistanceTo(st.Position)

@@ -13,6 +13,7 @@ import (
 
 	"itsbed/internal/clock"
 	"itsbed/internal/edge"
+	"itsbed/internal/faults"
 	"itsbed/internal/geo"
 	"itsbed/internal/its/facilities/ca"
 	"itsbed/internal/its/messages"
@@ -86,6 +87,11 @@ type Config struct {
 	// DENMRepetitionInterval enables DEN repetition at the RSU (zero:
 	// single shot, as the paper's testbed).
 	DENMRepetitionInterval time.Duration
+	// Faults, when non-nil and non-empty, injects the plan's
+	// deterministic fault schedule into the run: radio blackouts and
+	// noise bursts, per-link burst loss, camera dropouts, OpenC2X API
+	// faults, and node crash/restart.
+	Faults *faults.Plan
 	// Metrics receives every layer's instrumentation; nil creates a
 	// private registry so each testbed is always fully instrumented.
 	Metrics *metrics.Registry
@@ -105,6 +111,9 @@ func (c Config) withDefaults() Config {
 		if vc.Name != "" {
 			base.Name = vc.Name
 		}
+		// The watchdog rides along even when the rest of the vehicle
+		// config is defaulted (resilience runs set only this field).
+		base.Watchdog = vc.Watchdog
 		c.Vehicle = base
 	}
 	if c.CameraFramePeriod <= 0 {
@@ -114,9 +123,14 @@ func (c Config) withDefaults() Config {
 		c.DetectorModel = perception.DefaultModel()
 	}
 	if c.Hazard.ActionPointDistance == 0 {
+		prev := c.Hazard
 		actionPoint := c.actionPointGeo()
 		c.Hazard = edge.DefaultHazardConfig(actionPoint)
 		c.Hazard.ActionPointDistance = c.Layout.ActionPointDistance
+		// Retry policy survives the default fill, like the watchdog.
+		c.Hazard.TriggerRetries = prev.TriggerRetries
+		c.Hazard.TriggerRetryBase = prev.TriggerRetryBase
+		c.Hazard.TriggerRetryCap = prev.TriggerRetryCap
 	}
 	if c.DENMRepetitionInterval > 0 && c.Hazard.RepetitionInterval == 0 {
 		c.Hazard.RepetitionInterval = c.DENMRepetitionInterval
@@ -152,6 +166,10 @@ type Testbed struct {
 	OBU     *stack.Station
 	RSUNode *openc2x.SimNode
 	OBUNode *openc2x.SimNode
+
+	// Injector executes the configured fault plan (nil in fault-free
+	// runs).
+	Injector *faults.Injector
 
 	// Metrics is the registry every layer of this testbed reports into.
 	Metrics *metrics.Registry
@@ -201,6 +219,19 @@ func New(cfg Config) (*Testbed, error) {
 	}
 	k := tb.Kernel
 
+	// --- Fault injection ----------------------------------------------
+	// The injector exists only when a plan actually injects something;
+	// fault-free runs take exactly the code paths (and RNG draws) they
+	// took before the subsystem existed.
+	var inj *faults.Injector
+	if cfg.Faults != nil && !cfg.Faults.Empty() {
+		if err := cfg.Faults.Validate(); err != nil {
+			return nil, fmt.Errorf("core: fault plan: %w", err)
+		}
+		inj = faults.NewInjector(k, *cfg.Faults, cfg.Metrics, cfg.Tracer)
+		tb.Injector = inj
+	}
+
 	// --- Vehicle ------------------------------------------------------
 	veh, err := vehicle.New(k, cfg.Vehicle)
 	if err != nil {
@@ -219,12 +250,18 @@ func New(cfg Config) (*Testbed, error) {
 		rsuLink = cellularEndpoint{link: cell}
 		obuLink = cellularEndpoint{link: cell}
 	} else {
-		tb.Medium = radio.NewMedium(k, radio.MediumConfig{
+		mc := radio.MediumConfig{
 			PathLoss:     cfg.PathLoss,
 			Obstructions: cfg.Obstructions,
 			Metrics:      cfg.Metrics,
 			Tracer:       cfg.Tracer,
-		})
+		}
+		if inj != nil {
+			// Assign only a concrete injector: a typed-nil interface
+			// would defeat the medium's Faults == nil fast path.
+			mc.Faults = inj
+		}
+		tb.Medium = radio.NewMedium(k, mc)
 	}
 
 	// --- RSU ----------------------------------------------------------
@@ -269,6 +306,13 @@ func New(cfg Config) (*Testbed, error) {
 	tb.OBUNode = openc2x.NewSimNode(k, obu, cfg.HTTP)
 	veh.AttachOBU(tb.OBUNode)
 
+	if inj != nil {
+		adapter := httpFaultAdapter{inj: inj}
+		tb.RSUNode.Faults = adapter
+		tb.OBUNode.Faults = adapter
+		inj.ScheduleCrashes(tb.crashNode, tb.restartNode)
+	}
+
 	// --- Background channel load ---------------------------------------
 	if cfg.BackgroundVehicles > 0 && tb.Medium != nil {
 		if err := tb.addBackgroundVehicles(cfg.BackgroundVehicles); err != nil {
@@ -290,13 +334,86 @@ func New(cfg Config) (*Testbed, error) {
 	tb.Camera = cam
 	ods := edge.NewObjectDetectionService(k.Now)
 	tb.ODS = ods
-	cam.Subscribe(ods.OnFrame)
+	if inj != nil {
+		// Camera faults sit between the perception pipeline and the
+		// Object Detection Service: a dropped frame never reaches the
+		// edge, a dropped detection vanishes from its frame.
+		cam.Subscribe(func(res perception.FrameResult) {
+			now := k.Now()
+			if inj.DropCameraFrame(now) {
+				return
+			}
+			if len(res.Detections) > 0 {
+				kept := make([]perception.Detection, 0, len(res.Detections))
+				for _, det := range res.Detections {
+					if inj.DropDetection(now) {
+						continue
+					}
+					kept = append(kept, det)
+				}
+				res.Detections = kept
+			}
+			ods.OnFrame(res)
+		})
+	} else {
+		cam.Subscribe(ods.OnFrame)
+	}
 	hz := edge.NewHazardService(k, cfg.Hazard, tb.RSUNode, rsu.LDM, tb.EdgeClock)
 	tb.Hazard = hz
 	ods.Subscribe(hz.OnTrack)
 
+	if cfg.Hazard.TriggerRetries > 0 {
+		mRetry := cfg.Metrics.Counter("fault_trigger_retries_total")
+		hz.OnTriggerRetry = func(int) { mRetry.Inc() }
+	}
+	if cfg.Vehicle.Watchdog.Enabled {
+		mTrip := cfg.Metrics.Counter("fault_watchdog_trips_total")
+		veh.OnWatchdogTrip = func(now time.Duration) {
+			mTrip.Inc()
+			if cfg.Tracer != nil {
+				sp := cfg.Tracer.Start("fault.watchdog_trip", "faults", "vehicle", now)
+				sp.End(now)
+			}
+		}
+	}
+
 	tb.wireTimestamps()
 	return tb, nil
+}
+
+// httpFaultAdapter bridges the injector's verdicts to the openc2x
+// fault-model interface (the two enums share values by construction).
+type httpFaultAdapter struct{ inj *faults.Injector }
+
+func (a httpFaultAdapter) TriggerVerdict(now time.Duration) openc2x.HTTPVerdict {
+	return openc2x.HTTPVerdict(a.inj.TriggerVerdict(now))
+}
+
+func (a httpFaultAdapter) PollVerdict(now time.Duration) openc2x.HTTPVerdict {
+	return openc2x.HTTPVerdict(a.inj.PollVerdict(now))
+}
+
+// crashNode executes a planned node crash: the station process dies
+// and its OpenC2X mailbox is lost.
+func (tb *Testbed) crashNode(node string) {
+	switch node {
+	case faults.NodeRSU:
+		tb.RSU.Crash()
+		tb.RSUNode.DropMailbox("crash")
+	case faults.NodeOBU:
+		tb.OBU.Crash()
+		tb.OBUNode.DropMailbox("crash")
+	}
+}
+
+// restartNode brings a crashed node back with blank volatile state.
+func (tb *Testbed) restartNode(node string) {
+	switch node {
+	case faults.NodeRSU:
+		tb.RSU.Restart()
+	case faults.NodeOBU:
+		tb.OBU.Restart()
+	}
 }
 
 // chatterMobility is a static station whose reported speed jitters

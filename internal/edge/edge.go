@@ -143,6 +143,16 @@ type HazardConfig struct {
 	// TTCWindow is the maximum arrival-time difference that still
 	// counts as a conflict; zero selects 1.5 s.
 	TTCWindow time.Duration
+	// TriggerRetries is how many times a failed trigger_denm request is
+	// retried with capped exponential backoff. Zero (the default)
+	// disables the response callback entirely, preserving the paper's
+	// fire-and-forget behaviour.
+	TriggerRetries int
+	// TriggerRetryBase is the first backoff delay; zero selects 40 ms.
+	TriggerRetryBase time.Duration
+	// TriggerRetryCap bounds the exponential backoff; zero selects
+	// 320 ms.
+	TriggerRetryCap time.Duration
 }
 
 // DefaultHazardConfig matches the paper's experiment.
@@ -186,6 +196,15 @@ type HazardAdvertisementService struct {
 	// LDMVetoes counts triggers withheld because no protagonist was
 	// tracked in the LDM.
 	LDMVetoes uint64
+	// TriggerFailures counts trigger_denm requests that came back with
+	// an error (only observable when TriggerRetries > 0).
+	TriggerFailures uint64
+	// TriggerRetriesIssued counts retry attempts scheduled.
+	TriggerRetriesIssued uint64
+
+	// OnTriggerRetry, if set, observes each retry with its 1-based
+	// attempt number (core threads it into the fault metrics).
+	OnTriggerRetry func(attempt int)
 }
 
 // NewHazardService builds the service. rsu is the RSU's API node; ldm
@@ -262,7 +281,45 @@ func (h *HazardAdvertisementService) OnTrack(tr TrackedObject, res perception.Fr
 			}
 			req.RepetitionDurationMS = uint32(dur / time.Millisecond)
 		}
+		h.sendTrigger(req, 0)
+	})
+}
+
+// sendTrigger issues the trigger_denm request, retrying failures with
+// capped exponential backoff on deterministic sim-clock timers. With
+// retries disabled the request is fire-and-forget (no response
+// callback), which keeps the fault-free RNG sequence identical to the
+// paper-faithful baseline.
+func (h *HazardAdvertisementService) sendTrigger(req openc2x.TriggerRequest, attempt int) {
+	if h.cfg.TriggerRetries <= 0 {
 		h.rsu.TriggerDENM(req, nil)
+		return
+	}
+	h.rsu.TriggerDENM(req, func(_ messages.ActionID, err error) {
+		if err == nil {
+			return
+		}
+		h.TriggerFailures++
+		if attempt >= h.cfg.TriggerRetries {
+			return
+		}
+		base := h.cfg.TriggerRetryBase
+		if base <= 0 {
+			base = 40 * time.Millisecond
+		}
+		limit := h.cfg.TriggerRetryCap
+		if limit <= 0 {
+			limit = 320 * time.Millisecond
+		}
+		backoff := base << uint(attempt)
+		if backoff > limit {
+			backoff = limit
+		}
+		h.TriggerRetriesIssued++
+		if h.OnTriggerRetry != nil {
+			h.OnTriggerRetry(attempt + 1)
+		}
+		h.kernel.Schedule(backoff, func() { h.sendTrigger(req, attempt+1) })
 	})
 }
 

@@ -1,0 +1,134 @@
+package experiments
+
+import (
+	"os"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"itsbed/internal/faults"
+)
+
+func fastResilienceOpt(seed int64, runs int, plan string) ResilienceOptions {
+	p, ok := faults.BuiltinPlan(plan)
+	if !ok {
+		panic("unknown builtin plan " + plan)
+	}
+	return ResilienceOptions{
+		BaseSeed: seed,
+		Runs:     runs,
+		Horizon:  30 * time.Second,
+		Plan:     p,
+	}
+}
+
+// TestResilienceDeterministicAcrossWorkers extends the campaign
+// engine's contract to fault-plan sweeps: the same BaseSeed and plan
+// must produce field-by-field identical results — outcomes, latency
+// inflation, merged fault counters, formatted report — for every
+// worker count, even though the chaos plan draws from three fault
+// streams in every run.
+func TestResilienceDeterministicAcrossWorkers(t *testing.T) {
+	base := func(w int) ResilienceOptions {
+		o := fastResilienceOpt(42, 4, "chaos")
+		o.Workers = w
+		return o
+	}
+	want, err := Resilience(base(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(want.Rows) != 4 {
+		t.Fatalf("serial sweep returned %d rows, want 4", len(want.Rows))
+	}
+	for _, w := range []int{4, 8} {
+		got, err := Resilience(base(w))
+		if err != nil {
+			t.Fatalf("workers=%d: %v", w, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("workers=%d: resilience sweep differs from serial run:\ngot  %+v\nwant %+v", w, got, want)
+		}
+		if got.Format() != want.Format() {
+			t.Fatalf("workers=%d: formatted resilience report not byte-identical", w)
+		}
+	}
+}
+
+// TestResilienceBlackoutSweep pins the headline behavior: under a
+// total blackout every run must end in a fail-safe stop (the watchdog
+// is on), never a silent miss, and the report must carry the injected
+// fault counters.
+func TestResilienceBlackoutSweep(t *testing.T) {
+	res, err := Resilience(fastResilienceOpt(42, 3, "blackout"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FailSafeStops != 3 || res.Misses != 0 || res.WarnedStops != 0 {
+		t.Fatalf("outcomes %d/%d/%d (warned/failsafe/miss), want 0/3/0",
+			res.WarnedStops, res.FailSafeStops, res.Misses)
+	}
+	if res.MissRate != 0 {
+		t.Fatalf("miss rate %v, want 0", res.MissRate)
+	}
+	if res.BaselineAvgTotal <= 0 {
+		t.Fatal("baseline average missing")
+	}
+	for _, row := range res.Rows {
+		if row.Outcome != "failsafe-stop" || row.StopCause != "watchdog" {
+			t.Fatalf("run %d: outcome %q cause %q", row.Run, row.Outcome, row.StopCause)
+		}
+	}
+	if c, ok := res.Metrics.FindCounter("fault_radio_blackout_frames_total"); !ok || c.Value == 0 {
+		t.Fatal("merged metrics missing blackout frame counter")
+	}
+	if c, ok := res.Metrics.FindCounter("fault_watchdog_trips_total"); !ok || c.Value != 3 {
+		t.Fatal("merged metrics missing the three watchdog trips")
+	}
+	out := res.Format()
+	for _, want := range []string{
+		`fault plan "blackout"`,
+		"failsafe-stop",
+		"miss rate 0.00",
+		"fault_watchdog_trips_total",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestResilienceGoldenReport pins the exact report bytes of the CI
+// chaos-smoke campaign (itsbed resilience -faults blackout -seed 42
+// -runs 3 -workers 4 -vision=false) against the committed golden.
+// Any change to fault scheduling, watchdog timing, RNG stream layout
+// or report formatting shows up here as a diff; regenerate with
+//
+//	go run ./cmd/itsbed resilience -faults blackout -seed 42 -runs 3 \
+//	    -workers 4 -vision=false > internal/experiments/testdata/chaos_smoke.golden
+func TestResilienceGoldenReport(t *testing.T) {
+	want, err := os.ReadFile("testdata/chaos_smoke.golden")
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := fastResilienceOpt(42, 3, "blackout")
+	opt.Workers = 4
+	res, err := Resilience(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Format(); got != string(want) {
+		t.Fatalf("resilience report drifted from golden:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+// TestResilienceRejectsInvalidPlan ensures a bad plan fails fast
+// instead of burning a sweep.
+func TestResilienceRejectsInvalidPlan(t *testing.T) {
+	opt := fastResilienceOpt(1, 2, "chaos")
+	opt.Plan.Camera.FrameDropProb = 2
+	if _, err := Resilience(opt); err == nil {
+		t.Fatal("invalid plan accepted")
+	}
+}

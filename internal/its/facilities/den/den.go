@@ -384,6 +384,13 @@ func (r *Receiver) OnPayload(payload []byte) {
 	sp.End(r.now())
 }
 
+// Reset forgets the duplicate-detection state — a restarted station
+// process delivers the next copy of every event as if it were new.
+// Counters are cumulative across the restart and are not reset.
+func (r *Receiver) Reset() {
+	r.seen = nil
+}
+
 // now returns the receiver's clock, zero when unset (tracing off).
 func (r *Receiver) now() time.Duration {
 	if r.Now == nil {

@@ -250,6 +250,13 @@ func (m *Map) GC() {
 	}
 }
 
+// Clear drops every stored object and event — the state loss of a
+// station process restart. The map stays usable afterwards.
+func (m *Map) Clear() {
+	m.objects = make(map[objectKey]*Object)
+	m.events = make(map[messages.ActionID]*Event)
+}
+
 // Counts reports the number of stored objects and events (including
 // stale entries not yet collected), for diagnostics.
 func (m *Map) Counts() (objects, events int) {

@@ -1,0 +1,52 @@
+package openc2x
+
+import (
+	"errors"
+	"time"
+)
+
+// HTTPVerdict classifies the fate of one API request under fault
+// injection. The values mirror faults.Verdict (the faults package
+// stays import-free of openc2x; core adapts between the two).
+type HTTPVerdict int
+
+// Request verdicts.
+const (
+	// HTTPOK lets the request through untouched.
+	HTTPOK HTTPVerdict = iota
+	// HTTPError fails the request fast with a server error.
+	HTTPError
+	// HTTPTimeout hangs the request until the client deadline.
+	HTTPTimeout
+)
+
+// HTTPFaultModel screens API requests for injected faults. Both
+// methods may draw randomness, so they must be called exactly once per
+// request, before any other sampling.
+type HTTPFaultModel interface {
+	// TriggerVerdict screens one trigger_denm request at virtual time
+	// now.
+	TriggerVerdict(now time.Duration) HTTPVerdict
+	// PollVerdict screens one request_denm poll at virtual time now.
+	PollVerdict(now time.Duration) HTTPVerdict
+}
+
+// API request failure modes surfaced to clients.
+var (
+	// ErrNodeDown reports the OpenC2X process is not running (crashed
+	// station): connection refused, observed quickly.
+	ErrNodeDown = errors.New("openc2x: node down")
+	// ErrRequestTimeout reports the client deadline elapsed without a
+	// response.
+	ErrRequestTimeout = errors.New("openc2x: request timed out")
+	// ErrServerError reports an HTTP 5xx from the node.
+	ErrServerError = errors.New("openc2x: server error")
+)
+
+// RequestTimeout is the client-side deadline on API requests: a
+// request without a response by then fails with ErrRequestTimeout.
+const RequestTimeout = 250 * time.Millisecond
+
+// nodeDownLatency is how quickly a client observes a refused
+// connection to a dead node (no HTTP exchange, just the TCP reset).
+const nodeDownLatency = 200 * time.Microsecond

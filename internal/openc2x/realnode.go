@@ -363,6 +363,25 @@ func (n *RealNode) RequestDENM() []ReceivedDENM {
 	return out
 }
 
+// DrainMailbox discards any undelivered DENMs, ending their mailbox
+// spans with a drop reason, and reports how many were pending. The
+// daemons call it on graceful shutdown after the HTTP listener has
+// stopped accepting polls.
+func (n *RealNode) DrainMailbox(reason string) int {
+	n.mu.Lock()
+	dropped := len(n.mailbox)
+	spans := n.mailboxSpans
+	n.mailbox = nil
+	n.mailboxSpans = nil
+	n.mu.Unlock()
+	now := time.Since(n.start)
+	for _, sp := range spans {
+		sp.Drop(now, reason)
+		n.ring.Add(n.tracer.Take(sp.TraceID()))
+	}
+	return dropped
+}
+
 // TraceHandler serves the ring of recent DENM traces as JSON (the
 // daemons' /trace endpoint).
 func (n *RealNode) TraceHandler() http.Handler { return n.ring.Handler() }

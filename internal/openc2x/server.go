@@ -1,11 +1,13 @@
 package openc2x
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"time"
 
 	"itsbed/internal/its/messages"
 	"itsbed/internal/metrics"
@@ -26,6 +28,11 @@ type Server struct {
 	srv  *http.Server
 	ln   net.Listener
 	mux  *http.ServeMux
+
+	// pollDelay, when non-nil, runs inside handleRequest after the
+	// mailbox drain and before the response is written. Tests use it to
+	// hold a poll in flight across a Shutdown call.
+	pollDelay func()
 }
 
 // NewServer binds the API to addr (e.g. ":1188"; use ":0" in tests).
@@ -46,7 +53,16 @@ func NewServer(node *RealNode, addr string) (*Server, error) {
 	mux.Handle("/metrics", metrics.Handler(func() metrics.Snapshot { return node.Metrics().Snapshot() }))
 	mux.Handle("/trace", node.TraceHandler())
 	s.mux = mux
-	s.srv = &http.Server{Handler: mux}
+	// The API serves small JSON bodies on a lab network: generous but
+	// bounded timeouts keep a wedged client from pinning a connection
+	// (and its goroutine) forever.
+	s.srv = &http.Server{
+		Handler:           mux,
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       10 * time.Second,
+		WriteTimeout:      10 * time.Second,
+		IdleTimeout:       60 * time.Second,
+	}
 	return s, nil
 }
 
@@ -73,8 +89,14 @@ func (s *Server) Serve() error {
 	return err
 }
 
-// Close shuts the server down.
+// Close shuts the server down immediately, dropping in-flight
+// requests. Prefer Shutdown for a graceful exit.
 func (s *Server) Close() error { return s.srv.Close() }
+
+// Shutdown stops accepting new connections and waits for in-flight
+// requests (e.g. a /request_denm poll mid-drain) to complete, up to
+// the context deadline.
+func (s *Server) Shutdown(ctx context.Context) error { return s.srv.Shutdown(ctx) }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
@@ -110,6 +132,9 @@ func (s *Server) handleRequest(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	batch := s.node.RequestDENM()
+	if s.pollDelay != nil {
+		s.pollDelay()
+	}
 	out := make([]DENMSummary, 0, len(batch))
 	for _, rd := range batch {
 		out = append(out, Summarize(rd))

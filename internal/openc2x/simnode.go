@@ -77,6 +77,11 @@ type SimNode struct {
 	mailboxSpans []*tracing.Span
 	tracer       *tracing.Tracer
 
+	// Faults, when non-nil, screens every API request for injected
+	// timeouts and error responses. Assign a concrete value only —
+	// never a typed-nil interface.
+	Faults HTTPFaultModel
+
 	// TriggerCount counts accepted trigger_denm requests.
 	TriggerCount uint64
 	// PollCount counts request_denm polls served.
@@ -145,6 +150,30 @@ func (n *SimNode) TriggerDENM(req TriggerRequest, cb func(messages.ActionID, err
 		parent = n.tracer.Find(tracing.KeyChain)
 	}
 	sp := n.tracer.StartChild(parent, "openc2x.trigger_denm", "openc2x", n.station.Name(), n.kernel.Now())
+	if n.station.Crashed() {
+		sp.Drop(n.kernel.Now(), "node_down")
+		if cb != nil {
+			n.kernel.Schedule(nodeDownLatency, func() { cb(messages.ActionID{}, ErrNodeDown) })
+		}
+		return
+	}
+	if n.Faults != nil {
+		switch n.Faults.TriggerVerdict(n.kernel.Now()) {
+		case HTTPTimeout:
+			sp.Drop(n.kernel.Now(), "http_timeout")
+			if cb != nil {
+				n.kernel.Schedule(RequestTimeout, func() { cb(messages.ActionID{}, ErrRequestTimeout) })
+			}
+			return
+		case HTTPError:
+			sp.Drop(n.kernel.Now(), "http_error")
+			if cb != nil {
+				rtt := n.lat.Trigger.sample(n.rng) + n.lat.Trigger.sample(n.rng)
+				n.kernel.Schedule(rtt, func() { cb(messages.ActionID{}, ErrServerError) })
+			}
+			return
+		}
+	}
 	up := n.lat.Trigger.sample(n.rng)
 	n.mTrigUp.ObserveDuration(up)
 	n.kernel.Schedule(up, func() {
@@ -183,10 +212,43 @@ func (n *SimNode) TriggerDENM(req TriggerRequest, cb func(messages.ActionID, err
 
 // RequestDENM models POST /request_denm: after the uplink latency the
 // mailbox is drained; the callback receives the batch (possibly empty,
-// the HTTP 200 of the paper) after the downlink latency.
+// the HTTP 200 of the paper) after the downlink latency. Failed
+// requests (node down, injected fault) are silently dropped; clients
+// that must distinguish them use RequestDENMResult.
 func (n *SimNode) RequestDENM(cb func([]ReceivedDENM)) {
 	if cb == nil {
 		return
+	}
+	n.RequestDENMResult(func(batch []ReceivedDENM, err error) {
+		if err == nil {
+			cb(batch)
+		}
+	})
+}
+
+// RequestDENMResult is RequestDENM with failure reporting: the
+// callback receives ErrNodeDown (crashed station, observed fast),
+// ErrRequestTimeout (after the RequestTimeout client deadline) or
+// ErrServerError. On any error the mailbox is left untouched, so
+// messages survive for the next successful poll.
+func (n *SimNode) RequestDENMResult(cb func([]ReceivedDENM, error)) {
+	if cb == nil {
+		return
+	}
+	if n.station.Crashed() {
+		n.kernel.Schedule(nodeDownLatency, func() { cb(nil, ErrNodeDown) })
+		return
+	}
+	if n.Faults != nil {
+		switch n.Faults.PollVerdict(n.kernel.Now()) {
+		case HTTPTimeout:
+			n.kernel.Schedule(RequestTimeout, func() { cb(nil, ErrRequestTimeout) })
+			return
+		case HTTPError:
+			rtt := n.lat.Poll.sample(n.rng) + n.lat.Poll.sample(n.rng)
+			n.kernel.Schedule(rtt, func() { cb(nil, ErrServerError) })
+			return
+		}
 	}
 	up := n.lat.Poll.sample(n.rng)
 	n.mPollUp.ObserveDuration(up)
@@ -216,11 +278,31 @@ func (n *SimNode) RequestDENM(cb func([]ReceivedDENM)) {
 		down := n.lat.Poll.sample(n.rng)
 		n.mPollDown.ObserveDuration(down)
 		n.kernel.Schedule(down, func() {
-			n.tracer.Scope(delivery, func() { cb(batch) })
+			n.tracer.Scope(delivery, func() { cb(batch, nil) })
 			delivery.End(n.kernel.Now())
 		})
 	})
 }
+
+// DropMailbox wipes queued DENMs without delivering them — the state
+// loss of a node crash. Open mailbox spans end with the given drop
+// reason. Returns the number of messages lost.
+func (n *SimNode) DropMailbox(reason string) int {
+	dropped := len(n.mailbox)
+	now := n.kernel.Now()
+	for _, sp := range n.mailboxSpans {
+		sp.Drop(now, reason)
+	}
+	n.mailbox = nil
+	n.mailboxAt = nil
+	n.mailboxSpans = nil
+	return dropped
+}
+
+// LastHeard reports the kernel time the wrapped station last delivered
+// a CAM or DENM to the application — the heartbeat-freshness signal a
+// polling client uses to judge V2X connectivity.
+func (n *SimNode) LastHeard() time.Duration { return n.station.LastRx() }
 
 // PendingDENMs reports the mailbox depth without draining it.
 func (n *SimNode) PendingDENMs() int { return len(n.mailbox) }

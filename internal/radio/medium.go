@@ -17,6 +17,21 @@ type ObstructionModel interface {
 	ObstructionLossDB(a, b geo.Point) float64
 }
 
+// FaultModel injects deterministic channel faults into the medium:
+// whole-channel blackouts, interference bursts raising the noise
+// floor, and forced per-link frame drops (burst loss / corruption).
+// Implementations must be deterministic functions of the simulation
+// state; faults.Injector satisfies it.
+type FaultModel interface {
+	// BlackoutAt reports whether the channel is wiped out at now.
+	BlackoutAt(now time.Duration) bool
+	// ExtraNoiseDB adds to every receiver's noise floor at now.
+	ExtraNoiseDB(now time.Duration) float64
+	// LinkDrop decides whether a frame on the directed link src→dst is
+	// forcibly lost; reason labels the drop span when it is.
+	LinkDrop(now time.Duration, src, dst string) (reason string, drop bool)
+}
+
 // MediumConfig parameterises the shared broadcast medium.
 type MediumConfig struct {
 	PathLoss PathLossModel
@@ -37,6 +52,9 @@ type MediumConfig struct {
 	// Tracer, when non-nil, records per-frame spans: EDCA access delay,
 	// airtime, and per-receiver outcomes (drops carry a drop_reason).
 	Tracer *tracing.Tracer
+	// Faults, when non-nil, screens every frame reception for injected
+	// channel faults (blackouts, noise bursts, per-link loss).
+	Faults FaultModel
 }
 
 func (c *MediumConfig) applyDefaults() {
@@ -86,6 +104,7 @@ type Medium struct {
 	FramesDelivered uint64
 
 	mSent, mDelivered, mLostSens, mLostSINR *metrics.Counter
+	mLostBlackout, mLostFault               *metrics.Counter
 	mAirtime                                [ACBackground + 1]*metrics.Histogram
 }
 
@@ -105,6 +124,12 @@ func NewMedium(kernel *sim.Kernel, cfg MediumConfig) *Medium {
 		m.mDelivered = r.Counter("radio_frames_delivered_total")
 		m.mLostSens = r.Counter("radio_frames_lost_total", metrics.L("reason", "sensitivity"))
 		m.mLostSINR = r.Counter("radio_frames_lost_total", metrics.L("reason", "sinr"))
+		if cfg.Faults != nil {
+			// Registered only under fault injection so fault-free runs
+			// keep their metric snapshot unchanged.
+			m.mLostBlackout = r.Counter("radio_frames_lost_total", metrics.L("reason", "blackout"))
+			m.mLostFault = r.Counter("radio_frames_lost_total", metrics.L("reason", "fault"))
+		}
 		for ac := ACVoice; ac <= ACBackground; ac++ {
 			m.mAirtime[ac] = r.Histogram("radio_airtime_seconds", metrics.L("ac", ac.String()))
 		}
@@ -202,9 +227,33 @@ func (m *Medium) transmit(iface *Interface, frame []byte, ac AccessCategory, par
 func (m *Medium) complete(t *transmission) {
 	now := m.kernel.Now()
 	t.span.End(now)
+	var blackout bool
+	var extraNoiseDB float64
+	if f := m.cfg.Faults; f != nil {
+		blackout = f.BlackoutAt(now)
+		extraNoiseDB = f.ExtraNoiseDB(now)
+	}
 	for _, dst := range m.ifaces {
 		if dst == t.src {
 			continue
+		}
+		if blackout {
+			m.FramesLost++
+			m.mLostBlackout.Inc()
+			if sp := m.cfg.Tracer.StartChild(t.span, "radio.rx", "radio", dst.cfg.Name, now); sp != nil {
+				sp.Drop(now, "blackout")
+			}
+			continue
+		}
+		if f := m.cfg.Faults; f != nil {
+			if reason, drop := f.LinkDrop(now, t.src.cfg.Name, dst.cfg.Name); drop {
+				m.FramesLost++
+				m.mLostFault.Inc()
+				if sp := m.cfg.Tracer.StartChild(t.span, "radio.rx", "radio", dst.cfg.Name, now); sp != nil {
+					sp.Drop(now, reason)
+				}
+				continue
+			}
 		}
 		rx := m.rxPowerDBm(t, dst)
 		if rx < m.cfg.SensitivityDBm {
@@ -216,8 +265,8 @@ func (m *Medium) complete(t *transmission) {
 			continue
 		}
 		// Interference: power of other transmissions overlapping in
-		// time at this receiver.
-		interfMW := dbmToMilliwatt(m.cfg.NoiseFloorDBm)
+		// time at this receiver, plus any injected noise burst.
+		interfMW := dbmToMilliwatt(m.cfg.NoiseFloorDBm + extraNoiseDB)
 		for _, o := range m.ongoing {
 			if o == t || o.src == dst {
 				continue
@@ -356,7 +405,9 @@ func (m *Medium) Attach(cfg InterfaceConfig, pos PositionFunc) (*Interface, erro
 	if r := m.cfg.Metrics; r != nil {
 		st := metrics.L("station", cfg.Name)
 		iface.mQueued = r.Counter("radio_tx_queued_total", st)
-		iface.mDropped = r.Counter("radio_tx_queue_drops_total", st)
+		// drop_reason makes queue-full losses attributable in -metrics
+		// output alongside the queue_full drop span in /trace.
+		iface.mDropped = r.Counter("radio_tx_queue_drops_total", st, metrics.L("drop_reason", "queue_full"))
 		iface.mTx = r.Counter("radio_tx_frames_total", st)
 		iface.mRx = r.Counter("radio_rx_frames_total", st)
 		iface.mCorrupt = r.Counter("radio_rx_corrupted_total", st)

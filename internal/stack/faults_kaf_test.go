@@ -1,0 +1,147 @@
+package stack
+
+import (
+	"testing"
+	"time"
+
+	"itsbed/internal/clock"
+	"itsbed/internal/faults"
+	"itsbed/internal/geo"
+	"itsbed/internal/its/facilities/den"
+	"itsbed/internal/its/messages"
+	"itsbed/internal/radio"
+	"itsbed/internal/sim"
+	"itsbed/internal/units"
+)
+
+// TestDENMRepetitionSurvivesBurstLoss injects a deterministic rsu→obu
+// burst (every frame lost until 2.3 s) under a DENM triggered at 1 s
+// with 500 ms repetitions: the initial transmission and the first
+// repetitions are lost, yet the warning must still arrive at the OBU
+// within the repetition window once the burst clears. It then guards
+// the EN 302 637-3 expiry rule fixed in an earlier change: the OBU's
+// keep-alive forwarder anchors validity at the FIRST observation, so
+// later repetitions (same reference time) must not push expiry out.
+func TestDENMRepetitionSurvivesBurstLoss(t *testing.T) {
+	k := sim.NewKernel(3)
+	frame, err := geo.NewFrame(geo.CISTERLab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := faults.Plan{
+		Name: "test-burst",
+		Links: []faults.LinkFault{{
+			From: "rsu", To: "obu",
+			// Degenerate Gilbert–Elliott chain: lose every frame in the
+			// window regardless of state.
+			LossGood: 1, LossBad: 1,
+			Windows: []faults.Window{{Start: 0, End: faults.Duration(2300 * time.Millisecond)}},
+		}},
+	}
+	inj := faults.NewInjector(k, plan, nil, nil)
+	medium := radio.NewMedium(k, radio.MediumConfig{Faults: inj})
+
+	rsuPos := geo.Point{X: 0, Y: 6}
+	rsu, err := New(k, medium, Config{
+		Name: "rsu", Role: RoleRSU, StationID: 1001,
+		StationType:        units.StationTypeRoadSideUnit,
+		Frame:              frame,
+		Mobility:           StaticMobility{Point: rsuPos, Geo: frame.ToGeodetic(rsuPos)},
+		NTP:                clock.PerfectNTP(),
+		DisableCAMTriggers: true,
+		DisableForwarding:  true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	obuPos := geo.Point{X: 0, Y: 0}
+	obu, err := New(k, medium, Config{
+		Name: "obu", Role: RoleOBU, StationID: 2001,
+		StationType:       units.StationTypePassengerCar,
+		Frame:             frame,
+		Mobility:          StaticMobility{Point: obuPos, Geo: frame.ToGeodetic(obuPos)},
+		NTP:               clock.PerfectNTP(),
+		DisableForwarding: true,
+		EnableKAF:         true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rsu.Start()
+	obu.Start()
+	defer rsu.Stop()
+	defer obu.Stop()
+
+	var deliveredAt time.Duration
+	obu.OnDENM = func(*messages.DENM) {
+		if deliveredAt == 0 {
+			deliveredAt = k.Now()
+		}
+	}
+
+	const (
+		triggerAt = time.Second
+		repEvery  = 500 * time.Millisecond
+		repFor    = 2500 * time.Millisecond
+		validity  = 3 * time.Second
+	)
+	k.Schedule(triggerAt, func() {
+		_, err := rsu.DEN.Trigger(den.EventRequest{
+			EventType: messages.EventType{
+				CauseCode:    messages.CauseCollisionRisk,
+				SubCauseCode: messages.CollisionRiskCrossing,
+			},
+			Position:           frame.ToGeodetic(geo.Point{X: 0, Y: 3}),
+			Quality:            3,
+			Validity:           validity,
+			RepetitionInterval: repEvery,
+			RepetitionDuration: repFor,
+		})
+		if err != nil {
+			t.Error(err)
+		}
+	})
+
+	// Phase 1: the burst swallows the 1 s transmission and the 1.5 s and
+	// 2.0 s repetitions; the 2.5 s repetition must get through.
+	if err := k.Run(4 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if deliveredAt == 0 {
+		t.Fatal("DENM never delivered despite repetitions outlasting the burst")
+	}
+	if deliveredAt < 2300*time.Millisecond {
+		t.Fatalf("DENM delivered at %v, inside the loss window", deliveredAt)
+	}
+	if deliveredAt > triggerAt+repFor+100*time.Millisecond {
+		t.Fatalf("DENM delivered at %v, outside the repetition window", deliveredAt)
+	}
+	if inj.LinkDrops == 0 {
+		t.Fatal("injector recorded no link drops")
+	}
+	kaf := obu.denRx.KAF
+	if kaf.Active() != 1 {
+		t.Fatalf("KAF tracking %d events, want 1", kaf.Active())
+	}
+
+	// Phase 2: validity runs from the first observation (~2.5 s), so the
+	// entry must expire by ~5.5 s even though repetitions kept arriving
+	// until 3.5 s. The timer reaps lazily on its next silence tick, so
+	// give it one extra interval.
+	if err := k.Run(deliveredAt + validity + 2*repEvery); err != nil {
+		t.Fatal(err)
+	}
+	if kaf.Active() != 0 {
+		t.Fatal("KAF entry outlived first-observation validity: repetitions extended expiry")
+	}
+	if kaf.Forwarded == 0 {
+		t.Fatal("KAF never forwarded during post-repetition silence")
+	}
+	frozen := kaf.Forwarded
+	if err := k.Run(9 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if kaf.Forwarded != frozen {
+		t.Fatalf("KAF kept forwarding after expiry: %d -> %d", frozen, kaf.Forwarded)
+	}
+}

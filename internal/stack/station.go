@@ -178,6 +178,14 @@ type Station struct {
 	denRx        den.Receiver
 	beaconTicker *sim.Ticker
 
+	// crashed gates the whole station: inbound frames are ignored and
+	// cyclic services stay down until Restart.
+	crashed bool
+	// lastRx is the kernel time of the last CAM/DENM delivered to the
+	// application — the heartbeat-freshness source for the vehicle's
+	// network watchdog.
+	lastRx time.Duration
+
 	// OnCAM, if set, receives every new CAM after LDM ingestion.
 	OnCAM func(*messages.CAM)
 	// OnDENM, if set, receives every new or updated DENM after LDM
@@ -253,13 +261,14 @@ func New(kernel *sim.Kernel, medium *radio.Medium, cfg Config) (*Station, error)
 		return nil, fmt.Errorf("stack: router: %w", err)
 	}
 	s.Router = router
-	link.SetReceiver(router.OnFrame)
+	link.SetReceiver(s.onFrame)
 
 	s.LDM = ldm.New(ldm.Config{Frame: cfg.Frame, Now: kernel.Now})
 
 	s.caRx = ca.Receiver{Metrics: cfg.Metrics, Name: cfg.Name, Tracer: cfg.Tracer, Now: kernel.Now, Sink: func(c *messages.CAM) {
 		s.LDM.IngestCAM(c)
 		s.DeliveredCAMs++
+		s.lastRx = kernel.Now()
 		s.mDelCAM.Inc()
 		if s.OnCAM != nil {
 			s.OnCAM(c)
@@ -268,6 +277,7 @@ func New(kernel *sim.Kernel, medium *radio.Medium, cfg Config) (*Station, error)
 	s.denRx = den.Receiver{Metrics: cfg.Metrics, Name: cfg.Name, Tracer: cfg.Tracer, Now: kernel.Now, Sink: func(d *messages.DENM) {
 		s.LDM.IngestDENM(d)
 		s.DeliveredDENMs++
+		s.lastRx = kernel.Now()
 		s.mDelDENM.Inc()
 		if s.OnDENM != nil {
 			s.OnDENM(d)
@@ -365,6 +375,51 @@ func (s *Station) Stop() {
 		s.beaconTicker = nil
 	}
 }
+
+// onFrame is the station-level frame entry point: it gates the GN
+// router behind the crash state, so a crashed node is deaf until
+// Restart (the radio still physically receives, the process is gone).
+func (s *Station) onFrame(frame []byte) {
+	if s.crashed {
+		return
+	}
+	s.Router.OnFrame(frame)
+}
+
+// Crash models the station process dying: cyclic services, repetition
+// and keep-alive timers stop and inbound frames are ignored.
+// Application state held by the node (mailboxes) is the caller's to
+// wipe. Idempotent.
+func (s *Station) Crash() {
+	if s.crashed {
+		return
+	}
+	s.crashed = true
+	s.Stop()
+}
+
+// Restart brings a crashed station back with empty volatile state: the
+// LDM and the receivers' duplicate-detection state are lost, exactly
+// as a rebooted OpenC2X process would come up blank. Cyclic services
+// resume. No-op unless crashed.
+func (s *Station) Restart() {
+	if !s.crashed {
+		return
+	}
+	s.crashed = false
+	s.LDM.Clear()
+	s.denRx.Reset()
+	s.Start()
+}
+
+// Crashed reports whether the station is down.
+func (s *Station) Crashed() bool { return s.crashed }
+
+// LastRx returns the kernel time of the last CAM/DENM delivered to the
+// application, zero when nothing was heard yet. The vehicle's network
+// watchdog reads it (through the OpenC2X node) as the connectivity
+// heartbeat.
+func (s *Station) LastRx() time.Duration { return s.lastRx }
 
 // sendCAM encapsulates a CAM payload in BTP-B/GN-SHB after the tx
 // processing latency.

@@ -54,7 +54,40 @@ type Config struct {
 	NTP clock.NTPModel
 	// Actuation is the USART/Teensy/PWM latency model.
 	Actuation control.ActuationLatency
+	// Watchdog configures the network fail-safe; disabled by default,
+	// which preserves the paper's pure network-aided behaviour.
+	Watchdog WatchdogConfig
 }
+
+// WatchdogConfig parameterises the vehicle's network watchdog: a
+// fail-safe that monitors V2X heartbeat freshness (CAM/DENM receptions
+// observed through the OBU poll path) and, when connectivity goes
+// stale, degrades to an autonomous time-to-collision emergency brake
+// against the known action point.
+type WatchdogConfig struct {
+	// Enabled turns the watchdog on.
+	Enabled bool
+	// StaleAfter is the heartbeat age beyond which connectivity counts
+	// as lost; zero selects 1.5 s (the RSU beacons CAMs at 1 Hz).
+	StaleAfter time.Duration
+	// TTCThreshold: in degraded mode, the brake fires when the time to
+	// reach the action point drops to this; zero selects 1.2 s.
+	TTCThreshold time.Duration
+	// CheckPeriod of the watchdog loop; zero selects 25 ms.
+	CheckPeriod time.Duration
+}
+
+// StopCause values reported by Vehicle.StopCause.
+const (
+	// StopCauseDENM: the stop came from a received DENM (warned stop).
+	StopCauseDENM = "denm"
+	// StopCauseWatchdog: the network watchdog braked autonomously
+	// (fail-safe stop).
+	StopCauseWatchdog = "watchdog"
+	// StopCauseDirect: EmergencyStop was invoked directly (onboard
+	// system or planner).
+	StopCauseDirect = "direct"
+)
 
 // DefaultConfig returns the paper's approach-run configuration.
 func DefaultConfig(layout track.Layout) Config {
@@ -91,9 +124,19 @@ type Vehicle struct {
 	physTicker *sim.Ticker
 	ctrlTicker *sim.Ticker
 	pollTicker *sim.Ticker
+	wdTicker   *sim.Ticker
 
 	stopIssued   bool
 	haltObserved bool
+	stopCause    string
+
+	// lastFresh is the latest V2X heartbeat (OBU reception time) the
+	// poller has confirmed; degraded latches while it is stale.
+	lastFresh time.Duration
+	degraded  bool
+	// actionArc caches the action point's arc position for the degraded
+	// TTC check (-1 when the layout has none).
+	actionArc float64
 
 	// OnStopCommand fires when the stop command is written towards the
 	// actuators, with the vehicle-clock timestamp (the paper's step 5).
@@ -110,6 +153,15 @@ type Vehicle struct {
 	PollsIssued uint64
 	// DENMsHandled counts DENMs consumed by the message handler.
 	DENMsHandled uint64
+	// PollFailures counts OBU polls that failed (node down, timeout,
+	// server error) — only observable with the watchdog enabled.
+	PollFailures uint64
+	// WatchdogTrips counts transitions into degraded mode.
+	WatchdogTrips uint64
+
+	// OnWatchdogTrip, if set, observes each transition into degraded
+	// mode with the kernel time (core threads it into fault metrics).
+	OnWatchdogTrip func(now time.Duration)
 }
 
 // New places a vehicle on the layout at StartArc, at rest, facing
@@ -185,17 +237,31 @@ func (v *Vehicle) Start() {
 			phase = time.Duration(v.rng.Int63n(int64(v.cfg.PollInterval)))
 		}
 		v.pollTicker = v.kernel.Every(phase, v.cfg.PollInterval, v.pollOBU)
+		if v.cfg.Watchdog.Enabled {
+			// Connectivity counts as fresh at launch: the watchdog only
+			// trips after a genuine silence interval.
+			v.lastFresh = v.kernel.Now()
+			v.actionArc = -1
+			if arc, ok := v.cfg.Layout.ActionPointArc(); ok {
+				v.actionArc = arc
+			}
+			period := v.cfg.Watchdog.CheckPeriod
+			if period <= 0 {
+				period = 25 * time.Millisecond
+			}
+			v.wdTicker = v.kernel.Every(period, period, v.watchdogTick)
+		}
 	}
 }
 
 // Stop halts all loops.
 func (v *Vehicle) Stop() {
-	for _, t := range []*sim.Ticker{v.physTicker, v.ctrlTicker, v.pollTicker} {
+	for _, t := range []*sim.Ticker{v.physTicker, v.ctrlTicker, v.pollTicker, v.wdTicker} {
 		if t != nil {
 			t.Stop()
 		}
 	}
-	v.physTicker, v.ctrlTicker, v.pollTicker = nil, nil, nil
+	v.physTicker, v.ctrlTicker, v.pollTicker, v.wdTicker = nil, nil, nil, nil
 }
 
 func (v *Vehicle) physicsTick() {
@@ -273,15 +339,19 @@ func (v *Vehicle) applyCommand(cmd control.Command) {
 	})
 }
 
-// issueEmergencyStop sends the stop command to the actuators exactly
-// once: the command is stamped at the USART write (the paper's step 5)
-// and the physical power cut lands after the modeled actuation
-// latency.
-func (v *Vehicle) issueEmergencyStop() {
+// issueEmergencyStop is the planner-path stop (cmd.EmergencyStop).
+func (v *Vehicle) issueEmergencyStop() { v.issueStop(StopCauseDirect) }
+
+// issueStop sends the stop command to the actuators exactly once: the
+// command is stamped at the USART write (the paper's step 5) and the
+// physical power cut lands after the modeled actuation latency. The
+// first caller's cause wins and is reported by StopCause.
+func (v *Vehicle) issueStop(cause string) {
 	if v.stopIssued {
 		return
 	}
 	v.stopIssued = true
+	v.stopCause = cause
 	v.planner.RequestEmergencyStop()
 	if v.OnStopCommand != nil {
 		v.OnStopCommand(v.Clock.Now())
@@ -299,19 +369,83 @@ func (v *Vehicle) pollOBU() {
 		return
 	}
 	v.PollsIssued++
-	v.obu.RequestDENM(func(batch []openc2x.ReceivedDENM) {
-		if len(batch) == 0 {
+	if !v.cfg.Watchdog.Enabled {
+		v.obu.RequestDENM(v.handleBatch)
+		return
+	}
+	// With the watchdog on, the script distinguishes failed polls: an
+	// error leaves the heartbeat stale instead of being silently eaten.
+	v.obu.RequestDENMResult(func(batch []openc2x.ReceivedDENM, err error) {
+		if err != nil {
+			v.PollFailures++
 			return
 		}
-		v.DENMsHandled += uint64(len(batch))
-		// Message handler → motion planner → stop procedure. The
-		// script reacts directly, without waiting for the control
-		// loop, matching the paper's integration; parsing the HTTP
-		// response and dispatching the stop costs a couple of
-		// milliseconds of interpreter time.
-		proc := 9*time.Millisecond + time.Duration(v.rng.Int63n(int64(6*time.Millisecond))) - 3*time.Millisecond
-		v.kernel.Schedule(proc, v.issueEmergencyStop)
+		if hb := v.obu.LastHeard(); hb > v.lastFresh {
+			v.lastFresh = hb
+		}
+		v.handleBatch(batch)
 	})
+}
+
+// handleBatch consumes one poll response.
+func (v *Vehicle) handleBatch(batch []openc2x.ReceivedDENM) {
+	if len(batch) == 0 {
+		return
+	}
+	v.DENMsHandled += uint64(len(batch))
+	// Message handler → motion planner → stop procedure. The
+	// script reacts directly, without waiting for the control
+	// loop, matching the paper's integration; parsing the HTTP
+	// response and dispatching the stop costs a couple of
+	// milliseconds of interpreter time.
+	proc := 9*time.Millisecond + time.Duration(v.rng.Int63n(int64(6*time.Millisecond))) - 3*time.Millisecond
+	v.kernel.Schedule(proc, func() { v.issueStop(StopCauseDENM) })
+}
+
+// watchdogTick evaluates heartbeat freshness and, in degraded mode,
+// performs the autonomous TTC-based brake check against the action
+// point. Recovered connectivity (a fresh heartbeat after a node
+// restart) clears the degraded latch.
+func (v *Vehicle) watchdogTick() {
+	if v.stopIssued {
+		return
+	}
+	now := v.kernel.Now()
+	stale := v.cfg.Watchdog.StaleAfter
+	if stale <= 0 {
+		stale = 1500 * time.Millisecond
+	}
+	if now-v.lastFresh <= stale {
+		v.degraded = false
+		return
+	}
+	if !v.degraded {
+		v.degraded = true
+		v.WatchdogTrips++
+		if v.OnWatchdogTrip != nil {
+			v.OnWatchdogTrip(now)
+		}
+	}
+	if v.actionArc < 0 {
+		return
+	}
+	st := v.Body.State()
+	if st.Speed <= 0.05 {
+		return
+	}
+	arc, _ := v.cfg.Layout.Line.Project(st.Position)
+	remaining := v.actionArc - arc
+	if remaining < 0 {
+		remaining = 0
+	}
+	threshold := v.cfg.Watchdog.TTCThreshold
+	if threshold <= 0 {
+		threshold = 1200 * time.Millisecond
+	}
+	ttc := time.Duration(remaining / st.Speed * float64(time.Second))
+	if ttc <= threshold {
+		v.issueStop(StopCauseWatchdog)
+	}
 }
 
 // EmergencyStop triggers the stop procedure directly, as an onboard
@@ -321,6 +455,15 @@ func (v *Vehicle) EmergencyStop() { v.issueEmergencyStop() }
 
 // StopIssued reports whether the emergency stop was triggered.
 func (v *Vehicle) StopIssued() bool { return v.stopIssued }
+
+// StopCause reports what triggered the stop (StopCauseDENM,
+// StopCauseWatchdog or StopCauseDirect); empty while no stop was
+// issued.
+func (v *Vehicle) StopCause() string { return v.stopCause }
+
+// Degraded reports whether the network watchdog currently considers
+// connectivity lost.
+func (v *Vehicle) Degraded() bool { return v.degraded }
 
 // Halted reports whether the vehicle has come to rest after a stop.
 func (v *Vehicle) Halted() bool { return v.haltObserved }
@@ -334,4 +477,7 @@ func (v *Vehicle) Reset() {
 	v.planner.Reset()
 	v.stopIssued = false
 	v.haltObserved = false
+	v.stopCause = ""
+	v.degraded = false
+	v.lastFresh = 0
 }
