@@ -19,6 +19,13 @@ type Reader struct {
 // not mutate it while decoding.
 func NewReader(buf []byte) *Reader { return &Reader{buf: buf} }
 
+// Reset points the reader at a new stream and rewinds it, allowing a
+// stack-allocated or reused Reader instead of NewReader's heap value.
+func (r *Reader) Reset(buf []byte) {
+	r.buf = buf
+	r.pos = 0
+}
+
 // BitsRemaining reports how many bits are left.
 func (r *Reader) BitsRemaining() int { return len(r.buf)*8 - r.pos }
 
@@ -35,7 +42,8 @@ func (r *Reader) ReadBit() (bool, error) {
 	return b, nil
 }
 
-// ReadBits consumes n bits (n ≤ 64) most significant first.
+// ReadBits consumes n bits (n ≤ 64) most significant first. Bits are
+// extracted a partial byte at a time rather than bit-by-bit.
 func (r *Reader) ReadBits(n int) (uint64, error) {
 	if n < 0 || n > 64 {
 		return 0, fmt.Errorf("asn1per: ReadBits width %d", n)
@@ -44,13 +52,19 @@ func (r *Reader) ReadBits(n int) (uint64, error) {
 		return 0, ErrTruncated
 	}
 	var v uint64
-	for i := 0; i < n; i++ {
-		b, _ := r.ReadBit()
-		v <<= 1
-		if b {
-			v |= 1
+	pos := r.pos
+	for n > 0 {
+		avail := 8 - pos%8
+		take := avail
+		if take > n {
+			take = n
 		}
+		chunk := uint64(r.buf[pos/8]>>uint(avail-take)) & (1<<uint(take) - 1)
+		v = v<<uint(take) | chunk
+		pos += take
+		n -= take
 	}
+	r.pos = pos
 	return v, nil
 }
 

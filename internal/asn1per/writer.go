@@ -14,6 +14,7 @@ import (
 	"errors"
 	"fmt"
 	"math/bits"
+	"sync"
 )
 
 // ErrRange indicates a value outside its PER constraint.
@@ -24,6 +25,34 @@ var ErrRange = errors.New("asn1per: value out of constrained range")
 type Writer struct {
 	buf  []byte
 	nbit int // bits used in the last byte, 0..7 (0 means byte-aligned)
+}
+
+// Reset discards the accumulated stream but keeps the underlying
+// buffer, so a reused Writer encodes without reallocating.
+func (w *Writer) Reset() {
+	w.buf = w.buf[:0]
+	w.nbit = 0
+}
+
+// writerPool recycles Writers across encodes. The ITS facilities emit
+// CAMs every 100 ms and DENM repetitions every few tens of ms per
+// station; without pooling each message grows a fresh buffer.
+var writerPool = sync.Pool{New: func() any { return new(Writer) }}
+
+// GetWriter returns a reset Writer from the package pool. Release it
+// with PutWriter once the encoded bytes have been copied out (Bytes
+// copies, so releasing after Bytes is safe).
+func GetWriter() *Writer {
+	w := writerPool.Get().(*Writer)
+	w.Reset()
+	return w
+}
+
+// PutWriter returns a Writer obtained from GetWriter to the pool.
+func PutWriter(w *Writer) {
+	if w != nil {
+		writerPool.Put(w)
+	}
 }
 
 // Len returns the number of whole and partial bytes written so far.
@@ -69,13 +98,28 @@ func (w *Writer) WriteBit(b bool) {
 }
 
 // WriteBits appends the low n bits of v, most significant first.
-// n must be within [0, 64].
+// n must be within [0, 64]. Bits are packed a partial byte at a time
+// rather than bit-by-bit.
 func (w *Writer) WriteBits(v uint64, n int) {
 	if n < 0 || n > 64 {
 		panic(fmt.Sprintf("asn1per: WriteBits width %d", n))
 	}
-	for i := n - 1; i >= 0; i-- {
-		w.WriteBit(v>>uint(i)&1 == 1)
+	if n < 64 {
+		v &= 1<<uint(n) - 1
+	}
+	for n > 0 {
+		if w.nbit == 0 {
+			w.buf = append(w.buf, 0)
+			w.nbit = 8
+		}
+		take := w.nbit
+		if take > n {
+			take = n
+		}
+		chunk := byte(v >> uint(n-take)) // top `take` bits of the remaining value
+		w.buf[len(w.buf)-1] |= chunk << uint(w.nbit-take)
+		w.nbit -= take
+		n -= take
 	}
 }
 

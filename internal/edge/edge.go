@@ -263,7 +263,7 @@ func (h *HazardAdvertisementService) OnTrack(tr TrackedObject, res perception.Fr
 	if proc < 0 {
 		proc = 0
 	}
-	h.kernel.Schedule(proc, func() {
+	h.kernel.ScheduleFn(proc, func() {
 		h.Triggers++
 		req := openc2x.TriggerRequest{
 			CauseCode:    uint8(h.cfg.Cause.CauseCode),
@@ -319,7 +319,7 @@ func (h *HazardAdvertisementService) sendTrigger(req openc2x.TriggerRequest, att
 		if h.OnTriggerRetry != nil {
 			h.OnTriggerRetry(attempt + 1)
 		}
-		h.kernel.Schedule(backoff, func() { h.sendTrigger(req, attempt+1) })
+		h.kernel.ScheduleFn(backoff, func() { h.sendTrigger(req, attempt+1) })
 	})
 }
 

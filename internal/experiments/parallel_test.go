@@ -5,6 +5,7 @@ import (
 	"testing"
 	"time"
 
+	"itsbed/internal/metrics"
 	"itsbed/internal/tracing"
 )
 
@@ -174,5 +175,73 @@ func TestTraceDeterministicAcrossWorkers(t *testing.T) {
 		if gotFall != wantFall {
 			t.Fatalf("workers=%d: waterfall not byte-identical", w)
 		}
+	}
+}
+
+// TestAttemptRegistryNoCrossAttemptLeakage audits the campaign's pooled
+// per-attempt registries: a counter incremented during attempt N must
+// read zero at the start of attempt N+1, and a pooled registry handed
+// to a new attempt must snapshot empty before the attempt touches it.
+func TestAttemptRegistryNoCrossAttemptLeakage(t *testing.T) {
+	// Attempt N: take a registry from the pool the way runOnce does,
+	// record some work, return it.
+	regN := attemptRegistries.Get().(*metrics.Registry)
+	regN.Reset()
+	regN.Counter("leak_canary").Add(5)
+	regN.Gauge("leak_depth").Set(7)
+	regN.Histogram("leak_ms").Observe(123)
+	attemptRegistries.Put(regN)
+
+	// Attempt N+1: the registry comes back from the pool and is Reset
+	// before use — nothing from attempt N may be visible.
+	regN1 := attemptRegistries.Get().(*metrics.Registry)
+	regN1.Reset()
+	defer attemptRegistries.Put(regN1)
+	if s := regN1.Snapshot(); len(s.Counters)+len(s.Gauges)+len(s.Histograms) != 0 {
+		t.Fatalf("attempt N+1 starts with leaked families: %+v", s)
+	}
+	if v := regN1.Counter("leak_canary").Value(); v != 0 {
+		t.Fatalf("leak_canary = %d at start of attempt N+1, want 0", v)
+	}
+	if v := regN1.Gauge("leak_depth").Value(); v != 0 {
+		t.Fatalf("leak_depth = %g at start of attempt N+1, want 0", v)
+	}
+	regN1.Histogram("leak_ms") // revive without observing
+	for _, h := range regN1.Snapshot().Histograms {
+		if h.Count != 0 || h.Sum != 0 {
+			t.Fatalf("leak_ms carries observations at start of attempt N+1: %+v", h)
+		}
+	}
+}
+
+// TestCampaignRepeatUsesCleanRegistries runs the same small campaign
+// twice in a row. The second campaign draws warm registries and tracers
+// from the pools populated by the first, so any cross-attempt state
+// would corrupt its merged, byte-exact metrics/trace output.
+func TestCampaignRepeatUsesCleanRegistries(t *testing.T) {
+	opt := fastOpt(7, 4)
+	opt.Trace = true
+	first, err := TableII(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := TableII(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Metrics.Format() != second.Metrics.Format() {
+		t.Fatal("repeat campaign metrics differ: pooled registries leak state between attempts")
+	}
+	if first.Format() != second.Format() {
+		t.Fatal("repeat campaign table differs")
+	}
+	if len(first.Traces.Spans) == 0 {
+		t.Fatal("traced campaign recorded no spans")
+	}
+	if !reflect.DeepEqual(first.Traces, second.Traces) {
+		t.Fatal("repeat campaign traces differ: pooled tracers leak state between attempts")
+	}
+	if string(tracing.ChromeTrace(first.Traces)) != string(tracing.ChromeTrace(second.Traces)) {
+		t.Fatal("repeat campaign Chrome trace export differs")
 	}
 }

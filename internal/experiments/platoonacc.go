@@ -220,7 +220,7 @@ func platoonACCRun(seed int64, gap float64, members int, followersHaveOBU bool) 
 					f.stopped = true
 					// Script dispatch + actuation latency, as on the
 					// leader.
-					kernel.Schedule(12*time.Millisecond, f.body.CutPower)
+					kernel.ScheduleFn(12*time.Millisecond, f.body.CutPower)
 				})
 			})
 		}

@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"math/rand"
 	"strings"
+	"sync"
 	"time"
 
 	"itsbed/internal/campaign"
@@ -20,6 +21,16 @@ import (
 	"itsbed/internal/metrics"
 	"itsbed/internal/stats"
 	"itsbed/internal/tracing"
+)
+
+// Per-attempt registries and tracers are pooled across a campaign's
+// attempts: a Reset registry/tracer snapshots bit-identically to a
+// fresh one (generation-filtered families, restarted span IDs), so
+// reuse is invisible in the merged output for any -workers value while
+// a 1k-run sweep stops allocating ~1k registries' worth of families.
+var (
+	attemptRegistries = sync.Pool{New: func() any { return metrics.NewRegistry() }}
+	attemptTracers    = sync.Pool{New: func() any { return tracing.New() }}
 )
 
 // ScenarioOptions tune the common emergency-brake scenario.
@@ -72,10 +83,21 @@ func runOnce(opt ScenarioOptions, i int) (*core.Result, error) {
 	cfg.Vehicle.CruiseSpeed += rng.Float64()*0.40 - 0.20
 	cfg.Vehicle.Params.BrakeDecel += rng.Float64()*1.6 - 0.8
 	if opt.Trace {
-		cfg.Tracer = tracing.New()
+		tr := attemptTracers.Get().(*tracing.Tracer)
+		tr.Reset()
+		defer attemptTracers.Put(tr)
+		cfg.Tracer = tr
 	}
 	if opt.Configure != nil {
 		opt.Configure(&cfg)
+	}
+	if cfg.Metrics == nil {
+		// The result only carries snapshots (copies), so the attempt's
+		// registry can go back to the pool once the run is over.
+		reg := attemptRegistries.Get().(*metrics.Registry)
+		reg.Reset()
+		defer attemptRegistries.Put(reg)
+		cfg.Metrics = reg
 	}
 	tb, err := core.New(cfg)
 	if err != nil {

@@ -110,8 +110,9 @@ func (c *CAM) Encode() ([]byte, error) {
 	if c == nil {
 		return nil, errNilMessage
 	}
-	var w asn1per.Writer
-	if err := c.Header.encode(&w); err != nil {
+	w := asn1per.GetWriter()
+	defer asn1per.PutWriter(w)
+	if err := c.Header.encode(w); err != nil {
 		return nil, fmt.Errorf("messages: CAM header: %w", err)
 	}
 	if err := w.WriteConstrainedInt(int64(c.GenerationDeltaTime), 0, 65535); err != nil {
@@ -119,14 +120,14 @@ func (c *CAM) Encode() ([]byte, error) {
 	}
 	// camParameters presence bitmap: lowFrequencyContainer OPTIONAL.
 	w.WriteBool(c.LowFrequency != nil)
-	if err := c.Basic.encode(&w); err != nil {
+	if err := c.Basic.encode(w); err != nil {
 		return nil, fmt.Errorf("messages: basicContainer: %w", err)
 	}
-	if err := c.HighFrequency.encode(&w); err != nil {
+	if err := c.HighFrequency.encode(w); err != nil {
 		return nil, fmt.Errorf("messages: highFrequencyContainer: %w", err)
 	}
 	if c.LowFrequency != nil {
-		if err := c.LowFrequency.encode(&w); err != nil {
+		if err := c.LowFrequency.encode(w); err != nil {
 			return nil, fmt.Errorf("messages: lowFrequencyContainer: %w", err)
 		}
 	}
@@ -135,7 +136,9 @@ func (c *CAM) Encode() ([]byte, error) {
 
 // DecodeCAM parses a UPER-encoded CAM.
 func DecodeCAM(data []byte) (*CAM, error) {
-	r := asn1per.NewReader(data)
+	var rd asn1per.Reader
+	rd.Reset(data)
+	r := &rd
 	h, err := decodeHeader(r)
 	if err != nil {
 		return nil, fmt.Errorf("messages: CAM header: %w", err)
@@ -188,63 +191,91 @@ func decodeBasicContainer(r *asn1per.Reader) (BasicContainer, error) {
 }
 
 func (hf BasicVehicleContainerHighFrequency) encode(w *asn1per.Writer) error {
-	steps := []struct {
-		name   string
-		v      int64
-		lo, hi int64
-	}{
-		{"heading", int64(hf.Heading), 0, 3601},
-		{"headingConfidence", int64(hf.HeadingConfidence), 1, 127},
-		{"speed", int64(hf.Speed), 0, 16383},
-		{"speedConfidence", int64(hf.SpeedConfidence), 1, 127},
-		{"driveDirection", int64(hf.DriveDirection), 0, 2},
-		{"vehicleLength", int64(hf.VehicleLength), 1, 1023},
-		{"vehicleWidth", int64(hf.VehicleWidth), 1, 62},
-		{"longitudinalAcceleration", int64(hf.LongitudinalAcceleration), -160, 161},
-		{"accelerationConfidence", int64(hf.AccelerationConfidence), 0, 102},
-		{"curvature", int64(hf.Curvature), -1023, 1023},
-		{"yawRate", int64(hf.YawRate), -32766, 32767},
+	// Straight-line field list (no table of closures): this runs for
+	// every CAM the fleet generates at 10 Hz, so it must not allocate.
+	if err := w.WriteConstrainedInt(int64(hf.Heading), 0, 3601); err != nil {
+		return fmt.Errorf("heading: %w", err)
 	}
-	for _, s := range steps {
-		if err := w.WriteConstrainedInt(s.v, s.lo, s.hi); err != nil {
-			return fmt.Errorf("%s: %w", s.name, err)
-		}
+	if err := w.WriteConstrainedInt(int64(hf.HeadingConfidence), 1, 127); err != nil {
+		return fmt.Errorf("headingConfidence: %w", err)
+	}
+	if err := w.WriteConstrainedInt(int64(hf.Speed), 0, 16383); err != nil {
+		return fmt.Errorf("speed: %w", err)
+	}
+	if err := w.WriteConstrainedInt(int64(hf.SpeedConfidence), 1, 127); err != nil {
+		return fmt.Errorf("speedConfidence: %w", err)
+	}
+	if err := w.WriteConstrainedInt(int64(hf.DriveDirection), 0, 2); err != nil {
+		return fmt.Errorf("driveDirection: %w", err)
+	}
+	if err := w.WriteConstrainedInt(int64(hf.VehicleLength), 1, 1023); err != nil {
+		return fmt.Errorf("vehicleLength: %w", err)
+	}
+	if err := w.WriteConstrainedInt(int64(hf.VehicleWidth), 1, 62); err != nil {
+		return fmt.Errorf("vehicleWidth: %w", err)
+	}
+	if err := w.WriteConstrainedInt(int64(hf.LongitudinalAcceleration), -160, 161); err != nil {
+		return fmt.Errorf("longitudinalAcceleration: %w", err)
+	}
+	if err := w.WriteConstrainedInt(int64(hf.AccelerationConfidence), 0, 102); err != nil {
+		return fmt.Errorf("accelerationConfidence: %w", err)
+	}
+	if err := w.WriteConstrainedInt(int64(hf.Curvature), -1023, 1023); err != nil {
+		return fmt.Errorf("curvature: %w", err)
+	}
+	if err := w.WriteConstrainedInt(int64(hf.YawRate), -32766, 32767); err != nil {
+		return fmt.Errorf("yawRate: %w", err)
 	}
 	return nil
 }
 
 func decodeHighFrequency(r *asn1per.Reader) (BasicVehicleContainerHighFrequency, error) {
 	var hf BasicVehicleContainerHighFrequency
-	read := func(name string, lo, hi int64, set func(int64)) error {
-		v, err := r.ReadConstrainedInt(lo, hi)
-		if err != nil {
-			return fmt.Errorf("%s: %w", name, err)
-		}
-		set(v)
-		return nil
+	v, err := r.ReadConstrainedInt(0, 3601)
+	if err != nil {
+		return hf, fmt.Errorf("heading: %w", err)
 	}
-	steps := []struct {
-		name   string
-		lo, hi int64
-		set    func(int64)
-	}{
-		{"heading", 0, 3601, func(v int64) { hf.Heading = units.Heading(v) }},
-		{"headingConfidence", 1, 127, func(v int64) { hf.HeadingConfidence = uint8(v) }},
-		{"speed", 0, 16383, func(v int64) { hf.Speed = units.Speed(v) }},
-		{"speedConfidence", 1, 127, func(v int64) { hf.SpeedConfidence = uint8(v) }},
-		{"driveDirection", 0, 2, func(v int64) { hf.DriveDirection = DriveDirection(v) }},
-		{"vehicleLength", 1, 1023, func(v int64) { hf.VehicleLength = uint16(v) }},
-		{"vehicleWidth", 1, 62, func(v int64) { hf.VehicleWidth = uint8(v) }},
-		{"longitudinalAcceleration", -160, 161, func(v int64) { hf.LongitudinalAcceleration = int16(v) }},
-		{"accelerationConfidence", 0, 102, func(v int64) { hf.AccelerationConfidence = uint8(v) }},
-		{"curvature", -1023, 1023, func(v int64) { hf.Curvature = units.Curvature(v) }},
-		{"yawRate", -32766, 32767, func(v int64) { hf.YawRate = int32(v) }},
+	hf.Heading = units.Heading(v)
+	if v, err = r.ReadConstrainedInt(1, 127); err != nil {
+		return hf, fmt.Errorf("headingConfidence: %w", err)
 	}
-	for _, s := range steps {
-		if err := read(s.name, s.lo, s.hi, s.set); err != nil {
-			return hf, err
-		}
+	hf.HeadingConfidence = uint8(v)
+	if v, err = r.ReadConstrainedInt(0, 16383); err != nil {
+		return hf, fmt.Errorf("speed: %w", err)
 	}
+	hf.Speed = units.Speed(v)
+	if v, err = r.ReadConstrainedInt(1, 127); err != nil {
+		return hf, fmt.Errorf("speedConfidence: %w", err)
+	}
+	hf.SpeedConfidence = uint8(v)
+	if v, err = r.ReadConstrainedInt(0, 2); err != nil {
+		return hf, fmt.Errorf("driveDirection: %w", err)
+	}
+	hf.DriveDirection = DriveDirection(v)
+	if v, err = r.ReadConstrainedInt(1, 1023); err != nil {
+		return hf, fmt.Errorf("vehicleLength: %w", err)
+	}
+	hf.VehicleLength = uint16(v)
+	if v, err = r.ReadConstrainedInt(1, 62); err != nil {
+		return hf, fmt.Errorf("vehicleWidth: %w", err)
+	}
+	hf.VehicleWidth = uint8(v)
+	if v, err = r.ReadConstrainedInt(-160, 161); err != nil {
+		return hf, fmt.Errorf("longitudinalAcceleration: %w", err)
+	}
+	hf.LongitudinalAcceleration = int16(v)
+	if v, err = r.ReadConstrainedInt(0, 102); err != nil {
+		return hf, fmt.Errorf("accelerationConfidence: %w", err)
+	}
+	hf.AccelerationConfidence = uint8(v)
+	if v, err = r.ReadConstrainedInt(-1023, 1023); err != nil {
+		return hf, fmt.Errorf("curvature: %w", err)
+	}
+	hf.Curvature = units.Curvature(v)
+	if v, err = r.ReadConstrainedInt(-32766, 32767); err != nil {
+		return hf, fmt.Errorf("yawRate: %w", err)
+	}
+	hf.YawRate = int32(v)
 	return hf, nil
 }
 
@@ -276,11 +307,11 @@ func decodeLowFrequency(r *asn1per.Reader) (BasicVehicleContainerLowFrequency, e
 		return lf, fmt.Errorf("vehicleRole: %w", err)
 	}
 	lf.VehicleRole = VehicleRole(role)
-	bits, err := r.ReadBitString(8)
+	lights, err := r.ReadBits(8)
 	if err != nil {
 		return lf, fmt.Errorf("exteriorLights: %w", err)
 	}
-	lf.ExteriorLights = bits[0]
+	lf.ExteriorLights = uint8(lights)
 	n, err := r.ReadLength(0, maxPathPoints)
 	if err != nil {
 		return lf, fmt.Errorf("pathHistory length: %w", err)

@@ -186,8 +186,9 @@ func (d *DENM) Encode() ([]byte, error) {
 	if d == nil {
 		return nil, errNilMessage
 	}
-	var w asn1per.Writer
-	if err := d.Header.encode(&w); err != nil {
+	w := asn1per.GetWriter()
+	defer asn1per.PutWriter(w)
+	if err := d.Header.encode(w); err != nil {
 		return nil, fmt.Errorf("messages: DENM header: %w", err)
 	}
 	// DecentralizedEnvironmentalNotificationMessage presence bitmap:
@@ -195,21 +196,21 @@ func (d *DENM) Encode() ([]byte, error) {
 	w.WriteBool(d.Situation != nil)
 	w.WriteBool(d.Location != nil)
 	w.WriteBool(d.Alacarte != nil)
-	if err := d.Management.encode(&w); err != nil {
+	if err := d.Management.encode(w); err != nil {
 		return nil, fmt.Errorf("messages: management: %w", err)
 	}
 	if d.Situation != nil {
-		if err := d.Situation.encode(&w); err != nil {
+		if err := d.Situation.encode(w); err != nil {
 			return nil, fmt.Errorf("messages: situation: %w", err)
 		}
 	}
 	if d.Location != nil {
-		if err := d.Location.encode(&w); err != nil {
+		if err := d.Location.encode(w); err != nil {
 			return nil, fmt.Errorf("messages: location: %w", err)
 		}
 	}
 	if d.Alacarte != nil {
-		if err := d.Alacarte.encode(&w); err != nil {
+		if err := d.Alacarte.encode(w); err != nil {
 			return nil, fmt.Errorf("messages: alacarte: %w", err)
 		}
 	}
@@ -218,7 +219,9 @@ func (d *DENM) Encode() ([]byte, error) {
 
 // DecodeDENM parses a UPER-encoded DENM.
 func DecodeDENM(data []byte) (*DENM, error) {
-	r := asn1per.NewReader(data)
+	var rd asn1per.Reader
+	rd.Reset(data)
+	r := &rd
 	h, err := decodeHeader(r)
 	if err != nil {
 		return nil, fmt.Errorf("messages: DENM header: %w", err)

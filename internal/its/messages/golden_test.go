@@ -1,0 +1,118 @@
+package messages
+
+import (
+	"bytes"
+	"encoding/hex"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"itsbed/internal/units"
+)
+
+// -update re-pins the golden wire bytes. Only run it deliberately: the
+// goldens exist to prove encoder refactors (buffer pooling, chunked bit
+// writes) never change a single bit on the simulated air interface.
+var updateGolden = flag.Bool("update", false, "rewrite golden wire-byte files")
+
+type goldenCase struct {
+	name   string
+	encode func() ([]byte, error)
+}
+
+func goldenCases() []goldenCase {
+	return []goldenCase{
+		{"cam_basic", func() ([]byte, error) { return sampleCAM().Encode() }},
+		{"cam_lowfreq", func() ([]byte, error) {
+			cam := sampleCAM()
+			cam.LowFrequency = &BasicVehicleContainerLowFrequency{
+				VehicleRole:    VehicleRoleEmergency,
+				ExteriorLights: 0b10100000,
+				PathHistory: []PathPoint{
+					{DeltaLatitude: 100, DeltaLongitude: -200, DeltaTime: 10},
+					{DeltaLatitude: -131071, DeltaLongitude: 131072, DeltaTime: 65535},
+				},
+			}
+			return cam.Encode()
+		}},
+		{"denm_full", func() ([]byte, error) { return sampleDENM().Encode() }},
+		{"denm_minimal", func() ([]byte, error) {
+			d := NewDENM(1001)
+			d.Management = ManagementContainer{
+				ActionID:      ActionID{OriginatingStationID: 1001, SequenceNumber: 1},
+				DetectionTime: 1,
+				ReferenceTime: 1,
+				EventPosition: ReferencePosition{AltitudeValue: AltitudeUnavailable},
+				StationType:   units.StationTypeRoadSideUnit,
+			}
+			return d.Encode()
+		}},
+		{"denm_termination", func() ([]byte, error) {
+			d := sampleDENM()
+			term := TerminationIsCancellation
+			d.Management.Termination = &term
+			return d.Encode()
+		}},
+	}
+}
+
+// TestGoldenWireBytes pins the exact UPER bytes of representative CAM
+// and DENM messages. Any encoder change that alters the wire format —
+// intentional or not — fails here; buffer-reuse optimisations must
+// reproduce these bytes bit-for-bit.
+func TestGoldenWireBytes(t *testing.T) {
+	for _, tc := range goldenCases() {
+		t.Run(tc.name, func(t *testing.T) {
+			got, err := tc.encode()
+			if err != nil {
+				t.Fatalf("encode: %v", err)
+			}
+			path := filepath.Join("testdata", tc.name+".hex")
+			if *updateGolden {
+				if err := os.WriteFile(path, []byte(hex.EncodeToString(got)+"\n"), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			raw, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("read golden (run with -update to pin): %v", err)
+			}
+			want, err := hex.DecodeString(strings.TrimSpace(string(raw)))
+			if err != nil {
+				t.Fatalf("corrupt golden %s: %v", path, err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Fatalf("wire bytes changed:\n got %s\nwant %s",
+					hex.EncodeToString(got), hex.EncodeToString(want))
+			}
+		})
+	}
+}
+
+// TestGoldenWireBytesStableAcrossRepeats encodes each golden fixture
+// many times in a row — through any pooled writers the encoder keeps —
+// and checks every repetition is byte-identical. This is the
+// pooled-buffer reuse boundary the refactor must not disturb.
+func TestGoldenWireBytesStableAcrossRepeats(t *testing.T) {
+	for _, tc := range goldenCases() {
+		t.Run(tc.name, func(t *testing.T) {
+			first, err := tc.encode()
+			if err != nil {
+				t.Fatalf("encode: %v", err)
+			}
+			for i := 0; i < 64; i++ {
+				again, err := tc.encode()
+				if err != nil {
+					t.Fatalf("encode #%d: %v", i+2, err)
+				}
+				if !bytes.Equal(first, again) {
+					t.Fatalf("encode #%d differs from first:\n got %s\nwant %s",
+						i+2, hex.EncodeToString(again), hex.EncodeToString(first))
+				}
+			}
+		})
+	}
+}

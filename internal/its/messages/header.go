@@ -163,8 +163,9 @@ func decodeTimestampIts(r *asn1per.Reader) (uint64, error) {
 // Peek inspects the ItsPduHeader of an encoded facilities message
 // without consuming it, returning the message ID and station ID.
 func Peek(data []byte) (msgID uint8, station units.StationID, err error) {
-	r := asn1per.NewReader(data)
-	h, err := decodeHeader(r)
+	var r asn1per.Reader
+	r.Reset(data)
+	h, err := decodeHeader(&r)
 	if err != nil {
 		return 0, 0, fmt.Errorf("messages: peek header: %w", err)
 	}

@@ -142,11 +142,19 @@ func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(d.Seconds()) }
 type Registry struct {
 	mu      sync.Mutex
 	entries map[string]*entry
+	// gen is the reuse generation. Reset bumps it instead of clearing
+	// the map; entries from older generations are revived (zeroed) on
+	// first lookup and skipped by Snapshot until then. This lets the
+	// campaign engine pool registries across attempts without one
+	// attempt's lazily-created families leaking into the next.
+	gen uint64
 }
 
 type entry struct {
+	key    string // canonical "name{k=v,...}" — cached for sorting
 	name   string
 	labels []Label
+	gen    uint64
 	c      *Counter
 	g      *Gauge
 	h      *Histogram
@@ -155,6 +163,46 @@ type entry struct {
 // NewRegistry builds an empty registry.
 func NewRegistry() *Registry {
 	return &Registry{entries: make(map[string]*entry)}
+}
+
+// Reset returns the registry to its initial observable state while
+// keeping allocated families for reuse: every instrument reads as if
+// freshly created, and Snapshot includes only families touched since
+// the Reset. A pooled registry that is Reset between attempts therefore
+// snapshots bit-identically to a brand-new one.
+func (r *Registry) Reset() {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.gen++
+	r.mu.Unlock()
+}
+
+// revive zeroes the instruments of an entry first touched in an older
+// generation. Caller holds r.mu.
+func (e *entry) revive(gen uint64) {
+	if e.gen == gen {
+		return
+	}
+	e.gen = gen
+	if e.c != nil {
+		e.c.v.Store(0)
+	}
+	if e.g != nil {
+		e.g.bits.Store(0)
+	}
+	if e.h != nil {
+		e.h.mu.Lock()
+		for i := range e.h.counts {
+			e.h.counts[i] = 0
+		}
+		e.h.count = 0
+		e.h.sum = 0
+		e.h.min = 0
+		e.h.max = 0
+		e.h.mu.Unlock()
+	}
 }
 
 // key canonicalises name+labels; labels are sorted by key so the same
@@ -187,8 +235,10 @@ func (r *Registry) lookup(name string, labels []Label) *entry {
 	defer r.mu.Unlock()
 	e, ok := r.entries[k]
 	if !ok {
-		e = &entry{name: name, labels: ls}
+		e = &entry{key: k, name: name, labels: ls, gen: r.gen}
 		r.entries[k] = e
+	} else {
+		e.revive(r.gen)
 	}
 	return e
 }
@@ -323,21 +373,30 @@ func sampleKey(name string, labels []Label) string {
 	return k
 }
 
-// Snapshot copies the registry's current state.
+// entrySlice sorts entries by their cached canonical key.
+type entrySlice []*entry
+
+func (s entrySlice) Len() int           { return len(s) }
+func (s entrySlice) Less(i, j int) bool { return s[i].key < s[j].key }
+func (s entrySlice) Swap(i, j int)      { s[i], s[j] = s[j], s[i] }
+
+// Snapshot copies the registry's current state. Only families touched
+// since the last Reset are included, so a pooled, reused registry
+// snapshots exactly like a fresh one.
 func (r *Registry) Snapshot() Snapshot {
 	var s Snapshot
 	if r == nil {
 		return s
 	}
 	r.mu.Lock()
-	entries := make([]*entry, 0, len(r.entries))
+	entries := make(entrySlice, 0, len(r.entries))
 	for _, e := range r.entries {
-		entries = append(entries, e)
+		if e.gen == r.gen {
+			entries = append(entries, e)
+		}
 	}
 	r.mu.Unlock()
-	sort.Slice(entries, func(i, j int) bool {
-		return sampleKey(entries[i].name, entries[i].labels) < sampleKey(entries[j].name, entries[j].labels)
-	})
+	sort.Sort(entries)
 	for _, e := range entries {
 		if e.c != nil {
 			s.Counters = append(s.Counters, CounterSample{Name: e.name, Labels: e.labels, Value: e.c.Value()})

@@ -289,3 +289,97 @@ func TestConcurrentUse(t *testing.T) {
 		t.Fatalf("histogram count = %d, want 8000", h.Count)
 	}
 }
+
+func TestResetClearsAllInstruments(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("frames_total").Add(7)
+	r.Gauge("depth").Set(3)
+	r.Histogram("latency_ms").Observe(12)
+	pre := r.Snapshot()
+	if len(pre.Counters) != 1 || len(pre.Gauges) != 1 || len(pre.Histograms) != 1 {
+		t.Fatalf("pre-reset snapshot = %+v, want one of each", pre)
+	}
+	r.Reset()
+	if s := r.Snapshot(); len(s.Counters)+len(s.Gauges)+len(s.Histograms) != 0 {
+		t.Fatalf("post-reset snapshot not empty: %+v", s)
+	}
+	// Re-looked-up instruments start from zero again.
+	if v := r.Counter("frames_total").Value(); v != 0 {
+		t.Fatalf("revived counter = %d, want 0", v)
+	}
+	if v := r.Gauge("depth").Value(); v != 0 {
+		t.Fatalf("revived gauge = %g, want 0", v)
+	}
+	// Only the revived counter and gauge should appear, both zero.
+	s := r.Snapshot()
+	for _, c := range s.Counters {
+		if c.Value != 0 {
+			t.Fatalf("revived counter carries state: %+v", c)
+		}
+	}
+	for _, g := range s.Gauges {
+		if g.Value != 0 {
+			t.Fatalf("revived gauge carries state: %+v", g)
+		}
+	}
+	if len(s.Histograms) != 0 {
+		t.Fatalf("histogram revived without lookup: %+v", s.Histograms)
+	}
+}
+
+func TestResetStaleHandleExcludedFromSnapshot(t *testing.T) {
+	r := NewRegistry()
+	stale := r.Counter("attempt_work")
+	stale.Add(5)
+	r.Reset()
+	// A handle held across Reset without re-lookup belongs to the old
+	// generation: its writes must not leak into the new snapshot.
+	stale.Add(99)
+	if s := r.Snapshot(); len(s.Counters)+len(s.Gauges)+len(s.Histograms) != 0 {
+		t.Fatalf("stale-generation writes leaked into snapshot: %+v", s)
+	}
+	// Re-lookup revives the family at zero and shares the entry, so
+	// current-generation writes are visible again.
+	fresh := r.Counter("attempt_work")
+	if fresh.Value() != 0 {
+		t.Fatalf("revived counter = %d, want 0", fresh.Value())
+	}
+	fresh.Inc()
+	s := r.Snapshot()
+	if len(s.Counters) != 1 || s.Counters[0].Value != 1 {
+		t.Fatalf("snapshot after revival = %+v, want single counter at 1", s)
+	}
+}
+
+// TestResetSnapshotMatchesFreshRegistry is the pooling contract: a
+// reused registry replaying a workload must be indistinguishable from a
+// brand-new registry running the same workload.
+func TestResetSnapshotMatchesFreshRegistry(t *testing.T) {
+	workload := func(r *Registry) {
+		r.Counter("rx_total", L("station", "obu")).Add(3)
+		r.Counter("rx_total", L("station", "rsu")).Add(9)
+		r.Gauge("queue_depth").SetMax(4)
+		h := r.Histogram("e2e_ms")
+		for _, v := range []float64{1.5, 80, 250, 3.25} {
+			h.Observe(v)
+		}
+	}
+	reused := NewRegistry()
+	// Pollute with a different first-attempt workload.
+	reused.Counter("rx_total", L("station", "obu")).Add(1000)
+	reused.Counter("drops_total").Add(17)
+	reused.Histogram("e2e_ms").Observe(99999)
+	reused.Reset()
+	workload(reused)
+
+	fresh := NewRegistry()
+	workload(fresh)
+
+	got, want := reused.Snapshot(), fresh.Snapshot()
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("reused registry snapshot diverges from fresh:\n got %+v\nwant %+v", got, want)
+	}
+	if got.Format() != want.Format() {
+		t.Fatal("formatted output diverges between reused and fresh registry")
+	}
+}

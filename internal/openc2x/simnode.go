@@ -153,7 +153,7 @@ func (n *SimNode) TriggerDENM(req TriggerRequest, cb func(messages.ActionID, err
 	if n.station.Crashed() {
 		sp.Drop(n.kernel.Now(), "node_down")
 		if cb != nil {
-			n.kernel.Schedule(nodeDownLatency, func() { cb(messages.ActionID{}, ErrNodeDown) })
+			n.kernel.ScheduleFn(nodeDownLatency, func() { cb(messages.ActionID{}, ErrNodeDown) })
 		}
 		return
 	}
@@ -162,21 +162,21 @@ func (n *SimNode) TriggerDENM(req TriggerRequest, cb func(messages.ActionID, err
 		case HTTPTimeout:
 			sp.Drop(n.kernel.Now(), "http_timeout")
 			if cb != nil {
-				n.kernel.Schedule(RequestTimeout, func() { cb(messages.ActionID{}, ErrRequestTimeout) })
+				n.kernel.ScheduleFn(RequestTimeout, func() { cb(messages.ActionID{}, ErrRequestTimeout) })
 			}
 			return
 		case HTTPError:
 			sp.Drop(n.kernel.Now(), "http_error")
 			if cb != nil {
 				rtt := n.lat.Trigger.sample(n.rng) + n.lat.Trigger.sample(n.rng)
-				n.kernel.Schedule(rtt, func() { cb(messages.ActionID{}, ErrServerError) })
+				n.kernel.ScheduleFn(rtt, func() { cb(messages.ActionID{}, ErrServerError) })
 			}
 			return
 		}
 	}
 	up := n.lat.Trigger.sample(n.rng)
 	n.mTrigUp.ObserveDuration(up)
-	n.kernel.Schedule(up, func() {
+	n.kernel.ScheduleFn(up, func() {
 		n.TriggerCount++
 		n.mTriggers.Inc()
 		var id messages.ActionID
@@ -205,7 +205,7 @@ func (n *SimNode) TriggerDENM(req TriggerRequest, cb func(messages.ActionID, err
 		if cb != nil {
 			down := n.lat.Trigger.sample(n.rng)
 			n.mTrigDown.ObserveDuration(down)
-			n.kernel.Schedule(down, func() { cb(id, err) })
+			n.kernel.ScheduleFn(down, func() { cb(id, err) })
 		}
 	})
 }
@@ -236,23 +236,23 @@ func (n *SimNode) RequestDENMResult(cb func([]ReceivedDENM, error)) {
 		return
 	}
 	if n.station.Crashed() {
-		n.kernel.Schedule(nodeDownLatency, func() { cb(nil, ErrNodeDown) })
+		n.kernel.ScheduleFn(nodeDownLatency, func() { cb(nil, ErrNodeDown) })
 		return
 	}
 	if n.Faults != nil {
 		switch n.Faults.PollVerdict(n.kernel.Now()) {
 		case HTTPTimeout:
-			n.kernel.Schedule(RequestTimeout, func() { cb(nil, ErrRequestTimeout) })
+			n.kernel.ScheduleFn(RequestTimeout, func() { cb(nil, ErrRequestTimeout) })
 			return
 		case HTTPError:
 			rtt := n.lat.Poll.sample(n.rng) + n.lat.Poll.sample(n.rng)
-			n.kernel.Schedule(rtt, func() { cb(nil, ErrServerError) })
+			n.kernel.ScheduleFn(rtt, func() { cb(nil, ErrServerError) })
 			return
 		}
 	}
 	up := n.lat.Poll.sample(n.rng)
 	n.mPollUp.ObserveDuration(up)
-	n.kernel.Schedule(up, func() {
+	n.kernel.ScheduleFn(up, func() {
 		n.PollCount++
 		n.mPolls.Inc()
 		batch := n.mailbox
@@ -277,7 +277,7 @@ func (n *SimNode) RequestDENMResult(cb func([]ReceivedDENM, error)) {
 		}
 		down := n.lat.Poll.sample(n.rng)
 		n.mPollDown.ObserveDuration(down)
-		n.kernel.Schedule(down, func() {
+		n.kernel.ScheduleFn(down, func() {
 			n.tracer.Scope(delivery, func() { cb(batch, nil) })
 			delivery.End(n.kernel.Now())
 		})

@@ -121,7 +121,7 @@ func (c *RoadsideCamera) captureFrame() {
 	}
 	// Inference runs after capture; the result carries both stamps.
 	lat := c.cfg.Model.InferenceLatency(c.rng)
-	c.kernel.Schedule(lat, func() {
+	c.kernel.ScheduleFn(lat, func() {
 		dets := c.cfg.Model.Detect(truth, c.rng)
 		c.FramesProcessed++
 		if len(dets) > 0 {

@@ -1,0 +1,131 @@
+package perf
+
+import (
+	"runtime"
+	"testing"
+
+	"itsbed"
+	"itsbed/internal/campaign"
+	"itsbed/internal/experiments"
+	"itsbed/internal/its/messages"
+	"itsbed/internal/units"
+)
+
+// sampleDENM is the collision-risk DENM the RSU emits in the paper's
+// blind-corner scenario, with every optional container populated.
+func sampleDENM() *messages.DENM {
+	d := messages.NewDENM(1001)
+	validity := uint32(120)
+	d.Management = messages.ManagementContainer{
+		ActionID:      messages.ActionID{OriginatingStationID: 1001, SequenceNumber: 7},
+		DetectionTime: 700000000123,
+		ReferenceTime: 700000000125,
+		EventPosition: messages.ReferencePosition{
+			Latitude:      units.LatitudeFromDegrees(41.178),
+			Longitude:     units.LongitudeFromDegrees(-8.608),
+			AltitudeValue: messages.AltitudeUnavailable,
+		},
+		ValidityDuration: &validity,
+		StationType:      units.StationTypeRoadSideUnit,
+	}
+	d.Situation = &messages.SituationContainer{
+		InformationQuality: 3,
+		EventType: messages.EventType{
+			CauseCode:    messages.CauseCollisionRisk,
+			SubCauseCode: messages.CollisionRiskCrossing,
+		},
+	}
+	d.Location = &messages.LocationContainer{Traces: []messages.Trace{{}}}
+	return d
+}
+
+// sampleCAM is a moving passenger car's CAM.
+func sampleCAM() *messages.CAM {
+	cam := messages.NewCAM(2001, 42)
+	cam.Basic = messages.BasicContainer{
+		StationType: units.StationTypePassengerCar,
+		Position: messages.ReferencePosition{
+			Latitude:      units.LatitudeFromDegrees(41.178),
+			Longitude:     units.LongitudeFromDegrees(-8.608),
+			AltitudeValue: messages.AltitudeUnavailable,
+		},
+	}
+	cam.HighFrequency = messages.BasicVehicleContainerHighFrequency{
+		Heading: 900, HeadingConfidence: 10, Speed: 150, SpeedConfidence: 5,
+		VehicleLength: 5, VehicleWidth: 3, Curvature: units.CurvatureUnavailable,
+	}
+	return cam
+}
+
+func BenchmarkDENMEncode(b *testing.B) {
+	d := sampleDENM()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := d.Encode(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDENMDecode(b *testing.B) {
+	data, err := sampleDENM().Encode()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := itsbed.DecodeDENM(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCAMRoundTrip(b *testing.B) {
+	cam := sampleCAM()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		data, err := cam.Encode()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := itsbed.DecodeCAM(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTableIIAttempt measures one Table II attempt (assembly plus
+// 30 simulated seconds of the emergency-braking chain, ground-truth
+// line follower).
+func BenchmarkTableIIAttempt(b *testing.B) {
+	opt := experiments.ScenarioOptions{BaseSeed: 42, Runs: 1, UseVision: false}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.TableII(opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCampaign1k measures the campaign engine's own overhead on a
+// 1000-run campaign with a trivial attempt function, serial vs all
+// cores, isolating scheduling and in-order collection cost from the
+// simulation itself.
+func BenchmarkCampaign1k(b *testing.B) {
+	run := func(i int) (int, error) { return i, nil }
+	accept := func(v int) bool { return v%2 == 0 }
+	for _, w := range []int{1, runtime.NumCPU()} {
+		b.Run(map[bool]string{true: "serial", false: "parallel"}[w == 1], func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				out, err := campaign.Collect(campaign.Options{Workers: w}, 1000, 2000, run, accept)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(out) != 1000 {
+					b.Fatalf("collected %d", len(out))
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,8 @@
+// Package perf holds the testbed's micro-benchmarks and allocation
+// regression guards. The guards pin allocs/op ceilings for the hot
+// paths (message codec, single scenario attempt, campaign engine) so a
+// change that reintroduces per-message or per-attempt garbage fails
+// `go test ./internal/perf/` instead of silently eroding campaign
+// throughput. See EXPERIMENTS.md for the guard policy and how to
+// compare benchmark runs with benchstat.
+package perf

@@ -105,7 +105,7 @@ func (l *CellularLink) SendBroadcast(frame []byte) error {
 			delay += time.Duration(l.rng.ExpFloat64() * float64(l.profile.JitterMean))
 		}
 		rcv := rcv
-		l.kernel.Schedule(delay, func() { rcv(f) })
+		l.kernel.ScheduleFn(delay, func() { rcv(f) })
 	}
 	return nil
 }

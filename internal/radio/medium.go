@@ -217,7 +217,7 @@ func (m *Medium) transmit(iface *Interface, frame []byte, ac AccessCategory, par
 	if ac >= ACVoice && ac <= ACBackground {
 		m.mAirtime[ac].ObserveDuration(air)
 	}
-	m.kernel.Schedule(air, func() {
+	m.kernel.ScheduleFn(air, func() {
 		m.complete(t)
 	})
 }
@@ -291,12 +291,14 @@ func (m *Medium) complete(t *transmission) {
 		m.mDelivered.Inc()
 		dst.FramesReceived++
 		dst.mRx.Inc()
-		frame := make([]byte, len(t.frame))
-		copy(frame, t.frame)
 		if dst.receive != nil {
+			// All receivers share t.frame: frames are immutable once on
+			// the air (the interface copied the caller's buffer at
+			// enqueue), so receivers may decode and retain slices but
+			// must not write — see SetReceiver.
 			// Receiver processing happens in the airtime span's scope so
 			// the receiving stack's spans join the sender's trace tree.
-			m.cfg.Tracer.Scope(t.span, func() { dst.receive(frame) })
+			m.cfg.Tracer.Scope(t.span, func() { dst.receive(t.frame) })
 		}
 	}
 	// Retire the transmission.
@@ -365,7 +367,12 @@ type Interface struct {
 	rng     *rand.Rand
 	receive func(frame []byte)
 
+	// queue[head:] holds the frames awaiting channel access. Popping
+	// advances head instead of reslicing from the front, so the backing
+	// array (capped at QueueCap) is reused for the lifetime of the
+	// interface rather than reallocated once per QueueCap frames.
 	queue      []queuedFrame
+	head       int
 	accessBusy bool // an access attempt is in flight
 
 	// FramesQueued counts frames accepted into the transmit queue.
@@ -420,6 +427,9 @@ func (m *Medium) Attach(cfg InterfaceConfig, pos PositionFunc) (*Interface, erro
 }
 
 // SetReceiver installs the frame-delivery callback (the GN router).
+// The frame slice passed to fn is shared between every receiver of the
+// broadcast and must be treated as read-only; retain slices freely,
+// but copy before mutating.
 func (i *Interface) SetReceiver(fn func(frame []byte)) { i.receive = fn }
 
 // Position returns the interface's current position.
@@ -456,7 +466,7 @@ func (i *Interface) SendBroadcastAC(frame []byte, ac AccessCategory) error {
 	now := i.kernel.Now()
 	sp := i.medium.cfg.Tracer.Start("radio.access", "radio", i.cfg.Name, now)
 	sp.SetAttr("ac", ac.String())
-	if len(i.queue) >= i.cfg.QueueCap {
+	if i.queueLen() >= i.cfg.QueueCap {
 		i.FramesDroppedQueueFull++
 		i.mDropped.Inc()
 		sp.Drop(now, "queue_full")
@@ -464,6 +474,11 @@ func (i *Interface) SendBroadcastAC(frame []byte, ac AccessCategory) error {
 	}
 	f := make([]byte, len(frame))
 	copy(f, frame)
+	if i.head == len(i.queue) && i.head > 0 {
+		// Fully drained: rewind so the backing array is reused.
+		i.queue = i.queue[:0]
+		i.head = 0
+	}
 	i.queue = append(i.queue, queuedFrame{frame: f, ac: ac, enqueued: now, span: sp})
 	i.FramesQueued++
 	i.mQueued.Inc()
@@ -473,18 +488,21 @@ func (i *Interface) SendBroadcastAC(frame []byte, ac AccessCategory) error {
 
 // tryAccess starts an EDCA access attempt for the head-of-line frame
 // if none is in flight.
+// queueLen reports how many frames await channel access.
+func (i *Interface) queueLen() int { return len(i.queue) - i.head }
+
 func (i *Interface) tryAccess() {
-	if i.accessBusy || len(i.queue) == 0 {
+	if i.accessBusy || i.queueLen() == 0 {
 		return
 	}
 	i.accessBusy = true
-	head := i.queue[0]
+	head := i.queue[i.head]
 	aifs := AIFS(head.ac)
 	if !i.medium.busyAt(i) {
 		// Channel idle: transmit after AIFS (assuming it stays idle —
 		// the lab has two radios, so post-AIFS collisions are rare and
 		// are approximated by the SINR overlap model).
-		i.kernel.Schedule(aifs, func() { i.fire() })
+		i.kernel.ScheduleFn(aifs, func() { i.fire() })
 		return
 	}
 	// Busy: defer to end of busy period, then AIFS + random backoff.
@@ -495,7 +513,7 @@ func (i *Interface) waitForIdle(ac AccessCategory) {
 	until := i.medium.busyUntil(i)
 	if until == 0 {
 		backoff := time.Duration(i.rng.Intn(CWMin(ac)+1)) * SlotTime
-		i.kernel.Schedule(AIFS(ac)+backoff, func() { i.fire() })
+		i.kernel.ScheduleFn(AIFS(ac)+backoff, func() { i.fire() })
 		return
 	}
 	i.kernel.At(until, func() {
@@ -505,7 +523,7 @@ func (i *Interface) waitForIdle(ac AccessCategory) {
 			return
 		}
 		backoff := time.Duration(i.rng.Intn(CWMin(ac)+1)) * SlotTime
-		i.kernel.Schedule(AIFS(ac)+backoff, func() { i.fire() })
+		i.kernel.ScheduleFn(AIFS(ac)+backoff, func() { i.fire() })
 	})
 }
 
@@ -514,7 +532,7 @@ func (i *Interface) waitForIdle(ac AccessCategory) {
 // flight re-check the channel themselves; idle interfaces with queued
 // frames start an attempt.
 func (i *Interface) channelMaybeIdle() {
-	if !i.accessBusy && len(i.queue) > 0 {
+	if !i.accessBusy && i.queueLen() > 0 {
 		i.tryAccess()
 	}
 }
@@ -522,16 +540,21 @@ func (i *Interface) channelMaybeIdle() {
 // fire transmits the head-of-line frame if the channel is (still)
 // idle; otherwise the access attempt re-enters the defer path.
 func (i *Interface) fire() {
-	if len(i.queue) == 0 {
+	if i.queueLen() == 0 {
 		i.accessBusy = false
 		return
 	}
 	if i.medium.busyAt(i) {
-		i.waitForIdle(i.queue[0].ac)
+		i.waitForIdle(i.queue[i.head].ac)
 		return
 	}
-	head := i.queue[0]
-	i.queue = i.queue[1:]
+	head := i.queue[i.head]
+	i.queue[i.head] = queuedFrame{} // release the frame and span
+	i.head++
+	if i.head == len(i.queue) {
+		i.queue = i.queue[:0]
+		i.head = 0
+	}
 	i.FramesTransmitted++
 	i.mTx.Inc()
 	delay := i.kernel.Now() - head.enqueued
@@ -542,7 +565,7 @@ func (i *Interface) fire() {
 	head.span.End(i.kernel.Now())
 	i.medium.transmit(i, head.frame, head.ac, head.span)
 	i.accessBusy = false
-	if len(i.queue) > 0 {
+	if i.queueLen() > 0 {
 		i.tryAccess()
 	}
 }

@@ -28,6 +28,9 @@ type Event struct {
 	fn     func()
 	index  int // heap index, -1 once fired or cancelled
 	kernel *Kernel
+	// pooled marks events created by ScheduleFn: no handle escapes, so
+	// the kernel recycles the object once the callback has run.
+	pooled bool
 }
 
 // Time reports the virtual time at which the event fires.
@@ -86,6 +89,8 @@ type Kernel struct {
 	stopped bool
 	seed    int64
 	streams map[string]*rand.Rand
+	// free is the recycle list for pooled (handle-free) events.
+	free []*Event
 	// processed counts events executed, for diagnostics and runaway
 	// detection in tests.
 	processed uint64
@@ -94,7 +99,11 @@ type Kernel struct {
 // NewKernel returns a kernel whose random streams derive from seed.
 func NewKernel(seed int64) *Kernel {
 	return &Kernel{
-		seed:    seed,
+		seed: seed,
+		// A scenario keeps a few dozen timers in flight (per-station
+		// CAM/DENM timers, EDCA backoffs, physics and perception ticks);
+		// start with room for them so the heap never reallocates.
+		queue:   make(eventQueue, 0, 64),
 		streams: make(map[string]*rand.Rand),
 	}
 }
@@ -151,6 +160,41 @@ func (k *Kernel) Schedule(delay time.Duration, fn func()) *Event {
 	return ev
 }
 
+// ScheduleFn runs fn after delay of virtual time, like Schedule, but
+// hands out no cancellation handle. Because no reference to the event
+// can escape, the kernel reuses a recycled Event object and returns it
+// to the free list right after the callback runs — fire-and-forget
+// scheduling (frame deliveries, one-shot hops) stops allocating.
+func (k *Kernel) ScheduleFn(delay time.Duration, fn func()) {
+	if fn == nil {
+		panic("sim: ScheduleFn with nil callback")
+	}
+	if delay < 0 {
+		delay = 0
+	}
+	var ev *Event
+	if n := len(k.free); n > 0 {
+		ev = k.free[n-1]
+		k.free[n-1] = nil
+		k.free = k.free[:n-1]
+	} else {
+		ev = &Event{kernel: k, pooled: true}
+	}
+	ev.at = k.now + delay
+	ev.seq = k.seq
+	ev.fn = fn
+	k.seq++
+	heap.Push(&k.queue, ev)
+}
+
+// recycle returns a fired pooled event to the free list.
+func (k *Kernel) recycle(ev *Event) {
+	if ev.pooled {
+		ev.fn = nil
+		k.free = append(k.free, ev)
+	}
+}
+
 // At runs fn at the absolute virtual time t. Times in the past are
 // clamped to now.
 func (k *Kernel) At(t time.Duration, fn func()) *Event {
@@ -183,13 +227,32 @@ func (t *Ticker) tick() {
 	}
 	t.fn()
 	if !t.stopped {
-		t.ev = t.kernel.Schedule(t.period, t.tick)
+		// Re-queue the ticker's own (just fired) Event instead of
+		// allocating a fresh one: the ticker is the only holder of the
+		// handle, so reuse is safe and Stop keeps working.
+		t.kernel.requeue(t.ev, t.period)
 	}
+}
+
+// requeue pushes a fired, owner-held event back onto the queue with a
+// fresh deadline and sequence number. Caller must guarantee the event
+// is not currently queued.
+func (k *Kernel) requeue(ev *Event, delay time.Duration) {
+	if delay < 0 {
+		delay = 0
+	}
+	ev.at = k.now + delay
+	ev.seq = k.seq
+	k.seq++
+	heap.Push(&k.queue, ev)
 }
 
 // Stop cancels future firings. Safe to call multiple times and from
 // within the ticker callback.
 func (t *Ticker) Stop() {
+	if t.stopped {
+		return
+	}
 	t.stopped = true
 	t.ev.Cancel()
 }
@@ -221,7 +284,9 @@ func (k *Kernel) Run(horizon time.Duration) error {
 		heap.Pop(&k.queue)
 		k.now = next.at
 		k.processed++
-		next.fn()
+		fn := next.fn
+		k.recycle(next)
+		fn()
 	}
 	if k.now < horizon {
 		k.now = horizon
@@ -248,7 +313,9 @@ func (k *Kernel) RunUntil(horizon time.Duration, pred func() bool) (bool, error)
 		heap.Pop(&k.queue)
 		k.now = next.at
 		k.processed++
-		next.fn()
+		fn := next.fn
+		k.recycle(next)
+		fn()
 		if pred() {
 			return true, nil
 		}

@@ -431,7 +431,7 @@ func (s *Station) sendCAM(payload []byte) error {
 	d := s.cfg.TxLatency.sample(s.rng)
 	s.mTxCAM.ObserveDuration(d)
 	sp := s.txSpan("cam")
-	s.kernel.Schedule(d, func() {
+	s.kernel.ScheduleFn(d, func() {
 		s.cfg.Tracer.Scope(sp, func() {
 			_ = s.Router.SendSHB(geonet.NextBTPB, camTrafficClass, pkt)
 		})
@@ -468,7 +468,7 @@ func (s *Station) sendDENM(payload []byte, area den.Area) error {
 	d := s.cfg.TxLatency.sample(s.rng)
 	s.mTxDENM.ObserveDuration(d)
 	sp := s.txSpan("denm")
-	s.kernel.Schedule(d, func() {
+	s.kernel.ScheduleFn(d, func() {
 		s.cfg.Tracer.Scope(sp, func() {
 			_ = s.Router.SendGBC(geonet.NextBTPB, geonet.TrafficClass(s.cfg.DENMTrafficClass), gnArea, time.Minute, pkt)
 		})
@@ -494,7 +494,7 @@ func (s *Station) forwardDENM(payload []byte, area den.Area) error {
 	s.mTxDENM.ObserveDuration(d)
 	sp := s.txSpan("denm")
 	sp.SetAttr("kaf", "true")
-	s.kernel.Schedule(d, func() {
+	s.kernel.ScheduleFn(d, func() {
 		s.cfg.Tracer.Scope(sp, func() {
 			_ = s.Router.SendGBC(geonet.NextBTPB, geonet.TrafficClass(s.cfg.DENMTrafficClass), gnArea, time.Minute, pkt)
 		})
@@ -531,14 +531,14 @@ func (s *Station) onIndication(ind geonet.Indication) {
 	case btp.PortCAM:
 		s.mRxCAM.ObserveDuration(delay)
 		sp := s.rxSpan("cam")
-		s.kernel.Schedule(delay, func() {
+		s.kernel.ScheduleFn(delay, func() {
 			s.cfg.Tracer.Scope(sp, func() { s.caRx.OnPayload(payload) })
 			sp.End(s.kernel.Now())
 		})
 	case btp.PortDENM:
 		s.mRxDENM.ObserveDuration(delay)
 		sp := s.rxSpan("denm")
-		s.kernel.Schedule(delay, func() {
+		s.kernel.ScheduleFn(delay, func() {
 			s.cfg.Tracer.Scope(sp, func() { s.denRx.OnPayload(payload) })
 			sp.End(s.kernel.Now())
 		})

@@ -243,3 +243,102 @@ func TestKolmogorovSmirnovPerfectFit(t *testing.T) {
 		t.Fatalf("KS=%v for a well-matched sample, want <= %v", ks, want)
 	}
 }
+
+// Table-driven edge cases for the EDF: empty sample, single point, and
+// an all-ties sample, evaluated at probing points around the data.
+func TestEDFEdgeCases(t *testing.T) {
+	cases := []struct {
+		name   string
+		sample []float64
+		probes []struct{ v, want float64 }
+	}{
+		{
+			name:   "empty",
+			sample: nil,
+			probes: []struct{ v, want float64 }{
+				{-1e9, 0}, {0, 0}, {1e9, 0},
+			},
+		},
+		{
+			name:   "single point",
+			sample: []float64{42},
+			probes: []struct{ v, want float64 }{
+				{41.999, 0}, {42, 1}, {42.001, 1},
+			},
+		},
+		{
+			name:   "all ties",
+			sample: []float64{7, 7, 7, 7, 7},
+			probes: []struct{ v, want float64 }{
+				{6.999, 0}, {7, 1}, {7.001, 1},
+			},
+		},
+		{
+			name:   "two distinct with ties",
+			sample: []float64{1, 1, 2, 2},
+			probes: []struct{ v, want float64 }{
+				{0.5, 0}, {1, 0.5}, {1.5, 0.5}, {2, 1},
+			},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			e := NewEDF(tc.sample)
+			if len(e.X) != len(tc.sample) || len(e.F) != len(tc.sample) {
+				t.Fatalf("EDF sizes X=%d F=%d, want %d", len(e.X), len(e.F), len(tc.sample))
+			}
+			for _, p := range tc.probes {
+				if got := e.At(p.v); got != p.want {
+					t.Errorf("At(%v) = %v, want %v", p.v, got, p.want)
+				}
+			}
+		})
+	}
+}
+
+// Table-driven edge cases for the KS statistic against a fixed uniform
+// [0,1] CDF.
+func TestKolmogorovSmirnovEdgeCases(t *testing.T) {
+	uniform := func(x float64) float64 {
+		switch {
+		case x < 0:
+			return 0
+		case x > 1:
+			return 1
+		default:
+			return x
+		}
+	}
+	cases := []struct {
+		name   string
+		sample []float64
+		want   float64
+	}{
+		// No sample: no deviation to measure.
+		{"empty", nil, 0},
+		// One point at 0.25: EDF jumps 0→1 there, so D is the larger of
+		// |0.25-0| and |1-0.25|.
+		{"single point", []float64{0.25}, 0.75},
+		// Median point: both sides deviate by exactly 0.5.
+		{"single median point", []float64{0.5}, 0.5},
+		// Four copies of 0.5: the EDF is one 0→1 jump at 0.5, identical
+		// to the single-point case — per-element ranks must not inflate D.
+		{"all ties", []float64{0.5, 0.5, 0.5, 0.5}, 0.5},
+		// Perfectly spaced quartile points: classic minimal-D placement.
+		{"quartiles", []float64{0.125, 0.375, 0.625, 0.875}, 0.125},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := KolmogorovSmirnov(tc.sample, uniform)
+			if math.Abs(got-tc.want) > 1e-12 {
+				t.Fatalf("D = %v, want %v", got, tc.want)
+			}
+		})
+	}
+}
+
+func TestPercentileEmptyIsNaN(t *testing.T) {
+	if got := Percentile(nil, 50); !math.IsNaN(got) {
+		t.Fatalf("Percentile(nil) = %v, want NaN", got)
+	}
+}

@@ -103,6 +103,28 @@ func New() *Tracer {
 	return &Tracer{binds: make(map[string]*Span)}
 }
 
+// Reset returns the tracer to its initial state while keeping the span
+// slice's capacity, so the campaign engine can pool tracers across
+// attempts. The ID sequence restarts at zero: a reused tracer records
+// the exact same spans a fresh one would.
+func (t *Tracer) Reset() {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.nextID = 0
+	for i := range t.spans {
+		t.spans[i] = nil
+	}
+	t.spans = t.spans[:0]
+	for i := range t.stack {
+		t.stack[i] = nil
+	}
+	t.stack = t.stack[:0]
+	clear(t.binds)
+}
+
 // StartChild opens a span under an explicit parent; a nil parent
 // starts a new trace. Returns nil when the tracer is nil.
 func (t *Tracer) StartChild(parent *Span, name, layer, station string, at time.Duration) *Span {

@@ -161,3 +161,141 @@ func TestValidity(t *testing.T) {
 }
 
 func almost(a, b, eps float64) bool { return math.Abs(a-b) <= eps }
+
+// Table-driven boundary cases for the fixed-point conversions: exact
+// range limits, clamping just past them, and sentinel preservation.
+func TestConversionBoundaries(t *testing.T) {
+	t.Run("latitude", func(t *testing.T) {
+		cases := []struct {
+			deg  float64
+			want Latitude
+		}{
+			{0, 0},
+			{90, 900000000},
+			{-90, -900000000},
+			{90.1, 900000000},   // clamped below the sentinel
+			{-90.1, -900000000}, // clamped at the minimum
+			{1e-7, 1},           // one LSB
+			{-1e-7, -1},
+		}
+		for _, tc := range cases {
+			if got := LatitudeFromDegrees(tc.deg); got != tc.want {
+				t.Errorf("LatitudeFromDegrees(%v) = %d, want %d", tc.deg, got, tc.want)
+			}
+		}
+		if LatitudeFromDegrees(91).Available() != true {
+			t.Error("clamped latitude must stay available (never the sentinel)")
+		}
+	})
+	t.Run("longitude", func(t *testing.T) {
+		cases := []struct {
+			deg  float64
+			want Longitude
+		}{
+			{0, 0},
+			{180, 1800000000},
+			{-180, -1800000000},
+			{180.5, 1800000000},
+			{-180.5, -1800000000},
+		}
+		for _, tc := range cases {
+			if got := LongitudeFromDegrees(tc.deg); got != tc.want {
+				t.Errorf("LongitudeFromDegrees(%v) = %d, want %d", tc.deg, got, tc.want)
+			}
+		}
+	})
+	t.Run("speed", func(t *testing.T) {
+		cases := []struct {
+			ms   float64
+			want Speed
+		}{
+			{0, SpeedStandstill},
+			{-3, SpeedStandstill}, // negative clamps to standstill
+			{163.82, SpeedMax},    // exact top of range
+			{163.83, SpeedMax},    // clamps below the sentinel
+			{1000, SpeedMax},
+			{0.01, 1},  // one LSB
+			{0.004, 0}, // rounds down
+			{0.005, 1}, // rounds half away from zero
+		}
+		for _, tc := range cases {
+			if got := SpeedFromMS(tc.ms); got != tc.want {
+				t.Errorf("SpeedFromMS(%v) = %d, want %d", tc.ms, got, tc.want)
+			}
+		}
+		if !SpeedFromMS(1e6).Available() {
+			t.Error("clamped speed must stay available (never the sentinel)")
+		}
+	})
+	t.Run("heading", func(t *testing.T) {
+		const rad = math.Pi / 180
+		cases := []struct {
+			rad  float64
+			want Heading
+		}{
+			{0, HeadingNorth},
+			{2 * math.Pi, HeadingNorth},  // full turn wraps to north
+			{-math.Pi / 2, 2700},         // -90° = 270°
+			{359.99 * rad, HeadingNorth}, // rounds to 360.0° then wraps
+			{359.94 * rad, 3599},         // stays just under the wrap
+			{math.Pi, 1800},
+		}
+		for _, tc := range cases {
+			if got := HeadingFromRadians(tc.rad); got != tc.want {
+				t.Errorf("HeadingFromRadians(%v) = %d, want %d", tc.rad, got, tc.want)
+			}
+		}
+	})
+	t.Run("curvature", func(t *testing.T) {
+		cases := []struct {
+			radius float64
+			want   Curvature
+		}{
+			{math.Inf(1), 0},
+			{math.Inf(-1), 0},
+			{0, 0}, // degenerate radius treated as straight
+			{100, 100},
+			{-100, -100},
+			{9.7, 1022},   // tight left clamps at the positive limit
+			{-9.7, -1023}, // tight right clamps at the negative limit
+		}
+		for _, tc := range cases {
+			if got := CurvatureFromRadius(tc.radius); got != tc.want {
+				t.Errorf("CurvatureFromRadius(%v) = %d, want %d", tc.radius, got, tc.want)
+			}
+		}
+	})
+	t.Run("semiAxis", func(t *testing.T) {
+		cases := []struct {
+			m    float64
+			want SemiAxisLength
+		}{
+			{-0.01, SemiAxisUnavailable},
+			{0, 0},
+			{40.93, 4093}, // top of the in-range scale
+			{40.94, 4094}, // out-of-range indicator
+			{1e6, 4094},
+		}
+		for _, tc := range cases {
+			if got := SemiAxisFromMetres(tc.m); got != tc.want {
+				t.Errorf("SemiAxisFromMetres(%v) = %d, want %d", tc.m, got, tc.want)
+			}
+		}
+	})
+	t.Run("deltaTime", func(t *testing.T) {
+		cases := []struct {
+			ts   uint64
+			want DeltaTime
+		}{
+			{0, 0},
+			{65535, 65535},
+			{65536, 0}, // wraps at 2^16
+			{65536 + 7, 7},
+		}
+		for _, tc := range cases {
+			if got := DeltaTimeFromTimestamp(tc.ts); got != tc.want {
+				t.Errorf("DeltaTimeFromTimestamp(%d) = %d, want %d", tc.ts, got, tc.want)
+			}
+		}
+	})
+}

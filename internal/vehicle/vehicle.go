@@ -330,7 +330,7 @@ func (v *Vehicle) applyCommand(cmd control.Command) {
 	// delay only.
 	delay := v.cfg.Actuation.SerialDelay()
 	steering, speed := cmd.SteeringAngle, cmd.SpeedMS
-	v.kernel.Schedule(delay, func() {
+	v.kernel.ScheduleFn(delay, func() {
 		if v.stopIssued {
 			return
 		}
@@ -357,7 +357,7 @@ func (v *Vehicle) issueStop(cause string) {
 		v.OnStopCommand(v.Clock.Now())
 	}
 	lat := v.cfg.Actuation.Sample(v.rng.Float64(), v.rng.Float64())
-	v.kernel.Schedule(lat, func() {
+	v.kernel.ScheduleFn(lat, func() {
 		v.Body.CutPower()
 	})
 }
@@ -399,7 +399,7 @@ func (v *Vehicle) handleBatch(batch []openc2x.ReceivedDENM) {
 	// response and dispatching the stop costs a couple of
 	// milliseconds of interpreter time.
 	proc := 9*time.Millisecond + time.Duration(v.rng.Int63n(int64(6*time.Millisecond))) - 3*time.Millisecond
-	v.kernel.Schedule(proc, func() { v.issueStop(StopCauseDENM) })
+	v.kernel.ScheduleFn(proc, func() { v.issueStop(StopCauseDENM) })
 }
 
 // watchdogTick evaluates heartbeat freshness and, in degraded mode,

@@ -16,13 +16,38 @@ func DefaultCanny() CannyParams {
 	return CannyParams{LowThreshold: 50, HighThreshold: 150}
 }
 
-// gaussian5 applies a 5×5 Gaussian blur (σ≈1.1) and returns a new
-// image.
-func gaussian5(src *Gray) *Gray {
+// cannyBuffers holds the intermediates of one Canny invocation so a
+// per-frame caller (the Detector) reuses them across frames. The zero
+// value is ready to use.
+type cannyBuffers struct {
+	blurred Gray
+	tmp     []float64
+	mag     []float64
+	dir     []uint8
+	nms     Gray
+	out     Gray
+	stack   [][2]int
+}
+
+// ensureFloats returns a zeroed n-element slice, reusing s's backing
+// array when large enough.
+func ensureFloats(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	s = s[:n]
+	clear(s)
+	return s
+}
+
+// gaussian5 applies a 5×5 Gaussian blur (σ≈1.1) into b.blurred.
+func gaussian5(src *Gray, b *cannyBuffers) *Gray {
 	kernel := [5]float64{1, 4, 6, 4, 1} // binomial approximation
 	const norm = 16.0
-	tmp := make([]float64, src.W*src.H)
-	out := NewGray(src.W, src.H)
+	b.tmp = ensureFloats(b.tmp, src.W*src.H)
+	tmp := b.tmp
+	b.blurred.ensure(src.W, src.H)
+	out := &b.blurred
 	// Horizontal pass.
 	for y := 0; y < src.H; y++ {
 		for x := 0; x < src.W; x++ {
@@ -68,10 +93,23 @@ func gaussian5(src *Gray) *Gray {
 // gradients, non-maximum suppression, and double-threshold hysteresis.
 // The result is a binary image (0 or 255).
 func Canny(src *Gray, p CannyParams) *Gray {
-	blurred := gaussian5(src)
+	return cannyInto(src, p, new(cannyBuffers))
+}
+
+// cannyInto is Canny with caller-owned scratch buffers; the returned
+// image aliases b.out and stays valid until the next call with b.
+func cannyInto(src *Gray, p CannyParams, b *cannyBuffers) *Gray {
+	blurred := gaussian5(src, b)
 	w, h := src.W, src.H
-	mag := make([]float64, w*h)
-	dir := make([]uint8, w*h) // quantised gradient direction 0..3
+	b.mag = ensureFloats(b.mag, w*h)
+	mag := b.mag
+	if cap(b.dir) < w*h {
+		b.dir = make([]uint8, w*h)
+	} else {
+		b.dir = b.dir[:w*h]
+		clear(b.dir)
+	}
+	dir := b.dir // quantised gradient direction 0..3
 
 	for y := 1; y < h-1; y++ {
 		for x := 1; x < w-1; x++ {
@@ -105,7 +143,8 @@ func Canny(src *Gray, p CannyParams) *Gray {
 		weak   = 128
 		strong = 255
 	)
-	nms := NewGray(w, h)
+	b.nms.ensure(w, h)
+	nms := &b.nms
 	for y := 1; y < h-1; y++ {
 		for x := 1; x < w-1; x++ {
 			m := mag[y*w+x]
@@ -136,8 +175,12 @@ func Canny(src *Gray, p CannyParams) *Gray {
 
 	// Hysteresis: weak pixels survive only when 8-connected to a
 	// strong pixel (iterative flood from strong seeds).
-	out := NewGray(w, h)
-	stack := make([][2]int, 0, w*h/8)
+	b.out.ensure(w, h)
+	out := &b.out
+	if b.stack == nil {
+		b.stack = make([][2]int, 0, w*h/8)
+	}
+	stack := b.stack[:0]
 	for y := 0; y < h; y++ {
 		for x := 0; x < w; x++ {
 			if nms.At(x, y) == strong {
@@ -159,7 +202,27 @@ func Canny(src *Gray, p CannyParams) *Gray {
 			}
 		}
 	}
+	b.stack = stack[:0]
 	return out
+}
+
+// regionFilterInPlace zeroes the pixels outside the central column
+// band [left, right) — the in-place form of RegionFilter for images
+// the pipeline owns.
+func regionFilterInPlace(img *Gray, left, right float64) {
+	lo := int(left * float64(img.W))
+	hi := int(right * float64(img.W))
+	for y := 0; y < img.H; y++ {
+		row := img.Pix[y*img.W : (y+1)*img.W]
+		for x := 0; x < lo && x < img.W; x++ {
+			row[x] = 0
+		}
+		for x := hi; x < img.W; x++ {
+			if x >= 0 {
+				row[x] = 0
+			}
+		}
+	}
 }
 
 // RegionFilter zeroes all pixels outside the central column band

@@ -35,6 +35,12 @@ type Detector struct {
 	// LineWidth of the floor guide line in metres.
 	LineWidth float64
 	rng       *rand.Rand
+
+	// Per-frame scratch, reused across Detect calls so the 25 Hz
+	// pipeline stops allocating megabytes of intermediates per frame.
+	frame Gray
+	canny cannyBuffers
+	hough houghBuffers
 }
 
 // NewDetector builds a detector with the given random stream (for
@@ -53,15 +59,15 @@ func NewDetector(rng *rand.Rand) *Detector {
 
 // Detect runs one full cycle for a vehicle at the given pose.
 func (d *Detector) Detect(line *track.Line, pos geo.Point, heading float64) Detection {
-	frame := d.Camera.Render(line, pos, heading, d.LineWidth, d.rng)
-	return d.DetectFrame(frame)
+	d.Camera.RenderInto(&d.frame, line, pos, heading, d.LineWidth, d.rng)
+	return d.DetectFrame(&d.frame)
 }
 
 // DetectFrame runs the pipeline on an already rendered frame.
 func (d *Detector) DetectFrame(frame *Gray) Detection {
-	edges := Canny(frame, d.Canny)
-	edges = RegionFilter(edges, d.RegionLeft, d.RegionRight)
-	segs := HoughLinesP(edges, d.Hough, d.rng)
+	edges := cannyInto(frame, d.Canny, &d.canny)
+	regionFilterInPlace(edges, d.RegionLeft, d.RegionRight)
+	segs := houghLinesPInto(edges, d.Hough, d.rng, &d.hough)
 	if len(segs) == 0 {
 		return Detection{}
 	}

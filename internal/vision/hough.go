@@ -47,46 +47,97 @@ func DefaultHough() HoughParams {
 	}
 }
 
+// houghBuffers holds the intermediates of one HoughLinesP invocation —
+// notably the ~0.5 MB vote accumulator — for reuse across frames. The
+// zero value is ready to use.
+type houghBuffers struct {
+	points     []houghPoint
+	present    []bool
+	sins, coss []float64
+	acc        []int
+	order      []int
+	segments   []LineSegment
+}
+
+type houghPoint struct{ x, y int }
+
 // HoughLinesP runs the progressive probabilistic Hough transform on a
 // binary edge image and returns detected segments, longest first. rng
 // drives the random point selection; pass a deterministic source for
 // reproducible runs.
 func HoughLinesP(edges *Gray, p HoughParams, rng *rand.Rand) []LineSegment {
+	return houghLinesPInto(edges, p, rng, new(houghBuffers))
+}
+
+// houghLinesPInto is HoughLinesP with caller-owned scratch buffers.
+// The returned slice aliases b.segments and stays valid until the next
+// call with b. The rng consumption sequence is identical to a
+// fresh-buffer run, so reuse cannot perturb deterministic campaigns.
+func houghLinesPInto(edges *Gray, p HoughParams, rng *rand.Rand, b *houghBuffers) []LineSegment {
 	w, h := edges.W, edges.H
 	numTheta := int(math.Pi/p.ThetaResolution + 0.5)
 	maxRho := math.Hypot(float64(w), float64(h))
 	numRho := int(2*maxRho/p.RhoResolution) + 1
 
 	// Collect edge points.
-	type pt struct{ x, y int }
-	points := make([]pt, 0, w*h/16)
-	present := make([]bool, w*h)
+	if b.points == nil {
+		b.points = make([]houghPoint, 0, w*h/16)
+	}
+	points := b.points[:0]
+	if cap(b.present) < w*h {
+		b.present = make([]bool, w*h)
+	} else {
+		b.present = b.present[:w*h]
+		clear(b.present)
+	}
+	present := b.present
 	for y := 0; y < h; y++ {
 		for x := 0; x < w; x++ {
 			if edges.At(x, y) != 0 {
-				points = append(points, pt{x, y})
+				points = append(points, houghPoint{x, y})
 				present[y*w+x] = true
 			}
 		}
 	}
+	b.points = points
 	if len(points) == 0 {
 		return nil
 	}
 
 	// Precompute trig tables.
-	sins := make([]float64, numTheta)
-	coss := make([]float64, numTheta)
+	if cap(b.sins) < numTheta {
+		b.sins = make([]float64, numTheta)
+		b.coss = make([]float64, numTheta)
+	}
+	sins := b.sins[:numTheta]
+	coss := b.coss[:numTheta]
 	for t := 0; t < numTheta; t++ {
 		angle := float64(t) * p.ThetaResolution
 		sins[t] = math.Sin(angle)
 		coss[t] = math.Cos(angle)
 	}
 
-	acc := make([]int, numTheta*numRho)
-	var segments []LineSegment
+	if cap(b.acc) < numTheta*numRho {
+		b.acc = make([]int, numTheta*numRho)
+	} else {
+		b.acc = b.acc[:numTheta*numRho]
+		clear(b.acc)
+	}
+	acc := b.acc
+	segments := b.segments[:0]
 
-	// Process points in random order (the "probabilistic" part).
-	order := rng.Perm(len(points))
+	// Process points in random order (the "probabilistic" part). This
+	// in-place shuffle replicates rand.Perm exactly (same Intn calls,
+	// same result) while reusing the order slice.
+	if cap(b.order) < len(points) {
+		b.order = make([]int, len(points))
+	}
+	order := b.order[:len(points)]
+	for i := range order {
+		j := rng.Intn(i + 1)
+		order[i] = order[j]
+		order[j] = i
+	}
 	for _, idx := range order {
 		q := points[idx]
 		if !present[q.y*w+q.x] {
@@ -149,9 +200,18 @@ func HoughLinesP(edges *Gray, p HoughParams, rng *rand.Rand) []LineSegment {
 		eraseAlong(seg, present, acc, w, h, numRho, numTheta, maxRho, p, sins, coss)
 		segments = append(segments, seg)
 	}
-	sort.Slice(segments, func(i, j int) bool { return segments[i].Length() > segments[j].Length() })
+	b.segments = segments
+	sort.Sort(byLengthDesc(segments))
 	return segments
 }
+
+// byLengthDesc sorts segments longest first without the per-call
+// closure and reflection cost of sort.Slice.
+type byLengthDesc []LineSegment
+
+func (s byLengthDesc) Len() int           { return len(s) }
+func (s byLengthDesc) Less(i, j int) bool { return s[i].Length() > s[j].Length() }
+func (s byLengthDesc) Swap(i, j int)      { s[i], s[j] = s[j], s[i] }
 
 // eraseAlong removes points within 1 px of the segment from the
 // present set and subtracts their accumulator votes.

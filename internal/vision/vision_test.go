@@ -223,3 +223,94 @@ func TestDetectorNoLineInView(t *testing.T) {
 		t.Fatal("detected a line 3 m away from the patch")
 	}
 }
+
+// TestDetectorBufferReuseMatchesFreshPipeline pins the scratch-buffer
+// Detector against the allocating one-shot pipeline: over a sequence of
+// poses with noisy frames, the reused buffers must produce bit-identical
+// detections (same rng consumption, same pixels, same segments).
+func TestDetectorBufferReuseMatchesFreshPipeline(t *testing.T) {
+	line := straightLine()
+	det := NewDetector(rand.New(rand.NewSource(42)))
+	fresh := rand.New(rand.NewSource(42))
+	cam := det.Camera
+	poses := []geo.Point{
+		{X: 0, Y: 0}, {X: 0.1, Y: 0.5}, {X: -0.12, Y: 1},
+		{X: 0.05, Y: 1.5}, {X: 0, Y: 2}, {X: 0.2, Y: 2.5},
+	}
+	for i, pos := range poses {
+		got := det.Detect(line, pos, 0)
+
+		frame := cam.Render(line, pos, 0, det.LineWidth, fresh)
+		edges := Canny(frame, det.Canny)
+		edges = RegionFilter(edges, det.RegionLeft, det.RegionRight)
+		segs := HoughLinesP(edges, det.Hough, fresh)
+		want := Detection{Segments: len(segs)}
+		if len(segs) > 0 {
+			best := segs[0]
+			farU, farV := best.X1, best.Y1
+			nearU, nearV := best.X2, best.Y2
+			if best.Y2 < best.Y1 {
+				farU, farV = best.X2, best.Y2
+				nearU, nearV = best.X1, best.Y1
+			}
+			want.Found = true
+			want.TargetForward, want.TargetLateral = cam.PixelToGround(farU, farV)
+			_, want.LateralError = cam.PixelToGround(nearU, nearV)
+		}
+		if got != want {
+			t.Fatalf("pose %d: reused-buffer detection %+v != fresh %+v", i, got, want)
+		}
+	}
+}
+
+// TestCannyReusedBuffersMatchFresh feeds cannyInto frames of varying
+// size through one buffer set and checks each result against a fresh
+// Canny call — shrinking then growing must not leak stale pixels.
+func TestCannyReusedBuffersMatchFresh(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	b := new(cannyBuffers)
+	for _, dim := range [][2]int{{64, 48}, {32, 24}, {160, 120}, {64, 48}} {
+		img := NewGray(dim[0], dim[1])
+		for i := range img.Pix {
+			img.Pix[i] = uint8(rng.Intn(256))
+		}
+		got := cannyInto(img, DefaultCanny(), b)
+		want := Canny(img, DefaultCanny())
+		if got.W != want.W || got.H != want.H {
+			t.Fatalf("%v: dims %dx%d != %dx%d", dim, got.W, got.H, want.W, want.H)
+		}
+		for i := range want.Pix {
+			if got.Pix[i] != want.Pix[i] {
+				t.Fatalf("%v: pixel %d differs: %d != %d", dim, i, got.Pix[i], want.Pix[i])
+			}
+		}
+	}
+}
+
+// TestHoughReusedBuffersMatchFresh runs houghLinesPInto repeatedly with
+// one buffer set and checks segments against fresh-buffer runs with an
+// identically seeded rng.
+func TestHoughReusedBuffersMatchFresh(t *testing.T) {
+	b := new(houghBuffers)
+	reused := rand.New(rand.NewSource(11))
+	fresh := rand.New(rand.NewSource(11))
+	for round := 0; round < 4; round++ {
+		img := NewGray(100, 100)
+		for v := 5; v < 95; v++ {
+			img.Set(30+round*10, v, 255)
+		}
+		for i := 20; i < 80; i++ {
+			img.Set(i, i, 255)
+		}
+		got := houghLinesPInto(img, DefaultHough(), reused, b)
+		want := HoughLinesP(img, DefaultHough(), fresh)
+		if len(got) != len(want) {
+			t.Fatalf("round %d: %d segments != %d", round, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("round %d: segment %d %+v != %+v", round, i, got[i], want[i])
+			}
+		}
+	}
+}
