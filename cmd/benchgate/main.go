@@ -1,0 +1,180 @@
+// Command benchgate compares two `go test -bench` outputs and enforces
+// the repository's benchmark regression policy: on every guarded
+// benchmark, the median time/op may not regress by more than the
+// threshold (default 20%), and the median allocs/op may not regress at
+// all. It is a benchstat-style gate with an exit code, so CI can fail
+// a pull request on a hot-path regression instead of archiving the
+// drift in an artifact nobody reads.
+//
+// Usage:
+//
+//	benchgate -baseline BENCH_baseline.txt -current BENCH_now.txt \
+//	          -guard 'BenchmarkMedium|BenchmarkDENM' [-max-time-regress 0.20]
+//
+// Both files hold standard testing output (any -count; repeated runs
+// of one benchmark are reduced to the median). Benchmarks present in
+// only one file are reported but never fail the gate: adding a
+// benchmark must not break CI, and deleting one is reviewed in the
+// diff, not here.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+)
+
+// sample is one benchmark line's measurements.
+type sample struct {
+	nsOp     float64
+	allocsOp float64
+	// hasAllocs records whether the line carried -benchmem columns.
+	hasAllocs bool
+}
+
+// series collects all samples of one benchmark name.
+type series struct {
+	ns     []float64
+	allocs []float64
+}
+
+var lineRE = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([\d.]+) ns/op(?:\s+([\d.]+) B/op\s+([\d.]+) allocs/op)?`)
+
+func parseFile(path string) (map[string]*series, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	out := map[string]*series{}
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		name, s, ok := parseLine(sc.Text())
+		if !ok {
+			continue
+		}
+		sr := out[name]
+		if sr == nil {
+			sr = &series{}
+			out[name] = sr
+		}
+		sr.ns = append(sr.ns, s.nsOp)
+		if s.hasAllocs {
+			sr.allocs = append(sr.allocs, s.allocsOp)
+		}
+	}
+	return out, sc.Err()
+}
+
+func parseLine(line string) (string, sample, bool) {
+	m := lineRE.FindStringSubmatch(line)
+	if m == nil {
+		return "", sample{}, false
+	}
+	ns, err := strconv.ParseFloat(m[2], 64)
+	if err != nil {
+		return "", sample{}, false
+	}
+	s := sample{nsOp: ns}
+	if m[4] != "" {
+		allocs, err := strconv.ParseFloat(m[4], 64)
+		if err != nil {
+			return "", sample{}, false
+		}
+		s.allocsOp = allocs
+		s.hasAllocs = true
+	}
+	return m[1], s, true
+}
+
+func median(v []float64) float64 {
+	if len(v) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), v...)
+	sort.Float64s(s)
+	if n := len(s); n%2 == 1 {
+		return s[n/2]
+	} else {
+		return (s[n/2-1] + s[n/2]) / 2
+	}
+}
+
+func main() {
+	baselinePath := flag.String("baseline", "BENCH_baseline.txt", "baseline benchmark output")
+	currentPath := flag.String("current", "", "current benchmark output (required)")
+	guard := flag.String("guard", "Benchmark", "regexp of guarded benchmark names")
+	maxTime := flag.Float64("max-time-regress", 0.20, "maximum fractional time/op regression")
+	flag.Parse()
+	if *currentPath == "" {
+		fmt.Fprintln(os.Stderr, "benchgate: -current is required")
+		os.Exit(2)
+	}
+	guardRE, err := regexp.Compile(*guard)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: bad -guard: %v\n", err)
+		os.Exit(2)
+	}
+	base, err := parseFile(*baselinePath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+		os.Exit(2)
+	}
+	cur, err := parseFile(*currentPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+		os.Exit(2)
+	}
+	if len(base) == 0 || len(cur) == 0 {
+		fmt.Fprintln(os.Stderr, "benchgate: no benchmark lines parsed")
+		os.Exit(2)
+	}
+
+	names := make([]string, 0, len(cur))
+	for name := range cur {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	failed := false
+	fmt.Printf("%-34s %14s %14s %8s\n", "benchmark", "base ns/op", "cur ns/op", "Δ")
+	for _, name := range names {
+		c := cur[name]
+		b, inBase := base[name]
+		curNS := median(c.ns)
+		if !inBase {
+			fmt.Printf("%-34s %14s %14.1f %8s\n", name, "(new)", curNS, "-")
+			continue
+		}
+		baseNS := median(b.ns)
+		delta := curNS/baseNS - 1
+		status := ""
+		guarded := guardRE.MatchString(name)
+		if guarded && delta > *maxTime {
+			status = fmt.Sprintf("  FAIL time/op regressed %.1f%% (limit %.0f%%)", delta*100, *maxTime*100)
+			failed = true
+		}
+		if guarded && len(b.allocs) > 0 && len(c.allocs) > 0 {
+			ba, ca := median(b.allocs), median(c.allocs)
+			if ca > ba {
+				status += fmt.Sprintf("  FAIL allocs/op regressed %.0f → %.0f", ba, ca)
+				failed = true
+			}
+		}
+		fmt.Printf("%-34s %14.1f %14.1f %+7.1f%%%s\n", name, baseNS, curNS, delta*100, status)
+	}
+	for name := range base {
+		if _, ok := cur[name]; !ok && guardRE.MatchString(name) {
+			fmt.Printf("%-34s missing from current run (not failing; remove from baseline if deleted)\n", name)
+		}
+	}
+	if failed {
+		fmt.Println("benchgate: FAIL — guarded benchmark regressed beyond policy")
+		os.Exit(1)
+	}
+	fmt.Println("benchgate: ok")
+}

@@ -20,7 +20,8 @@
 //	itsbed platoon-acc       # EXT-6 platoon string-stability study
 //	itsbed ntp-sweep         # ABL-4 clock-sync quality vs measured intervals
 //	itsbed resilience        # EXT-7 fault-plan resilience sweep (-faults)
-//	itsbed all               # everything above (resilience excluded)
+//	itsbed city              # SCALE-1 city-scale density sweep (see below)
+//	itsbed all               # everything above (resilience and city excluded)
 //
 // Common flags: -seed S, -runs R, -vision=(true|false), -workers W,
 // -metrics, -trace-out FILE, -spans. Flags may precede or follow the
@@ -35,6 +36,15 @@
 // vehicle's fail-safe watchdog and the edge trigger retries enabled,
 // and reports the outcome distribution (warned stop / fail-safe stop /
 // miss) plus the latency inflation versus the fault-free baseline.
+//
+// The city command simulates a synthetic road-grid city with DCC-
+// throttled CAM traffic and RSU hazard DENMs, and prints a per-density
+// table of channel-busy ratio, DCC state occupancy, packet-delivery
+// ratio and DENM latency. Its flags: -stations is a comma-separated
+// density list (default 100,300,1000), -rsus the road-side unit count,
+// -duration the simulated time per density, -grid=false forces the
+// brute-force O(N²) medium instead of the spatial culling grid, and
+// -dcc=false disables the reactive congestion controller.
 //
 // -metrics prints, after the table2 output, the per-layer delay
 // budget of the warning chain (radio / geonet / facilities /
@@ -52,7 +62,9 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strconv"
 	"strings"
+	"time"
 
 	"itsbed/internal/experiments"
 	"itsbed/internal/faults"
@@ -78,6 +90,11 @@ func run(args []string) error {
 	traceOut := fs.String("trace-out", "", "write per-message spans as Chrome trace-event JSON to this file (table2)")
 	showSpans := fs.Bool("spans", false, "print an ASCII waterfall of each run's end-to-end trace (table2)")
 	faultPlan := fs.String("faults", "chaos", "fault plan for the resilience command: builtin name or JSON file path")
+	stations := fs.String("stations", "", "comma-separated vehicle densities for the city command (default 100,300,1000)")
+	rsus := fs.Int("rsus", 0, "road-side unit count for the city command (0 = default)")
+	duration := fs.Duration("duration", 0, "simulated time per city density (0 = default)")
+	useGrid := fs.Bool("grid", true, "use the spatial culling grid for the city command (false = brute force)")
+	useDCC := fs.Bool("dcc", true, "enable reactive DCC for the city command")
 	// Accept flags before the command ("-metrics table2") as well as
 	// after it ("table2 -metrics").
 	cmd := "all"
@@ -117,6 +134,9 @@ func run(args []string) error {
 		"platoon-acc": func() error { return printPlatoonACC(*seed, *n, *workers) },
 		"ntp-sweep":   func() error { return printNTPSweep(*seed, *n, *workers) },
 		"resilience":  func() error { return printResilience(opt, *faultPlan, *showMetrics) },
+		"city": func() error {
+			return printCity(*seed, *stations, *rsus, *duration, *workers, !*useGrid, !*useDCC)
+		},
 	}
 	if cmd == "all" {
 		order := []string{
@@ -134,9 +154,35 @@ func run(args []string) error {
 	}
 	fn, ok := dispatch[cmd]
 	if !ok {
-		return fmt.Errorf("unknown command %q (try: table1 table2 table3 fig7 fig10 fig11 cdf radios platoon baseline poll-sweep fps-sweep load-sweep obstruction platoon-acc ntp-sweep resilience all)", cmd)
+		return fmt.Errorf("unknown command %q (try: table1 table2 table3 fig7 fig10 fig11 cdf radios platoon baseline poll-sweep fps-sweep load-sweep obstruction platoon-acc ntp-sweep resilience city all)", cmd)
 	}
 	return fn()
+}
+
+func printCity(seed int64, stations string, rsus int, duration time.Duration, workers int, disableGrid, disableDCC bool) error {
+	opt := experiments.CityOptions{
+		BaseSeed:    seed + 13000,
+		RSUs:        rsus,
+		Duration:    duration,
+		Workers:     workers,
+		DisableGrid: disableGrid,
+		DisableDCC:  disableDCC,
+	}
+	if stations != "" {
+		for _, part := range strings.Split(stations, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil || n <= 0 {
+				return fmt.Errorf("invalid -stations entry %q", part)
+			}
+			opt.Stations = append(opt.Stations, n)
+		}
+	}
+	rows, err := experiments.CitySweep(opt)
+	if err != nil {
+		return err
+	}
+	fmt.Print(experiments.FormatCity(rows, opt))
+	return nil
 }
 
 // loadFaultPlan resolves -faults: a readable file parses as a JSON

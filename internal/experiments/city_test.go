@@ -1,0 +1,109 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"itsbed/internal/world"
+)
+
+// fastCity is a small sweep that still exercises both the spatial grid
+// and the DCC controller within test budgets.
+func fastCity(workers int) CityOptions {
+	return CityOptions{
+		BaseSeed: 42,
+		Stations: []int{30, 60},
+		RSUs:     2,
+		Duration: 1500 * time.Millisecond,
+		Workers:  workers,
+		City:     world.CityConfig{BlocksX: 3, BlocksY: 3, BlockSize: 80},
+	}
+}
+
+func TestCitySweepDeterministicAcrossWorkers(t *testing.T) {
+	want, err := CitySweep(fastCity(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []int{4, 8} {
+		got, err := CitySweep(fastCity(w))
+		if err != nil {
+			t.Fatalf("workers=%d: %v", w, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("workers=%d: sweep differs from serial run:\ngot  %+v\nwant %+v", w, got, want)
+		}
+		if FormatCity(got, fastCity(w)) != FormatCity(want, fastCity(1)) {
+			t.Fatalf("workers=%d: formatted sweep not byte-identical", w)
+		}
+	}
+}
+
+func TestCitySweepShape(t *testing.T) {
+	rows, err := CitySweep(fastCity(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	prevCBR := -1.0
+	for _, r := range rows {
+		if r.FramesSent == 0 || r.FramesDelivered == 0 {
+			t.Fatalf("n=%d: no traffic (%+v)", r.Stations, r)
+		}
+		if !r.GridActive {
+			t.Fatalf("n=%d: spatial grid inactive", r.Stations)
+		}
+		if r.PDR <= 0 || r.PDR > 1 {
+			t.Fatalf("n=%d: PDR %v out of range", r.Stations, r.PDR)
+		}
+		if r.MeanCBR < 0 || r.MeanCBR > 1 {
+			t.Fatalf("n=%d: CBR %v out of range", r.Stations, r.MeanCBR)
+		}
+		if r.DENMDeliveries == 0 {
+			t.Fatalf("n=%d: no DENM reached any vehicle", r.Stations)
+		}
+		states := 0
+		for _, c := range r.DCCStates {
+			states += c
+		}
+		if states != r.Stations {
+			t.Fatalf("n=%d: DCC histogram sums to %d", r.Stations, states)
+		}
+		// Density must not lower the measured channel load.
+		if r.MeanCBR < prevCBR {
+			t.Fatalf("CBR fell with density: %v after %v", r.MeanCBR, prevCBR)
+		}
+		prevCBR = r.MeanCBR
+	}
+}
+
+// TestCityGridIdentity pins the tentpole invariant at campaign level:
+// a grid-culled city run delivers frame-for-frame what the brute-force
+// medium delivers. (Only FramesCulled — the bulk-accounting split of
+// the same losses — may differ.)
+func TestCityGridIdentity(t *testing.T) {
+	opt := fastCity(2)
+	grid, err := CitySweep(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt.DisableGrid = true
+	brute, err := CitySweep(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range grid {
+		g, b := grid[i], brute[i]
+		if b.FramesCulled != 0 || b.GridActive {
+			t.Fatalf("n=%d: brute run used the grid", b.Stations)
+		}
+		g.FramesCulled, g.GridActive = 0, false
+		b.PDR, g.PDR = 0, 0 // PDR normalises by the culled count
+		if !reflect.DeepEqual(g, b) {
+			t.Fatalf("n=%d: grid and brute runs diverge:\ngrid  %+v\nbrute %+v", g.Stations, g, b)
+		}
+	}
+}

@@ -64,6 +64,16 @@ func (f StateFunc) VehicleState() VehicleState { return f() }
 // (BTP port 2001 over GN SHB).
 type SendFunc func(payload []byte) error
 
+// TxGate throttles CAM generation beyond the standard's own rules:
+// MinInterval returns the minimum allowed gap since the previous CAM.
+// A DCC controller (ETSI TS 102 687) implements it from the measured
+// channel-busy ratio; the gate overrides even the T_GenCamMax
+// unconditional trigger, exactly as DCC sits below the facilities
+// layer in the ITS-G5 architecture.
+type TxGate interface {
+	MinInterval() time.Duration
+}
+
 // Config parameterises the CA service.
 type Config struct {
 	StationID   units.StationID
@@ -74,6 +84,9 @@ type Config struct {
 	Clock *clock.NTPClock
 	// DisableTriggers forces pure 1 Hz operation (RSU-style CAMs).
 	DisableTriggers bool
+	// Gate, when non-nil, throttles generation to at most one CAM per
+	// Gate.MinInterval() (DCC channel-load control).
+	Gate TxGate
 	// Metrics, when non-nil, receives ca_* counters labeled with Name.
 	Metrics *metrics.Registry
 	// Name is the station label used on metric families.
@@ -139,7 +152,13 @@ func (s *Service) check() {
 	now := s.kernel.Now()
 	st := s.cfg.Provider.VehicleState()
 	elapsed := now - s.lastGen
-	if s.hasLast && elapsed < TGenCamMin {
+	minGap := TGenCamMin
+	if s.cfg.Gate != nil {
+		if g := s.cfg.Gate.MinInterval(); g > minGap {
+			minGap = g
+		}
+	}
+	if s.hasLast && elapsed < minGap {
 		return
 	}
 	trigger := !s.hasLast || elapsed >= TGenCamMax

@@ -290,3 +290,58 @@ func TestPathHistoryAccumulates(t *testing.T) {
 		t.Fatal("history not bounded")
 	}
 }
+
+// fixedGate is a TxGate returning a constant floor, standing in for
+// the radio package's DCC controller.
+type fixedGate struct {
+	min   time.Duration
+	asked int
+}
+
+func (g *fixedGate) MinInterval() time.Duration { g.asked++; return g.min }
+
+func TestTxGateThrottlesCAMGeneration(t *testing.T) {
+	h := &testHarness{kernel: sim.NewKernel(1)}
+	h.state = VehicleState{Position: geo.CISTERLab, SpeedMS: 10, Length: 0.53, Width: 0.29}
+	gate := &fixedGate{min: 300 * time.Millisecond}
+	var at []time.Duration
+	clk := clock.NewNTP(clock.SourceFunc(h.kernel.Now), clock.PerfectNTP(), nil)
+	svc, err := New(h.kernel, Config{
+		StationID:   2002,
+		StationType: units.StationTypePassengerCar,
+		Provider: StateFunc(func() VehicleState {
+			// Drift the position every read so the standard's own
+			// triggers would fire at every 100 ms check without a gate.
+			s := h.state
+			s.Position.Lat += 0.001 * h.kernel.Now().Seconds()
+			return s
+		}),
+		Send:  func(p []byte) error { at = append(at, h.kernel.Now()); return nil },
+		Clock: clk,
+		Gate:  gate,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc.Start()
+	if err := h.kernel.Run(3 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	svc.Stop()
+	if gate.asked == 0 {
+		t.Fatal("gate never consulted")
+	}
+	if len(at) < 2 {
+		t.Fatalf("only %d CAMs sent under gating", len(at))
+	}
+	for i := 1; i < len(at); i++ {
+		if gap := at[i] - at[i-1]; gap < 300*time.Millisecond {
+			t.Fatalf("CAM gap %v below the 300 ms gate floor", gap)
+		}
+	}
+	// Without the gate the same drift generates CAMs near the 100 ms
+	// check cadence, so the gate must have suppressed a majority.
+	if len(at) > 11 {
+		t.Fatalf("%d CAMs in 3 s despite a 300 ms floor", len(at))
+	}
+}

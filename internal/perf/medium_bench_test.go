@@ -1,0 +1,100 @@
+package perf
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"itsbed/internal/geo"
+	"itsbed/internal/radio"
+	"itsbed/internal/sim"
+)
+
+// fleet1k attaches n interfaces on a square lattice under a tight
+// urban path-loss model (no shadowing, ~83 m communication range at
+// 75 m spacing: each station decodes its four lattice neighbours), so
+// the spatial grid culls the overwhelming majority of the n−1
+// receivers per frame.
+func fleet1k(tb testing.TB, n int, disableGrid bool) (*sim.Kernel, *radio.Medium, []*radio.Interface) {
+	tb.Helper()
+	k := sim.NewKernel(1)
+	m := radio.NewMedium(k, radio.MediumConfig{
+		PathLoss:    radio.PathLossModel{Exponent: 3.5, ReferenceLossDB: 47.9},
+		DisableGrid: disableGrid,
+	})
+	side := 1
+	for side*side < n {
+		side++
+	}
+	ifaces := make([]*radio.Interface, n)
+	for i := 0; i < n; i++ {
+		p := geo.Point{X: float64(i%side) * 75, Y: float64(i/side) * 75}
+		iface, err := m.Attach(radio.InterfaceConfig{Name: fmt.Sprintf("sta%04d", i)}, func() geo.Point { return p })
+		if err != nil {
+			tb.Fatal(err)
+		}
+		ifaces[i] = iface
+	}
+	return k, m, ifaces
+}
+
+// benchMedium measures end-to-end frame completion cost: each op puts
+// one 180-byte broadcast on the air from a rotating transmitter and
+// advances the simulation past its airtime, so the per-op time is
+// dominated by reception evaluation across the fleet.
+func benchMedium(b *testing.B, disableGrid bool) {
+	k, _, ifaces := fleet1k(b, 1000, disableGrid)
+	frame := make([]byte, 180)
+	horizon := time.Duration(0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := ifaces[i%len(ifaces)].SendBroadcast(frame); err != nil {
+			b.Fatal(err)
+		}
+		horizon += 5 * time.Millisecond
+		if err := k.Run(horizon); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMediumGrid1k and BenchmarkMediumBrute1k pin the tentpole
+// speedup: grid-culled reception over a 1000-station fleet must be
+// several times cheaper than the brute-force O(N²) scan while
+// delivering frame-for-frame identical outcomes (pinned by
+// TestGridBruteIdentical1k).
+func BenchmarkMediumGrid1k(b *testing.B)  { benchMedium(b, false) }
+func BenchmarkMediumBrute1k(b *testing.B) { benchMedium(b, true) }
+
+// TestGridBruteIdentical1k replays the benchmark workload on both
+// reception paths and requires identical delivery counters — the
+// correctness half of the speedup claim.
+func TestGridBruteIdentical1k(t *testing.T) {
+	if testing.Short() {
+		t.Skip("1000-station fleet")
+	}
+	type outcome struct{ sent, delivered, lost uint64 }
+	run := func(disableGrid bool) outcome {
+		k, m, ifaces := fleet1k(t, 1000, disableGrid)
+		frame := make([]byte, 180)
+		horizon := time.Duration(0)
+		for i := 0; i < 2000; i++ {
+			if err := ifaces[i%len(ifaces)].SendBroadcast(frame); err != nil {
+				t.Fatal(err)
+			}
+			horizon += 5 * time.Millisecond
+			if err := k.Run(horizon); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return outcome{m.FramesSent, m.FramesDelivered, m.FramesLost}
+	}
+	grid, brute := run(false), run(true)
+	if grid != brute {
+		t.Fatalf("grid %+v != brute %+v", grid, brute)
+	}
+	if grid.delivered == 0 {
+		t.Fatal("benchmark fleet delivers nothing; spacing too wide")
+	}
+}

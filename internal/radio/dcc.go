@@ -1,0 +1,184 @@
+// Decentralized Congestion Control (ETSI TS 102 687, reactive
+// profile): each station measures the channel-busy ratio (CBR) of its
+// radio over a rolling window and maps the smoothed value onto a
+// state machine whose states bound the CAM inter-transmission time.
+// Dense traffic raises the CBR, stations back off their CAM rate, and
+// the channel stays below congestion collapse — the behaviour the
+// city-scale density sweep exercises.
+package radio
+
+import (
+	"fmt"
+	"time"
+
+	"itsbed/internal/sim"
+)
+
+// DefaultCBRInterval is the CBR monitoring interval (TS 102 687 uses
+// 100 ms probes).
+const DefaultCBRInterval = 100 * time.Millisecond
+
+// DefaultCBRWindow is how many monitoring intervals the rolling CBR
+// average spans (the standard smooths over the last two).
+const DefaultCBRWindow = 2
+
+// CBRMeter samples one interface's channel-busy ratio on a fixed
+// monitoring interval and averages the most recent samples in a ring.
+// All state is driven by the simulation kernel, so readings are
+// deterministic.
+type CBRMeter struct {
+	iface    *Interface
+	interval time.Duration
+	// ring holds the last len(ring) instantaneous CBR samples;
+	// head is the next slot to overwrite, n the number filled.
+	ring     []float64
+	head     int
+	n        int
+	prevBusy time.Duration
+	ticker   *sim.Ticker
+}
+
+// NewCBRMeter attaches a CBR meter to the interface, sampling every
+// interval (zero selects DefaultCBRInterval) over a rolling window of
+// window samples (zero or negative selects DefaultCBRWindow).
+func NewCBRMeter(kernel *sim.Kernel, iface *Interface, interval time.Duration, window int) *CBRMeter {
+	if interval <= 0 {
+		interval = DefaultCBRInterval
+	}
+	if window <= 0 {
+		window = DefaultCBRWindow
+	}
+	m := &CBRMeter{
+		iface:    iface,
+		interval: interval,
+		ring:     make([]float64, window),
+	}
+	m.ticker = kernel.Every(interval, interval, m.sample)
+	return m
+}
+
+// sample closes one monitoring interval: the busy fraction since the
+// previous sample enters the ring, overwriting the oldest entry once
+// the window is full (wraparound).
+func (m *CBRMeter) sample() {
+	busy := m.iface.ChannelBusyTime()
+	inst := float64(busy-m.prevBusy) / float64(m.interval)
+	m.prevBusy = busy
+	if inst < 0 {
+		inst = 0
+	}
+	if inst > 1 {
+		inst = 1
+	}
+	m.ring[m.head] = inst
+	m.head = (m.head + 1) % len(m.ring)
+	if m.n < len(m.ring) {
+		m.n++
+	}
+}
+
+// CBR returns the rolling average of the filled window, zero before
+// the first interval has closed.
+func (m *CBRMeter) CBR() float64 {
+	if m.n == 0 {
+		return 0
+	}
+	var sum float64
+	for i := 0; i < m.n; i++ {
+		sum += m.ring[i]
+	}
+	return sum / float64(m.n)
+}
+
+// Samples reports how many monitoring intervals have been filled
+// (capped at the window length).
+func (m *CBRMeter) Samples() int { return m.n }
+
+// Stop halts sampling.
+func (m *CBRMeter) Stop() { m.ticker.Stop() }
+
+// ReactiveProfile is a DCC reactive state table: Thresholds[i] is the
+// CBR at which state i+1 begins; Intervals[i] is state i's minimum
+// message inter-transmission time. len(Intervals) == len(Thresholds)+1.
+type ReactiveProfile struct {
+	Thresholds []float64
+	Intervals  []time.Duration
+}
+
+// DefaultReactiveProfile is the TS 102 687 reactive profile as
+// commonly deployed for ITS-G5: Relaxed below 19% CBR, three Active
+// states, Restrictive above 43% with a 540 ms floor.
+func DefaultReactiveProfile() ReactiveProfile {
+	return ReactiveProfile{
+		Thresholds: []float64{0.19, 0.27, 0.35, 0.43},
+		Intervals: []time.Duration{
+			60 * time.Millisecond,  // Relaxed
+			100 * time.Millisecond, // Active 1
+			180 * time.Millisecond, // Active 2
+			260 * time.Millisecond, // Active 3
+			540 * time.Millisecond, // Restrictive
+		},
+	}
+}
+
+// stateName labels the reactive states for diagnostics.
+var stateNames = []string{"Relaxed", "Active1", "Active2", "Active3", "Restrictive"}
+
+// DCC is one station's reactive congestion controller: it owns a CBR
+// meter and exposes the current state's inter-transmission floor. It
+// satisfies the CA facility's TxGate hook.
+type DCC struct {
+	meter   *CBRMeter
+	profile ReactiveProfile
+
+	// Throttled counts gate queries answered with an interval above
+	// the Relaxed floor (diagnostics; deterministic).
+	Throttled uint64
+}
+
+// NewDCC attaches a reactive DCC controller to the interface with the
+// given profile (zero value selects DefaultReactiveProfile).
+func NewDCC(kernel *sim.Kernel, iface *Interface, profile ReactiveProfile) *DCC {
+	if len(profile.Intervals) == 0 || len(profile.Intervals) != len(profile.Thresholds)+1 {
+		profile = DefaultReactiveProfile()
+	}
+	return &DCC{
+		meter:   NewCBRMeter(kernel, iface, DefaultCBRInterval, DefaultCBRWindow),
+		profile: profile,
+	}
+}
+
+// State returns the index of the current reactive state (0 = Relaxed).
+func (d *DCC) State() int {
+	cbr := d.meter.CBR()
+	s := 0
+	for s < len(d.profile.Thresholds) && cbr >= d.profile.Thresholds[s] {
+		s++
+	}
+	return s
+}
+
+// StateName labels the current state.
+func (d *DCC) StateName() string {
+	s := d.State()
+	if s < len(stateNames) {
+		return stateNames[s]
+	}
+	return fmt.Sprintf("state%d", s)
+}
+
+// CBR exposes the smoothed channel-busy ratio the controller acts on.
+func (d *DCC) CBR() float64 { return d.meter.CBR() }
+
+// MinInterval returns the current state's minimum inter-transmission
+// time. It implements the CA facility's TxGate.
+func (d *DCC) MinInterval() time.Duration {
+	iv := d.profile.Intervals[d.State()]
+	if iv > d.profile.Intervals[0] {
+		d.Throttled++
+	}
+	return iv
+}
+
+// Stop halts the underlying CBR meter.
+func (d *DCC) Stop() { d.meter.Stop() }

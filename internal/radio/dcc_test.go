@@ -1,0 +1,159 @@
+package radio
+
+import (
+	"testing"
+	"time"
+
+	"itsbed/internal/geo"
+)
+
+func TestCBRMeterEmptyWindow(t *testing.T) {
+	k, m := newTestMedium(t)
+	iface := attach(t, m, "sta", geo.Point{})
+	meter := NewCBRMeter(k, iface, 100*time.Millisecond, 2)
+	if meter.CBR() != 0 || meter.Samples() != 0 {
+		t.Fatalf("fresh meter CBR %v samples %d, want 0/0", meter.CBR(), meter.Samples())
+	}
+	// Before the first interval closes the meter still reads zero even
+	// if the channel has been busy.
+	iface.busyAccum = 50 * time.Millisecond
+	if err := k.Run(99 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if meter.CBR() != 0 || meter.Samples() != 0 {
+		t.Fatalf("pre-first-sample CBR %v samples %d", meter.CBR(), meter.Samples())
+	}
+}
+
+func TestCBRMeterExactlyFullWindow(t *testing.T) {
+	k, m := newTestMedium(t)
+	iface := attach(t, m, "sta", geo.Point{})
+	meter := NewCBRMeter(k, iface, 100*time.Millisecond, 4)
+	// Busy 30 ms in interval 1, 50 ms in interval 2, idle in 3 and 4:
+	// after exactly four intervals the window holds {0.3, 0.5, 0, 0}.
+	k.ScheduleFn(10*time.Millisecond, func() { iface.busyAccum += 30 * time.Millisecond })
+	k.ScheduleFn(110*time.Millisecond, func() { iface.busyAccum += 50 * time.Millisecond })
+	if err := k.Run(400 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if meter.Samples() != 4 {
+		t.Fatalf("samples %d, want 4", meter.Samples())
+	}
+	want := (0.3 + 0.5 + 0 + 0) / 4
+	if got := meter.CBR(); !closeTo(got, want) {
+		t.Fatalf("CBR %v, want %v", got, want)
+	}
+}
+
+func TestCBRMeterPartialWindowAveragesFilledOnly(t *testing.T) {
+	k, m := newTestMedium(t)
+	iface := attach(t, m, "sta", geo.Point{})
+	meter := NewCBRMeter(k, iface, 100*time.Millisecond, 4)
+	k.ScheduleFn(10*time.Millisecond, func() { iface.busyAccum += 40 * time.Millisecond })
+	// One interval closed: the average spans one sample, not four.
+	if err := k.Run(150 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if meter.Samples() != 1 {
+		t.Fatalf("samples %d, want 1", meter.Samples())
+	}
+	if got := meter.CBR(); !closeTo(got, 0.4) {
+		t.Fatalf("CBR %v, want 0.4", got)
+	}
+}
+
+func TestCBRMeterWraparound(t *testing.T) {
+	k, m := newTestMedium(t)
+	iface := attach(t, m, "sta", geo.Point{})
+	meter := NewCBRMeter(k, iface, 100*time.Millisecond, 2)
+	// Busy the full first interval, then idle: after three intervals
+	// the ring has wrapped and the saturated sample has been evicted,
+	// leaving {0, 0}.
+	iface.busyAccum = 100 * time.Millisecond
+	if err := k.Run(350 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if meter.Samples() != 2 {
+		t.Fatalf("samples %d, want window cap 2", meter.Samples())
+	}
+	if got := meter.CBR(); got != 0 {
+		t.Fatalf("CBR %v after wraparound, want 0", got)
+	}
+}
+
+func TestCBRMeterClampsSaturatedInterval(t *testing.T) {
+	k, m := newTestMedium(t)
+	iface := attach(t, m, "sta", geo.Point{})
+	meter := NewCBRMeter(k, iface, 100*time.Millisecond, 1)
+	// An accounting jump larger than the interval clamps to 1.
+	iface.busyAccum = time.Second
+	if err := k.Run(150 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if got := meter.CBR(); got != 1 {
+		t.Fatalf("CBR %v, want clamp to 1", got)
+	}
+	meter.Stop()
+	if err := k.Run(250 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if meter.Samples() != 1 {
+		t.Fatal("meter sampled after Stop")
+	}
+}
+
+func TestDCCStateMapping(t *testing.T) {
+	k, m := newTestMedium(t)
+	iface := attach(t, m, "sta", geo.Point{})
+	d := NewDCC(k, iface, ReactiveProfile{})
+	cases := []struct {
+		cbr      float64
+		state    int
+		name     string
+		interval time.Duration
+	}{
+		{0.0, 0, "Relaxed", 60 * time.Millisecond},
+		{0.18, 0, "Relaxed", 60 * time.Millisecond},
+		{0.19, 1, "Active1", 100 * time.Millisecond},
+		{0.30, 2, "Active2", 180 * time.Millisecond},
+		{0.40, 3, "Active3", 260 * time.Millisecond},
+		{0.43, 4, "Restrictive", 540 * time.Millisecond},
+		{0.99, 4, "Restrictive", 540 * time.Millisecond},
+	}
+	for _, c := range cases {
+		// Pin the smoothed CBR directly: the ring is white-box state.
+		d.meter.ring = []float64{c.cbr}
+		d.meter.n = 1
+		if got := d.State(); got != c.state {
+			t.Fatalf("CBR %v: state %d, want %d", c.cbr, got, c.state)
+		}
+		if got := d.StateName(); got != c.name {
+			t.Fatalf("CBR %v: name %q, want %q", c.cbr, got, c.name)
+		}
+		if got := d.MinInterval(); got != c.interval {
+			t.Fatalf("CBR %v: interval %v, want %v", c.cbr, got, c.interval)
+		}
+	}
+	// Throttled counts only above-Relaxed answers: 5 of the 7 cases.
+	if d.Throttled != 5 {
+		t.Fatalf("throttled %d, want 5", d.Throttled)
+	}
+}
+
+func TestDCCRejectsMalformedProfile(t *testing.T) {
+	k, m := newTestMedium(t)
+	iface := attach(t, m, "sta", geo.Point{})
+	// Mismatched table lengths fall back to the default profile.
+	d := NewDCC(k, iface, ReactiveProfile{
+		Thresholds: []float64{0.5},
+		Intervals:  []time.Duration{time.Millisecond},
+	})
+	if got := d.MinInterval(); got != 60*time.Millisecond {
+		t.Fatalf("malformed profile not replaced: floor %v", got)
+	}
+}
+
+func closeTo(a, b float64) bool {
+	d := a - b
+	return d < 1e-9 && d > -1e-9
+}

@@ -2,7 +2,9 @@ package radio
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
+	"sort"
 	"time"
 
 	"itsbed/internal/geo"
@@ -38,6 +40,23 @@ type MediumConfig struct {
 	// Obstructions, when set, contributes per-link penetration loss —
 	// the shadowing model the paper lists as future work.
 	Obstructions ObstructionModel
+	// DisableGrid forces the brute-force O(N²) reception path: every
+	// transmission is evaluated against every attached interface. By
+	// default the medium culls receivers with a spatial grid sized from
+	// the maximum communication range, which is frame-for-frame
+	// identical to the brute-force path (the culling bound is
+	// conservative: a culled receiver is provably below the
+	// sensitivity threshold). Grid culling is automatically disabled
+	// when a Tracer or FaultModel is configured, because those consume
+	// per-receiver state (drop spans, Gilbert–Elliott chains) for
+	// out-of-range receivers too.
+	DisableGrid bool
+	// GridSlackM widens the culling radius to absorb receiver movement
+	// between re-binnings: an interface is re-binned when it transmits
+	// and on a periodic tick (DefaultGridRebinInterval), so the slack
+	// must exceed the distance any station travels within one tick
+	// (25 m covers 100 m/s at the default 250 ms). Zero selects 25 m.
+	GridSlackM float64
 	// NoiseFloorDBm of the receivers; zero selects the default.
 	NoiseFloorDBm float64
 	// SensitivityDBm below which frames cannot be decoded; zero
@@ -70,7 +89,24 @@ func (c *MediumConfig) applyDefaults() {
 	if c.PathLoss.Exponent == 0 {
 		c.PathLoss = DefaultIndoorPathLoss()
 	}
+	if c.GridSlackM == 0 {
+		c.GridSlackM = DefaultGridSlackM
+	}
+	if c.GridSlackM < 0 {
+		c.GridSlackM = 0
+	}
 }
+
+// DefaultGridSlackM is the default culling-radius slack absorbing
+// station movement between re-binnings.
+const DefaultGridSlackM = 25.0
+
+// DefaultGridRebinInterval is how often the medium folds every
+// interface's true position back into the culling grid. Together with
+// GridSlackM it bounds binning staleness: a station moving at up to
+// GridSlackM / DefaultGridRebinInterval (100 m/s at the defaults) can
+// never be culled while actually in range.
+const DefaultGridRebinInterval = 250 * time.Millisecond
 
 // transmission is one frame on the air.
 type transmission struct {
@@ -93,8 +129,35 @@ type Medium struct {
 	rng     *rand.Rand
 	ifaces  []*Interface
 	ongoing []*transmission
-	// shadow caches per-link shadowing in dB, symmetric.
-	shadow map[linkKey]float64
+	// shadowSeed keys the order-independent per-link shadowing hash.
+	shadowSeed uint64
+
+	// grid is the spatial culling index, built lazily on first
+	// transmit and invalidated by Attach (nil while brute-force).
+	grid *Grid
+	// cullRadius is the query radius: the conservative communication
+	// range plus the re-binning slack.
+	cullRadius float64
+	// maxTxPowerDBm tracks the strongest attached transmitter; the
+	// culling range derives from it.
+	maxTxPowerDBm float64
+	// candScratch is the reusable candidate-id buffer.
+	candScratch []int
+	// rebin periodically folds true positions back into the grid.
+	rebin *sim.Ticker
+	// cullCutoff2 is the squared no-slack culling range: receivers
+	// farther than this are provably below both the sensitivity and
+	// carrier-sense thresholds, so evaluate() skips the propagation
+	// math entirely. Zero means "not yet derived"; infinite when the
+	// range is unbounded.
+	cullCutoff2 float64
+	// linkCache memoises, per directed link, the squared distances at
+	// which the receive power crosses the sensitivity and carrier-
+	// sense thresholds (shadowing folded in). evaluate() then decides
+	// the common below-sensitivity case with two float compares
+	// instead of log-distance path-loss math. Invalid (and unused)
+	// when an obstruction model makes loss position-dependent.
+	linkCache []linkThreshold
 
 	// FramesSent counts transmissions started on the medium.
 	FramesSent uint64
@@ -102,22 +165,24 @@ type Medium struct {
 	FramesLost uint64
 	// FramesDelivered counts per-receiver successful deliveries.
 	FramesDelivered uint64
+	// FramesCulled counts per-receiver sensitivity losses that the
+	// spatial grid skipped without evaluating (always zero on the
+	// brute-force path; included in FramesLost either way).
+	FramesCulled uint64
 
 	mSent, mDelivered, mLostSens, mLostSINR *metrics.Counter
 	mLostBlackout, mLostFault               *metrics.Counter
 	mAirtime                                [ACBackground + 1]*metrics.Histogram
 }
 
-type linkKey struct{ a, b int }
-
 // NewMedium creates a broadcast medium on the kernel.
 func NewMedium(kernel *sim.Kernel, cfg MediumConfig) *Medium {
 	cfg.applyDefaults()
 	m := &Medium{
-		kernel: kernel,
-		cfg:    cfg,
-		rng:    kernel.Rand("radio.medium"),
-		shadow: make(map[linkKey]float64),
+		kernel:     kernel,
+		cfg:        cfg,
+		rng:        kernel.Rand("radio.medium"),
+		shadowSeed: kernel.Rand("radio.medium.shadow").Uint64(),
 	}
 	if r := cfg.Metrics; r != nil {
 		m.mSent = r.Counter("radio_frames_sent_total")
@@ -137,26 +202,173 @@ func NewMedium(kernel *sim.Kernel, cfg MediumConfig) *Medium {
 	return m
 }
 
-// shadowingDB returns the (stable) shadowing for the link a→b.
+// ShadowBoundSigmas bounds the per-link shadowing at ±2√3 standard
+// deviations — the support of the Irwin–Hall(4) sum the medium draws
+// it from. The bound is what makes spatial culling sound: beyond the
+// culling range not even maximal constructive shadowing can lift a
+// frame above the sensitivity threshold.
+var ShadowBoundSigmas = 2 * math.Sqrt(3)
+
+// shadowingDB returns the stable shadowing for the link a↔b in dB.
+// The value is a pure function of (medium seed, link), independent of
+// the order links are first evaluated in, so the grid-culled and
+// brute-force reception paths see identical channels. It is drawn
+// from a scaled Irwin–Hall(4) distribution: approximately normal with
+// the configured sigma, hard-bounded at ±2√3 σ.
 func (m *Medium) shadowingDB(a, b int) float64 {
-	if m.cfg.PathLoss.ShadowingSigmaDB == 0 {
+	sigma := m.cfg.PathLoss.ShadowingSigmaDB
+	if sigma == 0 {
 		return 0
 	}
-	k := linkKey{a, b}
-	if a > b {
-		k = linkKey{b, a}
+	lo, hi := a, b
+	if lo > hi {
+		lo, hi = hi, lo
 	}
-	if s, ok := m.shadow[k]; ok {
-		return s
+	h := splitmix64(m.shadowSeed ^ uint64(lo)<<32 ^ uint64(uint32(hi)))
+	var s float64
+	for i := 0; i < 4; i++ {
+		h = splitmix64(h)
+		s += float64(h>>11) / (1 << 53)
 	}
-	s := m.rng.NormFloat64() * m.cfg.PathLoss.ShadowingSigmaDB
-	m.shadow[k] = s
-	return s
+	// Sum of 4 uniforms: mean 2, variance 1/3; rescale to unit sigma.
+	return (s - 2) * math.Sqrt(3) * sigma
 }
+
+// splitmix64 is the SplitMix64 mixing function (public domain), used
+// to derive per-link shadowing deterministically.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// gridEligible reports whether spatial culling may be used at all:
+// tracers record per-receiver drop spans and fault models advance
+// per-link state for every receiver, so both force the full scan.
+func (m *Medium) gridEligible() bool {
+	return !m.cfg.DisableGrid && m.cfg.Tracer == nil && m.cfg.Faults == nil
+}
+
+// CullRangeM returns the conservative maximum communication range:
+// the distance beyond which a frame from the strongest attached
+// transmitter is below both the sensitivity and the carrier-sense
+// thresholds even with maximal constructive shadowing and no
+// obstruction loss — so a receiver beyond it neither decodes the
+// frame nor senses the channel busy.
+func (m *Medium) CullRangeM() float64 {
+	thresh := m.cfg.SensitivityDBm
+	if m.cfg.CarrierSenseDBm < thresh {
+		thresh = m.cfg.CarrierSenseDBm
+	}
+	margin := m.maxTxPowerDBm - m.cfg.PathLoss.ReferenceLossDB +
+		ShadowBoundSigmas*m.cfg.PathLoss.ShadowingSigmaDB - thresh
+	if m.cfg.PathLoss.Exponent <= 0 {
+		return math.Inf(1)
+	}
+	if margin <= 0 {
+		return 1
+	}
+	return math.Pow(10, margin/(10*m.cfg.PathLoss.Exponent))
+}
+
+// ensureGrid builds the culling index when enabled and not yet built:
+// cell size (= query radius) is the culling range plus the re-binning
+// slack, and every attached interface is binned at its current
+// position. Attach invalidates the grid so late attachments and tx-
+// power increases re-derive the cell size.
+func (m *Medium) ensureGrid() {
+	if m.grid != nil || !m.gridEligible() {
+		return
+	}
+	m.cullRadius = m.CullRangeM() + m.cfg.GridSlackM
+	if math.IsInf(m.cullRadius, 1) || math.IsNaN(m.cullRadius) {
+		return // an unbounded range culls nothing; stay brute-force
+	}
+	m.grid = NewGrid(m.cullRadius)
+	for _, iface := range m.ifaces {
+		m.grid.Insert(iface.id, iface.Position())
+	}
+	if m.rebin == nil {
+		m.rebin = m.kernel.Every(DefaultGridRebinInterval, DefaultGridRebinInterval, func() {
+			if m.grid == nil {
+				return // invalidated by Attach; rebuilt on next transmit
+			}
+			for _, iface := range m.ifaces {
+				m.grid.Move(iface.id, iface.pos())
+			}
+		})
+	}
+}
+
+// cutoff2 returns (lazily deriving) the squared no-slack culling
+// range used by evaluate's fast rejection path.
+func (m *Medium) cutoff2() float64 {
+	if m.cullCutoff2 == 0 {
+		r := m.CullRangeM()
+		m.cullCutoff2 = r * r
+	}
+	return m.cullCutoff2
+}
+
+// linkThreshold caches one directed link's decision radii. sens2 and
+// cs2 hold the squared distances at which the link's receive power
+// (tx power − path loss − shadowing) falls below the sensitivity and
+// carrier-sense thresholds; −1 encodes "below threshold even at the
+// 1 m reference distance".
+type linkThreshold struct {
+	sens2, cs2 float64
+	set        bool
+}
+
+// linkThresholds returns the cached decision radii for src→dst,
+// deriving them on first use. Only called when thresholdsUsable.
+func (m *Medium) linkThresholds(t *transmission, dst *Interface) (sens2, cs2 float64) {
+	n := len(m.ifaces)
+	if m.linkCache == nil {
+		m.linkCache = make([]linkThreshold, n*n)
+	}
+	lt := &m.linkCache[t.src.id*n+dst.id]
+	if !lt.set {
+		sh := m.shadowingDB(t.src.id, dst.id)
+		exp := 10 * m.cfg.PathLoss.Exponent
+		base := t.powerDBm - m.cfg.PathLoss.ReferenceLossDB - sh
+		lt.sens2 = thresholdRadius2((base - m.cfg.SensitivityDBm) / exp)
+		lt.cs2 = thresholdRadius2((base - m.cfg.CarrierSenseDBm) / exp)
+		lt.set = true
+	}
+	return lt.sens2, lt.cs2
+}
+
+// thresholdRadius2 converts a decade margin into a squared threshold
+// distance honouring LossDB's 1 m clamp: a negative margin means the
+// power is below the threshold even at the reference distance.
+func thresholdRadius2(decades float64) float64 {
+	if decades < 0 {
+		return -1
+	}
+	r := math.Pow(10, decades)
+	return r * r
+}
+
+// thresholdsUsable reports whether the per-link radius cache may
+// replace the exact power computation: path loss must be a pure
+// monotone function of distance (no obstructions, positive exponent).
+func (m *Medium) thresholdsUsable() bool {
+	return m.cfg.Obstructions == nil && m.cfg.PathLoss.Exponent > 0
+}
+
+// GridActive reports whether the spatial culling index is in use.
+func (m *Medium) GridActive() bool { return m.grid != nil }
 
 // rxPowerDBm computes the power of src's signal at dst.
 func (m *Medium) rxPowerDBm(t *transmission, dst *Interface) float64 {
-	a, b := t.src.Position(), dst.Position()
+	return m.rxPowerDBmAt(t, t.src.pos(), dst, dst.pos())
+}
+
+// rxPowerDBmAt is rxPowerDBm with both positions precomputed, for the
+// hot reception loop (position funcs walk route geometry).
+func (m *Medium) rxPowerDBmAt(t *transmission, a geo.Point, dst *Interface, b geo.Point) float64 {
 	rx := t.powerDBm - m.cfg.PathLoss.LossDB(a.DistanceTo(b)) - m.shadowingDB(t.src.id, dst.id)
 	if m.cfg.Obstructions != nil {
 		rx -= m.cfg.Obstructions.ObstructionLossDB(a, b)
@@ -169,15 +381,34 @@ func (m *Medium) rxPowerDBm(t *transmission, dst *Interface) float64 {
 // its own frame still on the air (the radio is half-duplex).
 func (m *Medium) busyAt(iface *Interface) bool {
 	now := m.kernel.Now()
+	var pos geo.Point
+	if len(m.ongoing) > 0 {
+		pos = iface.pos()
+	}
 	for _, t := range m.ongoing {
 		if t.end <= now {
 			continue
 		}
-		if t.src == iface || m.rxPowerDBm(t, iface) >= m.cfg.CarrierSenseDBm {
+		if t.src == iface || m.senses(t, iface, pos) {
 			return true
 		}
 	}
 	return false
+}
+
+// senses reports whether iface hears t above the carrier-sense level,
+// with the same fast distance rejection as evaluate.
+func (m *Medium) senses(t *transmission, iface *Interface, pos geo.Point) bool {
+	srcPos := t.src.pos()
+	d2 := sqDist(srcPos, pos)
+	if d2 > m.cutoff2() {
+		return false
+	}
+	if m.thresholdsUsable() {
+		_, cs2 := m.linkThresholds(t, iface)
+		return d2 <= cs2
+	}
+	return m.rxPowerDBmAt(t, srcPos, iface, pos) >= m.cfg.CarrierSenseDBm
 }
 
 // busyUntil returns the latest end time of transmissions iface must
@@ -185,11 +416,15 @@ func (m *Medium) busyAt(iface *Interface) bool {
 func (m *Medium) busyUntil(iface *Interface) time.Duration {
 	now := m.kernel.Now()
 	var until time.Duration
+	var pos geo.Point
+	if len(m.ongoing) > 0 {
+		pos = iface.pos()
+	}
 	for _, t := range m.ongoing {
 		if t.end <= now {
 			continue
 		}
-		if (t.src == iface || m.rxPowerDBm(t, iface) >= m.cfg.CarrierSenseDBm) && t.end > until {
+		if (t.src == iface || m.senses(t, iface, pos)) && t.end > until {
 			until = t.end
 		}
 	}
@@ -202,6 +437,10 @@ func (m *Medium) busyUntil(iface *Interface) time.Duration {
 func (m *Medium) transmit(iface *Interface, frame []byte, ac AccessCategory, parent *tracing.Span) {
 	now := m.kernel.Now()
 	air := Airtime(len(frame), iface.cfg.MCS)
+	m.ensureGrid()
+	if m.grid != nil {
+		m.grid.Move(iface.id, iface.Position())
+	}
 	t := &transmission{
 		src:      iface,
 		frame:    frame,
@@ -227,6 +466,31 @@ func (m *Medium) transmit(iface *Interface, frame []byte, ac AccessCategory, par
 func (m *Medium) complete(t *transmission) {
 	now := m.kernel.Now()
 	t.span.End(now)
+	// The transmitter's own frame occupies its channel (half-duplex);
+	// completions arrive in end-time order, so the per-interface busy
+	// merge in noteBusy is an exact interval union.
+	m.noteBusy(t.src, t)
+	srcPos := t.src.pos()
+	if m.grid != nil {
+		m.completeCulled(t, srcPos, now)
+	} else {
+		m.completeFull(t, srcPos, now)
+	}
+	// Retire the transmission. No wake-up pass is needed: an interface
+	// with queued frames always has an access attempt in flight
+	// (SendBroadcastAC starts one, and the defer path re-arms itself at
+	// the end of each busy period), so completions have no observers.
+	for i, o := range m.ongoing {
+		if o == t {
+			m.ongoing = append(m.ongoing[:i], m.ongoing[i+1:]...)
+			break
+		}
+	}
+}
+
+// completeFull is the brute-force reception path: every attached
+// interface is evaluated (and, under fault injection, screened).
+func (m *Medium) completeFull(t *transmission, srcPos geo.Point, now time.Duration) {
 	var blackout bool
 	var extraNoiseDB float64
 	if f := m.cfg.Faults; f != nil {
@@ -255,62 +519,141 @@ func (m *Medium) complete(t *transmission) {
 				continue
 			}
 		}
-		rx := m.rxPowerDBm(t, dst)
+		m.evaluate(t, srcPos, dst, now, extraNoiseDB)
+	}
+}
+
+// completeCulled is the grid path: only interfaces binned within the
+// culling radius of the transmitter are evaluated; the rest are
+// accounted in bulk as sensitivity losses (which the conservative
+// culling bound proves they are). Candidates are visited in id order
+// so the SINR random draws replay exactly as on the brute-force path.
+// The grid path never runs with a tracer or fault model attached (see
+// gridEligible), so no per-receiver screening happens here.
+func (m *Medium) completeCulled(t *transmission, srcPos geo.Point, now time.Duration) {
+	cand := m.candScratch[:0]
+	m.grid.Neighbors(srcPos, m.cullRadius, func(id int) {
+		if id != t.src.id {
+			cand = append(cand, id)
+		}
+	})
+	sort.Ints(cand)
+	m.candScratch = cand
+	for _, id := range cand {
+		m.evaluate(t, srcPos, m.ifaces[id], now, 0)
+	}
+	if culled := uint64(len(m.ifaces) - 1 - len(cand)); culled > 0 {
+		m.FramesCulled += culled
+		m.FramesLost += culled
+		m.mLostSens.Add(culled)
+	}
+}
+
+// evaluate decides one receiver's outcome for the completed frame:
+// channel-busy accounting, sensitivity, SINR capture, delivery.
+func (m *Medium) evaluate(t *transmission, srcPos geo.Point, dst *Interface, now time.Duration, extraNoiseDB float64) {
+	dstPos := dst.pos()
+	d2 := sqDist(srcPos, dstPos)
+	if d2 > m.cutoff2() {
+		// Beyond the conservative culling range the frame is provably
+		// below both thresholds for any shadowing draw; skip all
+		// propagation math. Obstructions only add loss.
+		m.dropSensitivity(t, dst, now)
+		return
+	}
+	if m.thresholdsUsable() {
+		// Decide carrier sense and sensitivity by comparing the squared
+		// distance against the link's cached crossing radii — the
+		// log-distance math runs only for frames that actually decode.
+		sens2, cs2 := m.linkThresholds(t, dst)
+		if d2 <= cs2 {
+			// The frame was sensed at this receiver: it occupied the
+			// channel for CBR purposes whether or not it decodes.
+			m.noteBusy(dst, t)
+		}
+		if d2 > sens2 {
+			m.dropSensitivity(t, dst, now)
+			return
+		}
+	} else {
+		rx := m.rxPowerDBmAt(t, srcPos, dst, dstPos)
+		if rx >= m.cfg.CarrierSenseDBm {
+			m.noteBusy(dst, t)
+		}
 		if rx < m.cfg.SensitivityDBm {
-			m.FramesLost++
-			m.mLostSens.Inc()
-			if sp := m.cfg.Tracer.StartChild(t.span, "radio.rx", "radio", dst.cfg.Name, now); sp != nil {
-				sp.Drop(now, "sensitivity")
-			}
-			continue
-		}
-		// Interference: power of other transmissions overlapping in
-		// time at this receiver, plus any injected noise burst.
-		interfMW := dbmToMilliwatt(m.cfg.NoiseFloorDBm + extraNoiseDB)
-		for _, o := range m.ongoing {
-			if o == t || o.src == dst {
-				continue
-			}
-			if o.start < t.end && o.end > t.start { // overlap
-				interfMW += dbmToMilliwatt(m.rxPowerDBm(o, dst))
-			}
-		}
-		sinrDB := rx - milliwattToDBm(interfMW)
-		p := successProbability(sinrDB, t.src.cfg.MCS.SNRThresholdDB)
-		if m.rng.Float64() > p {
-			m.FramesLost++
-			m.mLostSINR.Inc()
-			dst.FramesCorrupted++
-			dst.mCorrupt.Inc()
-			if sp := m.cfg.Tracer.StartChild(t.span, "radio.rx", "radio", dst.cfg.Name, now); sp != nil {
-				sp.Drop(now, "sinr")
-			}
-			continue
-		}
-		m.FramesDelivered++
-		m.mDelivered.Inc()
-		dst.FramesReceived++
-		dst.mRx.Inc()
-		if dst.receive != nil {
-			// All receivers share t.frame: frames are immutable once on
-			// the air (the interface copied the caller's buffer at
-			// enqueue), so receivers may decode and retain slices but
-			// must not write — see SetReceiver.
-			// Receiver processing happens in the airtime span's scope so
-			// the receiving stack's spans join the sender's trace tree.
-			m.cfg.Tracer.Scope(t.span, func() { dst.receive(t.frame) })
+			m.dropSensitivity(t, dst, now)
+			return
 		}
 	}
-	// Retire the transmission.
-	for i, o := range m.ongoing {
-		if o == t {
-			m.ongoing = append(m.ongoing[:i], m.ongoing[i+1:]...)
-			break
+	rx := m.rxPowerDBmAt(t, srcPos, dst, dstPos)
+	// Interference: power of other transmissions overlapping in
+	// time at this receiver, plus any injected noise burst.
+	interfMW := dbmToMilliwatt(m.cfg.NoiseFloorDBm + extraNoiseDB)
+	for _, o := range m.ongoing {
+		if o == t || o.src == dst {
+			continue
+		}
+		if o.start < t.end && o.end > t.start { // overlap
+			interfMW += dbmToMilliwatt(m.rxPowerDBmAt(o, o.src.pos(), dst, dstPos))
 		}
 	}
-	// Wake transmitters waiting for an idle channel.
-	for _, iface := range m.ifaces {
-		iface.channelMaybeIdle()
+	sinrDB := rx - milliwattToDBm(interfMW)
+	p := successProbability(sinrDB, t.src.cfg.MCS.SNRThresholdDB)
+	if m.rng.Float64() > p {
+		m.FramesLost++
+		m.mLostSINR.Inc()
+		dst.FramesCorrupted++
+		dst.mCorrupt.Inc()
+		if sp := m.cfg.Tracer.StartChild(t.span, "radio.rx", "radio", dst.cfg.Name, now); sp != nil {
+			sp.Drop(now, "sinr")
+		}
+		return
+	}
+	m.FramesDelivered++
+	m.mDelivered.Inc()
+	dst.FramesReceived++
+	dst.mRx.Inc()
+	if dst.receive != nil {
+		// All receivers share t.frame: frames are immutable once on
+		// the air (the interface copied the caller's buffer at
+		// enqueue), so receivers may decode and retain slices but
+		// must not write — see SetReceiver.
+		// Receiver processing happens in the airtime span's scope so
+		// the receiving stack's spans join the sender's trace tree.
+		m.cfg.Tracer.Scope(t.span, func() { dst.receive(t.frame) })
+	}
+}
+
+// dropSensitivity accounts one below-sensitivity reception.
+func (m *Medium) dropSensitivity(t *transmission, dst *Interface, now time.Duration) {
+	m.FramesLost++
+	m.mLostSens.Inc()
+	if sp := m.cfg.Tracer.StartChild(t.span, "radio.rx", "radio", dst.cfg.Name, now); sp != nil {
+		sp.Drop(now, "sensitivity")
+	}
+}
+
+// sqDist is the squared Euclidean distance between two points, for
+// threshold comparisons that need no square root.
+func sqDist(a, b geo.Point) float64 {
+	dx, dy := a.X-b.X, a.Y-b.Y
+	return dx*dx + dy*dy
+}
+
+// noteBusy merges the transmission's airtime into the interface's
+// channel-busy accumulator. Exactness relies on busy intervals being
+// reported in non-decreasing end-time order, which holds because all
+// reports happen at frame completion.
+func (m *Medium) noteBusy(i *Interface, t *transmission) {
+	s := t.start
+	if i.busyEnd > s {
+		s = i.busyEnd
+	}
+	if t.end > s {
+		i.busyAccum += t.end - s
+	}
+	if t.end > i.busyEnd {
+		i.busyEnd = t.end
 	}
 }
 
@@ -375,6 +718,13 @@ type Interface struct {
 	head       int
 	accessBusy bool // an access attempt is in flight
 
+	// busyAccum is the union of airtime this interface sensed the
+	// channel busy (own frames and frames above the carrier-sense
+	// level), maintained by the medium at frame completion. busyEnd is
+	// the end of the latest busy interval merged so far.
+	busyAccum time.Duration
+	busyEnd   time.Duration
+
 	// FramesQueued counts frames accepted into the transmit queue.
 	FramesQueued uint64
 	// FramesDroppedQueueFull counts tail drops.
@@ -423,8 +773,22 @@ func (m *Medium) Attach(cfg InterfaceConfig, pos PositionFunc) (*Interface, erro
 		}
 	}
 	m.ifaces = append(m.ifaces, iface)
+	if cfg.TxPowerDBm > m.maxTxPowerDBm || len(m.ifaces) == 1 {
+		m.maxTxPowerDBm = cfg.TxPowerDBm
+	}
+	// Invalidate the culling index, the fast-rejection cutoff and the
+	// per-link radius cache: the next transmit re-derives them from
+	// the (possibly raised) maximum tx power and the new interface
+	// count, and bins every interface afresh.
+	m.grid = nil
+	m.cullCutoff2 = 0
+	m.linkCache = nil
 	return iface, nil
 }
+
+// ChannelBusyTime returns the accumulated time this interface sensed
+// the channel busy since simulation start (the CBR numerator).
+func (i *Interface) ChannelBusyTime() time.Duration { return i.busyAccum }
 
 // SetReceiver installs the frame-delivery callback (the GN router).
 // The frame slice passed to fn is shared between every receiver of the
@@ -525,16 +889,6 @@ func (i *Interface) waitForIdle(ac AccessCategory) {
 		backoff := time.Duration(i.rng.Intn(CWMin(ac)+1)) * SlotTime
 		i.kernel.ScheduleFn(AIFS(ac)+backoff, func() { i.fire() })
 	})
-}
-
-// channelMaybeIdle is called by the medium when a transmission ends,
-// giving deferred transmitters a chance to proceed. Access attempts in
-// flight re-check the channel themselves; idle interfaces with queued
-// frames start an attempt.
-func (i *Interface) channelMaybeIdle() {
-	if !i.accessBusy && i.queueLen() > 0 {
-		i.tryAccess()
-	}
 }
 
 // fire transmits the head-of-line frame if the channel is (still)

@@ -130,6 +130,15 @@ type Config struct {
 	// re-broadcasts active events it stops hearing (EN 302 637-3
 	// §8.2.2).
 	EnableKAF bool
+	// EnableDCC attaches a reactive DCC controller (ETSI TS 102 687)
+	// to the station's radio: the measured channel-busy ratio
+	// throttles CAM generation through the CA facility's gate. Only
+	// effective when the station owns an 802.11p interface (no Link
+	// override).
+	EnableDCC bool
+	// DCCProfile overrides the reactive state table; the zero value
+	// selects radio.DefaultReactiveProfile.
+	DCCProfile radio.ReactiveProfile
 	// EnableBeaconing sends GN position beacons when the station has
 	// transmitted nothing for BeaconInterval (EN 302 636-4-1 §10.2).
 	// A station generating CAMs rarely beacons; a silent one keeps
@@ -169,6 +178,7 @@ type Station struct {
 
 	Clock  *clock.NTPClock
 	Iface  *radio.Interface
+	DCC    *radio.DCC
 	Router *geonet.Router
 	CA     *ca.Service
 	DEN    *den.Service
@@ -248,6 +258,12 @@ func New(kernel *sim.Kernel, medium *radio.Medium, cfg Config) (*Station, error)
 		s.Iface = iface
 		link = iface
 	}
+	if cfg.EnableDCC {
+		if s.Iface == nil {
+			return nil, fmt.Errorf("stack: station %q: DCC requires an 802.11p interface", cfg.Name)
+		}
+		s.DCC = radio.NewDCC(kernel, s.Iface, cfg.DCCProfile)
+	}
 
 	router, err := geonet.NewRouter(geonet.RouterConfig{
 		Frame:             cfg.Frame,
@@ -290,7 +306,7 @@ func New(kernel *sim.Kernel, medium *radio.Medium, cfg Config) (*Station, error)
 		s.denRx.KAF.Tracer = cfg.Tracer
 	}
 
-	caSvc, err := ca.New(kernel, ca.Config{
+	caCfg := ca.Config{
 		StationID:       cfg.StationID,
 		StationType:     cfg.StationType,
 		Provider:        ca.StateFunc(cfg.Mobility.VehicleState),
@@ -300,7 +316,11 @@ func New(kernel *sim.Kernel, medium *radio.Medium, cfg Config) (*Station, error)
 		Metrics:         cfg.Metrics,
 		Name:            cfg.Name,
 		Tracer:          cfg.Tracer,
-	})
+	}
+	if s.DCC != nil {
+		caCfg.Gate = s.DCC
+	}
+	caSvc, err := ca.New(kernel, caCfg)
 	if err != nil {
 		return nil, fmt.Errorf("stack: CA service: %w", err)
 	}

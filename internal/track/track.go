@@ -84,6 +84,32 @@ func (l *Line) HeadingAt(s float64) float64 {
 	return geo.Segment{A: l.points[len(l.points)-2], B: l.points[len(l.points)-1]}.Heading()
 }
 
+// wrap maps an arbitrary arc length onto [0, Length) for closed-loop
+// traversal. Non-finite inputs collapse to 0.
+func (l *Line) wrap(s float64) float64 {
+	length := l.Length()
+	if length <= 0 || math.IsNaN(s) || math.IsInf(s, 0) {
+		return 0
+	}
+	// Floor-based reduction: cheaper than math.Mod and exact enough
+	// for arc lengths (loop traversal tolerates sub-micron residue).
+	s -= math.Floor(s/length) * length
+	if s < 0 || s >= length {
+		s = 0
+	}
+	return s
+}
+
+// LoopPointAt treats the line as a closed loop (last point joined back
+// to the first by the caller's geometry) and returns the point at arc
+// length s modulo the total length. Negative arc lengths walk
+// backwards around the loop.
+func (l *Line) LoopPointAt(s float64) geo.Point { return l.PointAt(l.wrap(s)) }
+
+// LoopHeadingAt is HeadingAt with the arc length wrapped modulo the
+// loop length.
+func (l *Line) LoopHeadingAt(s float64) float64 { return l.HeadingAt(l.wrap(s)) }
+
 // Project returns the arc length and lateral offset of p relative to
 // the line. The offset is signed: positive when p lies to the right of
 // the travel direction.

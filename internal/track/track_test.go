@@ -138,3 +138,30 @@ func TestActionPointArcAbsent(t *testing.T) {
 		t.Fatal("action point found on a line that never approaches the camera")
 	}
 }
+
+func TestLoopAccessorsWrap(t *testing.T) {
+	// A 10×10 closed square, perimeter 40.
+	sq := MustLine([]geo.Point{{X: 0, Y: 0}, {X: 10, Y: 0}, {X: 10, Y: 10}, {X: 0, Y: 10}, {X: 0, Y: 0}})
+	if sq.Length() != 40 {
+		t.Fatalf("perimeter %v", sq.Length())
+	}
+	for _, s := range []float64{0, 5, 15, 39.5} {
+		if got, want := sq.LoopPointAt(s+40), sq.LoopPointAt(s); got != want {
+			t.Fatalf("s=%v: wrapped point %v, want %v", s, got, want)
+		}
+		if got, want := sq.LoopHeadingAt(s+80), sq.LoopHeadingAt(s); got != want {
+			t.Fatalf("s=%v: wrapped heading %v, want %v", s, got, want)
+		}
+	}
+	// Negative arc lengths walk backwards around the loop.
+	if got, want := sq.LoopPointAt(-5), sq.LoopPointAt(35); got != want {
+		t.Fatalf("negative wrap: %v, want %v", got, want)
+	}
+	// Non-finite inputs collapse to the start rather than panic.
+	start := sq.PointAt(0)
+	for _, s := range []float64{math.NaN(), math.Inf(1), math.Inf(-1)} {
+		if got := sq.LoopPointAt(s); got != start {
+			t.Fatalf("non-finite arc %v: %v", s, got)
+		}
+	}
+}
