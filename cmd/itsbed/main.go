@@ -21,6 +21,7 @@
 //	itsbed ntp-sweep         # ABL-4 clock-sync quality vs measured intervals
 //	itsbed resilience        # EXT-7 fault-plan resilience sweep (-faults)
 //	itsbed city              # SCALE-1 city-scale density sweep (see below)
+//	itsbed cpm               # CPM-1 occluded-pedestrian collective perception study
 //	itsbed all               # everything above (resilience and city excluded)
 //
 // Common flags: -seed S, -runs R, -vision=(true|false), -workers W,
@@ -36,6 +37,13 @@
 // vehicle's fail-safe watchdog and the edge trigger retries enabled,
 // and reports the outcome distribution (warned stop / fail-safe stop /
 // miss) plus the latency inflation versus the fault-free baseline.
+//
+// The cpm command runs the occluded-pedestrian crossing with and
+// without the Collective Perception service under identical seeds: a
+// road-side camera is the only sensor with line of sight, and the
+// study compares how early the vehicle brakes when the RSU shares its
+// perceived objects in CPMs versus warning with a conventional DENM
+// once the pedestrian reaches the lane. Uses -seed, -runs, -workers.
 //
 // The city command simulates a synthetic road-grid city with DCC-
 // throttled CAM traffic and RSU hazard DENMs, and prints a per-density
@@ -137,6 +145,7 @@ func run(args []string) error {
 		"city": func() error {
 			return printCity(*seed, *stations, *rsus, *duration, *workers, !*useGrid, !*useDCC)
 		},
+		"cpm": func() error { return printCPM(*seed, *runs, *workers) },
 	}
 	if cmd == "all" {
 		order := []string{
@@ -154,7 +163,7 @@ func run(args []string) error {
 	}
 	fn, ok := dispatch[cmd]
 	if !ok {
-		return fmt.Errorf("unknown command %q (try: table1 table2 table3 fig7 fig10 fig11 cdf radios platoon baseline poll-sweep fps-sweep load-sweep obstruction platoon-acc ntp-sweep resilience city all)", cmd)
+		return fmt.Errorf("unknown command %q (try: table1 table2 table3 fig7 fig10 fig11 cdf radios platoon baseline poll-sweep fps-sweep load-sweep obstruction platoon-acc ntp-sweep resilience city cpm all)", cmd)
 	}
 	return fn()
 }
@@ -182,6 +191,19 @@ func printCity(seed int64, stations string, rsus int, duration time.Duration, wo
 		return err
 	}
 	fmt.Print(experiments.FormatCity(rows, opt))
+	return nil
+}
+
+func printCPM(seed int64, runs, workers int) error {
+	res, err := experiments.CPMCampaign(experiments.CPMOptions{
+		BaseSeed: seed,
+		Runs:     runs,
+		Workers:  workers,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Print(experiments.FormatCPM(res))
 	return nil
 }
 

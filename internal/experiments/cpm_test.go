@@ -1,0 +1,103 @@
+package experiments
+
+import (
+	"os"
+	"reflect"
+	"testing"
+)
+
+// TestCPMDeterministicAcrossWorkers extends the campaign engine's
+// contract to the collective-perception study: the same BaseSeed must
+// produce field-by-field identical paired rows — outcomes, fused
+// object counts, formatted report — for every worker count, even
+// though each run drives two full protocol stacks, a camera model and
+// kinematics off named kernel streams.
+func TestCPMDeterministicAcrossWorkers(t *testing.T) {
+	base := func(w int) CPMOptions {
+		return CPMOptions{BaseSeed: 42, Runs: 4, Workers: w}
+	}
+	want, err := CPMCampaign(base(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(want.Rows) != 4 {
+		t.Fatalf("serial campaign returned %d rows, want 4", len(want.Rows))
+	}
+	for _, w := range []int{4, 8} {
+		got, err := CPMCampaign(base(w))
+		if err != nil {
+			t.Fatalf("workers=%d: %v", w, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("workers=%d: CPM campaign differs from serial run:\ngot  %+v\nwant %+v", w, got, want)
+		}
+		if FormatCPM(got) != FormatCPM(want) {
+			t.Fatalf("workers=%d: formatted CPM report not byte-identical", w)
+		}
+	}
+}
+
+// TestCPMReducesMissRate pins the headline claim of the study: under
+// the same seeds, enabling CPM strictly reduces the miss count, never
+// introduces a miss the baseline avoided, converts runs into warned
+// stops, and warns earlier on every run where both arms warned at all.
+func TestCPMReducesMissRate(t *testing.T) {
+	res, err := CPMCampaign(CPMOptions{BaseSeed: 1, Runs: 8, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Baseline.Misses == 0 {
+		t.Fatal("baseline arm never missed: the scenario is not exercising the occlusion hazard")
+	}
+	if res.CPM.Misses >= res.Baseline.Misses {
+		t.Fatalf("CPM arm missed %d times vs baseline %d: no strict reduction",
+			res.CPM.Misses, res.Baseline.Misses)
+	}
+	if res.CPM.WarnedStops <= res.Baseline.WarnedStops {
+		t.Fatalf("CPM warned-stops %d vs baseline %d: early warning bought nothing",
+			res.CPM.WarnedStops, res.Baseline.WarnedStops)
+	}
+	for i, row := range res.Rows {
+		if row.CPM.Miss && !row.Baseline.Miss {
+			t.Fatalf("run %d (seed %d): CPM introduced a miss the baseline avoided", i, row.Seed)
+		}
+		if row.Baseline.Warned && row.CPM.Warned &&
+			row.CPM.WarnLatencyMS >= row.Baseline.WarnLatencyMS {
+			t.Fatalf("run %d (seed %d): CPM warn latency %.0f ms not earlier than baseline %.0f ms",
+				i, row.Seed, row.CPM.WarnLatencyMS, row.Baseline.WarnLatencyMS)
+		}
+		if row.CPM.ObjectsFused == 0 {
+			t.Fatalf("run %d (seed %d): CPM arm fused no remote objects", i, row.Seed)
+		}
+		if row.Baseline.CPMsDelivered != 0 || row.Baseline.ObjectsFused != 0 {
+			t.Fatalf("run %d (seed %d): baseline arm received CPM traffic (%d delivered, %d fused)",
+				i, row.Seed, row.Baseline.CPMsDelivered, row.Baseline.ObjectsFused)
+		}
+	}
+	if res.CPM.WarnLatency.Mean >= res.Baseline.WarnLatency.Mean {
+		t.Fatalf("mean warn latency: CPM %.0f ms vs baseline %.0f ms",
+			res.CPM.WarnLatency.Mean, res.Baseline.WarnLatency.Mean)
+	}
+}
+
+// TestCPMGoldenReport pins the exact report bytes of the CI cpm-smoke
+// campaign (itsbed cpm -seed 42 -runs 3 -workers 4) against the
+// committed golden. Any change to CPM generation timing, the LDM
+// fusion rules, RNG stream layout or report formatting shows up here
+// as a diff; regenerate with
+//
+//	go run ./cmd/itsbed cpm -seed 42 -runs 3 -workers 4 \
+//	    > internal/experiments/testdata/cpm_smoke.golden
+func TestCPMGoldenReport(t *testing.T) {
+	want, err := os.ReadFile("testdata/cpm_smoke.golden")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := CPMCampaign(CPMOptions{BaseSeed: 42, Runs: 3, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := FormatCPM(res); got != string(want) {
+		t.Fatalf("CPM report drifted from golden:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}

@@ -19,6 +19,7 @@ const (
 	PortMAP  uint16 = 2003
 	PortSPAT uint16 = 2004
 	PortIVI  uint16 = 2006
+	PortCPM  uint16 = 2009
 )
 
 // HeaderLen is the encoded size of a BTP header in bytes.
@@ -99,6 +100,8 @@ func ServiceName(port uint16) string {
 		return "SPAT"
 	case PortIVI:
 		return "IVI"
+	case PortCPM:
+		return "CP"
 	default:
 		return fmt.Sprintf("port-%d", port)
 	}

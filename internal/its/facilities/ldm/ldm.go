@@ -21,6 +21,10 @@ type ObjectSource int
 const (
 	SourceCAM ObjectSource = iota + 1
 	SourceLocalSensor
+	// SourceCPM marks objects fused from another station's Collective
+	// Perception Messages — second-hand knowledge this station must
+	// never re-share in its own CPMs.
+	SourceCPM
 )
 
 // Object is one dynamic road user tracked in the map.
@@ -34,7 +38,17 @@ type Object struct {
 	// Classification is the sensor label for locally sensed objects
 	// (e.g. "stop sign", "motorbike").
 	Classification string
-	// Updated is the virtual time of the last refresh.
+	// ObjectID is the sensor-assigned identifier carried on the CPM
+	// wire: stable per tracked object on the originating station, and
+	// part of the fusion key on receivers.
+	ObjectID uint16
+	// Origin is the station whose sensors perceived the object — this
+	// station's own ID is never set here; only SourceCPM objects carry
+	// the remote perceiver's ID.
+	Origin units.StationID
+	// Updated is the virtual time of the last refresh. For SourceCPM
+	// objects it is the local estimate of the remote measurement time,
+	// so freshness reflects the data's age, not its arrival.
 	Updated time.Duration
 }
 
@@ -70,11 +84,19 @@ type Map struct {
 	cfg     Config
 	objects map[objectKey]*Object
 	events  map[messages.ActionID]*Event
+	// nextObjID hands out wire object IDs for locally sensed objects.
+	nextObjID uint16
 }
 
 type objectKey struct {
 	station units.StationID
 	label   string
+	// remote discriminates CPM-fused entries: they are keyed by
+	// (originating station, wire object ID) so the same origin can
+	// share many objects and two origins can track the same road user
+	// independently without colliding with CAM entries.
+	remote bool
+	objID  uint16
 }
 
 // New creates an empty LDM.
@@ -117,7 +139,8 @@ func (m *Map) IngestSensedObject(label string, st units.StationType, pos geo.Poi
 	k := objectKey{label: label}
 	o, ok := m.objects[k]
 	if !ok {
-		o = &Object{}
+		o = &Object{ObjectID: m.nextObjID}
+		m.nextObjID++
 		m.objects[k] = o
 	}
 	o.StationType = st
@@ -127,6 +150,35 @@ func (m *Map) IngestSensedObject(label string, st units.StationType, pos geo.Poi
 	o.HeadingRad = headingRad
 	o.Classification = label
 	o.Updated = m.cfg.Now()
+}
+
+// IngestCPMObject fuses one remotely perceived object from a received
+// CPM, keyed by (originating station, wire object ID). measured is the
+// local estimate of the remote measurement time; an update that is not
+// newer than the stored state is ignored as stale. Reports whether the
+// object was stored or refreshed.
+func (m *Map) IngestCPMObject(origin units.StationID, objectID uint16, st units.StationType, class string, pos geo.Point, speedMS, headingRad float64, measured time.Duration) bool {
+	if now := m.cfg.Now(); measured > now {
+		// A remote clock ahead of ours must not make the object
+		// immortal; clamp to local now.
+		measured = now
+	}
+	k := objectKey{station: origin, remote: true, objID: objectID}
+	o, ok := m.objects[k]
+	if !ok {
+		o = &Object{ObjectID: objectID, Origin: origin}
+		m.objects[k] = o
+	} else if measured <= o.Updated {
+		return false // stale or duplicate remote measurement
+	}
+	o.StationType = st
+	o.Source = SourceCPM
+	o.Position = pos
+	o.SpeedMS = speedMS
+	o.HeadingRad = headingRad
+	o.Classification = class
+	o.Updated = measured
+	return true
 }
 
 // IngestDENM records or updates an event from a received or locally
@@ -187,22 +239,79 @@ func (m *Map) stale(o *Object) bool {
 	return m.cfg.Now()-o.Updated > m.cfg.ObjectLifetime
 }
 
+// LocalPerception returns the station's fresh locally sensed objects,
+// ordered by wire object ID — the exact set a CP service may share.
+// Ownership rule: objects learned from CAMs or fused from other
+// stations' CPMs are second-hand and are never returned here, so a
+// station cannot re-broadcast perception it does not own.
+func (m *Map) LocalPerception() []Object {
+	var out []Object
+	for _, o := range m.objects {
+		if o.Source != SourceLocalSensor || m.stale(o) {
+			continue
+		}
+		out = append(out, *o)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ObjectID < out[j].ObjectID })
+	return out
+}
+
 // ObjectsWithin returns fresh objects within radius of centre, nearest
-// first. The slice is freshly allocated.
+// first. The slice is freshly allocated. Each distance is computed
+// once and cached for the sort: this sits on the hazard-decision and
+// CPM-fusion hot paths, where recomputing the sqrt inside the
+// comparator cost O(n log n) hypot calls per query.
 func (m *Map) ObjectsWithin(centre geo.Point, radius float64) []Object {
 	var out []Object
+	var dist []float64
 	for _, o := range m.objects {
 		if m.stale(o) {
 			continue
 		}
-		if o.Position.DistanceTo(centre) <= radius {
+		if d := o.Position.DistanceTo(centre); d <= radius {
 			out = append(out, *o)
+			dist = append(dist, d)
 		}
 	}
-	sort.Slice(out, func(i, j int) bool {
-		return out[i].Position.DistanceTo(centre) < out[j].Position.DistanceTo(centre)
-	})
+	sort.Sort(&byCachedDistance{objs: out, dist: dist})
 	return out
+}
+
+// byCachedDistance sorts objects by their precomputed distance, with a
+// total tie-break over identity fields so map-iteration order can
+// never leak into the result (two objects at the same range — e.g. a
+// locally sensed road user and its CPM echo — would otherwise land in
+// random order).
+type byCachedDistance struct {
+	objs []Object
+	dist []float64
+}
+
+func (s *byCachedDistance) Len() int { return len(s.objs) }
+
+func (s *byCachedDistance) Less(i, j int) bool {
+	if s.dist[i] != s.dist[j] {
+		return s.dist[i] < s.dist[j]
+	}
+	a, b := &s.objs[i], &s.objs[j]
+	if a.Source != b.Source {
+		return a.Source < b.Source
+	}
+	if a.StationID != b.StationID {
+		return a.StationID < b.StationID
+	}
+	if a.Origin != b.Origin {
+		return a.Origin < b.Origin
+	}
+	if a.ObjectID != b.ObjectID {
+		return a.ObjectID < b.ObjectID
+	}
+	return a.Classification < b.Classification
+}
+
+func (s *byCachedDistance) Swap(i, j int) {
+	s.objs[i], s.objs[j] = s.objs[j], s.objs[i]
+	s.dist[i], s.dist[j] = s.dist[j], s.dist[i]
 }
 
 // ActiveEvents returns non-terminated, unexpired events. The slice is
@@ -250,11 +359,14 @@ func (m *Map) GC() {
 	}
 }
 
-// Clear drops every stored object and event — the state loss of a
-// station process restart. The map stays usable afterwards.
+// Clear drops every stored object and event — including CPM-fused
+// state — modelling the state loss of a station process restart. The
+// map stays usable afterwards; sensor object IDs restart from zero as
+// a rebooted perception process would.
 func (m *Map) Clear() {
 	m.objects = make(map[objectKey]*Object)
 	m.events = make(map[messages.ActionID]*Event)
+	m.nextObjID = 0
 }
 
 // Counts reports the number of stored objects and events (including

@@ -1,0 +1,278 @@
+package messages
+
+import (
+	"fmt"
+
+	"itsbed/internal/asn1per"
+	"itsbed/internal/units"
+)
+
+// CPM is a Collective Perception Message (ETSI TS 103 324 shape): the
+// originating station shares the objects its local sensors perceive so
+// receivers can extend their environmental model beyond their own
+// field of view — the RSU camera telling the approaching OBU about the
+// pedestrian it cannot see.
+type CPM struct {
+	Header              ItsPduHeader
+	GenerationDeltaTime units.DeltaTime
+	Management          CpmManagementContainer
+	// PerceivedObjects is the optional perceived-object container
+	// (absent when the station currently perceives nothing).
+	PerceivedObjects []PerceivedObject
+}
+
+// CpmManagementContainer carries the originating station's type and
+// reference position — the anchor every perceived object's relative
+// coordinates are measured from.
+type CpmManagementContainer struct {
+	StationType units.StationType
+	Position    ReferencePosition
+}
+
+// ObjectClass is the perceived-object classification (a compact subset
+// of the TS 103 324 object-class choice).
+type ObjectClass uint8
+
+// Object classes.
+const (
+	ObjectClassUnknown ObjectClass = 0
+	ObjectClassVehicle ObjectClass = 1
+	ObjectClassPerson  ObjectClass = 2
+	ObjectClassAnimal  ObjectClass = 3
+	ObjectClassOther   ObjectClass = 4
+)
+
+const objectClassCount = 8
+
+// String implements fmt.Stringer.
+func (c ObjectClass) String() string {
+	switch c {
+	case ObjectClassVehicle:
+		return "vehicle"
+	case ObjectClassPerson:
+		return "person"
+	case ObjectClassAnimal:
+		return "animal"
+	case ObjectClassOther:
+		return "other"
+	default:
+		return "unknown"
+	}
+}
+
+// MaxPerceivedObjects bounds the perceived-object container
+// (TS 103 324 allows 1..128 objects per CPM).
+const MaxPerceivedObjects = 128
+
+// Perceived-object field ranges.
+const (
+	// TimeOfMeasurement delta bounds in milliseconds (past negative).
+	TimeOfMeasurementMin = -1500
+	TimeOfMeasurementMax = 1500
+	// ObjectDistanceMin/Max bound the relative coordinates in
+	// centimetres (the ETSI DistanceValue range).
+	ObjectDistanceMin = -132768
+	ObjectDistanceMax = 132767
+	// ObjectSpeedMin/Max bound the relative speed components in cm/s.
+	ObjectSpeedMin = -16383
+	ObjectSpeedMax = 16383
+	// ConfidenceUnavailable is the sentinel above the 0..100 percent
+	// range.
+	ConfidenceUnavailable uint8 = 101
+)
+
+// PerceivedObject is one sensed road object, positioned relative to
+// the CPM's reference position.
+type PerceivedObject struct {
+	// ObjectID is the originating station's sensor-assigned identifier,
+	// stable across CPMs while the object stays tracked.
+	ObjectID uint16
+	// TimeOfMeasurement is the measurement's age relative to the CPM
+	// generation time, in milliseconds (negative = measured earlier).
+	TimeOfMeasurement int16
+	// XDistance/YDistance are the object's offset from the reference
+	// position in centimetres, east/north on the shared plane.
+	XDistance int32
+	YDistance int32
+	// XSpeed/YSpeed are the object's velocity components in cm/s.
+	XSpeed int16
+	YSpeed int16
+	Class  ObjectClass
+	// Confidence in percent (0..100), ConfidenceUnavailable when the
+	// sensor reports none.
+	Confidence uint8
+}
+
+// NewCPM builds a CPM with the header filled in.
+func NewCPM(station units.StationID, delta units.DeltaTime) *CPM {
+	return &CPM{
+		Header: ItsPduHeader{
+			ProtocolVersion: CurrentProtocolVersion,
+			MessageID:       MessageIDCPM,
+			StationID:       station,
+		},
+		GenerationDeltaTime: delta,
+	}
+}
+
+// Encode serialises the CPM to UPER bytes.
+func (c *CPM) Encode() ([]byte, error) {
+	if c == nil {
+		return nil, errNilMessage
+	}
+	w := asn1per.GetWriter()
+	defer asn1per.PutWriter(w)
+	if err := c.Header.encode(w); err != nil {
+		return nil, fmt.Errorf("messages: CPM header: %w", err)
+	}
+	if err := w.WriteConstrainedInt(int64(c.GenerationDeltaTime), 0, 65535); err != nil {
+		return nil, fmt.Errorf("messages: generationDeltaTime: %w", err)
+	}
+	// cpmParameters presence bitmap: perceivedObjectContainer OPTIONAL.
+	w.WriteBool(len(c.PerceivedObjects) > 0)
+	if err := c.Management.encode(w); err != nil {
+		return nil, fmt.Errorf("messages: managementContainer: %w", err)
+	}
+	if n := len(c.PerceivedObjects); n > 0 {
+		if n > MaxPerceivedObjects {
+			return nil, fmt.Errorf("%w: perceivedObjects of %d entries", asn1per.ErrRange, n)
+		}
+		if err := w.WriteLength(n, 1, MaxPerceivedObjects); err != nil {
+			return nil, fmt.Errorf("messages: perceivedObjects length: %w", err)
+		}
+		for i := range c.PerceivedObjects {
+			if err := c.PerceivedObjects[i].encode(w); err != nil {
+				return nil, fmt.Errorf("messages: perceivedObjects[%d]: %w", i, err)
+			}
+		}
+	}
+	return w.Bytes(), nil
+}
+
+// DecodeCPM parses a UPER-encoded CPM.
+func DecodeCPM(data []byte) (*CPM, error) {
+	var rd asn1per.Reader
+	rd.Reset(data)
+	r := &rd
+	h, err := decodeHeader(r)
+	if err != nil {
+		return nil, fmt.Errorf("messages: CPM header: %w", err)
+	}
+	if h.MessageID != MessageIDCPM {
+		return nil, fmt.Errorf("messages: not a CPM (messageID %d)", h.MessageID)
+	}
+	c := &CPM{Header: h}
+	v, err := r.ReadConstrainedInt(0, 65535)
+	if err != nil {
+		return nil, fmt.Errorf("messages: generationDeltaTime: %w", err)
+	}
+	c.GenerationDeltaTime = units.DeltaTime(v)
+	hasObjects, err := r.ReadBool()
+	if err != nil {
+		return nil, fmt.Errorf("messages: cpmParameters bitmap: %w", err)
+	}
+	if c.Management, err = decodeCpmManagement(r); err != nil {
+		return nil, fmt.Errorf("messages: managementContainer: %w", err)
+	}
+	if hasObjects {
+		n, err := r.ReadLength(1, MaxPerceivedObjects)
+		if err != nil {
+			return nil, fmt.Errorf("messages: perceivedObjects length: %w", err)
+		}
+		c.PerceivedObjects = make([]PerceivedObject, n)
+		for i := range c.PerceivedObjects {
+			if c.PerceivedObjects[i], err = decodePerceivedObject(r); err != nil {
+				return nil, fmt.Errorf("messages: perceivedObjects[%d]: %w", i, err)
+			}
+		}
+	}
+	return c, nil
+}
+
+func (m CpmManagementContainer) encode(w *asn1per.Writer) error {
+	if err := w.WriteConstrainedInt(int64(m.StationType), 0, 255); err != nil {
+		return fmt.Errorf("stationType: %w", err)
+	}
+	return m.Position.encode(w)
+}
+
+func decodeCpmManagement(r *asn1per.Reader) (CpmManagementContainer, error) {
+	var m CpmManagementContainer
+	v, err := r.ReadConstrainedInt(0, 255)
+	if err != nil {
+		return m, fmt.Errorf("stationType: %w", err)
+	}
+	m.StationType = units.StationType(v)
+	m.Position, err = decodeReferencePosition(r)
+	return m, err
+}
+
+func (o PerceivedObject) encode(w *asn1per.Writer) error {
+	// Straight-line field list, mirroring the CAM high-frequency
+	// container: this runs for every object of every CPM at up to
+	// 4 Hz, so it must not allocate.
+	if err := w.WriteConstrainedInt(int64(o.ObjectID), 0, 65535); err != nil {
+		return fmt.Errorf("objectID: %w", err)
+	}
+	if err := w.WriteConstrainedInt(int64(o.TimeOfMeasurement), TimeOfMeasurementMin, TimeOfMeasurementMax); err != nil {
+		return fmt.Errorf("timeOfMeasurement: %w", err)
+	}
+	if err := w.WriteConstrainedInt(int64(o.XDistance), ObjectDistanceMin, ObjectDistanceMax); err != nil {
+		return fmt.Errorf("xDistance: %w", err)
+	}
+	if err := w.WriteConstrainedInt(int64(o.YDistance), ObjectDistanceMin, ObjectDistanceMax); err != nil {
+		return fmt.Errorf("yDistance: %w", err)
+	}
+	if err := w.WriteConstrainedInt(int64(o.XSpeed), ObjectSpeedMin, ObjectSpeedMax); err != nil {
+		return fmt.Errorf("xSpeed: %w", err)
+	}
+	if err := w.WriteConstrainedInt(int64(o.YSpeed), ObjectSpeedMin, ObjectSpeedMax); err != nil {
+		return fmt.Errorf("ySpeed: %w", err)
+	}
+	if err := w.WriteEnumerated(int(o.Class), objectClassCount); err != nil {
+		return fmt.Errorf("objectClass: %w", err)
+	}
+	if err := w.WriteConstrainedInt(int64(o.Confidence), 0, 101); err != nil {
+		return fmt.Errorf("confidence: %w", err)
+	}
+	return nil
+}
+
+func decodePerceivedObject(r *asn1per.Reader) (PerceivedObject, error) {
+	var o PerceivedObject
+	v, err := r.ReadConstrainedInt(0, 65535)
+	if err != nil {
+		return o, fmt.Errorf("objectID: %w", err)
+	}
+	o.ObjectID = uint16(v)
+	if v, err = r.ReadConstrainedInt(TimeOfMeasurementMin, TimeOfMeasurementMax); err != nil {
+		return o, fmt.Errorf("timeOfMeasurement: %w", err)
+	}
+	o.TimeOfMeasurement = int16(v)
+	if v, err = r.ReadConstrainedInt(ObjectDistanceMin, ObjectDistanceMax); err != nil {
+		return o, fmt.Errorf("xDistance: %w", err)
+	}
+	o.XDistance = int32(v)
+	if v, err = r.ReadConstrainedInt(ObjectDistanceMin, ObjectDistanceMax); err != nil {
+		return o, fmt.Errorf("yDistance: %w", err)
+	}
+	o.YDistance = int32(v)
+	if v, err = r.ReadConstrainedInt(ObjectSpeedMin, ObjectSpeedMax); err != nil {
+		return o, fmt.Errorf("xSpeed: %w", err)
+	}
+	o.XSpeed = int16(v)
+	if v, err = r.ReadConstrainedInt(ObjectSpeedMin, ObjectSpeedMax); err != nil {
+		return o, fmt.Errorf("ySpeed: %w", err)
+	}
+	o.YSpeed = int16(v)
+	cls, err := r.ReadEnumerated(objectClassCount)
+	if err != nil {
+		return o, fmt.Errorf("objectClass: %w", err)
+	}
+	o.Class = ObjectClass(cls)
+	if v, err = r.ReadConstrainedInt(0, 101); err != nil {
+		return o, fmt.Errorf("confidence: %w", err)
+	}
+	o.Confidence = uint8(v)
+	return o, nil
+}

@@ -1,0 +1,246 @@
+package messages
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"itsbed/internal/units"
+)
+
+func sampleCPM() *CPM {
+	c := NewCPM(901, 1234)
+	c.Management = CpmManagementContainer{
+		StationType: units.StationTypeRoadSideUnit,
+		Position: ReferencePosition{
+			Latitude:             units.LatitudeFromDegrees(41.178),
+			Longitude:            units.LongitudeFromDegrees(-8.608),
+			SemiMajorConfidence:  5,
+			SemiMinorConfidence:  5,
+			SemiMajorOrientation: 900,
+			AltitudeValue:        AltitudeUnavailable,
+		},
+	}
+	c.PerceivedObjects = []PerceivedObject{
+		{
+			ObjectID:          1,
+			TimeOfMeasurement: -120,
+			XDistance:         250,
+			YDistance:         -80,
+			XSpeed:            0,
+			YSpeed:            0,
+			Class:             ObjectClassPerson,
+			Confidence:        85,
+		},
+		{
+			ObjectID:          2,
+			TimeOfMeasurement: -40,
+			XDistance:         -13000,
+			YDistance:         4200,
+			XSpeed:            120,
+			YSpeed:            -360,
+			Class:             ObjectClassVehicle,
+			Confidence:        ConfidenceUnavailable,
+		},
+	}
+	return c
+}
+
+func TestCPMRoundTrip(t *testing.T) {
+	orig := sampleCPM()
+	data, err := orig.Encode()
+	if err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	got, err := DecodeCPM(data)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if !reflect.DeepEqual(orig, got) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, orig)
+	}
+}
+
+func TestCPMRoundTripNoObjects(t *testing.T) {
+	orig := sampleCPM()
+	orig.PerceivedObjects = nil
+	data, err := orig.Encode()
+	if err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	got, err := DecodeCPM(data)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if !reflect.DeepEqual(orig, got) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, orig)
+	}
+}
+
+func TestCPMRoundTripBoundaryObject(t *testing.T) {
+	orig := sampleCPM()
+	orig.PerceivedObjects = []PerceivedObject{{
+		ObjectID:          65535,
+		TimeOfMeasurement: TimeOfMeasurementMin,
+		XDistance:         ObjectDistanceMax,
+		YDistance:         ObjectDistanceMin,
+		XSpeed:            ObjectSpeedMax,
+		YSpeed:            ObjectSpeedMin,
+		Class:             ObjectClassOther,
+		Confidence:        0,
+	}}
+	data, err := orig.Encode()
+	if err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	got, err := DecodeCPM(data)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if !reflect.DeepEqual(orig, got) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, orig)
+	}
+}
+
+func TestCPMEncodeRejectsNil(t *testing.T) {
+	var c *CPM
+	if _, err := c.Encode(); err == nil {
+		t.Fatal("nil CPM encoded without error")
+	}
+}
+
+func TestCPMEncodeRejectsTooManyObjects(t *testing.T) {
+	c := sampleCPM()
+	c.PerceivedObjects = make([]PerceivedObject, MaxPerceivedObjects+1)
+	if _, err := c.Encode(); err == nil {
+		t.Fatal("oversized perceivedObjects encoded without error")
+	}
+}
+
+func TestCPMEncodeRejectsOutOfRangeDistance(t *testing.T) {
+	c := sampleCPM()
+	c.PerceivedObjects[0].XDistance = ObjectDistanceMax + 1
+	if _, err := c.Encode(); err == nil {
+		t.Fatal("out-of-range xDistance encoded without error")
+	}
+}
+
+func TestDecodeCPMRejectsOtherMessage(t *testing.T) {
+	data, err := sampleCAM().Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodeCPM(data); err == nil {
+		t.Fatal("DecodeCPM accepted a CAM")
+	}
+}
+
+func TestDecodeCPMTruncated(t *testing.T) {
+	data, err := sampleCPM().Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for n := 0; n < len(data); n++ {
+		if _, err := DecodeCPM(data[:n]); err == nil {
+			t.Fatalf("truncated CPM (%d of %d bytes) decoded without error", n, len(data))
+		}
+	}
+}
+
+func TestDecodeCPMNeverPanics(t *testing.T) {
+	neverPanics(t, "DecodeCPM", func(b []byte) { _, _ = DecodeCPM(b) })
+}
+
+// TestCPMEncodePooledWriterReuse exercises the pooled-writer boundary:
+// interleaved CPM/CAM/DENM encodes through the shared asn1per pool
+// must stay byte-identical.
+func TestCPMEncodePooledWriterReuse(t *testing.T) {
+	first, err := sampleCPM().Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 32; i++ {
+		if _, err := sampleCAM().Encode(); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := sampleDENM().Encode(); err != nil {
+			t.Fatal(err)
+		}
+		again, err := sampleCPM().Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(first) != string(again) {
+			t.Fatalf("encode #%d differs after pooled interleaving", i+2)
+		}
+	}
+}
+
+// FuzzDecodeCPM is the CPM counterpart of FuzzDecodeDENM: decoding
+// arbitrary bytes never panics, and any accepted decode re-encodes
+// without error.
+func FuzzDecodeCPM(f *testing.F) {
+	if seed, err := sampleCPM().Encode(); err == nil {
+		f.Add(seed)
+	}
+	empty := sampleCPM()
+	empty.PerceivedObjects = nil
+	if seed, err := empty.Encode(); err == nil {
+		f.Add(seed)
+	}
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		c, err := DecodeCPM(data)
+		if err != nil {
+			return
+		}
+		if _, err := c.Encode(); err != nil {
+			t.Fatalf("accepted decode produced unencodable CPM: %v", err)
+		}
+	})
+}
+
+// TestDecodeMutatedCPM flips bits in a valid encoding: every mutation
+// must either decode cleanly or fail with an error — no panics.
+func TestDecodeMutatedCPM(t *testing.T) {
+	base, err := sampleCPM().Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(102))
+	for i := 0; i < 5000; i++ {
+		mutated := make([]byte, len(base))
+		copy(mutated, base)
+		for n := 0; n < 1+rng.Intn(3); n++ {
+			pos := rng.Intn(len(mutated) * 8)
+			mutated[pos/8] ^= 1 << (7 - uint(pos%8))
+		}
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("panic on mutation %x: %v", mutated, r)
+				}
+			}()
+			if c, err := DecodeCPM(mutated); err == nil {
+				if _, err := c.Encode(); err != nil {
+					t.Fatalf("mutated decode produced unencodable CPM: %v", err)
+				}
+			}
+		}()
+	}
+}
+
+// TestCPMPeek verifies the generic header peek sees CPMs.
+func TestCPMPeek(t *testing.T) {
+	data, err := sampleCPM().Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, station, err := Peek(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != MessageIDCPM || station != 901 {
+		t.Fatalf("peek got (%d, %d), want (%d, 901)", id, station, MessageIDCPM)
+	}
+}

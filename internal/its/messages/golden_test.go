@@ -55,6 +55,26 @@ func goldenCases() []goldenCase {
 			d.Management.Termination = &term
 			return d.Encode()
 		}},
+		{"cpm_basic", func() ([]byte, error) { return sampleCPM().Encode() }},
+		{"cpm_empty", func() ([]byte, error) {
+			c := sampleCPM()
+			c.PerceivedObjects = nil
+			return c.Encode()
+		}},
+		{"cpm_boundary", func() ([]byte, error) {
+			c := sampleCPM()
+			c.PerceivedObjects = []PerceivedObject{{
+				ObjectID:          65535,
+				TimeOfMeasurement: TimeOfMeasurementMin,
+				XDistance:         ObjectDistanceMax,
+				YDistance:         ObjectDistanceMin,
+				XSpeed:            ObjectSpeedMax,
+				YSpeed:            ObjectSpeedMin,
+				Class:             ObjectClassOther,
+				Confidence:        ConfidenceUnavailable,
+			}}
+			return c.Encode()
+		}},
 	}
 }
 

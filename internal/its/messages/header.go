@@ -24,6 +24,7 @@ import (
 const (
 	MessageIDDENM uint8 = 1
 	MessageIDCAM  uint8 = 2
+	MessageIDCPM  uint8 = 14
 )
 
 // CurrentProtocolVersion is the ItsPduHeader protocolVersion this

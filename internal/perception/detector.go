@@ -194,6 +194,33 @@ func classify(t Truth, rng *rand.Rand) Class {
 	}
 }
 
+// PedestrianDetectionProbability is the per-frame probability that a
+// person at distance d inside the camera frustum draws a box. The
+// person class is among COCO's strongest, so detection is near-certain
+// close in and decays gently out to maxRange (unlike the dressed-up
+// vehicle, which confuses the detector).
+func PedestrianDetectionProbability(inFrustum bool, d, maxRange float64) float64 {
+	if !inFrustum || d <= 0 || d > maxRange {
+		return 0
+	}
+	return 0.95 * rangeFactor(d, maxRange)
+}
+
+// DetectPedestrian samples whether one frame yields a person box for a
+// pedestrian at the given true distance, with the stereo distance
+// estimate the pipeline would report.
+func (m Model) DetectPedestrian(inFrustum bool, trueDist, maxRange float64, rng *rand.Rand) (Detection, bool) {
+	p := PedestrianDetectionProbability(inFrustum, trueDist, maxRange)
+	if p == 0 || rng.Float64() > p {
+		return Detection{}, false
+	}
+	return Detection{
+		Class:             ClassPerson,
+		Confidence:        0.6 + 0.35*p*rng.Float64(),
+		EstimatedDistance: m.EstimateDistance(trueDist, rng),
+	}, true
+}
+
 // Detect runs the detector model on one frame: given ground truth, it
 // samples the set of output boxes.
 func (m Model) Detect(t Truth, rng *rand.Rand) []Detection {

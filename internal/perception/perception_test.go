@@ -211,3 +211,52 @@ func TestDressingString(t *testing.T) {
 		t.Fatal("dressing strings")
 	}
 }
+
+func TestPedestrianDetectionProbability(t *testing.T) {
+	if PedestrianDetectionProbability(false, 2, 10) != 0 {
+		t.Fatal("detection outside the frustum")
+	}
+	if PedestrianDetectionProbability(true, 0, 10) != 0 {
+		t.Fatal("detection at zero distance")
+	}
+	if PedestrianDetectionProbability(true, 11, 10) != 0 {
+		t.Fatal("detection beyond max range")
+	}
+	near := PedestrianDetectionProbability(true, 1, 10)
+	far := PedestrianDetectionProbability(true, 9, 10)
+	if near <= far {
+		t.Fatalf("probability must decay with range: %v vs %v", near, far)
+	}
+	if near < 0.85 || near > 1 {
+		t.Fatalf("close-in person probability %v, want near-certain", near)
+	}
+}
+
+func TestDetectPedestrian(t *testing.T) {
+	m := DefaultModel()
+	rng := rand.New(rand.NewSource(5))
+	hits := 0
+	for i := 0; i < 500; i++ {
+		det, ok := m.DetectPedestrian(true, 3, 10, rng)
+		if !ok {
+			continue
+		}
+		hits++
+		if det.Class != ClassPerson {
+			t.Fatalf("class %q, want person", det.Class)
+		}
+		if det.Confidence < 0.6 || det.Confidence > 0.95 {
+			t.Fatalf("confidence %v out of band", det.Confidence)
+		}
+		if math.Abs(det.EstimatedDistance-3) > 0.5 {
+			t.Fatalf("distance estimate %v for truth 3", det.EstimatedDistance)
+		}
+	}
+	// p ≈ 0.87 at 3 m: most frames hit, some miss.
+	if hits < 350 || hits == 500 {
+		t.Fatalf("hit %d/500 frames at 3 m", hits)
+	}
+	if _, ok := m.DetectPedestrian(false, 3, 10, rng); ok {
+		t.Fatal("detected through the occlusion")
+	}
+}

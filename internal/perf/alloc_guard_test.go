@@ -6,6 +6,7 @@ import (
 	"itsbed"
 	"itsbed/internal/campaign"
 	"itsbed/internal/experiments"
+	"itsbed/internal/geo"
 )
 
 // Allocation ceilings for the hot paths. These are regression guards,
@@ -26,11 +27,15 @@ const (
 	maxAllocsDENMEncode     = 8
 	maxAllocsDENMDecode     = 16
 	maxAllocsCAMRoundTrip   = 16
+	maxAllocsCPMRoundTrip   = 16
 	maxAllocsTableIIAttempt = 6_000
 	maxAllocsScenario       = 10_000
 	// Campaign engine overhead per attempt on top of the attempts
 	// themselves (channels, result reordering buffer).
 	maxAllocsCampaignPerRun = 24
+	// One LDM range query over 64 objects: the result slice, the
+	// distance cache, and the sort wrapper — nothing per comparison.
+	maxAllocsLDMQuery = 24
 )
 
 // guardAllocs runs fn and fails the test when the average allocation
@@ -74,6 +79,32 @@ func TestAllocGuardCAMRoundTrip(t *testing.T) {
 		}
 		if _, err := itsbed.DecodeCAM(data); err != nil {
 			t.Fatal(err)
+		}
+	})
+}
+
+func TestAllocGuardCPMRoundTrip(t *testing.T) {
+	c := sampleCPM()
+	guardAllocs(t, "CPM round-trip", 200, maxAllocsCPMRoundTrip, func() {
+		data, err := c.Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := itsbed.DecodeCPM(data); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+// TestAllocGuardLDMObjectsWithin pins the range query's allocation
+// profile: the distances are computed once per object and cached, so
+// the sort comparator allocates nothing and the whole query costs a
+// constant handful of slices regardless of how often it sorts.
+func TestAllocGuardLDMObjectsWithin(t *testing.T) {
+	m := benchLDM(t, 64)
+	guardAllocs(t, "LDM ObjectsWithin (64 objects)", 200, maxAllocsLDMQuery, func() {
+		if got := m.ObjectsWithin(geo.Point{}, 8); len(got) != 64 {
+			t.Fatalf("query returned %d objects", len(got))
 		}
 	})
 }

@@ -1,12 +1,17 @@
 package perf
 
 import (
+	"fmt"
+	"math"
 	"runtime"
 	"testing"
+	"time"
 
 	"itsbed"
 	"itsbed/internal/campaign"
 	"itsbed/internal/experiments"
+	"itsbed/internal/geo"
+	"itsbed/internal/its/facilities/ldm"
 	"itsbed/internal/its/messages"
 	"itsbed/internal/units"
 )
@@ -57,6 +62,51 @@ func sampleCAM() *messages.CAM {
 	return cam
 }
 
+// sampleCPM is an RSU's CPM sharing four perceived objects — the
+// occluded-pedestrian scenario's busiest frame.
+func sampleCPM() *messages.CPM {
+	c := messages.NewCPM(1001, 42)
+	c.Management = messages.CpmManagementContainer{
+		StationType: units.StationTypeRoadSideUnit,
+		Position: messages.ReferencePosition{
+			Latitude:      units.LatitudeFromDegrees(41.178),
+			Longitude:     units.LongitudeFromDegrees(-8.608),
+			AltitudeValue: messages.AltitudeUnavailable,
+		},
+	}
+	for i := 0; i < 4; i++ {
+		c.PerceivedObjects = append(c.PerceivedObjects, messages.PerceivedObject{
+			ObjectID:          uint16(i + 1),
+			TimeOfMeasurement: int16(-40 * i),
+			XDistance:         int32(250 - 90*i),
+			YDistance:         int32(-300 + 120*i),
+			XSpeed:            -100,
+			YSpeed:            15,
+			Class:             messages.ObjectClassPerson,
+			Confidence:        messages.ConfidenceUnavailable,
+		})
+	}
+	return c
+}
+
+// benchLDM fills a map with n fresh sensed objects on a ring around
+// the origin, the shape the hazard monitor queries every tick.
+func benchLDM(b testing.TB, n int) *ldm.Map {
+	frame, err := geo.NewFrame(geo.CISTERLab)
+	if err != nil {
+		b.Fatal(err)
+	}
+	now := time.Second
+	m := ldm.New(ldm.Config{Frame: frame, Now: func() time.Duration { return now }})
+	for i := 0; i < n; i++ {
+		angle := 2 * math.Pi * float64(i) / float64(n)
+		pos := geo.Point{X: 6 * math.Cos(angle), Y: 6 * math.Sin(angle)}
+		m.IngestSensedObject(fmt.Sprintf("person-%d", i), units.StationTypePedestrian,
+			pos, 1.0, angle)
+	}
+	return m
+}
+
 func BenchmarkDENMEncode(b *testing.B) {
 	d := sampleDENM()
 	b.ReportAllocs()
@@ -90,6 +140,42 @@ func BenchmarkCAMRoundTrip(b *testing.B) {
 		}
 		if _, err := itsbed.DecodeCAM(data); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCPMEncode(b *testing.B) {
+	c := sampleCPM()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Encode(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCPMDecode(b *testing.B) {
+	data, err := sampleCPM().Encode()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := itsbed.DecodeCPM(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkLDMObjectsWithin measures the hazard monitor's LDM range
+// query over 64 tracked objects — the path whose sort comparator used
+// to recompute every distance O(n log n) times.
+func BenchmarkLDMObjectsWithin(b *testing.B) {
+	m := benchLDM(b, 64)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if got := m.ObjectsWithin(geo.Point{}, 8); len(got) != 64 {
+			b.Fatalf("query returned %d objects", len(got))
 		}
 	}
 }

@@ -65,7 +65,8 @@ type CellularLink struct {
 
 	// MessagesSent counts messages entering the link.
 	MessagesSent uint64
-	// MessagesLost counts messages dropped by the loss model.
+	// MessagesLost counts messages dropped by the loss model; always
+	// at most MessagesSent, since loss is decided once per message.
 	MessagesLost uint64
 }
 
@@ -91,15 +92,21 @@ func (l *CellularLink) SetReceiver(fn func(frame []byte)) { l.Subscribe(fn) }
 
 // SendBroadcast delivers the frame to every subscriber after an
 // independently sampled cellular latency, satisfying geonet.LinkLayer.
+// Loss is sampled once per message — a message surviving HARQ/RLC on
+// the uplink reaches every subscriber, and a lost one reaches none —
+// so MessagesLost never exceeds MessagesSent.
 func (l *CellularLink) SendBroadcast(frame []byte) error {
 	l.MessagesSent++
+	if len(l.receivers) == 0 {
+		return nil
+	}
+	if l.profile.LossProbability > 0 && l.rng.Float64() < l.profile.LossProbability {
+		l.MessagesLost++
+		return nil
+	}
 	f := make([]byte, len(frame))
 	copy(f, frame)
 	for _, rcv := range l.receivers {
-		if l.profile.LossProbability > 0 && l.rng.Float64() < l.profile.LossProbability {
-			l.MessagesLost++
-			continue
-		}
 		delay := l.profile.BaseLatency
 		if l.profile.JitterMean > 0 {
 			delay += time.Duration(l.rng.ExpFloat64() * float64(l.profile.JitterMean))

@@ -1,0 +1,130 @@
+package radio
+
+import (
+	"testing"
+	"time"
+
+	"itsbed/internal/sim"
+)
+
+// TestCellularLossSampledPerMessage pins the documented loss semantics:
+// loss is a per-message event, so with several subscribers a message
+// either reaches all of them or none. The old per-receiver sampling
+// would split deliveries at 50% loss with overwhelming probability.
+func TestCellularLossSampledPerMessage(t *testing.T) {
+	k := sim.NewKernel(9)
+	link := NewCellularLink(k, CellularProfile{
+		Name:            "half",
+		BaseLatency:     time.Millisecond,
+		JitterMean:      time.Millisecond,
+		LossProbability: 0.5,
+	})
+	const n = 200
+	gotA := make(map[byte]bool)
+	gotB := make(map[byte]bool)
+	link.Subscribe(func(f []byte) { gotA[f[0]] = true })
+	link.Subscribe(func(f []byte) { gotB[f[0]] = true })
+	for i := 0; i < n; i++ {
+		if err := link.SendBroadcast([]byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := k.Run(time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if len(gotA) != len(gotB) {
+		t.Fatalf("subscribers diverged: %d vs %d deliveries", len(gotA), len(gotB))
+	}
+	for id := range gotA {
+		if !gotB[id] {
+			t.Fatalf("message %d reached one subscriber but not the other", id)
+		}
+	}
+	if len(gotA) == 0 || len(gotA) == n {
+		t.Fatalf("delivered %d/%d at 50%% loss", len(gotA), n)
+	}
+}
+
+// TestCellularCountersConsistent checks the counters' invariant under
+// the per-message law: sent = lost + delivered-per-subscriber, and
+// lost never exceeds sent.
+func TestCellularCountersConsistent(t *testing.T) {
+	k := sim.NewKernel(11)
+	link := NewCellularLink(k, CellularProfile{
+		Name:            "lossy",
+		BaseLatency:     time.Millisecond,
+		LossProbability: 0.3,
+	})
+	var a, b int
+	link.Subscribe(func([]byte) { a++ })
+	link.Subscribe(func([]byte) { b++ })
+	const n = 500
+	for i := 0; i < n; i++ {
+		if err := link.SendBroadcast([]byte("x")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := k.Run(time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if link.MessagesSent != n {
+		t.Fatalf("sent %d, want %d", link.MessagesSent, n)
+	}
+	if link.MessagesLost > link.MessagesSent {
+		t.Fatalf("lost %d exceeds sent %d", link.MessagesLost, link.MessagesSent)
+	}
+	if a != b {
+		t.Fatalf("subscribers diverged: %d vs %d", a, b)
+	}
+	if uint64(a)+link.MessagesLost != n {
+		t.Fatalf("delivered %d + lost %d != sent %d", a, link.MessagesLost, n)
+	}
+}
+
+// TestCellularLatencyLossLawPinned freezes the RNG draw order of the
+// link under a seeded kernel: one loss draw per message, then one
+// jitter draw per subscribing path of a surviving message. Any change
+// to the sampling law moves these exact values.
+func TestCellularLatencyLossLawPinned(t *testing.T) {
+	k := sim.NewKernel(42)
+	link := NewCellularLink(k, CellularProfile{
+		Name:            "pinned",
+		BaseLatency:     5 * time.Millisecond,
+		JitterMean:      3 * time.Millisecond,
+		LossProbability: 0.2,
+	})
+	var deliveries int
+	var total time.Duration
+	sent := make(map[int]time.Duration)
+	link.Subscribe(func(f []byte) {
+		deliveries++
+		total += k.Now() - sent[int(f[0])]
+	})
+	const n = 50
+	for i := 0; i < n; i++ {
+		i := i
+		k.ScheduleFn(time.Duration(i)*10*time.Millisecond, func() {
+			sent[i] = k.Now()
+			_ = link.SendBroadcast([]byte{byte(i)})
+		})
+	}
+	if err := k.Run(time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if link.MessagesSent != n {
+		t.Fatalf("sent %d", link.MessagesSent)
+	}
+	// Pinned under kernel seed 42: 14 of 50 messages lost.
+	if link.MessagesLost != 14 {
+		t.Fatalf("lost %d, want 14 (loss law changed)", link.MessagesLost)
+	}
+	if deliveries != n-14 {
+		t.Fatalf("delivered %d, want %d", deliveries, n-14)
+	}
+	// Every delay is base + Exp(jitter) ≥ base; the mean sits near
+	// base + jitter.
+	mean := total / time.Duration(deliveries)
+	if mean < 5*time.Millisecond || mean > 12*time.Millisecond {
+		t.Fatalf("mean latency %v outside the profile's law", mean)
+	}
+}

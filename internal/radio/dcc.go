@@ -121,6 +121,37 @@ func DefaultReactiveProfile() ReactiveProfile {
 	}
 }
 
+// Validate checks the state table's structural invariants: n+1
+// intervals for n thresholds, thresholds strictly increasing within
+// (0, 1), and intervals positive and non-decreasing — a higher
+// congestion state must never allow faster transmission, or the
+// controller would amplify load exactly when it should shed it.
+func (p ReactiveProfile) Validate() error {
+	if len(p.Intervals) == 0 || len(p.Intervals) != len(p.Thresholds)+1 {
+		return fmt.Errorf("dcc: %d intervals for %d thresholds, want n+1",
+			len(p.Intervals), len(p.Thresholds))
+	}
+	for i, th := range p.Thresholds {
+		if th <= 0 || th >= 1 {
+			return fmt.Errorf("dcc: threshold %d is %v, want within (0, 1)", i, th)
+		}
+		if i > 0 && th <= p.Thresholds[i-1] {
+			return fmt.Errorf("dcc: thresholds not strictly increasing at %d (%v after %v)",
+				i, th, p.Thresholds[i-1])
+		}
+	}
+	for i, iv := range p.Intervals {
+		if iv <= 0 {
+			return fmt.Errorf("dcc: interval %d is %v, want positive", i, iv)
+		}
+		if i > 0 && iv < p.Intervals[i-1] {
+			return fmt.Errorf("dcc: interval shrinks at state %d (%v after %v)",
+				i, iv, p.Intervals[i-1])
+		}
+	}
+	return nil
+}
+
 // stateName labels the reactive states for diagnostics.
 var stateNames = []string{"Relaxed", "Active1", "Active2", "Active3", "Restrictive"}
 
@@ -137,9 +168,11 @@ type DCC struct {
 }
 
 // NewDCC attaches a reactive DCC controller to the interface with the
-// given profile (zero value selects DefaultReactiveProfile).
+// given profile. Any profile failing Validate — including the zero
+// value — falls back to DefaultReactiveProfile, so a malformed table
+// can never leave the channel without congestion control.
 func NewDCC(kernel *sim.Kernel, iface *Interface, profile ReactiveProfile) *DCC {
-	if len(profile.Intervals) == 0 || len(profile.Intervals) != len(profile.Thresholds)+1 {
+	if profile.Validate() != nil {
 		profile = DefaultReactiveProfile()
 	}
 	return &DCC{
@@ -170,10 +203,19 @@ func (d *DCC) StateName() string {
 // CBR exposes the smoothed channel-busy ratio the controller acts on.
 func (d *DCC) CBR() float64 { return d.meter.CBR() }
 
+// Interval reports the current state's minimum inter-transmission time
+// without counting the read as a gate query. Diagnostics and dashboards
+// use it; the facilities' transmit path goes through MinInterval.
+func (d *DCC) Interval() time.Duration {
+	return d.profile.Intervals[d.State()]
+}
+
 // MinInterval returns the current state's minimum inter-transmission
-// time. It implements the CA facility's TxGate.
+// time and counts throttled gate queries. It implements the facilities'
+// TxGate; read-only consumers should use Interval instead so
+// diagnostics never skew the Throttled counter.
 func (d *DCC) MinInterval() time.Duration {
-	iv := d.profile.Intervals[d.State()]
+	iv := d.Interval()
 	if iv > d.profile.Intervals[0] {
 		d.Throttled++
 	}

@@ -157,3 +157,110 @@ func closeTo(a, b float64) bool {
 	d := a - b
 	return d < 1e-9 && d > -1e-9
 }
+
+// TestReactiveProfileValidate tables the structural invariants: the old
+// length-only check accepted tables whose thresholds were unordered or
+// whose intervals shrank under congestion.
+func TestReactiveProfileValidate(t *testing.T) {
+	ms := func(vs ...int) []time.Duration {
+		out := make([]time.Duration, len(vs))
+		for i, v := range vs {
+			out[i] = time.Duration(v) * time.Millisecond
+		}
+		return out
+	}
+	cases := []struct {
+		name    string
+		profile ReactiveProfile
+		valid   bool
+	}{
+		{"default", DefaultReactiveProfile(), true},
+		{"zero value", ReactiveProfile{}, false},
+		{"length mismatch", ReactiveProfile{
+			Thresholds: []float64{0.5},
+			Intervals:  ms(60),
+		}, false},
+		{"single state no thresholds", ReactiveProfile{
+			Intervals: ms(100),
+		}, true},
+		{"thresholds decreasing", ReactiveProfile{
+			Thresholds: []float64{0.4, 0.2},
+			Intervals:  ms(60, 100, 180),
+		}, false},
+		{"thresholds duplicated", ReactiveProfile{
+			Thresholds: []float64{0.3, 0.3},
+			Intervals:  ms(60, 100, 180),
+		}, false},
+		{"threshold at zero", ReactiveProfile{
+			Thresholds: []float64{0, 0.3},
+			Intervals:  ms(60, 100, 180),
+		}, false},
+		{"threshold at one", ReactiveProfile{
+			Thresholds: []float64{0.3, 1},
+			Intervals:  ms(60, 100, 180),
+		}, false},
+		{"intervals shrink under congestion", ReactiveProfile{
+			Thresholds: []float64{0.2, 0.4},
+			Intervals:  ms(100, 60, 180),
+		}, false},
+		{"zero interval", ReactiveProfile{
+			Thresholds: []float64{0.2},
+			Intervals:  ms(0, 100),
+		}, false},
+		{"plateau intervals", ReactiveProfile{
+			Thresholds: []float64{0.2, 0.4},
+			Intervals:  ms(100, 100, 200),
+		}, true},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			err := c.profile.Validate()
+			if c.valid && err != nil {
+				t.Fatalf("valid profile rejected: %v", err)
+			}
+			if !c.valid && err == nil {
+				t.Fatal("invalid profile accepted")
+			}
+		})
+	}
+}
+
+// TestDCCFallsBackOnDisorderedProfile pins the fix: a table with the
+// right lengths but shrinking intervals used to slip past NewDCC and
+// make congestion speed transmission up.
+func TestDCCFallsBackOnDisorderedProfile(t *testing.T) {
+	k, m := newTestMedium(t)
+	iface := attach(t, m, "sta-v", geo.Point{})
+	d := NewDCC(k, iface, ReactiveProfile{
+		Thresholds: []float64{0.2, 0.4},
+		Intervals: []time.Duration{
+			500 * time.Millisecond,
+			100 * time.Millisecond, // faster when busier: nonsense
+			60 * time.Millisecond,
+		},
+	})
+	if got := d.MinInterval(); got != 60*time.Millisecond {
+		t.Fatalf("disordered profile not replaced: floor %v", got)
+	}
+}
+
+// TestIntervalDoesNotCountThrottled splits the diagnostics read from
+// the transmit gate: only MinInterval may move the Throttled counter.
+func TestIntervalDoesNotCountThrottled(t *testing.T) {
+	k, m := newTestMedium(t)
+	iface := attach(t, m, "sta-q", geo.Point{})
+	d := NewDCC(k, iface, ReactiveProfile{})
+	d.meter.ring = []float64{0.99} // Restrictive
+	d.meter.n = 1
+	for i := 0; i < 10; i++ {
+		if got := d.Interval(); got != 540*time.Millisecond {
+			t.Fatalf("Interval %v, want 540ms", got)
+		}
+	}
+	if d.Throttled != 0 {
+		t.Fatalf("diagnostics reads moved Throttled to %d", d.Throttled)
+	}
+	if d.MinInterval(); d.Throttled != 1 {
+		t.Fatalf("gate query did not count: %d", d.Throttled)
+	}
+}

@@ -1,8 +1,8 @@
 // Package stack assembles a complete ETSI ITS station for the testbed:
 // an 802.11p interface on the shared medium, a GeoNetworking router,
-// BTP dispatch, the CA and DEN basic services, and a Local Dynamic
-// Map — the same layering OpenC2X deploys on the PCEngines APU2
-// OBU/RSU boards of the paper.
+// BTP dispatch, the CA, DEN and (optionally) CP basic services, and a
+// Local Dynamic Map — the same layering OpenC2X deploys on the
+// PCEngines APU2 OBU/RSU boards of the paper.
 //
 // The station also models the software processing latency of the
 // OpenC2X stack: each message spends a sampled per-direction delay
@@ -20,6 +20,7 @@ import (
 	"itsbed/internal/geo"
 	"itsbed/internal/its/btp"
 	"itsbed/internal/its/facilities/ca"
+	"itsbed/internal/its/facilities/cp"
 	"itsbed/internal/its/facilities/den"
 	"itsbed/internal/its/facilities/ldm"
 	"itsbed/internal/its/geonet"
@@ -139,6 +140,15 @@ type Config struct {
 	// DCCProfile overrides the reactive state table; the zero value
 	// selects radio.DefaultReactiveProfile.
 	DCCProfile radio.ReactiveProfile
+	// EnableCPM attaches the Collective Perception service: the station
+	// periodically shares its fresh locally sensed LDM objects in CPMs
+	// and fuses objects from received CPMs into its LDM. CPMs ride the
+	// same traffic class as CAMs and, when DCC is enabled, the same
+	// transmit gate.
+	EnableCPM bool
+	// CPMInterval overrides the CPM generation period; zero selects
+	// cp.DefaultGenInterval (250 ms).
+	CPMInterval time.Duration
 	// EnableBeaconing sends GN position beacons when the station has
 	// transmitted nothing for BeaconInterval (EN 302 636-4-1 §10.2).
 	// A station generating CAMs rarely beacons; a silent one keeps
@@ -182,10 +192,12 @@ type Station struct {
 	Router *geonet.Router
 	CA     *ca.Service
 	DEN    *den.Service
+	CP     *cp.Service
 	LDM    *ldm.Map
 
 	caRx         ca.Receiver
 	denRx        den.Receiver
+	cpRx         cp.Receiver
 	beaconTicker *sim.Ticker
 
 	// crashed gates the whole station: inbound frames are ignored and
@@ -198,6 +210,9 @@ type Station struct {
 
 	// OnCAM, if set, receives every new CAM after LDM ingestion.
 	OnCAM func(*messages.CAM)
+	// OnCPM, if set, receives every accepted CPM after its objects were
+	// fused into the LDM.
+	OnCPM func(*messages.CPM)
 	// OnDENM, if set, receives every new or updated DENM after LDM
 	// ingestion. It runs after the modeled receive processing latency.
 	OnDENM func(*messages.DENM)
@@ -206,9 +221,11 @@ type Station struct {
 	DeliveredDENMs uint64
 	// DeliveredCAMs counts CAMs handed to the application/LDM.
 	DeliveredCAMs uint64
+	// DeliveredCPMs counts CPMs handed to the application/LDM.
+	DeliveredCPMs uint64
 
-	mTxCAM, mTxDENM, mRxCAM, mRxDENM *metrics.Histogram
-	mDelCAM, mDelDENM                *metrics.Counter
+	mTxCAM, mTxDENM, mTxCPM, mRxCAM, mRxDENM, mRxCPM *metrics.Histogram
+	mDelCAM, mDelDENM, mDelCPM                       *metrics.Counter
 }
 
 // New attaches a fully wired station to the kernel and medium.
@@ -235,10 +252,13 @@ func New(kernel *sim.Kernel, medium *radio.Medium, cfg Config) (*Station, error)
 		st := metrics.L("station", cfg.Name)
 		s.mTxCAM = r.Histogram("stack_tx_latency_seconds", st, metrics.L("msg", "cam"))
 		s.mTxDENM = r.Histogram("stack_tx_latency_seconds", st, metrics.L("msg", "denm"))
+		s.mTxCPM = r.Histogram("stack_tx_latency_seconds", st, metrics.L("msg", "cpm"))
 		s.mRxCAM = r.Histogram("stack_rx_latency_seconds", st, metrics.L("msg", "cam"))
 		s.mRxDENM = r.Histogram("stack_rx_latency_seconds", st, metrics.L("msg", "denm"))
+		s.mRxCPM = r.Histogram("stack_rx_latency_seconds", st, metrics.L("msg", "cpm"))
 		s.mDelCAM = r.Counter("stack_delivered_total", st, metrics.L("msg", "cam"))
 		s.mDelDENM = r.Counter("stack_delivered_total", st, metrics.L("msg", "denm"))
+		s.mDelCPM = r.Counter("stack_delivered_total", st, metrics.L("msg", "cpm"))
 	}
 
 	var link Link
@@ -299,6 +319,23 @@ func New(kernel *sim.Kernel, medium *radio.Medium, cfg Config) (*Station, error)
 			s.OnDENM(d)
 		}
 	}}
+	s.cpRx = cp.Receiver{
+		OwnID:   cfg.StationID,
+		Frame:   cfg.Frame,
+		LDM:     s.LDM,
+		Metrics: cfg.Metrics,
+		Name:    cfg.Name,
+		Tracer:  cfg.Tracer,
+		Now:     kernel.Now,
+		OnCPM: func(c *messages.CPM) {
+			s.DeliveredCPMs++
+			s.lastRx = kernel.Now()
+			s.mDelCPM.Inc()
+			if s.OnCPM != nil {
+				s.OnCPM(c)
+			}
+		},
+	}
 	if cfg.EnableKAF {
 		s.denRx.KAF = den.NewKeepAliveForwarder(kernel, s.forwardDENM, cfg.KAFInterval)
 		s.denRx.KAF.Metrics = cfg.Metrics
@@ -339,6 +376,30 @@ func New(kernel *sim.Kernel, medium *radio.Medium, cfg Config) (*Station, error)
 		return nil, fmt.Errorf("stack: DEN service: %w", err)
 	}
 	s.DEN = denSvc
+
+	if cfg.EnableCPM {
+		cpCfg := cp.Config{
+			StationID:   cfg.StationID,
+			StationType: cfg.StationType,
+			Frame:       cfg.Frame,
+			Position:    func() geo.LatLon { return cfg.Mobility.VehicleState().Position },
+			LDM:         s.LDM,
+			Send:        s.sendCPM,
+			Clock:       s.Clock,
+			Interval:    cfg.CPMInterval,
+			Metrics:     cfg.Metrics,
+			Name:        cfg.Name,
+			Tracer:      cfg.Tracer,
+		}
+		if s.DCC != nil {
+			cpCfg.Gate = s.DCC
+		}
+		cpSvc, err := cp.New(kernel, cpCfg)
+		if err != nil {
+			return nil, fmt.Errorf("stack: CP service: %w", err)
+		}
+		s.CP = cpSvc
+	}
 	return s, nil
 }
 
@@ -371,6 +432,9 @@ const DefaultBeaconInterval = 3 * time.Second
 // Start begins the cyclic services (CAM generation, beaconing).
 func (s *Station) Start() {
 	s.CA.Start()
+	if s.CP != nil {
+		s.CP.Start()
+	}
 	if s.cfg.EnableBeaconing && s.beaconTicker == nil {
 		interval := s.cfg.BeaconInterval
 		if interval <= 0 {
@@ -388,6 +452,9 @@ func (s *Station) Start() {
 // keep-alive forwarding.
 func (s *Station) Stop() {
 	s.CA.Stop()
+	if s.CP != nil {
+		s.CP.Stop()
+	}
 	s.DEN.Stop()
 	s.StopKAF()
 	if s.beaconTicker != nil {
@@ -451,6 +518,25 @@ func (s *Station) sendCAM(payload []byte) error {
 	d := s.cfg.TxLatency.sample(s.rng)
 	s.mTxCAM.ObserveDuration(d)
 	sp := s.txSpan("cam")
+	s.kernel.ScheduleFn(d, func() {
+		s.cfg.Tracer.Scope(sp, func() {
+			_ = s.Router.SendSHB(geonet.NextBTPB, camTrafficClass, pkt)
+		})
+		sp.End(s.kernel.Now())
+	})
+	return nil
+}
+
+// sendCPM encapsulates a CPM payload in BTP-B/GN-SHB after the tx
+// processing latency. CPMs share the CAM traffic class (AC_BE).
+func (s *Station) sendCPM(payload []byte) error {
+	pkt, err := btp.Encode(btp.Header{Type: btp.TypeB, DestinationPort: btp.PortCPM}, payload)
+	if err != nil {
+		return err
+	}
+	d := s.cfg.TxLatency.sample(s.rng)
+	s.mTxCPM.ObserveDuration(d)
+	sp := s.txSpan("cpm")
 	s.kernel.ScheduleFn(d, func() {
 		s.cfg.Tracer.Scope(sp, func() {
 			_ = s.Router.SendSHB(geonet.NextBTPB, camTrafficClass, pkt)
@@ -562,6 +648,13 @@ func (s *Station) onIndication(ind geonet.Indication) {
 			s.cfg.Tracer.Scope(sp, func() { s.denRx.OnPayload(payload) })
 			sp.End(s.kernel.Now())
 		})
+	case btp.PortCPM:
+		s.mRxCPM.ObserveDuration(delay)
+		sp := s.rxSpan("cpm")
+		s.kernel.ScheduleFn(delay, func() {
+			s.cfg.Tracer.Scope(sp, func() { s.cpRx.OnPayload(payload) })
+			sp.End(s.kernel.Now())
+		})
 	}
 }
 
@@ -589,4 +682,9 @@ func (s *Station) CAReceiverStats() (received, malformed uint64) {
 // DENReceiverStats reports DEN reception counters.
 func (s *Station) DENReceiverStats() (received, repeated, malformed uint64) {
 	return s.denRx.Received, s.denRx.Repeated, s.denRx.Malformed
+}
+
+// CPReceiverStats reports CP reception and fusion counters.
+func (s *Station) CPReceiverStats() (received, malformed, fused, stale uint64) {
+	return s.cpRx.Received, s.cpRx.Malformed, s.cpRx.ObjectsFused, s.cpRx.ObjectsStale
 }

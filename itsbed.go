@@ -117,13 +117,15 @@ const (
 	PlatoonHybrid = experiments.PlatoonHybrid
 )
 
-// DENM and CAM message tooling (wire-format encode/decode and the
-// Table I cause-code registry).
+// DENM, CAM and CPM message tooling (wire-format encode/decode and
+// the Table I cause-code registry).
 type (
 	// DENM is a Decentralized Environmental Notification Message.
 	DENM = messages.DENM
 	// CAM is a Cooperative Awareness Message.
 	CAM = messages.CAM
+	// CPM is a Collective Perception Message.
+	CPM = messages.CPM
 	// CauseCode is a DENM direct cause code.
 	CauseCode = messages.CauseCode
 	// EventType pairs a cause and sub-cause code.
@@ -135,6 +137,9 @@ func DecodeDENM(data []byte) (*DENM, error) { return messages.DecodeDENM(data) }
 
 // DecodeCAM parses a UPER-encoded CAM.
 func DecodeCAM(data []byte) (*CAM, error) { return messages.DecodeCAM(data) }
+
+// DecodeCPM parses a UPER-encoded CPM.
+func DecodeCPM(data []byte) (*CPM, error) { return messages.DecodeCPM(data) }
 
 // RunQuick assembles a default testbed with the given seed and runs
 // one emergency-braking scenario.
