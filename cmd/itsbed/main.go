@@ -38,6 +38,18 @@
 // and reports the outcome distribution (warned stop / fail-safe stop /
 // miss) plus the latency inflation versus the fault-free baseline.
 //
+// -blackbox DIR makes the resilience command write flight-recorder
+// post-mortems into DIR: every run that trips an anomaly trigger (a
+// miss or fail-safe outcome, a 2→5 total above the 100 ms SLO, or any
+// injected fault window) dumps its black-box event ring as JSONL plus
+// an ASCII timeline. The recorder is always on, so the dump needs no
+// re-run; contents are bit-identical for every -workers value. File
+// notices go to stderr, keeping stdout golden-stable.
+//
+// -progress prints a completed/total attempts line on stderr while a
+// campaign runs. It observes the deterministic decision path only and
+// never perturbs results.
+//
 // The cpm command runs the occluded-pedestrian crossing with and
 // without the Collective Perception service under identical seeds: a
 // road-side camera is the only sensor with line of sight, and the
@@ -103,6 +115,8 @@ func run(args []string) error {
 	duration := fs.Duration("duration", 0, "simulated time per city density (0 = default)")
 	useGrid := fs.Bool("grid", true, "use the spatial culling grid for the city command (false = brute force)")
 	useDCC := fs.Bool("dcc", true, "enable reactive DCC for the city command")
+	blackbox := fs.String("blackbox", "", "directory for flight-recorder post-mortems of anomalous resilience runs")
+	progress := fs.Bool("progress", false, "report run progress on stderr (never perturbs results)")
 	// Accept flags before the command ("-metrics table2") as well as
 	// after it ("table2 -metrics").
 	cmd := "all"
@@ -123,6 +137,9 @@ func run(args []string) error {
 		Workers:   *workers,
 		Trace:     *traceOut != "" || *showSpans,
 	}
+	if *progress {
+		opt.Progress = stderrProgress()
+	}
 
 	dispatch := map[string]func() error{
 		"table1":      func() error { return printTable1() },
@@ -141,7 +158,7 @@ func run(args []string) error {
 		"obstruction": func() error { return printObstruction(*seed, *n, *workers) },
 		"platoon-acc": func() error { return printPlatoonACC(*seed, *n, *workers) },
 		"ntp-sweep":   func() error { return printNTPSweep(*seed, *n, *workers) },
-		"resilience":  func() error { return printResilience(opt, *faultPlan, *showMetrics) },
+		"resilience":  func() error { return printResilience(opt, *faultPlan, *showMetrics, *blackbox) },
 		"city": func() error {
 			return printCity(*seed, *stations, *rsus, *duration, *workers, !*useGrid, !*useDCC)
 		},
@@ -224,7 +241,7 @@ func loadFaultPlan(arg string) (faults.Plan, error) {
 		arg, strings.Join(faults.Builtins(), " "))
 }
 
-func printResilience(opt experiments.ScenarioOptions, planArg string, showMetrics bool) error {
+func printResilience(opt experiments.ScenarioOptions, planArg string, showMetrics bool, blackbox string) error {
 	plan, err := loadFaultPlan(planArg)
 	if err != nil {
 		return err
@@ -235,6 +252,8 @@ func printResilience(opt experiments.ScenarioOptions, planArg string, showMetric
 		Workers:   opt.Workers,
 		UseVision: opt.UseVision,
 		Plan:      plan,
+		Blackbox:  blackbox,
+		Progress:  opt.Progress,
 	})
 	if err != nil {
 		return err
@@ -244,7 +263,26 @@ func printResilience(opt experiments.ScenarioOptions, planArg string, showMetric
 		fmt.Println()
 		fmt.Print(res.Metrics.Format())
 	}
+	// Post-mortem notices go to stderr so the report stays byte-stable
+	// for golden comparisons.
+	for _, f := range res.Dumps {
+		fmt.Fprintln(os.Stderr, "itsbed: wrote post-mortem", f)
+	}
 	return nil
+}
+
+// stderrProgress returns a -progress reporter: a completed/total line
+// on stderr, throttled to ~4 Hz plus the final line. It runs on the
+// campaign's decision goroutine, outside every simulation kernel, so
+// it cannot perturb results (a pinned test holds the harness to that).
+func stderrProgress() func(done, total int) {
+	var last time.Time
+	return func(done, total int) {
+		if now := time.Now(); done == total || now.Sub(last) >= 250*time.Millisecond {
+			last = now
+			fmt.Fprintf(os.Stderr, "itsbed: %d/%d attempts\n", done, total)
+		}
+	}
 }
 
 func printPollSweep(seed int64, n, workers int) error {

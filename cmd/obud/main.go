@@ -78,7 +78,7 @@ func run() error {
 	logger.Info("obud started",
 		"station", *station,
 		"api", srv.Addr(),
-		"endpoints", "/metrics /trace",
+		"endpoints", "/metrics /trace /debug/flight /healthz /buildinfo",
 		"link", link.LocalAddr(),
 		"peers", peerList)
 

@@ -47,6 +47,12 @@ type Options struct {
 	// at the cursor, accepted, rejected) — never the speculative
 	// workers — so the values are identical for any worker count.
 	Metrics *metrics.Registry
+	// Progress, when non-nil, observes campaign progress: it is called
+	// from the calling goroutine only, after each attempt is processed
+	// at the decision cursor, with the number of processed attempts and
+	// the attempt budget. It runs outside every simulation kernel and
+	// must not influence results (write to stderr, update a ticker).
+	Progress func(done, total int)
 }
 
 // counters caches the campaign counter families (all nil-safe).
@@ -137,14 +143,14 @@ func Collect[T any](opt Options, n, maxAttempts int,
 		maxAttempts = n
 	}
 	if opt.workers(maxAttempts) == 1 {
-		return collectSerial(opt.counters(), n, maxAttempts, run, accept)
+		return collectSerial(opt.counters(), opt.Progress, n, maxAttempts, run, accept)
 	}
-	return collectParallel(opt.counters(), opt.workers(maxAttempts), n, maxAttempts, run, accept)
+	return collectParallel(opt.counters(), opt.Progress, opt.workers(maxAttempts), n, maxAttempts, run, accept)
 }
 
 // collectSerial is the reference implementation: the exact loop the
 // experiment harnesses ran before the engine existed.
-func collectSerial[T any](c counters, n, maxAttempts int,
+func collectSerial[T any](c counters, progress func(done, total int), n, maxAttempts int,
 	run func(int) (T, error), accept func(T) bool) ([]T, error) {
 	out := make([]T, 0, n)
 	for i := 0; len(out) < n; i++ {
@@ -156,6 +162,9 @@ func collectSerial[T any](c counters, n, maxAttempts int,
 			return nil, err
 		}
 		c.processed.Inc()
+		if progress != nil {
+			progress(i+1, maxAttempts)
+		}
 		if accept(v) {
 			c.accepted.Inc()
 			out = append(out, v)
@@ -166,7 +175,7 @@ func collectSerial[T any](c counters, n, maxAttempts int,
 	return out, nil
 }
 
-func collectParallel[T any](c counters, workers, n, maxAttempts int,
+func collectParallel[T any](c counters, progress func(done, total int), workers, n, maxAttempts int,
 	run func(int) (T, error), accept func(T) bool) ([]T, error) {
 	var (
 		next    atomic.Int64 // next attempt index to schedule
@@ -220,6 +229,9 @@ func collectParallel[T any](c counters, workers, n, maxAttempts int,
 				break
 			}
 			c.processed.Inc()
+			if progress != nil {
+				progress(cursor, maxAttempts)
+			}
 			if accept(cur.val) {
 				c.accepted.Inc()
 				out = append(out, cur.val)

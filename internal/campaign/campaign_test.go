@@ -62,6 +62,48 @@ func TestCollectAcceptCalledInOrderFromOneGoroutine(t *testing.T) {
 	}
 }
 
+// TestProgressDoesNotPerturbResults pins the -progress contract: the
+// observer runs on the calling goroutine, sees the processed count
+// climb 1, 2, 3, ... with a fixed total, and its presence changes
+// nothing about what the campaign returns — for any worker count.
+func TestProgressDoesNotPerturbResults(t *testing.T) {
+	run := func(i int) (int, error) {
+		spin(2000 + i%5*700)
+		return i * i, nil
+	}
+	accept := func(v int) bool { return v%3 != 0 }
+	want, err := Collect(Options{Workers: 1}, 8, 30, run, accept)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []int{1, 4, 8} {
+		// Unsynchronised slice append: safe exactly because Progress is
+		// documented to run on the calling goroutine only (the race
+		// detector holds the engine to it).
+		var calls []int
+		got, err := Collect(Options{Workers: w, Progress: func(done, total int) {
+			if total != 30 {
+				t.Errorf("workers=%d: progress total = %d, want 30", w, total)
+			}
+			calls = append(calls, done)
+		}}, 8, 30, run, accept)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", w, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("workers=%d: progress observer perturbed results: got %v, want %v", w, got, want)
+		}
+		if len(calls) == 0 {
+			t.Fatalf("workers=%d: progress never invoked", w)
+		}
+		for i, d := range calls {
+			if d != i+1 {
+				t.Fatalf("workers=%d: progress calls %v, want 1,2,3,...", w, calls)
+			}
+		}
+	}
+}
+
 func TestCollectExhaustion(t *testing.T) {
 	for _, w := range []int{1, 4} {
 		_, err := Collect(Options{Workers: w}, 2, 8,

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"itsbed/internal/flight"
 	"itsbed/internal/metrics"
 	"itsbed/internal/trace"
 	"itsbed/internal/tracing"
@@ -77,6 +78,9 @@ type Result struct {
 	// Spans holds every recorded span when the testbed was built with a
 	// Tracer (empty otherwise).
 	Spans tracing.Snapshot
+	// Flight is the end-of-run black-box snapshot: the newest structured
+	// events of every station ring, in global order.
+	Flight flight.Snapshot
 }
 
 // VideoAnalysis is the Fig. 10 measurement: the detection-to-stop
@@ -176,6 +180,7 @@ func (tb *Testbed) RunScenario(horizon time.Duration) (*Result, error) {
 	if tb.Tracer != nil {
 		res.Spans = tb.Tracer.Snapshot()
 	}
+	res.Flight = tb.Flight.Snapshot()
 	return res, nil
 }
 

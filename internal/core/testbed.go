@@ -14,6 +14,7 @@ import (
 	"itsbed/internal/clock"
 	"itsbed/internal/edge"
 	"itsbed/internal/faults"
+	"itsbed/internal/flight"
 	"itsbed/internal/geo"
 	"itsbed/internal/its/facilities/ca"
 	"itsbed/internal/its/messages"
@@ -98,6 +99,10 @@ type Config struct {
 	// Tracer, when non-nil, records per-message causal spans across
 	// every layer; nil disables tracing entirely.
 	Tracer *tracing.Tracer
+	// Flight is the black-box recorder threaded through every layer.
+	// Unlike the tracer it is always on: nil creates a private recorder,
+	// so each run carries its own bounded post-mortem rings.
+	Flight *flight.Recorder
 }
 
 // withDefaults fills unset fields.
@@ -144,6 +149,9 @@ func (c Config) withDefaults() Config {
 	if c.Metrics == nil {
 		c.Metrics = metrics.NewRegistry()
 	}
+	if c.Flight == nil {
+		c.Flight = flight.NewRecorder(0)
+	}
 	return c
 }
 
@@ -176,6 +184,11 @@ type Testbed struct {
 	// Tracer records per-message spans when tracing is enabled (nil
 	// otherwise).
 	Tracer *tracing.Tracer
+	// Flight is the always-on black-box recorder of this testbed.
+	Flight *flight.Recorder
+
+	// flVeh is the vehicle's flight hook (watchdog and actuation events).
+	flVeh flight.Hook
 
 	Vehicle   *vehicle.Vehicle
 	Camera    *perception.RoadsideCamera
@@ -216,7 +229,9 @@ func New(cfg Config) (*Testbed, error) {
 		Run:     trace.NewRun(),
 		Metrics: cfg.Metrics,
 		Tracer:  cfg.Tracer,
+		Flight:  cfg.Flight,
 	}
+	tb.flVeh = cfg.Flight.Hook("vehicle")
 	k := tb.Kernel
 
 	// --- Fault injection ----------------------------------------------
@@ -228,7 +243,7 @@ func New(cfg Config) (*Testbed, error) {
 		if err := cfg.Faults.Validate(); err != nil {
 			return nil, fmt.Errorf("core: fault plan: %w", err)
 		}
-		inj = faults.NewInjector(k, *cfg.Faults, cfg.Metrics, cfg.Tracer)
+		inj = faults.NewInjector(k, *cfg.Faults, cfg.Metrics, cfg.Tracer, cfg.Flight.Hook("faults"))
 		tb.Injector = inj
 	}
 
@@ -255,6 +270,7 @@ func New(cfg Config) (*Testbed, error) {
 			Obstructions: cfg.Obstructions,
 			Metrics:      cfg.Metrics,
 			Tracer:       cfg.Tracer,
+			Flight:       cfg.Flight,
 		}
 		if inj != nil {
 			// Assign only a concrete injector: a typed-nil interface
@@ -279,6 +295,7 @@ func New(cfg Config) (*Testbed, error) {
 		Link:               rsuLink,
 		Metrics:            cfg.Metrics,
 		Tracer:             cfg.Tracer,
+		Flight:             cfg.Flight,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("core: RSU: %w", err)
@@ -298,6 +315,7 @@ func New(cfg Config) (*Testbed, error) {
 		Link:        obuLink,
 		Metrics:     cfg.Metrics,
 		Tracer:      cfg.Tracer,
+		Flight:      cfg.Flight,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("core: OBU: %w", err)
@@ -370,6 +388,7 @@ func New(cfg Config) (*Testbed, error) {
 		mTrip := cfg.Metrics.Counter("fault_watchdog_trips_total")
 		veh.OnWatchdogTrip = func(now time.Duration) {
 			mTrip.Inc()
+			tb.flVeh.Record(now, flight.WatchdogTrip, 0, 0, 0)
 			if cfg.Tracer != nil {
 				sp := cfg.Tracer.Start("fault.watchdog_trip", "faults", "vehicle", now)
 				sp.End(now)
@@ -457,6 +476,7 @@ func (tb *Testbed) addBackgroundVehicles(n int) error {
 			NTP:         tb.cfg.NTP,
 			Metrics:     tb.cfg.Metrics,
 			Tracer:      tb.cfg.Tracer,
+			Flight:      tb.cfg.Flight,
 		})
 		if err != nil {
 			return fmt.Errorf("core: background station %d: %w", i, err)
@@ -513,6 +533,7 @@ func (tb *Testbed) wireTimestamps() {
 	tb.Vehicle.OnStopCommand = func(t time.Duration) {
 		run.Stamp(trace.StepActuatorCommand, t)
 		run.AttachSnapshot(trace.StepActuatorCommand, tb.Metrics.Snapshot())
+		tb.flVeh.Record(t, flight.Actuation, flight.ActStopCommand, 0, 0)
 		if tb.Tracer != nil {
 			parent := tb.Tracer.Find(tracing.KeyPoll("obu"))
 			if parent == nil {
@@ -530,6 +551,7 @@ func (tb *Testbed) wireTimestamps() {
 	tb.Vehicle.OnHalt = func(t time.Duration) {
 		run.Stamp(trace.StepHalt, t)
 		run.AttachSnapshot(trace.StepHalt, tb.Metrics.Snapshot())
+		tb.flVeh.Record(t, flight.Actuation, flight.ActHalt, 0, 0)
 		tb.haltPos = tb.Vehicle.Body.State().Position
 	}
 }

@@ -7,6 +7,7 @@ import (
 
 	"itsbed/internal/campaign"
 	"itsbed/internal/clock"
+	"itsbed/internal/flight"
 	"itsbed/internal/geo"
 	"itsbed/internal/its/facilities/ca"
 	"itsbed/internal/its/facilities/den"
@@ -123,9 +124,14 @@ func cityRun(seed int64, n int, opt CityOptions) (CityRow, error) {
 		return row, err
 	}
 	city := world.NewCity(opt.City)
+	// The black-box recorder stays on even at the 1000-station density:
+	// appends are O(1) into preallocated rings and never disturb the
+	// grid-culling identity, so recording is free determinism-wise.
+	recorder := flight.NewRecorder(0)
 	medium := radio.NewMedium(kernel, radio.MediumConfig{
 		PathLoss:    cityPathLoss(),
 		DisableGrid: opt.DisableGrid,
+		Flight:      recorder,
 	})
 	ntp := clock.DefaultLANNTP()
 
@@ -154,6 +160,7 @@ func cityRun(seed int64, n int, opt CityOptions) (CityRow, error) {
 			NTP:               ntp,
 			EnableDCC:         !opt.DisableDCC,
 			DisableForwarding: true,
+			Flight:            recorder,
 		})
 		if err != nil {
 			return row, fmt.Errorf("experiments: city vehicle %d: %w", i, err)
@@ -180,6 +187,7 @@ func cityRun(seed int64, n int, opt CityOptions) (CityRow, error) {
 			NTP:                ntp,
 			DisableCAMTriggers: true,
 			DisableForwarding:  true,
+			Flight:             recorder,
 		})
 		if err != nil {
 			return row, fmt.Errorf("experiments: city RSU %d: %w", i, err)

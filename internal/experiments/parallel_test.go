@@ -1,7 +1,10 @@
 package experiments
 
 import (
+	"bytes"
+	"encoding/json"
 	"reflect"
+	"strings"
 	"testing"
 	"time"
 
@@ -106,6 +109,66 @@ func TestMetricsOutputDeterministicAcrossWorkers(t *testing.T) {
 			t.Fatalf("workers=%d: layer budget not byte-identical to serial run", w)
 		}
 	}
+}
+
+// TestHistogramQuantilesDeterministicAcrossWorkers pins the exported
+// p50/p95/p99 estimates: Snapshot fills them from the merged buckets,
+// so they are present, monotone, and — like everything downstream of
+// the attempt-order merge — byte-identical in JSON for any -workers.
+func TestHistogramQuantilesDeterministicAcrossWorkers(t *testing.T) {
+	base := func(w int) ScenarioOptions {
+		o := fastOpt(42, 5)
+		o.Workers = w
+		return o
+	}
+	want, err := TableII(base(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var positive int
+	for _, h := range want.Metrics.Histograms {
+		if h.Count == 0 {
+			continue
+		}
+		if h.P50 > h.P95 || h.P95 > h.P99 {
+			t.Fatalf("%s: quantiles not monotone: p50=%g p95=%g p99=%g",
+				sampleName(h), h.P50, h.P95, h.P99)
+		}
+		if h.P50 > 0 {
+			positive++
+		}
+	}
+	if positive == 0 {
+		t.Fatal("no latency histogram exported a positive p50")
+	}
+	wantJSON, err := json.Marshal(want.Metrics)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(wantJSON), `"p95":`) {
+		t.Fatal("snapshot JSON does not export the p95 field")
+	}
+	for _, w := range []int{2, 8} {
+		got, err := TableII(base(w))
+		if err != nil {
+			t.Fatalf("workers=%d: %v", w, err)
+		}
+		gotJSON, err := json.Marshal(got.Metrics)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", w, err)
+		}
+		if !bytes.Equal(gotJSON, wantJSON) {
+			t.Fatalf("workers=%d: snapshot JSON (incl. quantiles) not byte-identical to serial run", w)
+		}
+	}
+}
+
+func sampleName(h metrics.HistogramSample) string {
+	name := h.Name
+	for _, l := range h.Labels {
+		name += " " + l.Key + "=" + l.Value
+	}
+	return name
 }
 
 func TestLayerBudgetSumsToTableIIAverage(t *testing.T) {

@@ -2,12 +2,15 @@ package experiments
 
 import (
 	"fmt"
+	"os"
+	"path/filepath"
 	"strings"
 	"time"
 
 	"itsbed/internal/campaign"
 	"itsbed/internal/core"
 	"itsbed/internal/faults"
+	"itsbed/internal/flight"
 	"itsbed/internal/metrics"
 	"itsbed/internal/tracing"
 )
@@ -36,6 +39,16 @@ type ResilienceOptions struct {
 	Metrics *metrics.Registry
 	// Trace merges per-run spans (run order) into the result.
 	Trace bool
+	// Blackbox, when non-empty, is a directory the sweep writes flight-
+	// recorder post-mortems into: every run that trips an anomaly
+	// trigger (miss or fail-safe outcome, 2→5 total above the 100 ms
+	// SLO, or any injected fault window) dumps its black-box ring as
+	// JSONL plus an ASCII timeline. Dump contents are bit-identical for
+	// any Workers value.
+	Blackbox string
+	// Progress, when non-nil, observes sweep progress (completed runs
+	// out of total, faulted sweep only) from the calling goroutine.
+	Progress func(done, total int)
 }
 
 func (o ResilienceOptions) withDefaults() ResilienceOptions {
@@ -89,6 +102,51 @@ type ResilienceResult struct {
 	Metrics metrics.Snapshot
 	// Traces holds the merged faulted-run spans when Trace was set.
 	Traces tracing.Snapshot
+	// Dumps lists the post-mortem files written when Blackbox was set
+	// (never printed by Format, so report output stays golden-stable).
+	Dumps []string
+}
+
+// DENMLatencySLO is the paper's "never exceeded 100 ms" bound on the
+// 2→5 total delay; a completed run above it trips a post-mortem dump.
+const DENMLatencySLO = 100 * time.Millisecond
+
+// anomalous reports whether one resilience run trips a black-box
+// post-mortem trigger: any outcome other than a warned stop, an SLO
+// breach on the completed chain, or a plan that injected faults into
+// the run.
+func anomalous(res *core.Result, plan faults.Plan) bool {
+	if res.Outcome != core.OutcomeWarnedStop {
+		return true
+	}
+	if res.Run.Complete() && res.Intervals.Total > DENMLatencySLO {
+		return true
+	}
+	return !plan.Empty()
+}
+
+// writeFlightDump writes one run's post-mortem pair (JSONL + ASCII
+// timeline) into dir, creating it as needed.
+func writeFlightDump(dir string, run int, outcome string, snap flight.Snapshot) ([]string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	base := filepath.Join(dir, fmt.Sprintf("run%02d_%s.flight", run, outcome))
+	jf, err := os.Create(base + ".jsonl")
+	if err != nil {
+		return nil, err
+	}
+	if err := flight.WriteJSONL(jf, snap); err != nil {
+		jf.Close()
+		return nil, err
+	}
+	if err := jf.Close(); err != nil {
+		return nil, err
+	}
+	if err := os.WriteFile(base+".txt", []byte(flight.Timeline(snap)), 0o644); err != nil {
+		return nil, err
+	}
+	return []string{base + ".jsonl", base + ".txt"}, nil
 }
 
 // Resilience runs the fault plan against Runs seeded scenarios — the
@@ -125,7 +183,7 @@ func Resilience(opt ResilienceOptions) (ResilienceResult, error) {
 		cfg.Vehicle.Watchdog.Enabled = true
 		cfg.Hazard.TriggerRetries = opt.TriggerRetries
 	}
-	runs, err := campaign.Map(campaign.Options{Workers: opt.Workers, Metrics: opt.Metrics}, opt.Runs,
+	runs, err := campaign.Map(campaign.Options{Workers: opt.Workers, Metrics: opt.Metrics, Progress: opt.Progress}, opt.Runs,
 		func(i int) (*core.Result, error) { return runOnce(faultOpt, i) })
 	if err != nil {
 		return out, fmt.Errorf("experiments: resilience sweep: %w", err)
@@ -164,6 +222,13 @@ func Resilience(opt ResilienceOptions) (ResilienceResult, error) {
 			out.FailSafeStops++
 		default:
 			out.Misses++
+		}
+		if opt.Blackbox != "" && anomalous(res, plan) {
+			files, err := writeFlightDump(opt.Blackbox, row.Run, row.Outcome, res.Flight)
+			if err != nil {
+				return out, fmt.Errorf("experiments: resilience blackbox dump: %w", err)
+			}
+			out.Dumps = append(out.Dumps, files...)
 		}
 		out.Rows = append(out.Rows, row)
 	}

@@ -18,6 +18,7 @@ import (
 
 	"itsbed/internal/campaign"
 	"itsbed/internal/core"
+	"itsbed/internal/flight"
 	"itsbed/internal/metrics"
 	"itsbed/internal/stats"
 	"itsbed/internal/tracing"
@@ -31,6 +32,7 @@ import (
 var (
 	attemptRegistries = sync.Pool{New: func() any { return metrics.NewRegistry() }}
 	attemptTracers    = sync.Pool{New: func() any { return tracing.New() }}
+	attemptRecorders  = sync.Pool{New: func() any { return flight.NewRecorder(0) }}
 )
 
 // ScenarioOptions tune the common emergency-brake scenario.
@@ -59,6 +61,11 @@ type ScenarioOptions struct {
 	// tracer and the harness merges the accepted runs' spans in run
 	// order, so the trace output is identical for any worker count.
 	Trace bool
+	// Progress, when non-nil, observes campaign progress (processed
+	// attempts out of the attempt budget). It runs on the calling
+	// goroutine only, outside every simulation kernel, and provably
+	// cannot perturb results.
+	Progress func(done, total int)
 }
 
 func (o ScenarioOptions) withDefaults() ScenarioOptions {
@@ -98,6 +105,15 @@ func runOnce(opt ScenarioOptions, i int) (*core.Result, error) {
 		reg.Reset()
 		defer attemptRegistries.Put(reg)
 		cfg.Metrics = reg
+	}
+	if cfg.Flight == nil {
+		// Same pooling discipline for the black-box recorder: Reset keeps
+		// the interned station table and ring slabs, so the steady-state
+		// append path never allocates across a 1k-run sweep.
+		fr := attemptRecorders.Get().(*flight.Recorder)
+		fr.Reset()
+		defer attemptRecorders.Put(fr)
+		cfg.Flight = fr
 	}
 	tb, err := core.New(cfg)
 	if err != nil {
@@ -149,7 +165,7 @@ const maxAttemptFactor = 4
 // kernel and the derived seed BaseSeed+attempt); the campaign engine
 // guarantees the accepted set is identical to serial execution.
 func CollectRuns(opt ScenarioOptions, n int, accept func(*core.Result) bool) ([]*core.Result, error) {
-	out, err := campaign.Collect(campaign.Options{Workers: opt.Workers, Metrics: opt.Metrics}, n, n*maxAttemptFactor,
+	out, err := campaign.Collect(campaign.Options{Workers: opt.Workers, Metrics: opt.Metrics, Progress: opt.Progress}, n, n*maxAttemptFactor,
 		func(i int) (*core.Result, error) { return runOnce(opt, i) }, accept)
 	var ex *campaign.ExhaustedError
 	if errors.As(err, &ex) {

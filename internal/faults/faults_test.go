@@ -6,6 +6,7 @@ import (
 	"testing"
 	"time"
 
+	"itsbed/internal/flight"
 	"itsbed/internal/metrics"
 	"itsbed/internal/sim"
 	"itsbed/internal/tracing"
@@ -157,7 +158,7 @@ func TestInjectorDeterministic(t *testing.T) {
 	}
 	sample := func(reg *metrics.Registry, tr *tracing.Tracer) decisions {
 		k := sim.NewKernel(7)
-		inj := NewInjector(k, plan, reg, tr)
+		inj := NewInjector(k, plan, reg, tr, flight.Hook{})
 		var d decisions
 		for i := 0; i < 400; i++ {
 			now := time.Duration(i) * 10 * time.Millisecond
@@ -199,7 +200,7 @@ func TestGilbertElliottBurstiness(t *testing.T) {
 		}},
 	}
 	k := sim.NewKernel(11)
-	inj := NewInjector(k, plan, nil, nil)
+	inj := NewInjector(k, plan, nil, nil, flight.Hook{})
 	var drops, runLen, runs int
 	inBurst := false
 	for i := 0; i < 2000; i++ {
@@ -242,7 +243,7 @@ func TestGilbertElliottBurstiness(t *testing.T) {
 func TestPathVerdictDrawsNothingWhenIdle(t *testing.T) {
 	plan := Plan{Name: "idle-http", Blackouts: []Window{{Start: D(time.Hour)}}}
 	k := sim.NewKernel(3)
-	inj := NewInjector(k, plan, nil, nil)
+	inj := NewInjector(k, plan, nil, nil, flight.Hook{})
 	before := k.Rand("faults.http").Uint64()
 	for i := 0; i < 50; i++ {
 		if v := inj.TriggerVerdict(time.Duration(i) * time.Millisecond); v != VerdictOK {
@@ -268,7 +269,7 @@ func TestScheduleCrashes(t *testing.T) {
 		},
 	}
 	k := sim.NewKernel(5)
-	inj := NewInjector(k, plan, nil, nil)
+	inj := NewInjector(k, plan, nil, nil, flight.Hook{})
 	var events []string
 	inj.ScheduleCrashes(
 		func(node string) { events = append(events, "crash:"+node+"@"+k.Now().String()) },
@@ -297,7 +298,7 @@ func TestInjectorMetrics(t *testing.T) {
 	}
 	k := sim.NewKernel(9)
 	reg := metrics.NewRegistry()
-	inj := NewInjector(k, plan, reg, nil)
+	inj := NewInjector(k, plan, reg, nil, flight.Hook{})
 	inj.BlackoutAt(0)
 	inj.DropCameraFrame(0)
 	inj.DropDetection(0)

@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"time"
 
+	"itsbed/internal/flight"
 	"itsbed/internal/metrics"
 	"itsbed/internal/sim"
 	"itsbed/internal/tracing"
@@ -37,6 +38,7 @@ type Injector struct {
 	plan   Plan
 	kernel *sim.Kernel
 	tracer *tracing.Tracer
+	fl     flight.Hook
 
 	radioRNG  *rand.Rand
 	cameraRNG *rand.Rand
@@ -70,16 +72,18 @@ type geKey struct {
 	src, dst string
 }
 
-// NewInjector binds a plan to a run. reg and tr may be nil; fault
-// events then go uncounted/untraced but injection is unaffected (the
-// random streams never depend on instrumentation). The injector
-// immediately schedules the plan's window spans on the kernel so
-// blackout and noise periods are visible in the trace export.
-func NewInjector(kernel *sim.Kernel, plan Plan, reg *metrics.Registry, tr *tracing.Tracer) *Injector {
+// NewInjector binds a plan to a run. reg and tr may be nil and fl may
+// be the zero Hook; fault events then go uncounted/untraced but
+// injection is unaffected (the random streams never depend on
+// instrumentation). The injector immediately schedules the plan's
+// window spans on the kernel so blackout and noise periods are visible
+// in the trace export and the flight recorder.
+func NewInjector(kernel *sim.Kernel, plan Plan, reg *metrics.Registry, tr *tracing.Tracer, fl flight.Hook) *Injector {
 	inj := &Injector{
 		plan:      plan,
 		kernel:    kernel,
 		tracer:    tr,
+		fl:        fl,
 		radioRNG:  kernel.Rand("faults.radio"),
 		cameraRNG: kernel.Rand("faults.camera"),
 		httpRNG:   kernel.Rand("faults.http"),
@@ -98,6 +102,7 @@ func NewInjector(kernel *sim.Kernel, plan Plan, reg *metrics.Registry, tr *traci
 		inj.mRestart = reg.Counter("fault_node_restarts_total")
 	}
 	inj.armWindowSpans()
+	inj.armWindowEvents()
 	return inj
 }
 
@@ -133,6 +138,30 @@ func (inj *Injector) armWindowSpans() {
 		arm("fault.noise", nb.Window, func(sp *tracing.Span) {
 			sp.SetAttr("extra_db", formatDB(extra))
 		})
+	}
+}
+
+// armWindowEvents schedules one flight event at each bounded window
+// edge, so a post-mortem shows exactly when a fault became active.
+func (inj *Injector) armWindowEvents() {
+	if !inj.fl.Enabled() {
+		return
+	}
+	arm := func(w Window, start, end uint8) {
+		inj.kernel.At(w.Start.Std(), func() {
+			inj.fl.Record(inj.kernel.Now(), flight.FaultEvent, start, 0, 0)
+		})
+		if w.End != 0 {
+			inj.kernel.At(w.End.Std(), func() {
+				inj.fl.Record(inj.kernel.Now(), flight.FaultEvent, end, 0, 0)
+			})
+		}
+	}
+	for _, w := range inj.plan.Blackouts {
+		arm(w, flight.FaultBlackoutStart, flight.FaultBlackoutEnd)
+	}
+	for _, nb := range inj.plan.Noise {
+		arm(nb.Window, flight.FaultNoiseStart, flight.FaultNoiseEnd)
 	}
 }
 
@@ -277,6 +306,7 @@ func (inj *Injector) ScheduleCrashes(crash, restart func(node string)) {
 			now := inj.kernel.Now()
 			inj.Crashes++
 			inj.mCrash.Inc()
+			inj.fl.Record(now, flight.FaultEvent, flight.FaultCrash, 0, 0)
 			if sp := inj.tracer.Start("fault.crash", "faults", node, now); sp != nil {
 				sp.Drop(now, "crash")
 			}
@@ -289,6 +319,7 @@ func (inj *Injector) ScheduleCrashes(crash, restart func(node string)) {
 				now := inj.kernel.Now()
 				inj.Restarts++
 				inj.mRestart.Inc()
+				inj.fl.Record(now, flight.FaultEvent, flight.FaultRestart, 0, 0)
 				if sp := inj.tracer.Start("fault.restart", "faults", node, now); sp != nil {
 					sp.End(now)
 				}

@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"itsbed/internal/clock"
+	"itsbed/internal/flight"
 	"itsbed/internal/geo"
 	"itsbed/internal/its/messages"
 	"itsbed/internal/metrics"
@@ -93,6 +94,8 @@ type Config struct {
 	Name string
 	// Tracer, when non-nil, records a span for each generated CAM.
 	Tracer *tracing.Tracer
+	// Flight, when enabled, records a cam.tx event per generated CAM.
+	Flight flight.Hook
 }
 
 // Service is the CA basic service of one station.
@@ -255,6 +258,7 @@ func (s *Service) generate(now time.Duration, st VehicleState) {
 	sp.End(s.kernel.Now())
 	s.Generated++
 	s.mGen.Inc()
+	s.cfg.Flight.Record(now, flight.CAMTx, 0, int64(s.cfg.StationID), 0)
 	s.lastGen = now
 	s.lastState = st
 	s.hasLast = true
@@ -337,6 +341,9 @@ type Receiver struct {
 	Name string
 	// Tracer, when non-nil, records a span for each received CAM.
 	Tracer *tracing.Tracer
+	// Flight, when enabled, records a cam.rx event per decoded (or
+	// malformed) CAM.
+	Flight flight.Hook
 	// Now supplies span timestamps when Tracer is set.
 	Now func() time.Duration
 	// Received counts successfully decoded CAMs.
@@ -362,6 +369,7 @@ func (r *Receiver) OnPayload(payload []byte) {
 		}
 		r.Malformed++
 		r.mMalf.Inc()
+		r.Flight.Record(now, flight.CAMRx, flight.RxMalformed, 0, 0)
 		return
 	}
 	var sp *tracing.Span
@@ -370,6 +378,7 @@ func (r *Receiver) OnPayload(payload []byte) {
 	}
 	r.Received++
 	r.mRecv.Inc()
+	r.Flight.Record(now, flight.CAMRx, flight.RxOK, int64(cam.Header.StationID), 0)
 	if r.Sink != nil {
 		r.Tracer.Scope(sp, func() { r.Sink(cam) })
 	}

@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"itsbed/internal/clock"
+	"itsbed/internal/flight"
 	"itsbed/internal/geo"
 	"itsbed/internal/its/facilities/ldm"
 	"itsbed/internal/its/messages"
@@ -72,6 +73,9 @@ type Config struct {
 	Name string
 	// Tracer, when non-nil, records a span for each generated CPM.
 	Tracer *tracing.Tracer
+	// Flight, when enabled, records a cpm.tx event per generated CPM
+	// carrying the perceived-object count.
+	Flight flight.Hook
 }
 
 // Service is the CP basic service of one station.
@@ -193,6 +197,7 @@ func (s *Service) generate(now time.Duration, own []ldm.Object) {
 	s.ObjectsShared += uint64(len(cpm.PerceivedObjects))
 	s.mGen.Inc()
 	s.mObj.Add(uint64(len(cpm.PerceivedObjects)))
+	s.cfg.Flight.Record(now, flight.CPMTx, 0, int64(len(cpm.PerceivedObjects)), 0)
 	s.lastGen = now
 	s.hasLast = true
 }
@@ -287,6 +292,9 @@ type Receiver struct {
 	Name string
 	// Tracer, when non-nil, records a span for each received CPM.
 	Tracer *tracing.Tracer
+	// Flight, when enabled, records a cpm.rx event per decoded (or
+	// malformed) CPM.
+	Flight flight.Hook
 	// Now supplies fusion timestamps; required.
 	Now func() time.Duration
 
@@ -319,6 +327,7 @@ func (r *Receiver) OnPayload(payload []byte) {
 		}
 		r.Malformed++
 		r.mMalf.Inc()
+		r.Flight.Record(now, flight.CPMRx, flight.RxMalformed, 0, 0)
 		return
 	}
 	if cpm.Header.StationID == r.OwnID {
@@ -331,6 +340,7 @@ func (r *Receiver) OnPayload(payload []byte) {
 	}
 	r.Received++
 	r.mRecv.Inc()
+	r.Flight.Record(now, flight.CPMRx, flight.RxOK, int64(cpm.Header.StationID), 0)
 	r.Tracer.Scope(sp, func() { r.fuse(cpm, now) })
 	sp.End(r.now())
 }

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"itsbed/internal/clock"
+	"itsbed/internal/flight"
 	"itsbed/internal/geo"
 	"itsbed/internal/its/messages"
 	"itsbed/internal/metrics"
@@ -74,6 +75,9 @@ type Config struct {
 	// Tracer, when non-nil, records trigger/encode spans; repetitions
 	// re-attach to their trigger by ActionID.
 	Tracer *tracing.Tracer
+	// Flight, when enabled, records a denm.tx event per transmission
+	// (including repetitions), carrying the ActionID.
+	Flight flight.Hook
 }
 
 // activeEvent is one originated event under repetition management.
@@ -275,6 +279,8 @@ func (s *Service) transmit(ev *activeEvent) error {
 	sp.End(s.kernel.Now())
 	s.Transmitted++
 	s.mTx.Inc()
+	s.cfg.Flight.Record(s.kernel.Now(), flight.DENMTx, 0,
+		int64(uint32(id.OriginatingStationID)), int64(id.SequenceNumber))
 	if s.OnTransmit != nil {
 		s.OnTransmit(ev.denm)
 	}
@@ -314,6 +320,9 @@ type Receiver struct {
 	// repetitions end with drop_reason=repetition). Now supplies span
 	// timestamps and is required alongside Tracer.
 	Tracer *tracing.Tracer
+	// Flight, when enabled, records a denm.rx event per decoded (or
+	// malformed) DENM.
+	Flight flight.Hook
 	// Now is the time source for span stamps (the simulation kernel).
 	Now func() time.Duration
 
@@ -345,6 +354,7 @@ func (r *Receiver) OnPayload(payload []byte) {
 	if err != nil {
 		r.Malformed++
 		r.mMalf.Inc()
+		r.Flight.Record(now, flight.DENMRx, flight.RxMalformed, 0, 0)
 		if r.Tracer != nil {
 			sp := r.Tracer.Start("den.receive", "facilities", r.Name, now)
 			sp.Drop(r.now(), "malformed")
@@ -353,6 +363,8 @@ func (r *Receiver) OnPayload(payload []byte) {
 	}
 	r.Received++
 	r.mRecv.Inc()
+	r.Flight.Record(now, flight.DENMRx, flight.RxOK,
+		int64(uint32(d.Management.ActionID.OriginatingStationID)), int64(d.Management.ActionID.SequenceNumber))
 	if r.seen == nil {
 		r.seen = make(map[messages.ActionID]uint64)
 	}

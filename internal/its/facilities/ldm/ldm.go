@@ -9,6 +9,7 @@ import (
 	"sort"
 	"time"
 
+	"itsbed/internal/flight"
 	"itsbed/internal/geo"
 	"itsbed/internal/its/messages"
 	"itsbed/internal/units"
@@ -75,6 +76,10 @@ type Config struct {
 	// ObjectLifetime after which unrefreshed objects vanish; zero
 	// selects 1.1 s (just above the maximum CAM period).
 	ObjectLifetime time.Duration
+	// Flight, when enabled, records ldm.ingest/ldm.fuse events per
+	// ingestion and one aggregate ldm.expire event per GC sweep that
+	// removed anything.
+	Flight flight.Hook
 }
 
 // Map is the local dynamic map. Not safe for concurrent use; in the
@@ -130,6 +135,7 @@ func (m *Map) IngestCAM(c *messages.CAM) {
 	o.SpeedMS = c.HighFrequency.Speed.MS()
 	o.HeadingRad = c.HighFrequency.Heading.Radians()
 	o.Updated = m.cfg.Now()
+	m.cfg.Flight.Record(o.Updated, flight.LDMIngest, flight.IngestCAM, int64(c.Header.StationID), 0)
 }
 
 // IngestSensedObject records a locally sensed object (camera
@@ -150,6 +156,7 @@ func (m *Map) IngestSensedObject(label string, st units.StationType, pos geo.Poi
 	o.HeadingRad = headingRad
 	o.Classification = label
 	o.Updated = m.cfg.Now()
+	m.cfg.Flight.Record(o.Updated, flight.LDMIngest, flight.IngestSensor, int64(o.ObjectID), 0)
 }
 
 // IngestCPMObject fuses one remotely perceived object from a received
@@ -169,8 +176,10 @@ func (m *Map) IngestCPMObject(origin units.StationID, objectID uint16, st units.
 		o = &Object{ObjectID: objectID, Origin: origin}
 		m.objects[k] = o
 	} else if measured <= o.Updated {
+		m.cfg.Flight.Record(m.cfg.Now(), flight.LDMFuse, flight.FuseStale, int64(origin), int64(objectID))
 		return false // stale or duplicate remote measurement
 	}
+	m.cfg.Flight.Record(m.cfg.Now(), flight.LDMFuse, flight.FuseStored, int64(origin), int64(objectID))
 	o.StationType = st
 	o.Source = SourceCPM
 	o.Position = pos
@@ -215,6 +224,8 @@ func (m *Map) IngestDENM(d *messages.DENM) {
 	if d.IsTermination() {
 		ev.Terminated = true
 	}
+	m.cfg.Flight.Record(now, flight.LDMIngest, flight.IngestDENM,
+		int64(uint32(d.Management.ActionID.OriginatingStationID)), int64(d.Management.ActionID.SequenceNumber))
 }
 
 // Object returns the tracked object for a station ID.
@@ -347,15 +358,23 @@ func (m *Map) Event(id messages.ActionID) (Event, bool) {
 // GC removes stale objects and expired events. Call periodically.
 func (m *Map) GC() {
 	now := m.cfg.Now()
+	var objs, evs int64
 	for k, o := range m.objects {
 		if now-o.Updated > m.cfg.ObjectLifetime {
 			delete(m.objects, k)
+			objs++
 		}
 	}
 	for id, ev := range m.events {
 		if now >= ev.Expires {
 			delete(m.events, id)
+			evs++
 		}
+	}
+	// One aggregate event per sweep: per-deletion records would leak map
+	// iteration order into the flight ring and break dump determinism.
+	if objs > 0 || evs > 0 {
+		m.cfg.Flight.Record(now, flight.LDMExpire, 0, objs, evs)
 	}
 }
 

@@ -316,6 +316,12 @@ type HistogramSample struct {
 	Sum    float64   `json:"sum"`
 	Min    float64   `json:"min"`
 	Max    float64   `json:"max"`
+	// P50/P95/P99 are bucket-interpolated quantile estimates, filled by
+	// Snapshot so JSON consumers get them without re-deriving from the
+	// buckets. Merge ignores them (it re-aggregates the raw buckets).
+	P50 float64 `json:"p50,omitempty"`
+	P95 float64 `json:"p95,omitempty"`
+	P99 float64 `json:"p99,omitempty"`
 }
 
 // Mean returns Sum/Count (0 when empty).
@@ -417,6 +423,9 @@ func (r *Registry) Snapshot() Snapshot {
 				Max:    e.h.max,
 			}
 			e.h.mu.Unlock()
+			hs.P50 = hs.Quantile(0.50)
+			hs.P95 = hs.Quantile(0.95)
+			hs.P99 = hs.Quantile(0.99)
 			s.Histograms = append(s.Histograms, hs)
 		}
 	}
@@ -523,8 +532,8 @@ func (s Snapshot) Format() string {
 	if len(s.Histograms) > 0 {
 		b.WriteString("histograms (seconds):\n")
 		for _, h := range s.Histograms {
-			fmt.Fprintf(&b, "  %-58s n=%-7d mean=%.6f p50=%.6f p99=%.6f min=%.6f max=%.6f\n",
-				sampleKey(h.Name, h.Labels), h.Count, h.Mean(), h.Quantile(0.50), h.Quantile(0.99), h.Min, h.Max)
+			fmt.Fprintf(&b, "  %-58s n=%-7d mean=%.6f p50=%.6f p95=%.6f p99=%.6f min=%.6f max=%.6f\n",
+				sampleKey(h.Name, h.Labels), h.Count, h.Mean(), h.Quantile(0.50), h.Quantile(0.95), h.Quantile(0.99), h.Min, h.Max)
 		}
 	}
 	return b.String()

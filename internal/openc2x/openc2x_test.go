@@ -483,7 +483,7 @@ func TestServerTraceEndpoint(t *testing.T) {
 		t.Fatalf("drained %d DENMs, want 1", n)
 	}
 
-	for _, path := range []string{"/metrics", "/trace"} {
+	for _, path := range []string{"/metrics", "/trace", "/debug/flight", "/healthz", "/buildinfo"} {
 		resp, err := http.Get("http://" + srv.Addr() + path)
 		if err != nil {
 			t.Fatal(err)
@@ -527,5 +527,88 @@ func TestServerTraceEndpoint(t *testing.T) {
 	}
 	if !names["openc2x.rx_frame"] || !names["openc2x.mailbox"] {
 		t.Fatalf("trace missing expected spans: %v", names)
+	}
+}
+
+// TestServerHealthAndBuildinfo checks the operational endpoints: the
+// liveness probe reports ok with a nonnegative uptime, /buildinfo
+// carries the toolchain provenance, and /debug/flight serves the
+// black-box ring with the received DENM in it.
+func TestServerHealthAndBuildinfo(t *testing.T) {
+	rsu, obu, closeAll := realPair(t)
+	defer closeAll()
+	srv, err := NewServer(obu, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	go func() { _ = srv.Serve() }()
+
+	if _, err := rsu.TriggerDENM(collisionReq()); err != nil {
+		t.Fatal(err)
+	}
+	if !waitFor(t, 2*time.Second, func() bool { return obu.ReceivedCount() > 0 }) {
+		t.Fatal("DENM never arrived at the OBU")
+	}
+
+	getJSON := func(path string, v any) {
+		t.Helper()
+		resp, err := http.Get("http://" + srv.Addr() + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s status %d", path, resp.StatusCode)
+		}
+		if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+	}
+
+	var health struct {
+		Status        string  `json:"status"`
+		StationID     uint32  `json:"station_id"`
+		UptimeSeconds float64 `json:"uptime_seconds"`
+	}
+	getJSON("/healthz", &health)
+	if health.Status != "ok" || health.UptimeSeconds < 0 {
+		t.Fatalf("healthz = %+v", health)
+	}
+	if health.StationID == 0 {
+		t.Fatal("healthz missing station_id")
+	}
+
+	var build struct {
+		Go            string  `json:"go"`
+		Module        string  `json:"module"`
+		Stations      int     `json:"stations"`
+		UptimeSeconds float64 `json:"uptime_seconds"`
+	}
+	getJSON("/buildinfo", &build)
+	if build.Go == "" {
+		t.Fatal("buildinfo missing go version")
+	}
+	if build.Module != "itsbed" {
+		t.Fatalf("buildinfo module %q, want itsbed", build.Module)
+	}
+	if build.Stations < 1 {
+		t.Fatalf("buildinfo stations = %d, want >= 1", build.Stations)
+	}
+
+	var snap struct {
+		Events []struct {
+			Kind string `json:"kind"`
+		} `json:"events"`
+	}
+	getJSON("/debug/flight", &snap)
+	var sawRx bool
+	for _, ev := range snap.Events {
+		if ev.Kind == "denm.rx" {
+			sawRx = true
+		}
+	}
+	if !sawRx {
+		t.Fatalf("flight ring has no denm.rx event (%d events)", len(snap.Events))
 	}
 }

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"itsbed/internal/clock"
+	"itsbed/internal/flight"
 	"itsbed/internal/geo"
 	"itsbed/internal/its/btp"
 	"itsbed/internal/its/geonet"
@@ -43,6 +44,11 @@ type RealNode struct {
 	// start); finished traces move into ring, which backs /trace.
 	tracer *tracing.Tracer
 	ring   *tracing.Ring
+	// flight is the always-on black-box recorder behind /debug/flight;
+	// fl is the node's own station hook (event times are offsets from
+	// start, like the trace spans).
+	flight *flight.Recorder
+	fl     flight.Hook
 	// mailboxSpans parallels mailbox: open openc2x.mailbox spans ended
 	// when a poll drains the entry.
 	mailboxSpans []*tracing.Span
@@ -101,6 +107,8 @@ func NewRealNode(cfg RealNodeConfig) (*RealNode, error) {
 		logger = slog.New(slog.NewTextHandler(io.Discard, nil))
 	}
 	reg := metrics.NewRegistry()
+	rec := flight.NewRecorder(0)
+	label := strconv.FormatUint(uint64(cfg.StationID), 10)
 	return &RealNode{
 		stationID:   cfg.StationID,
 		stationType: cfg.StationType,
@@ -108,10 +116,12 @@ func NewRealNode(cfg RealNodeConfig) (*RealNode, error) {
 		frame:       frame,
 		link:        cfg.Link,
 		start:       time.Now(),
-		label:       strconv.FormatUint(uint64(cfg.StationID), 10),
+		label:       label,
 		logger:      logger,
 		tracer:      tracing.New(),
 		ring:        tracing.NewRing(64),
+		flight:      rec,
+		fl:          rec.Hook(label),
 		reg:         reg,
 		received:    reg.Counter("openc2x_frames_received_total"),
 		malformed:   reg.Counter("openc2x_frames_malformed_total"),
@@ -220,6 +230,7 @@ func (n *RealNode) TriggerDENM(req TriggerRequest) (messages.ActionID, error) {
 		sp.Drop(time.Since(n.start), "send_error")
 		return id, err
 	}
+	n.fl.Record(time.Since(n.start), flight.DENMTx, 0, int64(uint32(id.OriginatingStationID)), int64(id.SequenceNumber))
 	return id, nil
 }
 
@@ -279,6 +290,7 @@ func (n *RealNode) OnFrame(frame []byte) {
 	p, err := geonet.Unmarshal(frame)
 	if err != nil {
 		n.malformed.Add(1)
+		n.fl.Record(time.Since(n.start), flight.RadioRx, flight.RxMalformed, int64(len(frame)), 0)
 		return
 	}
 	if p.Source.Address == geonet.NewAddress(n.stationType, n.stationID) {
@@ -303,12 +315,14 @@ func (n *RealNode) OnFrame(frame []byte) {
 		d, err := messages.DecodeDENM(payload)
 		if err != nil {
 			n.malformed.Add(1)
+			n.fl.Record(time.Since(n.start), flight.DENMRx, flight.RxMalformed, 0, 0)
 			return
 		}
 		n.received.Add(1)
 		n.denms.Add(1)
 		id := d.Management.ActionID
 		now := time.Since(n.start)
+		n.fl.Record(now, flight.DENMRx, flight.RxOK, int64(uint32(id.OriginatingStationID)), int64(id.SequenceNumber))
 		root := n.tracer.Start("openc2x.rx_frame", "openc2x", n.label, now)
 		root.SetAttr("action_id", fmt.Sprintf("%d:%d", uint32(id.OriginatingStationID), id.SequenceNumber))
 		msp := n.tracer.StartChild(root, "openc2x.mailbox", "openc2x", n.label, now)
@@ -325,10 +339,12 @@ func (n *RealNode) OnFrame(frame []byte) {
 		c, err := messages.DecodeCAM(payload)
 		if err != nil {
 			n.malformed.Add(1)
+			n.fl.Record(time.Since(n.start), flight.CAMRx, flight.RxMalformed, 0, 0)
 			return
 		}
 		n.received.Add(1)
 		n.cams.Add(1)
+		n.fl.Record(time.Since(n.start), flight.CAMRx, flight.RxOK, int64(c.Header.StationID), 0)
 		n.mu.Lock()
 		sink := n.camSink
 		n.mu.Unlock()
@@ -385,6 +401,19 @@ func (n *RealNode) DrainMailbox(reason string) int {
 // TraceHandler serves the ring of recent DENM traces as JSON (the
 // daemons' /trace endpoint).
 func (n *RealNode) TraceHandler() http.Handler { return n.ring.Handler() }
+
+// FlightHandler serves the live black-box event ring as JSON (the
+// daemons' /debug/flight endpoint).
+func (n *RealNode) FlightHandler() http.Handler {
+	return flight.Handler(func() flight.Snapshot { return n.flight.Snapshot() })
+}
+
+// FlightStations reports how many stations the black box has seen
+// (the node itself plus nothing else until peers are interned).
+func (n *RealNode) FlightStations() int { return n.flight.Stations() }
+
+// Uptime reports the wall-clock time since the node was built.
+func (n *RealNode) Uptime() time.Duration { return time.Since(n.start) }
 
 // UDPLink broadcasts GN frames between lab machines over UDP,
 // standing in for the 802.11p air interface of the daemons.

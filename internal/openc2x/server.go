@@ -7,6 +7,8 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"runtime"
+	"runtime/debug"
 	"time"
 
 	"itsbed/internal/its/messages"
@@ -20,6 +22,10 @@ import (
 //	POST /trigger_cam   — broadcast one CAM
 //	GET  /causes        — the DENM cause-code registry (Table I)
 //	GET  /metrics       — JSON snapshot of the node's metrics registry
+//	GET  /trace         — ring of recent per-DENM traces
+//	GET  /debug/flight  — live black-box flight-recorder event ring
+//	GET  /healthz       — liveness: status plus uptime
+//	GET  /buildinfo     — binary provenance via debug.ReadBuildInfo
 //
 // EnablePprof additionally mounts the net/http/pprof profiling
 // handlers under /debug/pprof/.
@@ -52,6 +58,9 @@ func NewServer(node *RealNode, addr string) (*Server, error) {
 	mux.HandleFunc("/causes", s.handleCauses)
 	mux.Handle("/metrics", metrics.Handler(func() metrics.Snapshot { return node.Metrics().Snapshot() }))
 	mux.Handle("/trace", node.TraceHandler())
+	mux.Handle("/debug/flight", node.FlightHandler())
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/buildinfo", s.handleBuildinfo)
 	s.mux = mux
 	// The API serves small JSON bodies on a lab network: generous but
 	// bounded timeouts keep a wedged client from pinning a connection
@@ -102,6 +111,41 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
 	_ = json.NewEncoder(w).Encode(v)
+}
+
+// handleHealthz is the liveness probe: 200 with uptime while the
+// listener serves (a wedged process simply stops answering).
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":         "ok",
+		"station_id":     uint32(s.node.stationID),
+		"uptime_seconds": s.node.Uptime().Seconds(),
+	})
+}
+
+// handleBuildinfo reports binary provenance: module path and version
+// (plus the VCS revision when the binary was built from a checkout),
+// the Go toolchain, uptime, and how many stations the black box has
+// interned so far.
+func (s *Server) handleBuildinfo(w http.ResponseWriter, r *http.Request) {
+	out := map[string]any{
+		"go":             runtime.Version(),
+		"uptime_seconds": s.node.Uptime().Seconds(),
+		"stations":       s.node.FlightStations(),
+	}
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		out["module"] = bi.Main.Path
+		out["version"] = bi.Main.Version
+		for _, st := range bi.Settings {
+			switch st.Key {
+			case "vcs.revision":
+				out["revision"] = st.Value
+			case "vcs.time":
+				out["build_time"] = st.Value
+			}
+		}
+	}
+	writeJSON(w, http.StatusOK, out)
 }
 
 func (s *Server) handleTrigger(w http.ResponseWriter, r *http.Request) {

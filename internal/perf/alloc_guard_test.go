@@ -2,10 +2,12 @@ package perf
 
 import (
 	"testing"
+	"time"
 
 	"itsbed"
 	"itsbed/internal/campaign"
 	"itsbed/internal/experiments"
+	"itsbed/internal/flight"
 	"itsbed/internal/geo"
 )
 
@@ -36,6 +38,9 @@ const (
 	// One LDM range query over 64 objects: the result slice, the
 	// distance cache, and the sort wrapper — nothing per comparison.
 	maxAllocsLDMQuery = 24
+	// Flight-recorder append: writes into a preallocated ring slot
+	// under a mutex — zero heap allocations on the steady-state path.
+	maxAllocsFlightAppend = 0
 )
 
 // guardAllocs runs fn and fails the test when the average allocation
@@ -106,6 +111,21 @@ func TestAllocGuardLDMObjectsWithin(t *testing.T) {
 		if got := m.ObjectsWithin(geo.Point{}, 8); len(got) != 64 {
 			t.Fatalf("query returned %d objects", len(got))
 		}
+	})
+}
+
+// TestAllocGuardFlightAppend pins the black-box recorder's hot path:
+// once a station's hook is interned, Record must not allocate — the
+// recorder stays always-on without touching the PR 5 alloc budget.
+func TestAllocGuardFlightAppend(t *testing.T) {
+	rec := flight.NewRecorder(64)
+	hook := rec.Hook("guard")
+	src := rec.Hook("peer")
+	at := time.Duration(0)
+	guardAllocs(t, "flight append", 10_000, maxAllocsFlightAppend, func() {
+		at += time.Microsecond
+		hook.Record(at, flight.RadioTx, 0, 128, 0)
+		hook.RecordFrom(at, flight.RadioRx, flight.RxOK, src, 128, 0)
 	})
 }
 

@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"time"
 
+	"itsbed/internal/flight"
 	"itsbed/internal/sim"
 )
 
@@ -161,6 +162,19 @@ var stateNames = []string{"Relaxed", "Active1", "Active2", "Active3", "Restricti
 type DCC struct {
 	meter   *CBRMeter
 	profile ReactiveProfile
+	kernel  *sim.Kernel
+
+	// Flight, when enabled, receives dcc.state events on every state
+	// transition observed at the gate and an edge-triggered
+	// dcc.throttle event when the gate starts answering above the
+	// Relaxed floor. Set it right after NewDCC, before traffic starts.
+	Flight flight.Hook
+
+	// lastState is the reactive state of the previous gate query;
+	// throttling tracks the edge so rings are not flooded with one
+	// event per throttled CAM check.
+	lastState    int
+	wasThrottled bool
 
 	// Throttled counts gate queries answered with an interval above
 	// the Relaxed floor (diagnostics; deterministic).
@@ -178,6 +192,7 @@ func NewDCC(kernel *sim.Kernel, iface *Interface, profile ReactiveProfile) *DCC 
 	return &DCC{
 		meter:   NewCBRMeter(kernel, iface, DefaultCBRInterval, DefaultCBRWindow),
 		profile: profile,
+		kernel:  kernel,
 	}
 }
 
@@ -215,9 +230,22 @@ func (d *DCC) Interval() time.Duration {
 // TxGate; read-only consumers should use Interval instead so
 // diagnostics never skew the Throttled counter.
 func (d *DCC) MinInterval() time.Duration {
-	iv := d.Interval()
+	s := d.State()
+	iv := d.profile.Intervals[s]
+	if s != d.lastState {
+		if d.Flight.Enabled() {
+			d.Flight.Record(d.kernel.Now(), flight.DCCState, uint8(s), int64(d.lastState), 0)
+		}
+		d.lastState = s
+	}
 	if iv > d.profile.Intervals[0] {
 		d.Throttled++
+		if !d.wasThrottled && d.Flight.Enabled() {
+			d.Flight.Record(d.kernel.Now(), flight.DCCThrottle, 0, int64(iv), 0)
+		}
+		d.wasThrottled = true
+	} else {
+		d.wasThrottled = false
 	}
 	return iv
 }

@@ -7,6 +7,7 @@ import (
 	"sort"
 	"time"
 
+	"itsbed/internal/flight"
 	"itsbed/internal/geo"
 	"itsbed/internal/metrics"
 	"itsbed/internal/sim"
@@ -74,6 +75,13 @@ type MediumConfig struct {
 	// Faults, when non-nil, screens every frame reception for injected
 	// channel faults (blackouts, noise bursts, per-link loss).
 	Faults FaultModel
+	// Flight, when non-nil, records per-interface tx/rx/drop events
+	// into the black-box flight recorder. Unlike Tracer and Faults it
+	// does NOT disable grid culling: per-receiver sensitivity drops are
+	// deliberately never recorded (the grid bulk-accounts them without
+	// visiting the receiver), so the event stream is identical on the
+	// grid and brute-force paths.
+	Flight *flight.Recorder
 }
 
 func (c *MediumConfig) applyDefaults() {
@@ -453,6 +461,7 @@ func (m *Medium) transmit(iface *Interface, frame []byte, ac AccessCategory, par
 	m.ongoing = append(m.ongoing, t)
 	m.FramesSent++
 	m.mSent.Inc()
+	iface.fl.Record(now, flight.RadioTx, 0, int64(len(frame)), 0)
 	if ac >= ACVoice && ac <= ACBackground {
 		m.mAirtime[ac].ObserveDuration(air)
 	}
@@ -504,6 +513,7 @@ func (m *Medium) completeFull(t *transmission, srcPos geo.Point, now time.Durati
 		if blackout {
 			m.FramesLost++
 			m.mLostBlackout.Inc()
+			dst.fl.RecordFrom(now, flight.RadioDrop, flight.DropBlackout, t.src.fl, 0, 0)
 			if sp := m.cfg.Tracer.StartChild(t.span, "radio.rx", "radio", dst.cfg.Name, now); sp != nil {
 				sp.Drop(now, "blackout")
 			}
@@ -513,6 +523,11 @@ func (m *Medium) completeFull(t *transmission, srcPos geo.Point, now time.Durati
 			if reason, drop := f.LinkDrop(now, t.src.cfg.Name, dst.cfg.Name); drop {
 				m.FramesLost++
 				m.mLostFault.Inc()
+				code := flight.DropBurstLoss
+				if reason == "fault_corruption" {
+					code = flight.DropCorruption
+				}
+				dst.fl.RecordFrom(now, flight.RadioDrop, code, t.src.fl, 0, 0)
 				if sp := m.cfg.Tracer.StartChild(t.span, "radio.rx", "radio", dst.cfg.Name, now); sp != nil {
 					sp.Drop(now, reason)
 				}
@@ -604,6 +619,7 @@ func (m *Medium) evaluate(t *transmission, srcPos geo.Point, dst *Interface, now
 		m.mLostSINR.Inc()
 		dst.FramesCorrupted++
 		dst.mCorrupt.Inc()
+		dst.fl.RecordFrom(now, flight.RadioDrop, flight.DropSINR, t.src.fl, 0, 0)
 		if sp := m.cfg.Tracer.StartChild(t.span, "radio.rx", "radio", dst.cfg.Name, now); sp != nil {
 			sp.Drop(now, "sinr")
 		}
@@ -613,6 +629,7 @@ func (m *Medium) evaluate(t *transmission, srcPos geo.Point, dst *Interface, now
 	m.mDelivered.Inc()
 	dst.FramesReceived++
 	dst.mRx.Inc()
+	dst.fl.RecordFrom(now, flight.RadioRx, flight.RxOK, t.src.fl, int64(len(t.frame)), 0)
 	if dst.receive != nil {
 		// All receivers share t.frame: frames are immutable once on
 		// the air (the interface copied the caller's buffer at
@@ -741,7 +758,13 @@ type Interface struct {
 
 	mQueued, mDropped, mTx, mRx, mCorrupt *metrics.Counter
 	mAccessDelay                          [ACBackground + 1]*metrics.Histogram
+	fl                                    flight.Hook
 }
+
+// FlightHook exposes the interface's black-box recording handle (the
+// zero Hook when no recorder is configured), so higher layers sharing
+// the station name can attribute events to the same ring.
+func (i *Interface) FlightHook() flight.Hook { return i.fl }
 
 // Attach adds a radio to the medium. pos must not be nil. The receive
 // callback (set later via SetReceiver) is invoked for each frame
@@ -758,6 +781,7 @@ func (m *Medium) Attach(cfg InterfaceConfig, pos PositionFunc) (*Interface, erro
 		cfg:    cfg,
 		pos:    pos,
 		rng:    m.kernel.Rand("radio.iface." + cfg.Name),
+		fl:     m.cfg.Flight.Hook(cfg.Name),
 	}
 	if r := m.cfg.Metrics; r != nil {
 		st := metrics.L("station", cfg.Name)
@@ -833,6 +857,7 @@ func (i *Interface) SendBroadcastAC(frame []byte, ac AccessCategory) error {
 	if i.queueLen() >= i.cfg.QueueCap {
 		i.FramesDroppedQueueFull++
 		i.mDropped.Inc()
+		i.fl.Record(now, flight.RadioDrop, flight.DropQueueFull, 0, 0)
 		sp.Drop(now, "queue_full")
 		return fmt.Errorf("radio: %s transmit queue full (%d frames)", i.cfg.Name, i.cfg.QueueCap)
 	}

@@ -6,6 +6,7 @@ import (
 
 	"itsbed/internal/clock"
 	"itsbed/internal/faults"
+	"itsbed/internal/flight"
 	"itsbed/internal/geo"
 	"itsbed/internal/its/facilities/den"
 	"itsbed/internal/its/messages"
@@ -38,7 +39,7 @@ func TestDENMRepetitionSurvivesBurstLoss(t *testing.T) {
 			Windows: []faults.Window{{Start: 0, End: faults.Duration(2300 * time.Millisecond)}},
 		}},
 	}
-	inj := faults.NewInjector(k, plan, nil, nil)
+	inj := faults.NewInjector(k, plan, nil, nil, flight.Hook{})
 	medium := radio.NewMedium(k, radio.MediumConfig{Faults: inj})
 
 	rsuPos := geo.Point{X: 0, Y: 6}

@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"itsbed/internal/clock"
+	"itsbed/internal/flight"
 	"itsbed/internal/geo"
 	"itsbed/internal/its/btp"
 	"itsbed/internal/its/facilities/ca"
@@ -172,6 +173,11 @@ type Config struct {
 	// station so each message produces a causal span tree (facilities →
 	// stack latency → geonet → radio and back up on the receive side).
 	Tracer *tracing.Tracer
+	// Flight, when non-nil, is the black-box recorder every layer of the
+	// station records structured events into, under this station's name.
+	// Pass the same recorder to the medium so radio and facilities events
+	// land in one ring per station.
+	Flight *flight.Recorder
 }
 
 // Link abstracts the access layer a station binds to.
@@ -278,11 +284,13 @@ func New(kernel *sim.Kernel, medium *radio.Medium, cfg Config) (*Station, error)
 		s.Iface = iface
 		link = iface
 	}
+	fl := cfg.Flight.Hook(cfg.Name)
 	if cfg.EnableDCC {
 		if s.Iface == nil {
 			return nil, fmt.Errorf("stack: station %q: DCC requires an 802.11p interface", cfg.Name)
 		}
 		s.DCC = radio.NewDCC(kernel, s.Iface, cfg.DCCProfile)
+		s.DCC.Flight = fl
 	}
 
 	router, err := geonet.NewRouter(geonet.RouterConfig{
@@ -299,9 +307,9 @@ func New(kernel *sim.Kernel, medium *radio.Medium, cfg Config) (*Station, error)
 	s.Router = router
 	link.SetReceiver(s.onFrame)
 
-	s.LDM = ldm.New(ldm.Config{Frame: cfg.Frame, Now: kernel.Now})
+	s.LDM = ldm.New(ldm.Config{Frame: cfg.Frame, Now: kernel.Now, Flight: fl})
 
-	s.caRx = ca.Receiver{Metrics: cfg.Metrics, Name: cfg.Name, Tracer: cfg.Tracer, Now: kernel.Now, Sink: func(c *messages.CAM) {
+	s.caRx = ca.Receiver{Metrics: cfg.Metrics, Name: cfg.Name, Tracer: cfg.Tracer, Flight: fl, Now: kernel.Now, Sink: func(c *messages.CAM) {
 		s.LDM.IngestCAM(c)
 		s.DeliveredCAMs++
 		s.lastRx = kernel.Now()
@@ -310,7 +318,7 @@ func New(kernel *sim.Kernel, medium *radio.Medium, cfg Config) (*Station, error)
 			s.OnCAM(c)
 		}
 	}}
-	s.denRx = den.Receiver{Metrics: cfg.Metrics, Name: cfg.Name, Tracer: cfg.Tracer, Now: kernel.Now, Sink: func(d *messages.DENM) {
+	s.denRx = den.Receiver{Metrics: cfg.Metrics, Name: cfg.Name, Tracer: cfg.Tracer, Flight: fl, Now: kernel.Now, Sink: func(d *messages.DENM) {
 		s.LDM.IngestDENM(d)
 		s.DeliveredDENMs++
 		s.lastRx = kernel.Now()
@@ -326,6 +334,7 @@ func New(kernel *sim.Kernel, medium *radio.Medium, cfg Config) (*Station, error)
 		Metrics: cfg.Metrics,
 		Name:    cfg.Name,
 		Tracer:  cfg.Tracer,
+		Flight:  fl,
 		Now:     kernel.Now,
 		OnCPM: func(c *messages.CPM) {
 			s.DeliveredCPMs++
@@ -353,6 +362,7 @@ func New(kernel *sim.Kernel, medium *radio.Medium, cfg Config) (*Station, error)
 		Metrics:         cfg.Metrics,
 		Name:            cfg.Name,
 		Tracer:          cfg.Tracer,
+		Flight:          fl,
 	}
 	if s.DCC != nil {
 		caCfg.Gate = s.DCC
@@ -371,6 +381,7 @@ func New(kernel *sim.Kernel, medium *radio.Medium, cfg Config) (*Station, error)
 		Metrics:     cfg.Metrics,
 		Name:        cfg.Name,
 		Tracer:      cfg.Tracer,
+		Flight:      fl,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("stack: DEN service: %w", err)
@@ -390,6 +401,7 @@ func New(kernel *sim.Kernel, medium *radio.Medium, cfg Config) (*Station, error)
 			Metrics:     cfg.Metrics,
 			Name:        cfg.Name,
 			Tracer:      cfg.Tracer,
+			Flight:      fl,
 		}
 		if s.DCC != nil {
 			cpCfg.Gate = s.DCC
