@@ -22,7 +22,8 @@
 //	itsbed resilience        # EXT-7 fault-plan resilience sweep (-faults)
 //	itsbed city              # SCALE-1 city-scale density sweep (see below)
 //	itsbed cpm               # CPM-1 occluded-pedestrian collective perception study
-//	itsbed all               # everything above (resilience and city excluded)
+//	itsbed soak              # SOAK-1 service-mode overload campaign (see below)
+//	itsbed all               # everything above (resilience, city and soak excluded)
 //
 // Common flags: -seed S, -runs R, -vision=(true|false), -workers W,
 // -metrics, -trace-out FILE, -spans. Flags may precede or follow the
@@ -57,6 +58,16 @@
 // perceived objects in CPMs versus warning with a conventional DENM
 // once the pedestrian reaches the lane. Uses -seed, -runs, -workers.
 //
+// The soak command boots an in-process multiplexed daemon hosting
+// -soak-stations stations (default 500) and hammers it with the
+// deterministic load harness at -rps for -duration while the fault
+// plan (-faults; default: the builtin soak plan) injects API
+// timeouts/errors and churns the station table. It prints the latency
+// table (p50/p95/p99 per endpoint), shed/deadline counts, mailbox
+// drops, peak heap and the goroutine-leak bracket. -thresholds FILE
+// checks the result against a committed ceilings file and fails the
+// process on violation — the CI soak-smoke gate.
+//
 // The city command simulates a synthetic road-grid city with DCC-
 // throttled CAM traffic and RSU hazard DENMs, and prints a per-density
 // table of channel-busy ratio, DCC state occupancy, packet-delivery
@@ -78,6 +89,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -89,6 +101,7 @@ import (
 	"itsbed/internal/experiments"
 	"itsbed/internal/faults"
 	"itsbed/internal/its/messages"
+	"itsbed/internal/loadgen"
 	"itsbed/internal/tracing"
 )
 
@@ -117,6 +130,9 @@ func run(args []string) error {
 	useDCC := fs.Bool("dcc", true, "enable reactive DCC for the city command")
 	blackbox := fs.String("blackbox", "", "directory for flight-recorder post-mortems of anomalous resilience runs")
 	progress := fs.Bool("progress", false, "report run progress on stderr (never perturbs results)")
+	soakStations := fs.Int("soak-stations", 0, "hosted station count for the soak command (0 = 500)")
+	rps := fs.Float64("rps", 0, "aggregate request rate for the soak command (0 = 400)")
+	thresholds := fs.String("thresholds", "", "JSON ceilings file the soak result must satisfy (CI gate)")
 	// Accept flags before the command ("-metrics table2") as well as
 	// after it ("table2 -metrics").
 	cmd := "all"
@@ -130,6 +146,12 @@ func run(args []string) error {
 	if cmd == "all" && fs.NArg() > 0 {
 		cmd = fs.Arg(0)
 	}
+	faultsSet := false
+	fs.Visit(func(f *flag.Flag) {
+		if f.Name == "faults" {
+			faultsSet = true
+		}
+	})
 	opt := experiments.ScenarioOptions{
 		BaseSeed:  *seed,
 		Runs:      *runs,
@@ -163,6 +185,15 @@ func run(args []string) error {
 			return printCity(*seed, *stations, *rsus, *duration, *workers, !*useGrid, !*useDCC)
 		},
 		"cpm": func() error { return printCPM(*seed, *runs, *workers) },
+		"soak": func() error {
+			planArg := *faultPlan
+			if !faultsSet {
+				// The resilience default (chaos) targets the scenario sim;
+				// soaks default to the overload plan.
+				planArg = "soak"
+			}
+			return printSoak(*seed, *soakStations, *rps, *duration, *workers, planArg, *thresholds)
+		},
 	}
 	if cmd == "all" {
 		order := []string{
@@ -180,7 +211,7 @@ func run(args []string) error {
 	}
 	fn, ok := dispatch[cmd]
 	if !ok {
-		return fmt.Errorf("unknown command %q (try: table1 table2 table3 fig7 fig10 fig11 cdf radios platoon baseline poll-sweep fps-sweep load-sweep obstruction platoon-acc ntp-sweep resilience city cpm all)", cmd)
+		return fmt.Errorf("unknown command %q (try: table1 table2 table3 fig7 fig10 fig11 cdf radios platoon baseline poll-sweep fps-sweep load-sweep obstruction platoon-acc ntp-sweep resilience city cpm soak all)", cmd)
 	}
 	return fn()
 }
@@ -221,6 +252,42 @@ func printCPM(seed int64, runs, workers int) error {
 		return err
 	}
 	fmt.Print(experiments.FormatCPM(res))
+	return nil
+}
+
+// printSoak runs the SOAK-1 service-mode overload campaign.
+func printSoak(seed int64, stations int, rps float64, duration time.Duration, workers int, planArg, thresholdsPath string) error {
+	plan, err := loadFaultPlan(planArg)
+	if err != nil {
+		return err
+	}
+	report, err := loadgen.RunSoak(context.Background(), loadgen.SoakOptions{
+		Stations: stations,
+		RPS:      rps,
+		Duration: duration,
+		Workers:  workers,
+		Seed:     seed,
+		Plan:     plan,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("SOAK-1 service-mode overload campaign (plan %q, seed %d)\n", plan.Name, seed)
+	fmt.Print(report.Format())
+	if thresholdsPath != "" {
+		data, err := os.ReadFile(thresholdsPath)
+		if err != nil {
+			return err
+		}
+		th, err := loadgen.ParseThresholds(data)
+		if err != nil {
+			return err
+		}
+		if err := report.Result.Check(th); err != nil {
+			return err
+		}
+		fmt.Println("thresholds: PASS")
+	}
 	return nil
 }
 

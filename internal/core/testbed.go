@@ -68,6 +68,10 @@ type Config struct {
 	Hazard edge.HazardConfig
 	// HTTP latencies of the OpenC2X API nodes.
 	HTTP openc2x.Latencies
+	// MailboxCap, when positive, bounds both OpenC2X mailboxes with
+	// drop-oldest eviction. Zero keeps them unbounded (the historical
+	// behaviour every deterministic campaign golden depends on).
+	MailboxCap int
 	// NTP error model for all platforms.
 	NTP clock.NTPModel
 	// Radio selects ITS-G5 (default) or a cellular profile.
@@ -302,6 +306,7 @@ func New(cfg Config) (*Testbed, error) {
 	}
 	tb.RSU = rsu
 	tb.RSUNode = openc2x.NewSimNode(k, rsu, cfg.HTTP)
+	tb.RSUNode.MailboxCap = cfg.MailboxCap
 
 	// --- OBU ----------------------------------------------------------
 	obu, err := stack.New(k, tb.Medium, stack.Config{
@@ -322,6 +327,7 @@ func New(cfg Config) (*Testbed, error) {
 	}
 	tb.OBU = obu
 	tb.OBUNode = openc2x.NewSimNode(k, obu, cfg.HTTP)
+	tb.OBUNode.MailboxCap = cfg.MailboxCap
 	veh.AttachOBU(tb.OBUNode)
 
 	if inj != nil {

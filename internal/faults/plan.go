@@ -338,6 +338,19 @@ var builtins = map[string]Plan{
 			Poll:    PathFault{TimeoutProb: 0.05, ErrorProb: 0.05},
 		},
 	},
+	// soak backs the SOAK-1 overload campaign: a low rate of injected
+	// API timeouts and errors runs for the whole soak while a station
+	// crash/restart churns the mux's registration table under load.
+	"soak": {
+		Name: "soak",
+		HTTP: HTTPFaults{
+			Trigger: PathFault{TimeoutProb: 0.01, ErrorProb: 0.02},
+			Poll:    PathFault{ErrorProb: 0.01},
+		},
+		Crashes: []NodeCrash{{
+			Node: NodeOBU, At: D(2 * time.Second), RestartAfter: D(1 * time.Second),
+		}},
+	},
 	// chaos layers a noise burst, bursty link loss, camera dropouts
 	// and flaky HTTP on top of each other.
 	"chaos": {

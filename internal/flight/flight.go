@@ -52,6 +52,8 @@ const (
 	WatchdogTrip
 	FaultEvent
 	Actuation
+	MailboxDrop
+	HTTPShed
 
 	numKinds
 )
@@ -74,6 +76,8 @@ var kindNames = [numKinds]string{
 	WatchdogTrip: "watchdog",
 	FaultEvent:   "fault",
 	Actuation:    "actuation",
+	MailboxDrop:  "mailbox.drop",
+	HTTPShed:     "http.shed",
 }
 
 // String names the kind ("radio.tx", "dcc.state", ...).
@@ -133,6 +137,26 @@ const (
 	ActHalt
 )
 
+// MailboxDrop codes: why a queued DENM left the mailbox undelivered.
+const (
+	// DropOldest is the bounded-mailbox eviction: a new arrival pushed
+	// the oldest queued DENM out of a full mailbox.
+	DropOldest uint8 = iota
+	// DropShutdown is the graceful-exit drain.
+	DropShutdown
+)
+
+// HTTPShed codes: why the overload guard refused an API request.
+const (
+	// ShedQueueFull: the endpoint's admission queue was at capacity.
+	ShedQueueFull uint8 = iota
+	// ShedQueueTimeout: the request waited in the admission queue past
+	// the queue deadline without getting a concurrency slot.
+	ShedQueueTimeout
+	// ShedDeadline: the handler ran past the per-request deadline.
+	ShedDeadline
+)
+
 // dccStateNames mirrors the reactive DCC profile's state names (kept
 // here so radio can depend on flight without a cycle).
 var dccStateNames = []string{"Relaxed", "Active1", "Active2", "Active3", "Restrictive"}
@@ -163,6 +187,10 @@ func CodeName(k Kind, code uint8) string {
 		return name([]string{"blackout_start", "blackout_end", "noise_start", "noise_end", "crash", "restart"})
 	case Actuation:
 		return name([]string{"stop_command", "halt"})
+	case MailboxDrop:
+		return name([]string{"oldest", "shutdown"})
+	case HTTPShed:
+		return name([]string{"queue_full", "queue_timeout", "deadline"})
 	}
 	return ""
 }

@@ -1,0 +1,111 @@
+package ldm
+
+import (
+	"sync"
+
+	"itsbed/internal/its/messages"
+)
+
+// Sharded is a lock-sharded LDM for the wall-clock daemons: the plain
+// Map is single-threaded by design (the simulation serialises access
+// on kernel events), but a multiplexed daemon ingests CAMs from
+// hundreds of hosted stations concurrently with HTTP reads. Sharding
+// by originating station spreads that contention across independent
+// locks while keeping each shard an ordinary Map.
+type Sharded struct {
+	shards []shard
+}
+
+type shard struct {
+	mu sync.Mutex
+	m  *Map
+}
+
+// DefaultShards is the shard count when NewSharded is given zero.
+const DefaultShards = 16
+
+// NewSharded builds a sharded LDM of n shards (zero selects
+// DefaultShards), each configured with cfg. Flight hooks are shared
+// verbatim; pass a zero Hook to keep the daemons' high-rate CAM churn
+// out of the black box.
+func NewSharded(n int, cfg Config) *Sharded {
+	if n <= 0 {
+		n = DefaultShards
+	}
+	s := &Sharded{shards: make([]shard, n)}
+	for i := range s.shards {
+		s.shards[i].m = New(cfg)
+	}
+	return s
+}
+
+// Shards reports the shard count.
+func (s *Sharded) Shards() int { return len(s.shards) }
+
+// shardFor maps an originating station to its shard.
+func (s *Sharded) shardFor(station uint32) *shard {
+	return &s.shards[station%uint32(len(s.shards))]
+}
+
+// IngestCAM routes a received CAM to the originator's shard.
+func (s *Sharded) IngestCAM(c *messages.CAM) {
+	sh := s.shardFor(uint32(c.Header.StationID))
+	sh.mu.Lock()
+	sh.m.IngestCAM(c)
+	sh.mu.Unlock()
+}
+
+// IngestDENM routes a received DENM to its originator's shard.
+func (s *Sharded) IngestDENM(d *messages.DENM) {
+	sh := s.shardFor(uint32(d.Management.ActionID.OriginatingStationID))
+	sh.mu.Lock()
+	sh.m.IngestDENM(d)
+	sh.mu.Unlock()
+}
+
+// Counts sums live objects and events across every shard.
+func (s *Sharded) Counts() (objects, events int) {
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		o, e := sh.m.Counts()
+		sh.mu.Unlock()
+		objects += o
+		events += e
+	}
+	return objects, events
+}
+
+// ShardCounts reports per-shard (objects, events) pairs — the /ldm
+// endpoint's view of how evenly station traffic spreads.
+func (s *Sharded) ShardCounts() [][2]int {
+	out := make([][2]int, len(s.shards))
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		o, e := sh.m.Counts()
+		sh.mu.Unlock()
+		out[i] = [2]int{o, e}
+	}
+	return out
+}
+
+// GC sweeps every shard.
+func (s *Sharded) GC() {
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		sh.m.GC()
+		sh.mu.Unlock()
+	}
+}
+
+// Clear empties every shard.
+func (s *Sharded) Clear() {
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		sh.m.Clear()
+		sh.mu.Unlock()
+	}
+}

@@ -71,6 +71,21 @@ func (g *Gauge) Set(v float64) {
 	}
 }
 
+// Add shifts the gauge by delta (negative deltas decrement) with a
+// compare-and-swap loop, so concurrent adders never lose updates — the
+// overload layer uses it for live in-flight and queue-depth gauges.
+func (g *Gauge) Add(delta float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		if g.bits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+delta)) {
+			return
+		}
+	}
+}
+
 // SetMax ratchets the gauge up to v if v exceeds the current value.
 func (g *Gauge) SetMax(v float64) {
 	if g == nil {

@@ -56,6 +56,41 @@ func TestGauge(t *testing.T) {
 	}
 }
 
+func TestGaugeAdd(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("inflight")
+	g.Add(5)
+	g.Add(-2)
+	if g.Value() != 3 {
+		t.Fatalf("gauge = %g, want 3", g.Value())
+	}
+	var nilGauge *Gauge
+	nilGauge.Add(1) // nil receiver is a no-op, not a panic
+}
+
+// TestGaugeAddConcurrent: the CAS loop must not lose updates when many
+// goroutines increment and decrement at once (live in-flight counting
+// on the overload hot path).
+func TestGaugeAddConcurrent(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("inflight")
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				g.Add(1)
+				g.Add(-1)
+			}
+		}()
+	}
+	wg.Wait()
+	if g.Value() != 0 {
+		t.Fatalf("gauge = %g after balanced adds, want 0", g.Value())
+	}
+}
+
 func TestHistogramObserve(t *testing.T) {
 	r := NewRegistry()
 	h := r.HistogramBuckets("lat", []float64{0.001, 0.01, 0.1})

@@ -1,0 +1,425 @@
+package openc2x
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"itsbed/internal/geo"
+	"itsbed/internal/units"
+)
+
+// newMux boots a loopback-only mux with n stations (IDs 1..n).
+func newMux(t *testing.T, n int, cfg MuxConfig) *MuxServer {
+	t.Helper()
+	if cfg.Addr == "" {
+		cfg.Addr = "127.0.0.1:0"
+	}
+	srv, err := NewMuxServer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= n; i++ {
+		if _, err := srv.Register(uint32(i), units.StationTypePassengerCar, geo.CISTERLab); err != nil {
+			t.Fatal(err)
+		}
+	}
+	go srv.Serve()
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+	})
+	return srv
+}
+
+func postJSON(t *testing.T, url, body string) (*http.Response, []byte) {
+	t.Helper()
+	var rd *bytes.Reader
+	if body != "" {
+		rd = bytes.NewReader([]byte(body))
+	} else {
+		rd = bytes.NewReader(nil)
+	}
+	resp, err := http.Post(url, "application/json", rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	return resp, buf.Bytes()
+}
+
+func triggerBody() string {
+	return fmt.Sprintf(`{"causeCode":97,"subCauseCode":2,"latitude":%f,"longitude":%f,"quality":3}`,
+		geo.CISTERLab.Lat, geo.CISTERLab.Lon)
+}
+
+// TestMuxTriggerFansOutToHostedStations is the multiplexing core: one
+// station's trigger lands in every other hosted station's mailbox via
+// the internal loopback, and each can poll it back out — while the
+// sender's own mailbox stays empty (self-skip).
+func TestMuxTriggerFansOutToHostedStations(t *testing.T) {
+	srv := newMux(t, 3, MuxConfig{})
+	base := "http://" + srv.Addr()
+
+	resp, body := postJSON(t, base+"/stations/1/trigger_denm", triggerBody())
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("trigger status %d: %s", resp.StatusCode, body)
+	}
+	var tr TriggerResponse
+	if err := json.Unmarshal(body, &tr); err != nil || !tr.OK {
+		t.Fatalf("trigger response %s", body)
+	}
+	if tr.OriginatingStationID != 1 {
+		t.Fatalf("originating station %d", tr.OriginatingStationID)
+	}
+
+	for _, id := range []uint32{2, 3} {
+		node, _ := srv.Station(id)
+		if !waitFor(t, time.Second, func() bool { return node.PendingDENMs() == 1 }) {
+			t.Fatalf("station %d mailbox depth %d, want 1", id, node.PendingDENMs())
+		}
+	}
+	if node, _ := srv.Station(1); node.PendingDENMs() != 0 {
+		t.Fatalf("sender's own mailbox depth %d, want 0 (self-skip)", node.PendingDENMs())
+	}
+
+	resp, body = postJSON(t, base+"/stations/2/request_denm", "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("poll status %d", resp.StatusCode)
+	}
+	var batch []DENMSummary
+	if err := json.Unmarshal(body, &batch); err != nil {
+		t.Fatal(err)
+	}
+	if len(batch) != 1 || batch[0].OriginatingStationID != 1 {
+		t.Fatalf("poll batch %s", body)
+	}
+	// Drained: a second poll returns the empty array.
+	if _, body = postJSON(t, base+"/stations/2/request_denm", ""); string(bytes.TrimSpace(body)) != "[]" {
+		t.Fatalf("second poll %q, want []", body)
+	}
+
+	// The shared LDM saw the DENM once.
+	if _, events := srv.LDM().Counts(); events != 1 {
+		t.Fatalf("LDM events %d, want 1", events)
+	}
+}
+
+// TestMuxLegacyAliases keeps the single-station API working: the
+// legacy routes target the first registered station.
+func TestMuxLegacyAliases(t *testing.T) {
+	srv := newMux(t, 2, MuxConfig{})
+	base := "http://" + srv.Addr()
+
+	resp, body := postJSON(t, base+"/trigger_denm", triggerBody())
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("legacy trigger status %d: %s", resp.StatusCode, body)
+	}
+	var tr TriggerResponse
+	if err := json.Unmarshal(body, &tr); err != nil || tr.OriginatingStationID != 1 {
+		t.Fatalf("legacy trigger should hit station 1: %s", body)
+	}
+
+	node, _ := srv.Station(2)
+	if !waitFor(t, time.Second, func() bool { return node.PendingDENMs() == 1 }) {
+		t.Fatal("station 2 never received the legacy-triggered DENM")
+	}
+
+	// Legacy trace and poll answer for station 1.
+	resp, err := http.Get(base + "/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("legacy /trace status %d", resp.StatusCode)
+	}
+	if resp, _ := postJSON(t, base+"/request_denm", ""); resp.StatusCode != http.StatusOK {
+		t.Fatalf("legacy poll status %d", resp.StatusCode)
+	}
+}
+
+// TestMuxUnknownStation404 rejects routes for unhosted stations.
+func TestMuxUnknownStation404(t *testing.T) {
+	srv := newMux(t, 1, MuxConfig{})
+	base := "http://" + srv.Addr()
+	resp, _ := postJSON(t, base+"/stations/99/trigger_denm", triggerBody())
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown station status %d, want 404", resp.StatusCode)
+	}
+	resp, _ = postJSON(t, base+"/stations/banana/trigger_denm", triggerBody())
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("malformed station ID status %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestMuxRegistrationAPI registers and deregisters over HTTP.
+func TestMuxRegistrationAPI(t *testing.T) {
+	srv := newMux(t, 1, MuxConfig{})
+	base := "http://" + srv.Addr()
+	client := &http.Client{}
+
+	do := func(method, path, body string) *http.Response {
+		t.Helper()
+		var rd *strings.Reader = strings.NewReader(body)
+		req, err := http.NewRequest(method, base+path, rd)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := client.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp
+	}
+
+	if resp := do(http.MethodPut, "/stations/42", ""); resp.StatusCode != http.StatusCreated {
+		t.Fatalf("register status %d, want 201", resp.StatusCode)
+	}
+	if resp := do(http.MethodPut, "/stations/42", ""); resp.StatusCode != http.StatusConflict {
+		t.Fatalf("duplicate register status %d, want 409", resp.StatusCode)
+	}
+	if srv.StationCount() != 2 {
+		t.Fatalf("station count %d, want 2", srv.StationCount())
+	}
+	if resp, _ := postJSON(t, base+"/stations/42/request_denm", ""); resp.StatusCode != http.StatusOK {
+		t.Fatalf("poll of registered station status %d", resp.StatusCode)
+	}
+	if resp := do(http.MethodDelete, "/stations/42", ""); resp.StatusCode != http.StatusOK {
+		t.Fatalf("deregister status %d", resp.StatusCode)
+	}
+	if resp := do(http.MethodDelete, "/stations/42", ""); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("double deregister status %d, want 404", resp.StatusCode)
+	}
+	if resp, _ := postJSON(t, base+"/stations/42/request_denm", ""); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("poll of deregistered station status %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestMuxMethodNotAllowed: the Go 1.22 method patterns answer wrong
+// methods with 405 and an Allow header.
+func TestMuxMethodNotAllowed(t *testing.T) {
+	srv := newMux(t, 1, MuxConfig{})
+	base := "http://" + srv.Addr()
+	resp, err := http.Get(base + "/stations/1/trigger_denm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET trigger status %d, want 405", resp.StatusCode)
+	}
+	if allow := resp.Header.Get("Allow"); !strings.Contains(allow, "POST") {
+		t.Fatalf("Allow header %q, want POST", allow)
+	}
+}
+
+// TestMuxBodyTooLarge: oversized POST bodies are answered 413.
+func TestMuxBodyTooLarge(t *testing.T) {
+	srv := newMux(t, 1, MuxConfig{})
+	base := "http://" + srv.Addr()
+	huge := `{"causeCode":97,"pad":"` + strings.Repeat("x", DefaultMaxBodyBytes+1) + `"}`
+	resp, _ := postJSON(t, base+"/stations/1/trigger_denm", huge)
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized body status %d, want 413", resp.StatusCode)
+	}
+}
+
+// TestMuxConcurrentRegistration churns the station table from many
+// goroutines while traffic flows — the registration/deregistration
+// race satellite, meaningful under -race.
+func TestMuxConcurrentRegistration(t *testing.T) {
+	srv := newMux(t, 8, MuxConfig{})
+	base := "http://" + srv.Addr()
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	// Churners: register/deregister disjoint ID bands.
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				id := uint32(100 + w*100 + i%20)
+				srv.Register(id, units.StationTypePassengerCar, geo.CISTERLab)
+				srv.Deregister(id)
+			}
+		}(w)
+	}
+	// Traffic against the stable stations.
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				id := uint32(1 + w*3%8)
+				resp, err := http.Post(fmt.Sprintf("%s/stations/%d/request_denm", base, id), "application/json", nil)
+				if err == nil {
+					resp.Body.Close()
+				}
+			}
+		}(w)
+	}
+	// One broadcaster fanning frames into the churning table.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		node, _ := srv.Station(1)
+		for i := 0; i < 30; i++ {
+			node.TriggerDENM(TriggerRequest{CauseCode: 97, Latitude: geo.CISTERLab.Lat, Longitude: geo.CISTERLab.Lon})
+		}
+		close(stop)
+	}()
+	wg.Wait()
+
+	if n := srv.StationCount(); n != 8 {
+		t.Fatalf("station count after churn %d, want 8", n)
+	}
+}
+
+// TestMuxShutdownCompletesInFlightPoll: Shutdown waits for a poll that
+// already drained a mailbox, so the response is not lost.
+func TestMuxShutdownCompletesInFlightPoll(t *testing.T) {
+	srv, err := NewMuxServer(MuxConfig{Addr: "127.0.0.1:0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := srv.Register(1, units.StationTypePassengerCar, geo.CISTERLab); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := srv.Register(2, units.StationTypePassengerCar, geo.CISTERLab); err != nil {
+		t.Fatal(err)
+	}
+	inPoll := make(chan struct{})
+	release := make(chan struct{})
+	srv.pollDelay = func() {
+		close(inPoll)
+		<-release
+	}
+	go srv.Serve()
+
+	node, _ := srv.Station(1)
+	if _, err := node.TriggerDENM(TriggerRequest{CauseCode: 97, Latitude: geo.CISTERLab.Lat, Longitude: geo.CISTERLab.Lon}); err != nil {
+		t.Fatal(err)
+	}
+	two, _ := srv.Station(2)
+	if !waitFor(t, time.Second, func() bool { return two.PendingDENMs() == 1 }) {
+		t.Fatal("station 2 never got the DENM")
+	}
+
+	type pollResult struct {
+		status int
+		batch  []DENMSummary
+		err    error
+	}
+	done := make(chan pollResult, 1)
+	go func() {
+		resp, err := http.Post("http://"+srv.Addr()+"/stations/2/request_denm", "application/json", nil)
+		if err != nil {
+			done <- pollResult{err: err}
+			return
+		}
+		defer resp.Body.Close()
+		var batch []DENMSummary
+		json.NewDecoder(resp.Body).Decode(&batch)
+		done <- pollResult{status: resp.StatusCode, batch: batch}
+	}()
+	<-inPoll
+
+	shutdownDone := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
+		defer cancel()
+		_, err := srv.Shutdown(ctx)
+		shutdownDone <- err
+	}()
+	// Shutdown must block on the in-flight poll.
+	select {
+	case <-shutdownDone:
+		t.Fatal("Shutdown returned while a poll was in flight")
+	case <-time.After(50 * time.Millisecond):
+	}
+	close(release)
+	if err := <-shutdownDone; err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	res := <-done
+	if res.err != nil || res.status != http.StatusOK || len(res.batch) != 1 {
+		t.Fatalf("in-flight poll result %+v", res)
+	}
+}
+
+// TestMuxServeShutdownNoGoroutineLeak cycles a mux through
+// serve/traffic/shutdown and checks goroutines return to baseline.
+func TestMuxServeShutdownNoGoroutineLeak(t *testing.T) {
+	runtime.GC()
+	before := runtime.NumGoroutine()
+	for cycle := 0; cycle < 3; cycle++ {
+		srv, err := NewMuxServer(MuxConfig{Addr: "127.0.0.1:0"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 1; i <= 20; i++ {
+			if _, err := srv.Register(uint32(i), units.StationTypePassengerCar, geo.CISTERLab); err != nil {
+				t.Fatal(err)
+			}
+		}
+		serveDone := make(chan struct{})
+		go func() { srv.Serve(); close(serveDone) }()
+		client := &http.Client{}
+		for i := 0; i < 10; i++ {
+			resp, err := client.Post("http://"+srv.Addr()+"/stations/1/trigger_denm",
+				"application/json", strings.NewReader(triggerBody()))
+			if err == nil {
+				resp.Body.Close()
+			}
+		}
+		client.CloseIdleConnections()
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		if _, err := srv.Shutdown(ctx); err != nil {
+			t.Fatalf("cycle %d shutdown: %v", cycle, err)
+		}
+		cancel()
+		<-serveDone
+	}
+	if !waitFor(t, 2*time.Second, func() bool {
+		runtime.GC()
+		return runtime.NumGoroutine() <= before+3
+	}) {
+		t.Fatalf("goroutines %d after cycles, baseline %d", runtime.NumGoroutine(), before)
+	}
+}
+
+// TestMuxSharedMetrics: hosted stations aggregate into one registry —
+// the daemon's /metrics stays O(families), not O(stations).
+func TestMuxSharedMetrics(t *testing.T) {
+	srv := newMux(t, 5, MuxConfig{})
+	base := "http://" + srv.Addr()
+	for i := 1; i <= 5; i++ {
+		resp, body := postJSON(t, fmt.Sprintf("%s/stations/%d/trigger_denm", base, i), triggerBody())
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("trigger %d: %d %s", i, resp.StatusCode, body)
+		}
+	}
+	snap := srv.Metrics().Snapshot()
+	c, ok := snap.FindCounter("openc2x_triggers_total")
+	if !ok || c.Value != 5 {
+		t.Fatalf("shared trigger counter %+v ok=%v, want 5", c, ok)
+	}
+}

@@ -36,6 +36,7 @@ type RealNode struct {
 	start       time.Time
 	seq         uint16
 	mailbox     []ReceivedDENM
+	mailboxCap  int
 	camSink     func(*messages.CAM)
 	label       string
 	logger      *slog.Logger
@@ -64,6 +65,7 @@ type RealNode struct {
 	cams      *metrics.Counter
 	triggers  *metrics.Counter
 	polls     *metrics.Counter
+	dropped   *metrics.Counter
 	depthMax  *metrics.Gauge
 }
 
@@ -81,6 +83,13 @@ type DatagramLink interface {
 	SendBroadcast(frame []byte) error
 }
 
+// DefaultMailboxCap bounds the per-station DENM mailbox when the
+// config leaves MailboxCap zero. A client that never polls
+// /request_denm can then pin at most this many undelivered DENMs
+// (drop-oldest beyond it) instead of growing daemon memory without
+// bound.
+const DefaultMailboxCap = 256
+
 // RealNodeConfig parameterises a RealNode.
 type RealNodeConfig struct {
 	StationID   units.StationID
@@ -90,6 +99,22 @@ type RealNodeConfig struct {
 	// Logger, when non-nil, receives per-message debug records and
 	// operational events; defaults to a discarding logger.
 	Logger *slog.Logger
+	// MailboxCap bounds the undelivered-DENM mailbox: at capacity the
+	// oldest entry is evicted (counted in openc2x_mailbox_dropped_total
+	// and flight-recorded). Zero selects DefaultMailboxCap; negative
+	// disables the bound.
+	MailboxCap int
+	// Metrics, when non-nil, is the registry the node instruments into.
+	// The multiplexed daemon shares one registry across every hosted
+	// station so the aggregate stays O(families), not O(stations); nil
+	// creates a private registry.
+	Metrics *metrics.Registry
+	// Flight, when non-nil, is the shared black-box recorder; nil
+	// creates a private one. The node records under its station ID.
+	Flight *flight.Recorder
+	// FlightCapacity sizes the private recorder's per-station ring when
+	// Flight is nil (zero selects the flight package default).
+	FlightCapacity int
 }
 
 // NewRealNode builds a node. Frames received from the link must be fed
@@ -106,8 +131,18 @@ func NewRealNode(cfg RealNodeConfig) (*RealNode, error) {
 	if logger == nil {
 		logger = slog.New(slog.NewTextHandler(io.Discard, nil))
 	}
-	reg := metrics.NewRegistry()
-	rec := flight.NewRecorder(0)
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = metrics.NewRegistry()
+	}
+	rec := cfg.Flight
+	if rec == nil {
+		rec = flight.NewRecorder(cfg.FlightCapacity)
+	}
+	cap := cfg.MailboxCap
+	if cap == 0 {
+		cap = DefaultMailboxCap
+	}
 	label := strconv.FormatUint(uint64(cfg.StationID), 10)
 	return &RealNode{
 		stationID:   cfg.StationID,
@@ -116,6 +151,7 @@ func NewRealNode(cfg RealNodeConfig) (*RealNode, error) {
 		frame:       frame,
 		link:        cfg.Link,
 		start:       time.Now(),
+		mailboxCap:  cap,
 		label:       label,
 		logger:      logger,
 		tracer:      tracing.New(),
@@ -129,6 +165,7 @@ func NewRealNode(cfg RealNodeConfig) (*RealNode, error) {
 		cams:        reg.Counter("openc2x_cams_received_total"),
 		triggers:    reg.Counter("openc2x_triggers_total"),
 		polls:       reg.Counter("openc2x_polls_total"),
+		dropped:     reg.Counter("openc2x_mailbox_dropped_total"),
 		depthMax:    reg.Gauge("openc2x_mailbox_depth_max"),
 	}, nil
 }
@@ -285,17 +322,34 @@ func (n *RealNode) TriggerCAM() error {
 	return n.link.SendBroadcast(frame)
 }
 
-// OnFrame processes a received datagram (GN packet).
-func (n *RealNode) OnFrame(frame []byte) {
+// decodedFrame is the parsed content of one GN datagram: at most one
+// of DENM/CAM is set. Decoding once and fanning the value out lets the
+// multiplexed daemon deliver a frame to hundreds of hosted stations
+// for a single parse.
+type decodedFrame struct {
+	Source geonet.Address
+	DENM   *messages.DENM
+	CAM    *messages.CAM
+}
+
+// Decode stages, for malformed-frame accounting.
+const (
+	decodeStageGN   = "gn"
+	decodeStageBTP  = "btp"
+	decodeStageDENM = "denm"
+	decodeStageCAM  = "cam"
+)
+
+// decodeFrame parses one GN frame down to its facilities message. On
+// a parse failure stage names the layer that rejected it; frames
+// addressed to protocols the node does not speak decode to an empty
+// result with no error.
+func decodeFrame(frame []byte) (dec decodedFrame, stage string, err error) {
 	p, err := geonet.Unmarshal(frame)
 	if err != nil {
-		n.malformed.Add(1)
-		n.fl.Record(time.Since(n.start), flight.RadioRx, flight.RxMalformed, int64(len(frame)), 0)
-		return
+		return dec, decodeStageGN, err
 	}
-	if p.Source.Address == geonet.NewAddress(n.stationType, n.stationID) {
-		return // own broadcast echoed back
-	}
+	dec.Source = p.Source.Address
 	var t btp.Type
 	switch p.Next {
 	case geonet.NextBTPA:
@@ -303,21 +357,63 @@ func (n *RealNode) OnFrame(frame []byte) {
 	case geonet.NextBTPB:
 		t = btp.TypeB
 	default:
-		return
+		return dec, "", nil
 	}
 	h, payload, err := btp.Decode(t, p.Payload)
 	if err != nil {
-		n.malformed.Add(1)
-		return
+		return dec, decodeStageBTP, err
 	}
 	switch h.DestinationPort {
 	case btp.PortDENM:
 		d, err := messages.DecodeDENM(payload)
 		if err != nil {
-			n.malformed.Add(1)
-			n.fl.Record(time.Since(n.start), flight.DENMRx, flight.RxMalformed, 0, 0)
-			return
+			return dec, decodeStageDENM, err
 		}
+		dec.DENM = d
+	case btp.PortCAM:
+		c, err := messages.DecodeCAM(payload)
+		if err != nil {
+			return dec, decodeStageCAM, err
+		}
+		dec.CAM = c
+	}
+	return dec, "", nil
+}
+
+// recordMalformed accounts one undecodable frame.
+func (n *RealNode) recordMalformed(stage string, frameLen int) {
+	n.malformed.Add(1)
+	switch stage {
+	case decodeStageGN:
+		n.fl.Record(time.Since(n.start), flight.RadioRx, flight.RxMalformed, int64(frameLen), 0)
+	case decodeStageDENM:
+		n.fl.Record(time.Since(n.start), flight.DENMRx, flight.RxMalformed, 0, 0)
+	case decodeStageCAM:
+		n.fl.Record(time.Since(n.start), flight.CAMRx, flight.RxMalformed, 0, 0)
+	}
+}
+
+// OnFrame processes a received datagram (GN packet).
+func (n *RealNode) OnFrame(frame []byte) {
+	dec, stage, err := decodeFrame(frame)
+	if err != nil {
+		n.recordMalformed(stage, len(frame))
+		return
+	}
+	n.deliver(dec)
+}
+
+// deliver routes one decoded frame into the node: DENMs queue in the
+// bounded mailbox, CAMs go to the sink. Own broadcasts echoed back are
+// ignored. The multiplexed daemon calls this directly with a frame
+// decoded once for all hosted stations.
+func (n *RealNode) deliver(dec decodedFrame) {
+	if dec.Source == geonet.NewAddress(n.stationType, n.stationID) {
+		return // own broadcast echoed back
+	}
+	switch {
+	case dec.DENM != nil:
+		d := dec.DENM
 		n.received.Add(1)
 		n.denms.Add(1)
 		id := d.Management.ActionID
@@ -329,19 +425,33 @@ func (n *RealNode) OnFrame(frame []byte) {
 		root.End(now)
 		n.logger.Debug("denm received",
 			"action_id", fmt.Sprintf("%d:%d", uint32(id.OriginatingStationID), id.SequenceNumber),
-			"source", p.Source.Address.String())
+			"source", dec.Source.String())
+		var evicted *tracing.Span
 		n.mu.Lock()
-		n.mailbox = append(n.mailbox, ReceivedDENM{DENM: d, ReceivedAt: now})
-		n.mailboxSpans = append(n.mailboxSpans, msp)
+		if n.mailboxCap > 0 && len(n.mailbox) >= n.mailboxCap {
+			// Full: evict the oldest undelivered DENM (drop-oldest keeps
+			// the freshest hazard information for a client that finally
+			// polls) and account the loss.
+			old := n.mailbox[0].DENM.Management.ActionID
+			n.fl.Record(now, flight.MailboxDrop, flight.DropOldest, int64(uint32(old.OriginatingStationID)), int64(old.SequenceNumber))
+			evicted = n.mailboxSpans[0]
+			copy(n.mailbox, n.mailbox[1:])
+			n.mailbox[len(n.mailbox)-1] = ReceivedDENM{DENM: d, ReceivedAt: now}
+			copy(n.mailboxSpans, n.mailboxSpans[1:])
+			n.mailboxSpans[len(n.mailboxSpans)-1] = msp
+			n.dropped.Inc()
+		} else {
+			n.mailbox = append(n.mailbox, ReceivedDENM{DENM: d, ReceivedAt: now})
+			n.mailboxSpans = append(n.mailboxSpans, msp)
+		}
 		n.depthMax.SetMax(float64(len(n.mailbox)))
 		n.mu.Unlock()
-	case btp.PortCAM:
-		c, err := messages.DecodeCAM(payload)
-		if err != nil {
-			n.malformed.Add(1)
-			n.fl.Record(time.Since(n.start), flight.CAMRx, flight.RxMalformed, 0, 0)
-			return
+		if evicted != nil {
+			evicted.Drop(now, "mailbox_full")
+			n.ring.Add(n.tracer.Take(evicted.TraceID()))
 		}
+	case dec.CAM != nil:
+		c := dec.CAM
 		n.received.Add(1)
 		n.cams.Add(1)
 		n.fl.Record(time.Since(n.start), flight.CAMRx, flight.RxOK, int64(c.Header.StationID), 0)
@@ -352,6 +462,17 @@ func (n *RealNode) OnFrame(frame []byte) {
 			sink(c)
 		}
 	}
+}
+
+// MailboxDropped reports how many queued DENMs the bounded mailbox has
+// evicted since start.
+func (n *RealNode) MailboxDropped() uint64 { return n.dropped.Value() }
+
+// PendingDENMs reports the mailbox depth without draining it.
+func (n *RealNode) PendingDENMs() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return len(n.mailbox)
 }
 
 // SetCAMSink installs a callback for received CAMs.
@@ -391,6 +512,9 @@ func (n *RealNode) DrainMailbox(reason string) int {
 	n.mailboxSpans = nil
 	n.mu.Unlock()
 	now := time.Since(n.start)
+	if dropped > 0 {
+		n.fl.Record(now, flight.MailboxDrop, flight.DropShutdown, int64(dropped), 0)
+	}
 	for _, sp := range spans {
 		sp.Drop(now, reason)
 		n.ring.Add(n.tracer.Take(sp.TraceID()))
@@ -415,12 +539,18 @@ func (n *RealNode) FlightStations() int { return n.flight.Stations() }
 // Uptime reports the wall-clock time since the node was built.
 func (n *RealNode) Uptime() time.Duration { return time.Since(n.start) }
 
+// FrameSink consumes frames read off a link: a single RealNode, or a
+// MuxServer dispatching to every hosted station.
+type FrameSink interface {
+	OnFrame(frame []byte)
+}
+
 // UDPLink broadcasts GN frames between lab machines over UDP,
 // standing in for the 802.11p air interface of the daemons.
 type UDPLink struct {
 	conn  *net.UDPConn
 	peers []*net.UDPAddr
-	node  *RealNode
+	sink  FrameSink
 	done  chan struct{}
 	wg    sync.WaitGroup
 }
@@ -471,9 +601,9 @@ func (l *UDPLink) SendBroadcast(frame []byte) error {
 	return firstErr
 }
 
-// Start attaches the node and begins the read loop.
-func (l *UDPLink) Start(node *RealNode) {
-	l.node = node
+// Start attaches the sink and begins the read loop.
+func (l *UDPLink) Start(sink FrameSink) {
+	l.sink = sink
 	l.wg.Add(1)
 	go func() {
 		defer l.wg.Done()
@@ -491,7 +621,7 @@ func (l *UDPLink) Start(node *RealNode) {
 			}
 			frame := make([]byte, n)
 			copy(frame, buf[:n])
-			l.node.OnFrame(frame)
+			l.sink.OnFrame(frame)
 		}
 	}()
 }

@@ -3,6 +3,7 @@ package openc2x
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net"
 	"net/http"
@@ -55,7 +56,7 @@ func NewServer(node *RealNode, addr string) (*Server, error) {
 	mux.HandleFunc("/trigger_denm", s.handleTrigger)
 	mux.HandleFunc("/request_denm", s.handleRequest)
 	mux.HandleFunc("/trigger_cam", s.handleTriggerCAM)
-	mux.HandleFunc("/causes", s.handleCauses)
+	mux.HandleFunc("/causes", handleCauses)
 	mux.Handle("/metrics", metrics.Handler(func() metrics.Snapshot { return node.Metrics().Snapshot() }))
 	mux.Handle("/trace", node.TraceHandler())
 	mux.Handle("/debug/flight", node.FlightHandler())
@@ -113,6 +114,84 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	_ = json.NewEncoder(w).Encode(v)
 }
 
+// DefaultMaxBodyBytes caps POST bodies: the API's largest legitimate
+// request (a TriggerRequest) is well under a kilobyte, so anything
+// bigger is a client bug or abuse and is answered 413 before it can
+// balloon the daemon's memory.
+const DefaultMaxBodyBytes = 1 << 16
+
+// requirePost enforces the method contract on a hand-routed POST
+// endpoint: wrong methods get 405 with an Allow header per RFC 9110.
+func requirePost(w http.ResponseWriter, r *http.Request) bool {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		http.Error(w, "POST required", http.StatusMethodNotAllowed)
+		return false
+	}
+	return true
+}
+
+// decodeBody decodes a bounded JSON body into v: oversized bodies are
+// answered 413, malformed ones 400. Reports whether decoding
+// succeeded; on failure the response has been written.
+func decodeBody(w http.ResponseWriter, r *http.Request, maxBytes int64, v any) bool {
+	if maxBytes <= 0 {
+		maxBytes = DefaultMaxBodyBytes
+	}
+	r.Body = http.MaxBytesReader(w, r.Body, maxBytes)
+	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeJSON(w, http.StatusRequestEntityTooLarge, TriggerResponse{Error: err.Error()})
+			return false
+		}
+		writeJSON(w, http.StatusBadRequest, TriggerResponse{Error: err.Error()})
+		return false
+	}
+	return true
+}
+
+// handleTriggerNode serves POST trigger_denm against one station.
+func handleTriggerNode(node *RealNode, w http.ResponseWriter, r *http.Request, maxBytes int64) {
+	var req TriggerRequest
+	if !decodeBody(w, r, maxBytes, &req) {
+		return
+	}
+	id, err := node.TriggerDENM(req)
+	if err != nil {
+		writeJSON(w, http.StatusInternalServerError, TriggerResponse{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, TriggerResponse{
+		OK:                   true,
+		OriginatingStationID: uint32(id.OriginatingStationID),
+		SequenceNumber:       id.SequenceNumber,
+	})
+}
+
+// handleRequestNode serves POST request_denm against one station.
+// pollDelay, when non-nil, runs after the drain (test hook).
+func handleRequestNode(node *RealNode, w http.ResponseWriter, r *http.Request, pollDelay func()) {
+	batch := node.RequestDENM()
+	if pollDelay != nil {
+		pollDelay()
+	}
+	out := make([]DENMSummary, 0, len(batch))
+	for _, rd := range batch {
+		out = append(out, Summarize(rd))
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// handleTriggerCAMNode serves POST trigger_cam against one station.
+func handleTriggerCAMNode(node *RealNode, w http.ResponseWriter, r *http.Request) {
+	if err := node.TriggerCAM(); err != nil {
+		writeJSON(w, http.StatusInternalServerError, map[string]string{"error": err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
+}
+
 // handleHealthz is the liveness probe: 200 with uptime while the
 // listener serves (a wedged process simply stops answering).
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -149,53 +228,24 @@ func (s *Server) handleBuildinfo(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleTrigger(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost {
-		http.Error(w, "POST required", http.StatusMethodNotAllowed)
+	if !requirePost(w, r) {
 		return
 	}
-	var req TriggerRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeJSON(w, http.StatusBadRequest, TriggerResponse{Error: err.Error()})
-		return
-	}
-	id, err := s.node.TriggerDENM(req)
-	if err != nil {
-		writeJSON(w, http.StatusInternalServerError, TriggerResponse{Error: err.Error()})
-		return
-	}
-	writeJSON(w, http.StatusOK, TriggerResponse{
-		OK:                   true,
-		OriginatingStationID: uint32(id.OriginatingStationID),
-		SequenceNumber:       id.SequenceNumber,
-	})
+	handleTriggerNode(s.node, w, r, DefaultMaxBodyBytes)
 }
 
 func (s *Server) handleRequest(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost {
-		http.Error(w, "POST required", http.StatusMethodNotAllowed)
+	if !requirePost(w, r) {
 		return
 	}
-	batch := s.node.RequestDENM()
-	if s.pollDelay != nil {
-		s.pollDelay()
-	}
-	out := make([]DENMSummary, 0, len(batch))
-	for _, rd := range batch {
-		out = append(out, Summarize(rd))
-	}
-	writeJSON(w, http.StatusOK, out)
+	handleRequestNode(s.node, w, r, s.pollDelay)
 }
 
 func (s *Server) handleTriggerCAM(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost {
-		http.Error(w, "POST required", http.StatusMethodNotAllowed)
+	if !requirePost(w, r) {
 		return
 	}
-	if err := s.node.TriggerCAM(); err != nil {
-		writeJSON(w, http.StatusInternalServerError, map[string]string{"error": err.Error()})
-		return
-	}
-	writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
+	handleTriggerCAMNode(s.node, w, r)
 }
 
 type causeJSON struct {
@@ -204,7 +254,7 @@ type causeJSON struct {
 	SubCauses   map[string]string `json:"subCauses,omitempty"`
 }
 
-func (s *Server) handleCauses(w http.ResponseWriter, r *http.Request) {
+func handleCauses(w http.ResponseWriter, r *http.Request) {
 	all := messages.AllCauses()
 	out := make([]causeJSON, 0, len(all))
 	for _, c := range all {

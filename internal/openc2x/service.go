@@ -1,0 +1,60 @@
+package openc2x
+
+import (
+	"fmt"
+	"log/slog"
+
+	"itsbed/internal/geo"
+	"itsbed/internal/units"
+)
+
+// ServiceOptions parameterises daemon service mode: one listener
+// multiplexing Stations hosted stations (rsud/obud -stations N).
+type ServiceOptions struct {
+	// Addr is the HTTP listen address.
+	Addr string
+	// Link is the optional UDP uplink; the caller starts its read loop
+	// against the returned server.
+	Link DatagramLink
+	// Stations is how many stations to host; FirstStationID numbers
+	// them consecutively from there.
+	Stations       int
+	FirstStationID uint32
+	StationType    units.StationType
+	Position       geo.LatLon
+	// Limits, MailboxCap and Logger forward into MuxConfig.
+	Limits     Limits
+	MailboxCap int
+	Logger     *slog.Logger
+}
+
+// StartService builds a MuxServer and registers the station fleet.
+// The first registered station backs the legacy single-station routes,
+// so existing clients keep working against a service-mode daemon.
+func StartService(opts ServiceOptions) (*MuxServer, error) {
+	if opts.Stations <= 0 {
+		return nil, fmt.Errorf("openc2x: service mode needs at least one station")
+	}
+	if opts.FirstStationID == 0 {
+		return nil, fmt.Errorf("openc2x: service mode needs a nonzero first station ID")
+	}
+	srv, err := NewMuxServer(MuxConfig{
+		Addr:       opts.Addr,
+		Link:       opts.Link,
+		Limits:     opts.Limits,
+		MailboxCap: opts.MailboxCap,
+		Logger:     opts.Logger,
+		Position:   opts.Position,
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < opts.Stations; i++ {
+		id := opts.FirstStationID + uint32(i)
+		if _, err := srv.Register(id, opts.StationType, opts.Position); err != nil {
+			srv.Close()
+			return nil, fmt.Errorf("openc2x: register station %d: %w", id, err)
+		}
+	}
+	return srv, nil
+}

@@ -82,13 +82,22 @@ type SimNode struct {
 	// never a typed-nil interface.
 	Faults HTTPFaultModel
 
+	// MailboxCap, when positive, bounds the mailbox: a DENM arriving
+	// with the box full evicts the oldest entry (drop-oldest — the
+	// newest warning is the one worth keeping). Zero keeps the mailbox
+	// unbounded, the historical behaviour deterministic campaigns
+	// depend on. Set before traffic flows.
+	MailboxCap int
+	// MailboxDropped counts DENMs evicted by the cap.
+	MailboxDropped uint64
+
 	// TriggerCount counts accepted trigger_denm requests.
 	TriggerCount uint64
 	// PollCount counts request_denm polls served.
 	PollCount uint64
 
 	mTrigUp, mTrigDown, mPollUp, mPollDown, mResidency *metrics.Histogram
-	mTriggers, mPolls                                  *metrics.Counter
+	mTriggers, mPolls, mDropped                        *metrics.Counter
 	mDepthMax                                          *metrics.Gauge
 }
 
@@ -119,6 +128,7 @@ func NewSimNode(kernel *sim.Kernel, station *stack.Station, lat Latencies) *SimN
 		n.mTriggers = r.Counter("openc2x_triggers_total", st)
 		n.mPolls = r.Counter("openc2x_polls_total", st)
 		n.mDepthMax = r.Gauge("openc2x_mailbox_depth_max", st)
+		n.mDropped = r.Counter("openc2x_mailbox_dropped_total", st)
 	}
 	prev := station.OnDENM
 	station.OnDENM = func(d *messages.DENM) {
@@ -126,6 +136,19 @@ func NewSimNode(kernel *sim.Kernel, station *stack.Station, lat Latencies) *SimN
 		// the mailbox span to the delivery chain; it stays open until a
 		// request_denm poll drains the entry.
 		sp := n.tracer.Start("openc2x.mailbox", "openc2x", station.Name(), kernel.Now())
+		if n.MailboxCap > 0 && len(n.mailbox) >= n.MailboxCap {
+			// Drop-oldest: the stalest warning makes room for the
+			// freshest one.
+			n.mailboxSpans[0].Drop(kernel.Now(), "mailbox_full")
+			copy(n.mailbox, n.mailbox[1:])
+			n.mailbox = n.mailbox[:len(n.mailbox)-1]
+			copy(n.mailboxAt, n.mailboxAt[1:])
+			n.mailboxAt = n.mailboxAt[:len(n.mailboxAt)-1]
+			copy(n.mailboxSpans, n.mailboxSpans[1:])
+			n.mailboxSpans = n.mailboxSpans[:len(n.mailboxSpans)-1]
+			n.MailboxDropped++
+			n.mDropped.Inc()
+		}
 		n.mailbox = append(n.mailbox, ReceivedDENM{DENM: d, ReceivedAt: station.Clock.Now()})
 		n.mailboxAt = append(n.mailboxAt, kernel.Now())
 		n.mailboxSpans = append(n.mailboxSpans, sp)
