@@ -23,13 +23,21 @@
 //	itsbed city              # SCALE-1 city-scale density sweep (see below)
 //	itsbed cpm               # CPM-1 occluded-pedestrian collective perception study
 //	itsbed soak              # SOAK-1 service-mode overload campaign (see below)
-//	itsbed all               # everything above (resilience, city and soak excluded)
+//	itsbed bakeoff           # BAKEOFF-1 radio-technology comparison (see below)
+//	itsbed all               # everything above (resilience, city, soak and bakeoff excluded)
 //
 // Common flags: -seed S, -runs R, -vision=(true|false), -workers W,
 // -metrics, -trace-out FILE, -spans. Flags may precede or follow the
 // command name. Runs execute concurrently on W workers (default: all
 // CPUs); results — including the -metrics and trace output — are
 // bit-identical for every worker count.
+//
+// -radio selects the radio backend for the scenario commands (table2,
+// table3, fig10, fig11, resilience): its-g5 (default, the paper's
+// 802.11p stack), cv2x-pc5 (C-V2X mode-4 sidelink with semi-persistent
+// scheduling) or cv2x-uu (C-V2X infrastructure path through the
+// base-station/core hop). The bakeoff command runs the Table II chain
+// over all three backends and prints per-backend latency and PDR rows.
 //
 // -faults selects the fault plan for the resilience command: either
 // the name of a builtin plan (blackout, burst-loss, crash-rsu,
@@ -123,6 +131,7 @@ func run(args []string) error {
 	traceOut := fs.String("trace-out", "", "write per-message spans as Chrome trace-event JSON to this file (table2)")
 	showSpans := fs.Bool("spans", false, "print an ASCII waterfall of each run's end-to-end trace (table2)")
 	faultPlan := fs.String("faults", "chaos", "fault plan for the resilience command: builtin name or JSON file path")
+	radioName := fs.String("radio", "its-g5", "radio backend for the scenario commands: its-g5, cv2x-pc5 or cv2x-uu")
 	stations := fs.String("stations", "", "comma-separated vehicle densities for the city command (default 100,300,1000)")
 	rsus := fs.Int("rsus", 0, "road-side unit count for the city command (0 = default)")
 	duration := fs.Duration("duration", 0, "simulated time per city density (0 = default)")
@@ -152,11 +161,16 @@ func run(args []string) error {
 			faultsSet = true
 		}
 	})
+	backend, err := experiments.ParseBackend(*radioName)
+	if err != nil {
+		return err
+	}
 	opt := experiments.ScenarioOptions{
 		BaseSeed:  *seed,
 		Runs:      *runs,
 		UseVision: *vision,
 		Workers:   *workers,
+		Radio:     backend,
 		Trace:     *traceOut != "" || *showSpans,
 	}
 	if *progress {
@@ -184,7 +198,8 @@ func run(args []string) error {
 		"city": func() error {
 			return printCity(*seed, *stations, *rsus, *duration, *workers, !*useGrid, !*useDCC)
 		},
-		"cpm": func() error { return printCPM(*seed, *runs, *workers) },
+		"cpm":     func() error { return printCPM(*seed, *runs, *workers) },
+		"bakeoff": func() error { return printBakeoff(*seed, *runs, *workers, *vision) },
 		"soak": func() error {
 			planArg := *faultPlan
 			if !faultsSet {
@@ -211,7 +226,7 @@ func run(args []string) error {
 	}
 	fn, ok := dispatch[cmd]
 	if !ok {
-		return fmt.Errorf("unknown command %q (try: table1 table2 table3 fig7 fig10 fig11 cdf radios platoon baseline poll-sweep fps-sweep load-sweep obstruction platoon-acc ntp-sweep resilience city cpm soak all)", cmd)
+		return fmt.Errorf("unknown command %q (try: table1 table2 table3 fig7 fig10 fig11 cdf radios platoon baseline poll-sweep fps-sweep load-sweep obstruction platoon-acc ntp-sweep resilience city cpm soak bakeoff all)", cmd)
 	}
 	return fn()
 }
@@ -239,6 +254,21 @@ func printCity(seed int64, stations string, rsus int, duration time.Duration, wo
 		return err
 	}
 	fmt.Print(experiments.FormatCity(rows, opt))
+	return nil
+}
+
+// printBakeoff runs the BAKEOFF-1 radio-technology comparison.
+func printBakeoff(seed int64, runs, workers int, vision bool) error {
+	res, err := experiments.Bakeoff(experiments.BakeoffOptions{
+		BaseSeed:  seed,
+		Runs:      runs,
+		Workers:   workers,
+		UseVision: vision,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Print(res.Format())
 	return nil
 }
 
@@ -318,6 +348,7 @@ func printResilience(opt experiments.ScenarioOptions, planArg string, showMetric
 		Runs:      opt.Runs,
 		Workers:   opt.Workers,
 		UseVision: opt.UseVision,
+		Radio:     opt.Radio,
 		Plan:      plan,
 		Blackbox:  blackbox,
 		Progress:  opt.Progress,

@@ -41,6 +41,13 @@ const (
 	// RadioCellular replaces the V2X link with a cellular profile
 	// (the paper's planned 5G comparison).
 	RadioCellular
+	// RadioCV2XPC5 runs the C-V2X mode-4 sidelink: stations transmit
+	// on autonomous SPS grants over the shared resource pool.
+	RadioCV2XPC5
+	// RadioCV2XUu routes every frame through the base-station/core hop
+	// of the cellular profile, with fault injection and flight
+	// recording threaded through (unlike the raw RadioCellular pipe).
+	RadioCV2XUu
 )
 
 // Station IDs of the fixed deployment.
@@ -74,10 +81,15 @@ type Config struct {
 	MailboxCap int
 	// NTP error model for all platforms.
 	NTP clock.NTPModel
-	// Radio selects ITS-G5 (default) or a cellular profile.
+	// Radio selects ITS-G5 (default), a raw cellular pipe, C-V2X
+	// sidelink (PC5), or the C-V2X infrastructure (Uu) path.
 	Radio RadioKind
-	// CellularProfile applies when Radio == RadioCellular.
+	// CellularProfile applies when Radio is RadioCellular or
+	// RadioCV2XUu.
 	CellularProfile radio.CellularProfile
+	// SPS parameterises the mode-4 scheduler when Radio ==
+	// RadioCV2XPC5; the zero value selects the standard defaults.
+	SPS radio.SPSConfig
 	// PathLoss of the 802.11p medium; zero selects the indoor default.
 	PathLoss radio.PathLossModel
 	// Obstructions adds per-link penetration loss (walls); nil leaves
@@ -173,7 +185,11 @@ type Testbed struct {
 	Kernel *sim.Kernel
 	Layout track.Layout
 
-	Medium  *radio.Medium
+	Medium *radio.Medium
+	// PC5 is the sidelink medium when Radio == RadioCV2XPC5.
+	PC5 *radio.PC5Medium
+	// Uu is the infrastructure link when Radio == RadioCV2XUu.
+	Uu      *radio.CellularLink
 	RSU     *stack.Station
 	OBU     *stack.Station
 	RSUNode *openc2x.SimNode
@@ -260,7 +276,8 @@ func New(cfg Config) (*Testbed, error) {
 
 	// --- Access layer -------------------------------------------------
 	var rsuLink, obuLink stack.Link
-	if cfg.Radio == RadioCellular {
+	switch cfg.Radio {
+	case RadioCellular:
 		profile := cfg.CellularProfile
 		if profile == (radio.CellularProfile{}) {
 			profile = radio.Profile5GURLLC()
@@ -268,7 +285,48 @@ func New(cfg Config) (*Testbed, error) {
 		cell := radio.NewCellularLink(k, profile)
 		rsuLink = cellularEndpoint{link: cell}
 		obuLink = cellularEndpoint{link: cell}
-	} else {
+	case RadioCV2XPC5:
+		pc := radio.PC5Config{
+			SPS:     cfg.SPS,
+			Metrics: cfg.Metrics,
+			Flight:  cfg.Flight,
+		}
+		if inj != nil {
+			pc.Faults = inj
+		}
+		tb.PC5 = radio.NewPC5Medium(k, pc)
+		camPos := cfg.Layout.Camera.Position
+		rsuIf, err := tb.PC5.Attach("rsu", func() geo.Point { return camPos })
+		if err != nil {
+			return nil, fmt.Errorf("core: pc5 RSU: %w", err)
+		}
+		obuIf, err := tb.PC5.Attach("obu", veh.Mobility().Position)
+		if err != nil {
+			return nil, fmt.Errorf("core: pc5 OBU: %w", err)
+		}
+		rsuLink, obuLink = rsuIf, obuIf
+	case RadioCV2XUu:
+		profile := cfg.CellularProfile
+		if profile == (radio.CellularProfile{}) {
+			profile = radio.Profile5GURLLC()
+		}
+		cell := radio.NewCellularLink(k, profile)
+		cell.Flight = cfg.Flight
+		cell.Metrics = cfg.Metrics
+		if inj != nil {
+			cell.Faults = inj
+		}
+		tb.Uu = cell
+		rsuEp, err := cell.AttachUu("rsu")
+		if err != nil {
+			return nil, fmt.Errorf("core: uu RSU: %w", err)
+		}
+		obuEp, err := cell.AttachUu("obu")
+		if err != nil {
+			return nil, fmt.Errorf("core: uu OBU: %w", err)
+		}
+		rsuLink, obuLink = rsuEp, obuEp
+	default:
 		mc := radio.MediumConfig{
 			PathLoss:     cfg.PathLoss,
 			Obstructions: cfg.Obstructions,

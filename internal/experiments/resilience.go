@@ -29,6 +29,9 @@ type ResilienceOptions struct {
 	Horizon time.Duration
 	// UseVision selects the full image pipeline (slower).
 	UseVision bool
+	// Radio selects the radio backend for both the baseline and the
+	// faulted sweep ("" keeps ITS-G5).
+	Radio Backend
 	// Plan is the fault schedule injected into every faulted run.
 	Plan faults.Plan
 	// TriggerRetries for the edge's trigger_denm path under faults;
@@ -168,6 +171,7 @@ func Resilience(opt ResilienceOptions) (ResilienceResult, error) {
 		Workers:   opt.Workers,
 		Horizon:   opt.Horizon,
 		UseVision: opt.UseVision,
+		Radio:     opt.Radio,
 	}
 	baseline, err := TableII(baseOpt)
 	if err != nil {

@@ -99,6 +99,12 @@ const (
 	DropBlackout
 	DropBurstLoss
 	DropCorruption
+	// DropCollision is the C-V2X mode-4 same-resource collision: two
+	// stations transmitted on the same (slot, subchannel) grant.
+	DropCollision
+	// DropHalfDuplex marks a frame missed because the receiver was
+	// itself transmitting in the same sidelink slot.
+	DropHalfDuplex
 )
 
 // Receive codes (CAMRx/DENMRx/CPMRx/RadioRx).
@@ -172,7 +178,7 @@ func CodeName(k Kind, code uint8) string {
 	}
 	switch k {
 	case RadioDrop:
-		return name([]string{"queue_full", "sinr", "blackout", "fault_burst_loss", "fault_corruption"})
+		return name([]string{"queue_full", "sinr", "blackout", "fault_burst_loss", "fault_corruption", "collision", "half_duplex"})
 	case RadioRx, CAMRx, DENMRx, CPMRx:
 		return name([]string{"ok", "malformed"})
 	case DCCState:

@@ -9,6 +9,8 @@ import (
 	"itsbed/internal/experiments"
 	"itsbed/internal/flight"
 	"itsbed/internal/geo"
+	"itsbed/internal/radio"
+	"itsbed/internal/sim"
 )
 
 // Allocation ceilings for the hot paths. These are regression guards,
@@ -41,6 +43,12 @@ const (
 	// Flight-recorder append: writes into a preallocated ring slot
 	// under a mutex — zero heap allocations on the steady-state path.
 	maxAllocsFlightAppend = 0
+	// C-V2X hot paths: one sidelink broadcast costs the frame copy,
+	// the grant/completion closures and the slot-table entry (measured
+	// 6 allocs/op); one Uu round trip costs the frame copy and the two
+	// leg closures (measured 3 allocs/op).
+	maxAllocsPC5Tx       = 16
+	maxAllocsUuRoundTrip = 8
 )
 
 // guardAllocs runs fn and fails the test when the average allocation
@@ -126,6 +134,53 @@ func TestAllocGuardFlightAppend(t *testing.T) {
 		at += time.Microsecond
 		hook.Record(at, flight.RadioTx, 0, 128, 0)
 		hook.RecordFrom(at, flight.RadioRx, flight.RxOK, src, 128, 0)
+	})
+}
+
+// TestAllocGuardPC5Tx pins the sidelink transmit path: queueing a
+// frame onto an SPS grant and completing it across the fleet must stay
+// a constant handful of allocations.
+func TestAllocGuardPC5Tx(t *testing.T) {
+	k, _, ifaces := pc5Fleet(t, 2)
+	frame := make([]byte, 180)
+	horizon := time.Duration(0)
+	guardAllocs(t, "PC5 tx", 2000, maxAllocsPC5Tx, func() {
+		if err := ifaces[0].SendBroadcast(frame); err != nil {
+			t.Fatal(err)
+		}
+		// One full RRI per op, so every grant fires and the slot table
+		// is drained before the next frame queues.
+		horizon += 200 * time.Millisecond
+		if err := k.Run(horizon); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+// TestAllocGuardUuRoundTrip pins the infrastructure path: one uplink +
+// fan-out + downlink round must not grow per-message garbage.
+func TestAllocGuardUuRoundTrip(t *testing.T) {
+	k := sim.NewKernel(1)
+	l := radio.NewCellularLink(k, radio.Profile5GURLLC())
+	rsu, err := l.AttachUu("rsu")
+	if err != nil {
+		t.Fatal(err)
+	}
+	obu, err := l.AttachUu("obu")
+	if err != nil {
+		t.Fatal(err)
+	}
+	obu.SetReceiver(func([]byte) {})
+	frame := make([]byte, 180)
+	horizon := time.Duration(0)
+	guardAllocs(t, "Uu round trip", 2000, maxAllocsUuRoundTrip, func() {
+		if err := rsu.SendBroadcast(frame); err != nil {
+			t.Fatal(err)
+		}
+		horizon += 50 * time.Millisecond
+		if err := k.Run(horizon); err != nil {
+			t.Fatal(err)
+		}
 	})
 }
 

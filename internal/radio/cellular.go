@@ -5,6 +5,8 @@ import (
 	"math/rand"
 	"time"
 
+	"itsbed/internal/flight"
+	"itsbed/internal/metrics"
 	"itsbed/internal/sim"
 )
 
@@ -63,11 +65,33 @@ type CellularLink struct {
 	rng       *rand.Rand
 	receivers []func(frame []byte)
 
+	// Faults, when non-nil, screens Uu deliveries: blackout windows
+	// wipe uplinks at the base station, per-link drops hit individual
+	// downlinks. Set before the first AttachUu.
+	Faults FaultModel
+	// Flight, when non-nil, records per-endpoint tx/rx/drop events on
+	// the Uu path. Set before the first AttachUu.
+	Flight *flight.Recorder
+	// Metrics, when non-nil, receives the same radio_* frame counters
+	// the other backends report. Set before the first AttachUu.
+	Metrics *metrics.Registry
+
+	endpoints []*UuEndpoint
+
 	// MessagesSent counts messages entering the link.
 	MessagesSent uint64
 	// MessagesLost counts messages dropped by the loss model; always
 	// at most MessagesSent, since loss is decided once per message.
 	MessagesLost uint64
+	// FramesDelivered counts per-receiver Uu deliveries.
+	FramesDelivered uint64
+	// FramesLost counts per-receiver Uu losses (blackout, faults,
+	// uplink decode failures).
+	FramesLost uint64
+
+	mSent, mDelivered           *metrics.Counter
+	mLostDecode                 *metrics.Counter
+	mLostBlackout, mLostUuFault *metrics.Counter
 }
 
 // NewCellularLink creates a cellular link on the kernel.
@@ -115,6 +139,149 @@ func (l *CellularLink) SendBroadcast(frame []byte) error {
 		l.kernel.ScheduleFn(delay, func() { rcv(f) })
 	}
 	return nil
+}
+
+// UuEndpoint is one named station on the Uu (infrastructure) path: a
+// stack.Link whose broadcasts ride an uplink leg to the base
+// station/core and fan out on per-receiver downlink legs, each leg
+// carrying half the profile's latency law so the end-to-end mean stays
+// BaseLatency + JitterMean. Unlike the raw Subscribe pipe, endpoints
+// are screened by the link's fault injector and recorded in its
+// flight recorder.
+type UuEndpoint struct {
+	link    *CellularLink
+	name    string
+	receive func(frame []byte)
+	fl      flight.Hook
+
+	// FramesSent counts frames this endpoint put on the uplink.
+	FramesSent uint64
+	// FramesReceived counts frames decoded at this endpoint.
+	FramesReceived uint64
+}
+
+// AttachUu adds a named endpoint to the link's infrastructure path.
+// Set Faults/Flight/Metrics before the first attach; the radio_*
+// counters register on first use so fault-free snapshots match the
+// other backends.
+func (l *CellularLink) AttachUu(name string) (*UuEndpoint, error) {
+	if name == "" {
+		return nil, fmt.Errorf("radio: uu attach: empty station name")
+	}
+	if l.mSent == nil && l.Metrics != nil {
+		l.mSent = l.Metrics.Counter("radio_frames_sent_total")
+		l.mDelivered = l.Metrics.Counter("radio_frames_delivered_total")
+		l.mLostDecode = l.Metrics.Counter("radio_frames_lost_total", metrics.L("reason", "decode"))
+		if l.Faults != nil {
+			l.mLostBlackout = l.Metrics.Counter("radio_frames_lost_total", metrics.L("reason", "blackout"))
+			l.mLostUuFault = l.Metrics.Counter("radio_frames_lost_total", metrics.L("reason", "fault"))
+		}
+	}
+	ep := &UuEndpoint{link: l, name: name, fl: l.Flight.Hook(name)}
+	l.endpoints = append(l.endpoints, ep)
+	return ep, nil
+}
+
+// Name returns the endpoint's station name.
+func (e *UuEndpoint) Name() string { return e.name }
+
+// FlightHook exposes the endpoint's black-box recording handle.
+func (e *UuEndpoint) FlightHook() flight.Hook { return e.fl }
+
+// SetReceiver installs the frame-delivery callback, satisfying
+// stack.Link.
+func (e *UuEndpoint) SetReceiver(fn func(frame []byte)) { e.receive = fn }
+
+// legDelay samples one leg (uplink or downlink) of the Uu path: half
+// the base latency plus exponential jitter at half the mean, so the
+// two-leg end-to-end delay keeps the profile's BaseLatency+JitterMean
+// mean.
+func (l *CellularLink) legDelay() time.Duration {
+	delay := l.profile.BaseLatency / 2
+	if l.profile.JitterMean > 0 {
+		delay += time.Duration(l.rng.ExpFloat64() * float64(l.profile.JitterMean) / 2)
+	}
+	return delay
+}
+
+// SendBroadcast routes the frame through the base-station hop to every
+// other endpoint, satisfying geonet.LinkLayer / stack.Link. Uplink
+// loss is decided once per message (the PR 7 law: a lost message
+// reaches no receiver); per-receiver fault drops are screened on the
+// downlink legs.
+func (e *UuEndpoint) SendBroadcast(frame []byte) error {
+	l := e.link
+	now := l.kernel.Now()
+	l.MessagesSent++
+	e.FramesSent++
+	l.mSent.Inc()
+	e.fl.Record(now, flight.RadioTx, 0, int64(len(frame)), 0)
+	if len(l.endpoints) < 2 {
+		return nil
+	}
+	if f := l.Faults; f != nil && f.BlackoutAt(now) {
+		// The radio leg to the base station is inside the blackout:
+		// the whole message is lost before the core ever sees it.
+		l.MessagesLost++
+		for _, dst := range l.endpoints {
+			if dst == e {
+				continue
+			}
+			l.FramesLost++
+			l.mLostBlackout.Inc()
+			dst.fl.RecordFrom(now, flight.RadioDrop, flight.DropBlackout, e.fl, 0, 0)
+		}
+		return nil
+	}
+	if l.profile.LossProbability > 0 && l.rng.Float64() < l.profile.LossProbability {
+		l.MessagesLost++
+		for _, dst := range l.endpoints {
+			if dst == e {
+				continue
+			}
+			l.FramesLost++
+			l.mLostDecode.Inc()
+			dst.fl.RecordFrom(now, flight.RadioDrop, flight.DropSINR, e.fl, 0, 0)
+		}
+		return nil
+	}
+	f := make([]byte, len(frame))
+	copy(f, frame)
+	l.kernel.ScheduleFn(l.legDelay(), func() { l.atBaseStation(e, f) })
+	return nil
+}
+
+// atBaseStation fans the uplinked frame out on per-receiver downlink
+// legs, screening each against the fault injector.
+func (l *CellularLink) atBaseStation(src *UuEndpoint, frame []byte) {
+	now := l.kernel.Now()
+	for _, dst := range l.endpoints {
+		if dst == src {
+			continue
+		}
+		if f := l.Faults; f != nil {
+			if reason, drop := f.LinkDrop(now, src.name, dst.name); drop {
+				l.FramesLost++
+				l.mLostUuFault.Inc()
+				code := flight.DropBurstLoss
+				if reason == "fault_corruption" {
+					code = flight.DropCorruption
+				}
+				dst.fl.RecordFrom(now, flight.RadioDrop, code, src.fl, 0, 0)
+				continue
+			}
+		}
+		dst := dst
+		l.kernel.ScheduleFn(l.legDelay(), func() {
+			l.FramesDelivered++
+			l.mDelivered.Inc()
+			dst.FramesReceived++
+			dst.fl.RecordFrom(l.kernel.Now(), flight.RadioRx, flight.RxOK, src.fl, int64(len(frame)), 0)
+			if dst.receive != nil {
+				dst.receive(frame)
+			}
+		})
+	}
 }
 
 // Profile returns the link's latency profile.
